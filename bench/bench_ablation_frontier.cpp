@@ -1,0 +1,60 @@
+// Ablation: step-1 frontier enumeration budget (DESIGN.md §6). The paper
+// enumerates "all possible mappings" of each frontier group; we cap the
+// candidate product and split larger frontiers into greedy chunks. This
+// bench sweeps the cap from pure per-node greedy (1) to exhaustive (200k)
+// and reports step-1 quality and final H2H quality.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+void BM_Step1Enumeration(benchmark::State& state) {
+  const ModelGraph model = make_vlocnet();
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  const Simulator sim(model, sys);
+  CompPrioritizedOptions opts;
+  opts.max_candidates = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const Mapping m = computation_prioritized_mapping(sim, opts);
+    benchmark::DoNotOptimize(m.complete());
+  }
+}
+BENCHMARK(BM_Step1Enumeration)
+    ->Arg(1)
+    ->Arg(100)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t budgets[] = {1, 100, 10000, 200000};
+  TextTable table({"model", "budget", "step1 lat (s)", "final lat (s)"},
+                  {TextTable::Align::Left});
+  for (const ZooModel id : {ZooModel::VLocNet, ZooModel::CasiaSurf,
+                            ZooModel::MoCap}) {
+    const ModelGraph model = make_model(id);
+    const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+    for (const std::uint64_t budget : budgets) {
+      H2HOptions opts;
+      opts.step1.max_candidates = budget;
+      const H2HResult r = H2HMapper(model, sys, opts).run();
+      table.add_row({std::string(zoo_info(id).key),
+                     strformat("%llu", static_cast<unsigned long long>(budget)),
+                     strformat("%.6f", r.steps[0].result.latency),
+                     strformat("%.6f", r.final_result().latency)});
+    }
+  }
+  std::cout << "frontier enumeration budget ablation @ Low-:\n";
+  table.print(std::cout);
+  std::cout << '\n';
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: the weight-locality knapsack solver (DESIGN.md §6). Compares
+// exact DP against greedy density selection — final pipeline latency and
+// solver cost — under memory pressure (the standard system, where the
+// PYNQ-Z1's 512 MiB and 1 GiB boards are the tight cases).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+void BM_KnapsackSolver(benchmark::State& state) {
+  // A pressured instance: 60 layer-sized items into 64 MiB.
+  std::vector<KnapsackItem> items;
+  Rng rng(1234);
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const Bytes w = mib(static_cast<double>(rng.uniform_int(1, 12)));
+    items.push_back({i, w, static_cast<double>(w) * 7e-9});
+  }
+  const auto algo = static_cast<KnapsackAlgo>(state.range(0));
+  for (auto _ : state) {
+    const KnapsackSolution s = solve_knapsack(items, mib(64), algo);
+    benchmark::DoNotOptimize(s.value);
+  }
+  state.SetLabel(algo == KnapsackAlgo::ExactDp ? "exact-dp" : "greedy");
+}
+BENCHMARK(BM_KnapsackSolver)
+    ->Arg(static_cast<int>(KnapsackAlgo::ExactDp))
+    ->Arg(static_cast<int>(KnapsackAlgo::GreedyDensity))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TextTable table({"model", "exact-dp lat (s)", "greedy lat (s)", "delta"},
+                  {TextTable::Align::Left});
+  for (const ZooInfo& info : zoo_catalog()) {
+    const ModelGraph model = make_model(info.id);
+    const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+
+    H2HOptions exact;
+    exact.weight.algo = KnapsackAlgo::ExactDp;
+    exact.remap.weight.algo = KnapsackAlgo::ExactDp;
+    H2HOptions greedy;
+    greedy.weight.algo = KnapsackAlgo::GreedyDensity;
+    greedy.remap.weight.algo = KnapsackAlgo::GreedyDensity;
+
+    const double lat_dp =
+        H2HMapper(model, sys, exact).run().final_result().latency;
+    const double lat_greedy =
+        H2HMapper(model, sys, greedy).run().final_result().latency;
+    table.add_row({std::string(info.key), strformat("%.6f", lat_dp),
+                   strformat("%.6f", lat_greedy),
+                   format_percent(lat_greedy / lat_dp - 1.0, 2)});
+  }
+  std::cout << "knapsack ablation (exact DP vs greedy density) @ Low-:\n";
+  table.print(std::cout);
+  std::cout << '\n';
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

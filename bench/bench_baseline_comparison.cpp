@@ -1,0 +1,57 @@
+// §2 motivation experiment: H2H vs the two prior-art strategies —
+// computation-prioritized mapping (the paper's baseline, = H2H steps 1-2)
+// and communication-prioritized task clustering (Taura-style). Shows that
+// clustering hurts compute efficiency while H2H balances both, at the
+// bandwidth extremes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+void compare_at(BandwidthSetting bw, std::ostream& out) {
+  out << "=== BW_acc " << to_string(bw) << " ===\n";
+  TextTable table({"model", "comp-prio (s)", "cluster (s)", "H2H (s)",
+                   "H2H vs comp", "H2H vs cluster"},
+                  {TextTable::Align::Left});
+  for (const ZooInfo& info : zoo_catalog()) {
+    const ModelGraph model = make_model(info.id);
+    const SystemConfig sys = SystemConfig::standard(bw);
+    const double comp =
+        run_computation_prioritized_baseline(model, sys).final_result().latency;
+    const double cluster =
+        run_cluster_prioritized_baseline(model, sys).final_result().latency;
+    const double ours = H2HMapper(model, sys).run().final_result().latency;
+    table.add_row({std::string(info.key), strformat("%.6f", comp),
+                   strformat("%.6f", cluster), strformat("%.6f", ours),
+                   format_percent(1.0 - ours / comp, 1),
+                   format_percent(1.0 - ours / cluster, 1)});
+  }
+  table.print(out);
+  out << '\n';
+}
+
+void BM_ClusterBaseline_CasiaSurf(benchmark::State& state) {
+  const ModelGraph model = make_casia_surf();
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  for (auto _ : state) {
+    const H2HResult r = run_cluster_prioritized_baseline(model, sys);
+    benchmark::DoNotOptimize(r.final_result().latency);
+  }
+}
+BENCHMARK(BM_ClusterBaseline_CasiaSurf)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  compare_at(BandwidthSetting::LowMinus, std::cout);
+  compare_at(BandwidthSetting::High, std::cout);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Figure 4: latency (s) and energy (J) of all six MMMT models
+// across the four H2H steps at the five bandwidth settings, plus the
+// headline reduction summary (paper: 15-74% latency, 23-64% energy at Low-).
+// Also dumps the sweep to bench_fig4.csv and times one representative
+// pipeline under google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+void BM_FullPipeline_VLocNet_LowMinus(benchmark::State& state) {
+  const h2h::ModelGraph model = h2h::make_vlocnet();
+  const h2h::SystemConfig sys =
+      h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
+  for (auto _ : state) {
+    const h2h::H2HResult r = h2h::H2HMapper(model, sys).run();
+    benchmark::DoNotOptimize(r.final_result().latency);
+  }
+}
+BENCHMARK(BM_FullPipeline_VLocNet_LowMinus)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<h2h::StepSeries> sweep = h2h::run_full_sweep();
+  h2h::print_fig4(sweep, std::cout);
+
+  std::ofstream csv("bench_fig4.csv");
+  h2h::write_sweep_csv(sweep, csv);
+  std::cout << "\n(wrote bench_fig4.csv)\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

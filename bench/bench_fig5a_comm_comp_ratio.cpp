@@ -1,0 +1,38 @@
+// Regenerates Figure 5(a): communication vs computation time share at
+// bandwidth Low- before (computation-prioritized baseline) and after H2H.
+// The paper's marquee data point: MoCap computation share 21% -> 94%.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+void BM_CommCompDecomposition(benchmark::State& state) {
+  const h2h::ModelGraph model = h2h::make_mocap();
+  const h2h::SystemConfig sys =
+      h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
+  const h2h::H2HResult r = h2h::H2HMapper(model, sys).run();
+  const h2h::Simulator sim(model, sys);
+  for (auto _ : state) {
+    const h2h::ScheduleResult res = sim.simulate(r.mapping, r.plan);
+    benchmark::DoNotOptimize(res.comp_ratio());
+  }
+}
+BENCHMARK(BM_CommCompDecomposition)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<h2h::StepSeries> cells;
+  for (const h2h::ZooInfo& info : h2h::zoo_catalog())
+    cells.push_back(
+        h2h::run_experiment(info.id, h2h::BandwidthSetting::LowMinus));
+  h2h::print_fig5a(cells, std::cout);
+  std::cout << '\n';
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Regenerates Figure 5(b): H2H mapping search time per model. The paper
+// reports consistently sub-second search, slowest for VLocNet (the largest
+// layer count) and fastest for CNN-LSTM/MoCap (< 30 layers). Here the
+// search itself is the benchmarked quantity, measured by google-benchmark
+// for every model at bandwidth Mid, plus the paper-style table from single
+// timed runs across all bandwidths.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+void BM_H2HSearch(benchmark::State& state) {
+  const auto model_id = static_cast<h2h::ZooModel>(state.range(0));
+  const h2h::ModelGraph model = h2h::make_model(model_id);
+  const h2h::SystemConfig sys =
+      h2h::SystemConfig::standard(h2h::BandwidthSetting::Mid);
+  for (auto _ : state) {
+    const h2h::H2HResult r = h2h::H2HMapper(model, sys).run();
+    benchmark::DoNotOptimize(r.final_result().latency);
+  }
+  state.SetLabel(std::string(h2h::zoo_info(model_id).key));
+}
+BENCHMARK(BM_H2HSearch)
+    ->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<h2h::StepSeries> sweep = h2h::run_full_sweep();
+  h2h::print_fig5b(sweep, std::cout);
+
+  bool all_subsecond = true;
+  for (const h2h::StepSeries& s : sweep)
+    all_subsecond = all_subsecond && s.search_seconds < 1.0;
+  std::cout << "\nall searches < 1 s: " << (all_subsecond ? "yes" : "NO")
+            << " (paper: 'consistently low ... less than one second')\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Extension of Fig. 5(b): H2H search time as the model grows. The paper's
+// largest model has ~141 layers; the synthetic MMMT generator scales the
+// layer count an order of magnitude further to probe the mapper's
+// complexity empirically (the paper claims the search is "consistently
+// low").
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+SyntheticMmmtSpec spec_for(std::uint32_t modalities, std::uint32_t depth) {
+  SyntheticMmmtSpec spec;
+  spec.modalities = modalities;
+  spec.lstm_modalities = modalities / 3;
+  spec.backbone_depth = depth;
+  spec.seed = 42;
+  return spec;
+}
+
+void BM_SearchVsModelSize(benchmark::State& state) {
+  const auto modalities = static_cast<std::uint32_t>(state.range(0));
+  const auto depth = static_cast<std::uint32_t>(state.range(1));
+  const ModelGraph model = make_synthetic_mmmt(spec_for(modalities, depth));
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  for (auto _ : state) {
+    const H2HResult r = H2HMapper(model, sys).run();
+    benchmark::DoNotOptimize(r.final_result().latency);
+  }
+  state.SetLabel(strformat("%zu layers",
+                           model.stats().compute_layer_count));
+}
+BENCHMARK(BM_SearchVsModelSize)
+    ->Args({2, 6})
+    ->Args({3, 10})
+    ->Args({5, 16})
+    ->Args({8, 24})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TextTable table({"modalities", "depth", "graph nodes", "compute layers",
+                   "search (s)", "latency gain"},
+                  {TextTable::Align::Left});
+  for (const auto& [modalities, depth] :
+       {std::pair{2u, 6u}, {3u, 10u}, {4u, 12u}, {6u, 18u}, {8u, 24u}}) {
+    const ModelGraph model = make_synthetic_mmmt(spec_for(modalities, depth));
+    const SystemConfig sys =
+        SystemConfig::standard(BandwidthSetting::LowMinus);
+    const H2HResult r = H2HMapper(model, sys).run();
+    const ModelStats s = model.stats();
+    table.add_row({strformat("%u", modalities), strformat("%u", depth),
+                   strformat("%zu", s.node_count),
+                   strformat("%zu", s.compute_layer_count),
+                   strformat("%.4f", r.search_seconds),
+                   format_percent(1.0 - r.latency_vs_baseline(), 1)});
+  }
+  std::cout << "search-time scaling on synthetic MMMT models @ Low-:\n";
+  table.print(std::cout);
+  std::cout << '\n';
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

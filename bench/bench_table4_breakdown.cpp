@@ -1,0 +1,31 @@
+// Regenerates Table 4: per-step latency breakdown vs the step-2 baseline —
+// absolute seconds for steps 1-2, and step-3/step-4 latency as a percentage
+// of step 2 for every bandwidth x model cell.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+void BM_StepBreakdown_MoCap_Low(benchmark::State& state) {
+  for (auto _ : state) {
+    const h2h::StepSeries s =
+        h2h::run_experiment(h2h::ZooModel::MoCap, h2h::BandwidthSetting::Low);
+    benchmark::DoNotOptimize(s.latency_vs_baseline());
+  }
+}
+BENCHMARK(BM_StepBreakdown_MoCap_Low)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<h2h::StepSeries> sweep = h2h::run_full_sweep();
+  h2h::print_table4(sweep, std::cout);
+  std::cout << '\n';
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

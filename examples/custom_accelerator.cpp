@@ -1,0 +1,64 @@
+// The plug-in story: extend the system with user-defined accelerators.
+//
+// Two ways in:
+//  1. An AnalyticalAccelerator from your own AcceleratorSpec (here: the
+//     row-stationary Eyeriss-like design that the paper's Fig. 1 shows as a
+//     configurable FPGA personality).
+//  2. A LambdaAccelerator wrapping arbitrary user cost functions (here: a
+//     hypothetical fixed-latency NPU with measured per-layer numbers).
+// Both join a SystemConfig next to catalog designs, and H2H maps onto them
+// with no further changes.
+#include <iostream>
+
+#include "h2h.h"
+
+int main() {
+  using namespace h2h;
+
+  // Register the custom designs by name (optional; enables name lookup).
+  auto& registry = AcceleratorRegistry::instance();
+  if (!registry.contains("EYE")) {
+    registry.register_factory(
+        "EYE", [] { return make_analytical(eyeriss_like_spec()); });
+  }
+
+  // A measured-latency NPU: conv layers take 50 us + 1 ns per MAC/1000.
+  AcceleratorSpec npu_spec = eyeriss_like_spec();
+  npu_spec.name = "NPU";
+  npu_spec.description = "vendor NPU with measured per-layer latency";
+  npu_spec.kinds = KindSupport{true, true, false};
+
+  // Assemble: 4 catalog designs + the Eyeriss-like spec + the lambda NPU.
+  std::vector<AcceleratorPtr> accs;
+  for (const char* name : {"X.W", "T.M", "S.H", "J.Q"})
+    accs.push_back(registry.make(name));
+  accs.push_back(registry.make("EYE"));
+  accs.push_back(std::make_unique<LambdaAccelerator>(
+      npu_spec, [](const Layer& layer) {
+        return 50e-6 + static_cast<double>(layer.macs()) * 1e-12;
+      }));
+
+  HostParams host;
+  host.bw_acc = bandwidth_value(BandwidthSetting::MidMinus);
+  const SystemConfig sys(std::move(accs), host);
+
+  // Map a model containing conv, FC, and LSTM layers onto the hybrid system.
+  const ModelGraph model = make_model(ZooModel::CnnLstm);
+  const H2HResult result = H2HMapper(model, sys).run();
+
+  std::cout << "custom system with " << sys.accelerator_count()
+            << " accelerators (2 user-defined)\n";
+  std::cout << "H2H latency " << human_seconds(result.final_result().latency)
+            << " (" << format_percent(1.0 - result.latency_vs_baseline(), 1)
+            << " below the computation-prioritized baseline)\n\n";
+
+  std::cout << "layers placed on user-defined accelerators:\n";
+  for (const LayerId id : model.all_layers()) {
+    const Layer& layer = model.layer(id);
+    if (layer.kind == LayerKind::Input) continue;
+    const AcceleratorSpec& spec = sys.spec(result.mapping.acc_of(id));
+    if (spec.name == "EYE" || spec.name == "NPU")
+      std::cout << "  " << layer.name << " -> " << spec.name << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: map one MMMT model onto the standard 12-accelerator system
+// and walk through what each H2H step bought.
+//
+//   ./quickstart [model-key] [bandwidth-gbps]
+//   e.g. ./quickstart mocap 0.125
+#include <cstdlib>
+#include <iostream>
+
+#include "h2h.h"
+
+int main(int argc, char** argv) {
+  using namespace h2h;
+
+  const std::string key = argc > 1 ? argv[1] : "mocap";
+  const double bw = argc > 2 ? std::atof(argv[2]) : 0.125;
+  const auto model_id = zoo_model_by_key(key);
+  if (!model_id) {
+    std::cerr << "unknown model '" << key << "'; options:";
+    for (const ZooInfo& info : zoo_catalog()) std::cerr << ' ' << info.key;
+    std::cerr << '\n';
+    return 1;
+  }
+
+  // 1. Build the heterogeneous model (G_model) and system (G_sys).
+  const ModelGraph model = make_model(*model_id);
+  const SystemConfig sys = SystemConfig::standard(gbps(bw));
+  print_model_summary(model, std::cout);
+  std::cout << "system: " << sys.accelerator_count()
+            << " accelerators, BW_acc = " << bw << " GB/s\n\n";
+
+  // 2. Run the four-step H2H pipeline.
+  const H2HMapper mapper(model, sys);
+  const H2HResult result = mapper.run();
+
+  // 3. Inspect the per-step trajectory (the paper's Fig. 3 walkthrough).
+  std::cout << "step trajectory:\n";
+  for (const StepSnapshot& step : result.steps) {
+    std::cout << "  " << step.name << ": latency "
+              << human_seconds(step.result.latency) << ", energy "
+              << strformat("%.4f J", step.result.energy.total())
+              << ", comp share "
+              << format_percent(step.result.comp_ratio(), 1) << '\n';
+  }
+
+  std::cout << "\nH2H vs computation-prioritized baseline: latency "
+            << format_percent(1.0 - result.latency_vs_baseline(), 1)
+            << " lower, energy "
+            << format_percent(1.0 - result.energy_vs_baseline(), 1)
+            << " lower (search took "
+            << human_seconds(result.search_seconds) << ")\n\n";
+
+  // 4. Show where each layer ended up.
+  std::cout << "final placement (layer -> accelerator):\n";
+  for (const LayerId id : model.all_layers()) {
+    const Layer& layer = model.layer(id);
+    if (layer.kind == LayerKind::Input) continue;
+    const AcceleratorSpec& spec = sys.spec(result.mapping.acc_of(id));
+    std::cout << "  " << layer.name << " [" << to_string(layer.kind) << "] -> "
+              << spec.name << " (" << to_string(spec.style)
+              << (result.plan.pinned(id) ? ", weights pinned" : "") << ")\n";
+  }
+  return 0;
+}

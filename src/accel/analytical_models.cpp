@@ -1,0 +1,72 @@
+#include "accel/analytical_models.h"
+
+#include "util/contracts.h"
+
+namespace h2h {
+
+AnalyticalAccelerator::AnalyticalAccelerator(AcceleratorSpec spec)
+    : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+double AnalyticalAccelerator::compute_latency(const Layer& layer) const {
+  const double peak =
+      static_cast<double>(spec_.peak_macs_per_cycle) * spec_.freq_hz;
+  double t = 0.0;
+  if (const std::uint64_t macs = layer.macs(); macs != 0) {
+    H2H_EXPECTS(supports(layer.kind));
+    const double util = utilization(spec_.style, spec_.pe, layer);
+    H2H_ASSERT(util > 0.0);
+    t += static_cast<double>(macs) / (peak * util);
+  }
+  if (const std::uint64_t ops = layer.light_ops(); ops != 0) {
+    // Vector work reuses the MAC lanes at one op per lane per cycle.
+    t += static_cast<double>(ops) / peak;
+  }
+
+  // MAESTRO-style reuse roofline: weights that exceed the on-chip buffer are
+  // re-streamed from local DRAM per tile/timestep. Only the re-fetch passes
+  // beyond the first are charged here — the first pass is the system-level
+  // weight transfer the simulator already accounts for.
+  if (spec_.buffers.enabled() && layer.has_weights()) {
+    const TileAnalysis ta =
+        analyze_tiling(layer, spec_.buffers, spec_.arith_bytes);
+    if (ta.weight_reloads > 1) {
+      const double refetch_bytes =
+          static_cast<double>(layer.weight_bytes(spec_.arith_bytes)) *
+          (ta.weight_reloads - 1);
+      t = std::max(t, refetch_bytes / spec_.dram_bandwidth);
+    }
+  }
+  return t;
+}
+
+LambdaAccelerator::LambdaAccelerator(AcceleratorSpec spec, LatencyFn latency,
+                                     EnergyFn energy)
+    : spec_(std::move(spec)),
+      latency_(std::move(latency)),
+      energy_(std::move(energy)) {
+  spec_.validate();
+  H2H_EXPECTS(static_cast<bool>(latency_));
+}
+
+double LambdaAccelerator::compute_latency(const Layer& layer) const {
+  const double t = latency_(layer);
+  H2H_ENSURES(t >= 0.0);
+  return t;
+}
+
+double LambdaAccelerator::compute_energy(const Layer& layer) const {
+  if (energy_) {
+    const double e = energy_(layer);
+    H2H_ENSURES(e >= 0.0);
+    return e;
+  }
+  return AcceleratorModel::compute_energy(layer);
+}
+
+AcceleratorPtr make_analytical(AcceleratorSpec spec) {
+  return std::make_unique<AnalyticalAccelerator>(std::move(spec));
+}
+
+}  // namespace h2h

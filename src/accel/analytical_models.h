@@ -1,0 +1,55 @@
+// Analytical accelerator implementations.
+//
+// AnalyticalAccelerator is the workhorse: compute latency =
+//   macs / (peak_macs_per_cycle * utilization(style, pe, layer) * freq)
+// + light_ops / (peak_macs_per_cycle * freq) for vector work.
+//
+// LambdaAccelerator demonstrates the plug-in contract: any user-provided
+// latency/energy functions become a system component (used by the
+// custom_accelerator example and by tests to inject adversarial models).
+#pragma once
+
+#include <functional>
+
+#include "accel/accelerator_model.h"
+
+namespace h2h {
+
+class AnalyticalAccelerator final : public AcceleratorModel {
+ public:
+  explicit AnalyticalAccelerator(AcceleratorSpec spec);
+
+  [[nodiscard]] const AcceleratorSpec& spec() const noexcept override {
+    return spec_;
+  }
+  [[nodiscard]] double compute_latency(const Layer& layer) const override;
+
+ private:
+  AcceleratorSpec spec_;
+};
+
+class LambdaAccelerator final : public AcceleratorModel {
+ public:
+  using LatencyFn = std::function<double(const Layer&)>;
+  using EnergyFn = std::function<double(const Layer&)>;
+
+  /// `energy` may be null: the base-class coefficient model is used then.
+  LambdaAccelerator(AcceleratorSpec spec, LatencyFn latency,
+                    EnergyFn energy = nullptr);
+
+  [[nodiscard]] const AcceleratorSpec& spec() const noexcept override {
+    return spec_;
+  }
+  [[nodiscard]] double compute_latency(const Layer& layer) const override;
+  [[nodiscard]] double compute_energy(const Layer& layer) const override;
+
+ private:
+  AcceleratorSpec spec_;
+  LatencyFn latency_;
+  EnergyFn energy_;
+};
+
+/// Factory for the standard analytical implementation.
+[[nodiscard]] AcceleratorPtr make_analytical(AcceleratorSpec spec);
+
+}  // namespace h2h

@@ -1,0 +1,146 @@
+#include "accel/catalog.h"
+
+#include "accel/analytical_models.h"
+
+namespace h2h {
+namespace {
+
+// Shorthand for catalog entries. Peak GMAC/s = macs_per_cycle * freq;
+// the cited papers quote GOPS (1 MAC = 2 ops).
+AcceleratorSpec spec(const char* name, const char* description,
+                     const char* board, DataflowStyle style, KindSupport kinds,
+                     std::uint32_t macs_per_cycle, PeArray pe, double freq,
+                     double dram_bw, Bytes dram_cap, double e_mac_pj,
+                     double e_dram_pj_per_byte, double link_w,
+                     double weight_buf_mib, double act_buf_mib) {
+  AcceleratorSpec s;
+  s.name = name;
+  s.description = description;
+  s.board = board;
+  s.style = style;
+  s.kinds = kinds;
+  s.peak_macs_per_cycle = macs_per_cycle;
+  s.pe = pe;
+  s.freq_hz = freq;
+  s.dram_bandwidth = dram_bw;
+  s.dram_capacity = dram_cap;
+  s.energy_per_mac = picojoules(e_mac_pj);
+  s.energy_per_dram_byte = picojoules(e_dram_pj_per_byte);
+  s.link_power = link_w;
+  s.buffers = OnChipBuffers{mib(weight_buf_mib), mib(act_buf_mib)};
+  return s;
+}
+
+constexpr KindSupport kConvOnly{true, false, false};
+constexpr KindSupport kConvFc{true, true, false};
+constexpr KindSupport kConvFcLstm{true, true, true};
+constexpr KindSupport kLstmFc{false, true, true};
+constexpr KindSupport kLstmOnly{false, false, true};
+
+}  // namespace
+
+std::vector<AcceleratorSpec> standard_catalog() {
+  std::vector<AcceleratorSpec> out;
+  out.reserve(12);
+
+  // J.Z — Zhang et al., FPGA'17: OpenCL CNN accelerator, on-chip memory
+  // optimization, Arria-10 GX1150. ~600 GOPS class, GEMM-style kernels.
+  out.push_back(spec("J.Z", "OpenCL CNN, on-chip memory opt (FPGA'17)",
+                     "GX1150", DataflowStyle::MatrixEngine, kConvOnly,
+                     1024, PeArray{32, 32}, mhz(300), gbps(19.2), gib(2),
+                     60, 120, 3.0, 4, 2));
+
+  // C.Z — Zhang et al., FPGA'15: the classic roofline-optimized design,
+  // Tm=64 x Tn=7 channel-parallel array at 100 MHz on VC707 (61.6 GFLOPS).
+  out.push_back(spec("C.Z", "Roofline channel-parallel conv (FPGA'15)",
+                     "VC707", DataflowStyle::ChannelParallel, kConvOnly,
+                     448, PeArray{64, 7}, mhz(100), gbps(12.8), gib(1),
+                     300, 180, 2.5, 1, 0.5));
+
+  // W.J — Jiang et al., TECS'19: super-linear multi-FPGA inference;
+  // per-FPGA engine with combined memory/channel optimization on ZCU102.
+  out.push_back(spec("W.J", "Memory+channel optimized conv (TECS'19)",
+                     "ZCU102", DataflowStyle::ChannelParallel, kConvOnly,
+                     1536, PeArray{48, 32}, mhz(200), gbps(19.2), gib(4),
+                     60, 120, 3.0, 4, 2));
+
+  // J.Q — Qiu et al., FPGA'16: "Going Deeper", conv + FC with partial LSTM
+  // generality on ZC706 (187.8 GOPS conv).
+  out.push_back(spec("J.Q", "Conv/FC embedded accelerator (FPGA'16)",
+                     "ZC706", DataflowStyle::MatrixEngine, kConvFcLstm,
+                     780, PeArray{26, 30}, mhz(150), gbps(6.4), gib(1),
+                     80, 180, 2.5, 1.5, 1));
+
+  // A.C — Chang et al., 2017 (Snowflake): compiler-driven vector MAC design
+  // on XC7Z045 (~128 GOPS), feature-map-parallel execution.
+  out.push_back(spec("A.C", "Compiled vector conv engine (Snowflake)",
+                     "XC7Z045", DataflowStyle::FeatureMapParallel, kConvOnly,
+                     256, PeArray{16, 16}, mhz(250), gbps(6.4), gib(1),
+                     70, 180, 2.5, 1, 1));
+
+  // Y.G — Guan et al., FCCM'17 (FP-DNN): RTL-HLS hybrid matrix engine
+  // running Conv/FC/LSTM on Stratix-V.
+  out.push_back(spec("Y.G", "FP-DNN generic matrix engine (FCCM'17)",
+                     "Stratix-V", DataflowStyle::MatrixEngine, kConvFcLstm,
+                     1024, PeArray{32, 32}, mhz(150), gbps(9.6), gib(4),
+                     65, 150, 3.0, 3, 2));
+
+  // T.M — Ma et al., FPGA'17: exhaustive loop optimization, ~645 GOPS on
+  // Arria-10 GX1150.
+  out.push_back(spec("T.M", "Loop-optimized conv (FPGA'17)",
+                     "GX1150", DataflowStyle::ChannelParallel, kConvOnly,
+                     1568, PeArray{64, 24}, mhz(200), gbps(19.2), gib(2),
+                     45, 120, 3.0, 4, 2));
+
+  // A.P — Podili et al., ASAP'17: Winograd F(2,3) conv engine, Stratix-V.
+  out.push_back(spec("A.P", "Winograd conv engine (ASAP'17)",
+                     "Stratix-V", DataflowStyle::Winograd, kConvOnly,
+                     512, PeArray{32, 16}, mhz(250), gbps(9.6), gib(4),
+                     50, 150, 3.0, 3, 2));
+
+  // X.W — Wei et al., DAC'17: automated systolic-array synthesis, ~1.2 TOPS
+  // class on Arria-10 GT1150; the conv throughput champion of the catalog.
+  out.push_back(spec("X.W", "Systolic-array conv (DAC'17)",
+                     "GT1150", DataflowStyle::Systolic, kConvOnly,
+                     2048, PeArray{64, 32}, mhz(230), gbps(19.2), gib(2),
+                     40, 120, 3.0, 4, 2));
+
+  // S.H — Han et al., FPGA'17 (ESE): deeply pipelined sparse LSTM engine on
+  // XCKU060; dense-equivalent throughput modeled.
+  out.push_back(spec("S.H", "ESE pipelined LSTM/FC (FPGA'17)",
+                     "XCKU060", DataflowStyle::LstmPipeline, kLstmFc,
+                     1024, PeArray{32, 32}, mhz(200), gbps(12.8), gib(8),
+                     35, 120, 3.0, 4, 1));
+
+  // X.Z — Zhang et al., ICCD'20: gate-parallel LSTM on PYNQ-Z1; the
+  // smallest device in the system (512 MiB local DRAM).
+  out.push_back(spec("X.Z", "Gate-parallel LSTM (ICCD'20)",
+                     "PYNQ-Z1", DataflowStyle::GateParallel, kLstmOnly,
+                     128, PeArray{16, 8}, mhz(100), gbps(2.1), mib(512),
+                     90, 200, 2.0, 0.5, 0.25));
+
+  // B.L — Li et al., ISLPED'20 (FTRANS): deep-pipeline recurrent/attention
+  // engine on VCU118; the LSTM throughput champion.
+  out.push_back(spec("B.L", "FTRANS deep-pipeline LSTM (ISLPED'20)",
+                     "VCU118", DataflowStyle::LstmPipeline, kLstmFc,
+                     1536, PeArray{48, 32}, mhz(200), gbps(19.2), gib(8),
+                     30, 100, 3.5, 32, 4));
+
+  return out;
+}
+
+std::vector<AcceleratorPtr> build_standard_accelerators() {
+  std::vector<AcceleratorPtr> out;
+  for (AcceleratorSpec& s : standard_catalog())
+    out.push_back(make_analytical(std::move(s)));
+  return out;
+}
+
+AcceleratorSpec eyeriss_like_spec() {
+  return spec("EYE", "Row-stationary spatial array (Eyeriss-like)",
+              "custom", DataflowStyle::RowStationary, kConvOnly,
+              168, PeArray{12, 14}, mhz(200), gbps(6.4), gib(1),
+              55, 150, 2.5, 0.75, 0.5);
+}
+
+}  // namespace h2h

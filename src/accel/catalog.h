@@ -1,0 +1,28 @@
+// The 12 state-of-the-art FPGA DNN accelerators of the paper's Table 3.
+//
+// Every entry's throughput/memory/energy numbers are calibrated estimates
+// reconstructed from the cited publication (peak ops, board, DRAM
+// generation); see the per-entry comments in catalog.cpp and DESIGN.md §2
+// for the substitution rationale. What the mapping algorithm needs — the
+// relative ordering of designs per layer kind and the 512 MiB..8 GiB local
+// DRAM range — is preserved.
+#pragma once
+
+#include <vector>
+
+#include "accel/accelerator_model.h"
+
+namespace h2h {
+
+/// Table 3, in paper order: J.Z, C.Z, W.J, J.Q, A.C, Y.G, T.M, A.P, X.W,
+/// S.H, X.Z, B.L.
+[[nodiscard]] std::vector<AcceleratorSpec> standard_catalog();
+
+/// Analytical models for the full standard catalog.
+[[nodiscard]] std::vector<AcceleratorPtr> build_standard_accelerators();
+
+/// A row-stationary (Eyeriss-like) spec. Not part of Table 3; used by tests
+/// and the custom_accelerator example to demonstrate the plug-in interface.
+[[nodiscard]] AcceleratorSpec eyeriss_like_spec();
+
+}  // namespace h2h

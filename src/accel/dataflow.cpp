@@ -1,0 +1,166 @@
+#include "accel/dataflow.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace h2h {
+
+std::string_view to_string(DataflowStyle style) noexcept {
+  switch (style) {
+    case DataflowStyle::ChannelParallel: return "channel-parallel";
+    case DataflowStyle::FeatureMapParallel: return "fmap-parallel";
+    case DataflowStyle::RowStationary: return "row-stationary";
+    case DataflowStyle::Systolic: return "systolic";
+    case DataflowStyle::Winograd: return "winograd";
+    case DataflowStyle::MatrixEngine: return "matrix-engine";
+    case DataflowStyle::LstmPipeline: return "lstm-pipeline";
+    case DataflowStyle::GateParallel: return "gate-parallel";
+  }
+  return "?";
+}
+
+double alignment_fraction(std::uint64_t work, std::uint32_t tile) {
+  H2H_EXPECTS(tile > 0);
+  if (work == 0) return 1.0;
+  const std::uint64_t folds = (work + tile - 1) / tile;
+  return static_cast<double>(work) / (static_cast<double>(folds) * tile);
+}
+
+namespace {
+
+/// Base affinity of a dataflow style for a layer kind, before alignment.
+/// Encodes the specialization the paper's motivation describes: a style runs
+/// its native kind near peak and foreign kinds (if at all) poorly.
+double base_affinity(DataflowStyle style, LayerKind kind) {
+  switch (style) {
+    case DataflowStyle::ChannelParallel:
+      if (kind == LayerKind::Conv) return 1.0;
+      if (kind == LayerKind::FullyConnected) return 0.55;
+      if (kind == LayerKind::Lstm) return 0.25;
+      return 0.0;
+    case DataflowStyle::FeatureMapParallel:
+      if (kind == LayerKind::Conv) return 1.0;
+      if (kind == LayerKind::FullyConnected) return 0.15;
+      if (kind == LayerKind::Lstm) return 0.10;
+      return 0.0;
+    case DataflowStyle::RowStationary:
+      if (kind == LayerKind::Conv) return 1.0;
+      if (kind == LayerKind::FullyConnected) return 0.30;
+      if (kind == LayerKind::Lstm) return 0.15;
+      return 0.0;
+    case DataflowStyle::Systolic:
+      if (kind == LayerKind::Conv) return 1.0;
+      if (kind == LayerKind::FullyConnected) return 0.60;
+      if (kind == LayerKind::Lstm) return 0.30;
+      return 0.0;
+    case DataflowStyle::Winograd:
+      // Handled specially for Conv (transform gain); foreign kinds are poor.
+      if (kind == LayerKind::Conv) return 1.0;
+      if (kind == LayerKind::FullyConnected) return 0.20;
+      if (kind == LayerKind::Lstm) return 0.10;
+      return 0.0;
+    case DataflowStyle::MatrixEngine:
+      if (kind == LayerKind::Conv) return 0.85;
+      if (kind == LayerKind::FullyConnected) return 0.85;
+      if (kind == LayerKind::Lstm) return 0.70;
+      return 0.0;
+    case DataflowStyle::LstmPipeline:
+      if (kind == LayerKind::Lstm) return 0.92;
+      if (kind == LayerKind::FullyConnected) return 0.80;
+      if (kind == LayerKind::Conv) return 0.15;
+      return 0.0;
+    case DataflowStyle::GateParallel:
+      if (kind == LayerKind::Lstm) return 0.85;
+      if (kind == LayerKind::FullyConnected) return 0.40;
+      if (kind == LayerKind::Conv) return 0.10;
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double conv_alignment(DataflowStyle style, const PeArray& pe, const ConvShape& s) {
+  switch (style) {
+    case DataflowStyle::ChannelParallel:
+    case DataflowStyle::MatrixEngine:
+      // Output-channel lanes x input-channel lanes.
+      return alignment_fraction(s.out_channels, pe.dim_a) *
+             alignment_fraction(s.in_channels / s.groups, pe.dim_b);
+    case DataflowStyle::FeatureMapParallel:
+      // Output rows x output cols.
+      return alignment_fraction(s.out_h, pe.dim_a) *
+             alignment_fraction(s.out_w, pe.dim_b);
+    case DataflowStyle::RowStationary:
+      // Filter rows x output rows.
+      return alignment_fraction(s.kernel, pe.dim_a) *
+             alignment_fraction(s.out_h, pe.dim_b);
+    case DataflowStyle::Systolic:
+      // GEMM view: M = out_channels, K = in_channels*k*k folded on rows/cols.
+      return alignment_fraction(s.out_channels, pe.dim_a) *
+             alignment_fraction(
+                 static_cast<std::uint64_t>(s.in_channels) / s.groups *
+                     s.kernel * s.effective_kernel_w(),
+                 pe.dim_b);
+    case DataflowStyle::Winograd: {
+      const bool native = s.kernel == 3 && s.effective_kernel_w() == 3 &&
+                          s.stride == 1;
+      const double align = alignment_fraction(s.out_channels, pe.dim_a) *
+                           alignment_fraction(s.in_channels / s.groups, pe.dim_b);
+      // F(2x2, 3x3) Winograd: 2.25x effective-MAC gain on native shapes;
+      // non-native shapes fall back to a direct path at reduced efficiency.
+      return native ? align * 2.25 : align * 0.40;
+    }
+    case DataflowStyle::LstmPipeline:
+    case DataflowStyle::GateParallel:
+      // Foreign territory: treat the conv as a skinny GEMM on the pipeline.
+      return alignment_fraction(s.out_channels, pe.dim_a * pe.dim_b);
+  }
+  return 1.0;
+}
+
+double fc_alignment(const PeArray& pe, const FcShape& s) {
+  return alignment_fraction(s.out_features, pe.dim_a) *
+         alignment_fraction(s.in_features, pe.dim_b);
+}
+
+double lstm_alignment(DataflowStyle style, const PeArray& pe, const LstmShape& s) {
+  switch (style) {
+    case DataflowStyle::GateParallel:
+      // Four gate engines, hidden units folded on each.
+      return alignment_fraction(s.hidden_size, pe.size() / 4 == 0
+                                                   ? 1u
+                                                   : static_cast<std::uint32_t>(
+                                                         pe.size() / 4));
+    default:
+      // Mat-vec view: hidden rows x (in+hidden) cols.
+      return alignment_fraction(s.hidden_size, pe.dim_a) *
+             alignment_fraction(s.in_size + s.hidden_size, pe.dim_b);
+  }
+}
+
+}  // namespace
+
+double utilization(DataflowStyle style, const PeArray& pe, const Layer& layer) {
+  const double base = base_affinity(style, layer.kind);
+  if (base == 0.0) return 0.0;
+  double align = 1.0;
+  switch (layer.kind) {
+    case LayerKind::Conv:
+      align = conv_alignment(style, pe, std::get<ConvShape>(layer.shape));
+      break;
+    case LayerKind::FullyConnected:
+      align = fc_alignment(pe, std::get<FcShape>(layer.shape));
+      break;
+    case LayerKind::Lstm:
+      align = lstm_alignment(style, pe, std::get<LstmShape>(layer.shape));
+      break;
+    default:
+      return 0.0;
+  }
+  // Winograd's align already folds the base (1.0) and the transform gain.
+  const double util = base * align;
+  H2H_ENSURES(util > 0.0);
+  return std::min(util, 2.25);
+}
+
+}  // namespace h2h

@@ -1,0 +1,58 @@
+// Dataflow-style utilization models: the "computation awareness" term.
+//
+// Each surveyed accelerator is specialized for a dataflow (channel-parallel
+// NVDLA-like arrays, feature-map-parallel Shi-diannao-like arrays,
+// row-stationary Eyeriss-like arrays, systolic GEMM arrays, Winograd
+// engines, generic matrix engines, and two LSTM microarchitectures). A
+// layer's effective throughput on an accelerator is
+//     peak_macs_per_cycle x utilization(style, pe_array, layer)
+// where utilization combines (a) a base affinity of the style for the layer
+// kind and (b) alignment of the layer's parallelizable dimensions to the PE
+// array geometry. Winograd may exceed 1.0 on 3x3/s1 convolutions (it is an
+// effective-MACs ratio, not an occupancy).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "model/layer.h"
+
+namespace h2h {
+
+enum class DataflowStyle : std::uint8_t {
+  ChannelParallel,     // Tm x Tn output/input-channel MAC array (C.Z, W.J, T.M)
+  FeatureMapParallel,  // Px x Py output-pixel PEs, Shi-diannao-like (A.C)
+  RowStationary,       // Eyeriss-like filter-row x output-row mapping
+  Systolic,            // 2-D systolic GEMM array (X.W)
+  Winograd,            // transformed 3x3 convolution engine (A.P)
+  MatrixEngine,        // generic tiled GEMM/GEMV engine (J.Z, J.Q, Y.G)
+  LstmPipeline,        // deeply pipelined LSTM datapath, ESE-like (S.H, B.L)
+  GateParallel,        // four-gate-parallel LSTM engine (X.Z)
+};
+
+[[nodiscard]] std::string_view to_string(DataflowStyle style) noexcept;
+
+/// PE-array geometry. The dimension semantics depend on the style (e.g.
+/// ChannelParallel: dim_a = output-channel lanes Tm, dim_b = input-channel
+/// lanes Tn; FeatureMapParallel: output rows x cols; Systolic: rows x cols).
+struct PeArray {
+  std::uint32_t dim_a = 1;
+  std::uint32_t dim_b = 1;
+
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return static_cast<std::uint64_t>(dim_a) * dim_b;
+  }
+};
+
+/// Fraction of `tile` lanes doing useful work when `work` units are folded
+/// onto them: work / (ceil(work/tile) * tile). In (0, 1]; 1 when tile
+/// divides work.
+[[nodiscard]] double alignment_fraction(std::uint64_t work, std::uint32_t tile);
+
+/// Effective fraction of peak MAC throughput for `layer` under `style`.
+/// Returns 0 for layers with no MAC work (Input/Pool/Eltwise/Concat; their
+/// vector cost is handled separately by the accelerator model).
+[[nodiscard]] double utilization(DataflowStyle style, const PeArray& pe,
+                                 const Layer& layer);
+
+}  // namespace h2h

@@ -1,0 +1,56 @@
+#include "accel/registry.h"
+
+#include "accel/analytical_models.h"
+#include "accel/catalog.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+
+AcceleratorRegistry& AcceleratorRegistry::instance() {
+  static AcceleratorRegistry registry;
+  return registry;
+}
+
+AcceleratorRegistry::AcceleratorRegistry() {
+  for (AcceleratorSpec& s : standard_catalog()) {
+    const std::string name = s.name;
+    register_factory(name, [spec = std::move(s)]() -> AcceleratorPtr {
+      return make_analytical(spec);
+    });
+  }
+}
+
+void AcceleratorRegistry::register_factory(std::string name, Factory factory) {
+  H2H_EXPECTS(static_cast<bool>(factory));
+  if (name.empty()) throw ConfigError("accelerator factory with empty name");
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted)
+    throw ConfigError(
+        strformat("accelerator '%s' is already registered", it->first.c_str()));
+}
+
+bool AcceleratorRegistry::contains(std::string_view name) const noexcept {
+  return factories_.find(name) != factories_.end();
+}
+
+AcceleratorPtr AcceleratorRegistry::make(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw ConfigError(
+        strformat("unknown accelerator '%.*s'", static_cast<int>(name.size()),
+                  name.data()));
+  AcceleratorPtr model = it->second();
+  H2H_ENSURES(model != nullptr);
+  return model;
+}
+
+std::vector<std::string> AcceleratorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,42 @@
+// Name-based accelerator factory registry: the "plug-in manner" of the
+// paper's infrastructure contribution. The standard Table-3 designs are
+// pre-registered; users add custom models at runtime (see the
+// custom_accelerator example).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "accel/accelerator_model.h"
+
+namespace h2h {
+
+class AcceleratorRegistry {
+ public:
+  using Factory = std::function<AcceleratorPtr()>;
+
+  /// Process-wide registry, lazily constructed with the standard catalog.
+  [[nodiscard]] static AcceleratorRegistry& instance();
+
+  /// Register a factory under `name`; throws ConfigError on duplicates.
+  void register_factory(std::string name, Factory factory);
+
+  /// True if `name` is registered.
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+
+  /// Instantiate by name; throws ConfigError for unknown names.
+  [[nodiscard]] AcceleratorPtr make(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  AcceleratorRegistry();
+
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace h2h

@@ -1,0 +1,137 @@
+#include "accel/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace h2h {
+namespace {
+
+TileAnalysis analyze_conv(const ConvShape& s, const OnChipBuffers& buffers,
+                          std::uint32_t dtype) {
+  TileAnalysis out;
+  const Bytes weight_bytes =
+      (static_cast<Bytes>(s.out_channels) * s.in_channels / s.groups *
+           s.kernel * s.effective_kernel_w() +
+       s.out_channels) * dtype;
+  const Bytes ifm_bytes = static_cast<Bytes>(s.in_channels) *
+                          (s.out_h * s.stride) * (s.out_w * s.stride) * dtype;
+  const Bytes ofm_bytes =
+      static_cast<Bytes>(s.out_channels) * s.out_h * s.out_w * dtype;
+
+  // Square output tile whose IFM+OFM working set fits the activation buffer.
+  // Per output pixel the working set holds ~stride^2 x M input elements and
+  // N output elements (halo ignored; documented simplification).
+  std::uint32_t tile = std::max(s.out_h, s.out_w);
+  if (buffers.act_buffer != 0) {
+    const double per_pixel =
+        static_cast<double>(dtype) *
+        (static_cast<double>(s.in_channels) * s.stride * s.stride +
+         static_cast<double>(s.out_channels));
+    const double max_pixels =
+        static_cast<double>(buffers.act_buffer) / per_pixel;
+    tile = std::clamp<std::uint32_t>(
+        static_cast<std::uint32_t>(std::floor(std::sqrt(
+            std::max(1.0, max_pixels)))),
+        1u, std::max(s.out_h, s.out_w));
+  }
+  const std::uint32_t tiles_h = (s.out_h + tile - 1) / tile;
+  const std::uint32_t tiles_w = (s.out_w + tile - 1) / tile;
+  out.tile_count = tiles_h * tiles_w;
+
+  out.weight_reloads =
+      (buffers.weight_buffer == 0 || weight_bytes <= buffers.weight_buffer)
+          ? 1
+          : out.tile_count;
+  out.dram_traffic =
+      weight_bytes * out.weight_reloads + ifm_bytes + ofm_bytes;
+  return out;
+}
+
+TileAnalysis analyze_fc(const FcShape& s, std::uint32_t dtype) {
+  // Batch-1 GEMV: every weight is used exactly once; no tiling can create
+  // reuse. Traffic = weights + input + output.
+  TileAnalysis out;
+  const Bytes weight_bytes =
+      (static_cast<Bytes>(s.in_features) * s.out_features + s.out_features) *
+      dtype;
+  out.dram_traffic = weight_bytes +
+                     static_cast<Bytes>(s.in_features) * dtype +
+                     static_cast<Bytes>(s.out_features) * dtype;
+  return out;
+}
+
+TileAnalysis analyze_lstm(const LstmShape& s, const OnChipBuffers& buffers,
+                          std::uint32_t dtype) {
+  TileAnalysis out;
+  Bytes weight_bytes = 0;
+  for (std::uint32_t l = 0; l < s.layers; ++l) {
+    const std::uint64_t in = l == 0 ? s.in_size : s.hidden_size;
+    weight_bytes += 4ull * ((in + s.hidden_size) * s.hidden_size +
+                            s.hidden_size) * dtype;
+  }
+  out.tile_count = s.seq_len;
+  // The recurrent memory wall: if the gate matrices do not fit on chip they
+  // are re-streamed every timestep.
+  out.weight_reloads =
+      (buffers.weight_buffer == 0 || weight_bytes <= buffers.weight_buffer)
+          ? 1
+          : s.seq_len;
+  const Bytes act_bytes =
+      static_cast<Bytes>(s.seq_len) * (s.in_size + 2ull * s.hidden_size) *
+      dtype;  // inputs + hidden + cell state per step
+  out.dram_traffic = weight_bytes * out.weight_reloads + act_bytes;
+  return out;
+}
+
+TileAnalysis analyze_streaming(const Layer& layer, std::uint32_t dtype) {
+  TileAnalysis out;
+  // in + out, with in approximated by out for eltwise-style ops.
+  const Bytes ob = layer.out_bytes(dtype);
+  switch (layer.kind) {
+    case LayerKind::Pool: {
+      const auto& s = std::get<PoolShape>(layer.shape);
+      const Bytes ib = static_cast<Bytes>(s.channels) * (s.out_h * s.stride) *
+                       (s.out_w * s.stride) * dtype;
+      out.dram_traffic = ib + ob;
+      break;
+    }
+    case LayerKind::Eltwise:
+      out.dram_traffic = 3 * ob;  // two inputs + one output
+      break;
+    case LayerKind::Concat:
+      out.dram_traffic = 2 * ob;  // inputs sum to the output size
+      break;
+    default:
+      out.dram_traffic = 0;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+TileAnalysis analyze_tiling(const Layer& layer, const OnChipBuffers& buffers,
+                            std::uint32_t dtype_bytes) {
+  H2H_EXPECTS(dtype_bytes >= 1);
+  switch (layer.kind) {
+    case LayerKind::Conv:
+      return analyze_conv(std::get<ConvShape>(layer.shape), buffers,
+                          dtype_bytes);
+    case LayerKind::FullyConnected:
+      return analyze_fc(std::get<FcShape>(layer.shape), dtype_bytes);
+    case LayerKind::Lstm:
+      return analyze_lstm(std::get<LstmShape>(layer.shape), buffers,
+                          dtype_bytes);
+    case LayerKind::Pool:
+    case LayerKind::Eltwise:
+    case LayerKind::Concat:
+      return analyze_streaming(layer, dtype_bytes);
+    case LayerKind::Input:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace h2h

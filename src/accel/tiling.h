@@ -1,0 +1,59 @@
+// MAESTRO-style tiling/reuse analysis: how many bytes actually cross an
+// accelerator's local DRAM interface while a layer computes, given the
+// design's on-chip buffer budget.
+//
+// The paper builds its infrastructure on MAESTRO, whose essence is
+// data-reuse accounting: when a working set does not fit on chip, operands
+// are re-fetched per tile. We model the dominant effects:
+//  - Conv: outputs are processed in square spatial tiles sized so one tile's
+//    IFM+OFM working set fits the activation buffer; weights stream once if
+//    they fit the weight buffer, once per tile otherwise.
+//  - FC: the weight matrix streams exactly once (no reuse at batch 1);
+//    mat-vec is local-DRAM-bound when weights exceed the buffer.
+//  - LSTM: gate matrices are re-read every timestep when they do not fit on
+//    chip — the classic recurrent-inference memory wall (ESE's motivation).
+//  - Pool/Eltwise/Concat: pure streaming, in + out.
+//
+// The resulting stream time folds into compute as a roofline:
+//    t_compute = max(mac_time, dram_traffic / bw_dram)
+// (first-touch transfers to/from the host remain the simulator's business;
+// this models on-accelerator re-buffering only).
+#pragma once
+
+#include <cstdint>
+
+#include "model/layer.h"
+
+namespace h2h {
+
+/// On-chip SRAM budgets. Zero disables the memory model for that class
+/// (pure-compute accelerator model).
+struct OnChipBuffers {
+  Bytes weight_buffer = 0;
+  Bytes act_buffer = 0;
+
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return weight_buffer != 0 || act_buffer != 0;
+  }
+};
+
+struct TileAnalysis {
+  Bytes dram_traffic = 0;      // bytes through local DRAM during compute
+  std::uint32_t weight_reloads = 1;  // times the weights are streamed
+  std::uint32_t tile_count = 1;      // spatial tiles (conv) / timesteps (lstm)
+
+  /// MACs per DRAM byte; the reuse metric MAESTRO reports.
+  [[nodiscard]] double reuse(std::uint64_t macs) const noexcept {
+    return dram_traffic == 0
+               ? static_cast<double>(macs)
+               : static_cast<double>(macs) / static_cast<double>(dram_traffic);
+  }
+};
+
+/// Analyze one layer under the given buffers. `dtype_bytes` is the tensor
+/// element size. Layers without data (Input) return zero traffic.
+[[nodiscard]] TileAnalysis analyze_tiling(const Layer& layer,
+                                          const OnChipBuffers& buffers,
+                                          std::uint32_t dtype_bytes);
+
+}  // namespace h2h

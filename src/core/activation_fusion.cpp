@@ -1,0 +1,68 @@
+#include "core/activation_fusion.h"
+
+#include <algorithm>
+
+namespace h2h {
+namespace {
+
+FusionStats fuse_one(const Simulator& sim, const Mapping& mapping,
+                     LocalityPlan& plan, const FusionOptions& options,
+                     AccId acc) {
+  const ModelGraph& model = sim.model();
+  const AcceleratorSpec& spec = sim.sys().spec(acc);
+
+  // Start from the DRAM committed to pinned weights on this accelerator.
+  Bytes used = 0;
+  for (const LayerId id : mapping.layers_on(acc))
+    if (plan.pinned(id)) used += model.weight_bytes(id);
+
+  FusionStats stats;
+  // Walk consumers in execution order; reset then greedily fuse each
+  // same-accelerator in-edge while capacity lasts. Deterministic.
+  for (const LayerId id : mapping.layers_on(acc)) {
+    const auto preds = model.graph().preds(id);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      plan.set_fused_in(id, i, false);
+      const LayerId p = preds[i];
+      const AccId pa = mapping.acc_of(p);
+      if (pa != acc) continue;  // producer elsewhere (or host input)
+      const Bytes bytes = model.edge_bytes(p);
+      if (options.enforce_capacity && used + bytes > spec.dram_capacity) {
+        ++stats.rejected_for_capacity;
+        continue;
+      }
+      plan.set_fused_in(id, i, true);
+      used += bytes;
+      ++stats.fused_edges;
+      stats.fused_bytes += bytes;
+    }
+  }
+  plan.set_used_dram(acc, used);
+  return stats;
+}
+
+}  // namespace
+
+FusionStats optimize_activation_fusion(const Simulator& sim,
+                                       const Mapping& mapping,
+                                       LocalityPlan& plan,
+                                       const FusionOptions& options,
+                                       std::span<const AccId> only_accs) {
+  plan.ensure_acc_count(sim.sys().accelerator_count());
+  FusionStats total;
+  const auto accumulate = [&](const FusionStats& s) {
+    total.fused_edges += s.fused_edges;
+    total.fused_bytes += s.fused_bytes;
+    total.rejected_for_capacity += s.rejected_for_capacity;
+  };
+  if (only_accs.empty()) {
+    for (const AccId acc : sim.sys().all_accelerators())
+      accumulate(fuse_one(sim, mapping, plan, options, acc));
+  } else {
+    for (const AccId acc : only_accs)
+      accumulate(fuse_one(sim, mapping, plan, options, acc));
+  }
+  return total;
+}
+
+}  // namespace h2h

@@ -1,0 +1,35 @@
+// Baseline mappers the paper compares against (or dismisses in §2):
+//
+//  - Computation-prioritized [Kwon et al., HPCA'21-style]: exactly H2H
+//    steps 1+2 ("existing works can also assume local DRAM for the
+//    accelerators"); this is the paper's reported baseline.
+//  - Communication-prioritized clustering [Taura et al., HCW'00-style]:
+//    form task clusters (one per modality backbone) and map each cluster to
+//    a single accelerator, then apply weight locality and fusion. Shows why
+//    pure clustering "may largely hurt the computing efficiency".
+//  - Random valid mapping: property-test fodder and a sanity lower bound.
+#pragma once
+
+#include "core/h2h_mapper.h"
+#include "util/rng.h"
+
+namespace h2h {
+
+/// Steps 1-2 only. The returned result has two step snapshots; its
+/// final_result() is the paper's baseline configuration.
+[[nodiscard]] H2HResult run_computation_prioritized_baseline(
+    const ModelGraph& model, const SystemConfig& sys,
+    const H2HOptions& options = {});
+
+/// Modality-cluster mapping + locality post-passes (steps 2-3 applied, no
+/// remapping). Clusters with layer kinds an accelerator cannot serve spill
+/// those layers to their best supporting accelerator.
+[[nodiscard]] H2HResult run_cluster_prioritized_baseline(
+    const ModelGraph& model, const SystemConfig& sys,
+    const H2HOptions& options = {});
+
+/// Uniform random valid assignment in topological order.
+[[nodiscard]] Mapping random_valid_mapping(const ModelGraph& model,
+                                           const SystemConfig& sys, Rng& rng);
+
+}  // namespace h2h

@@ -1,0 +1,147 @@
+#include "core/comp_prioritized.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.h"
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+struct NodeCandidates {
+  LayerId node;
+  std::vector<AccId> accs;       // candidate accelerators
+  std::vector<double> durations; // unlocalized duration per candidate
+  double ready = 0;              // max predecessor finish
+};
+
+/// Candidate accelerators for a layer, honoring support and preference.
+std::vector<AccId> candidates_for(const Simulator& sim, LayerId id,
+                                  const CompPrioritizedOptions& options) {
+  const Layer& layer = sim.model().layer(id);
+  if (options.preferred) {
+    if (const std::optional<AccId> pref = options.preferred(id);
+        pref.has_value() && sim.sys().contains(*pref) &&
+        sim.sys().accelerator(*pref).supports(layer.kind)) {
+      return {*pref};
+    }
+  }
+  std::vector<AccId> accs = sim.sys().supporting(layer.kind);
+  if (accs.empty())
+    throw ConfigError(strformat(
+        "no accelerator in the system supports layer '%s' (%s)",
+        layer.name.c_str(), std::string(to_string(layer.kind)).c_str()));
+  return accs;
+}
+
+}  // namespace
+
+Mapping computation_prioritized_mapping(const Simulator& sim,
+                                        const CompPrioritizedOptions& options) {
+  const ModelGraph& model = sim.model();
+  const SystemConfig& sys = sim.sys();
+  H2H_EXPECTS(options.max_candidates > 0);
+  if (!is_dag(model.graph()))
+    throw ConfigError(strformat("model '%s' has a dependency cycle",
+                                model.name().c_str()));
+
+  Mapping mapping(model);
+  std::vector<bool> done(model.layer_count(), false);
+  std::vector<double> finish(model.layer_count(), 0.0);
+  for (const LayerId id : model.all_layers())
+    if (model.layer(id).kind == LayerKind::Input) done[id.value] = true;
+
+  std::vector<double> acc_tail(sys.accelerator_count(), 0.0);
+  double makespan = 0.0;
+
+  while (true) {
+    const std::vector<LayerId> front = frontier(model.graph(), done);
+    if (front.empty()) break;
+
+    // Gather per-node candidates and cache durations / readiness.
+    std::vector<NodeCandidates> nodes;
+    nodes.reserve(front.size());
+    for (const LayerId id : front) {
+      NodeCandidates nc;
+      nc.node = id;
+      nc.accs = candidates_for(sim, id, options);
+      nc.durations.reserve(nc.accs.size());
+      for (const AccId a : nc.accs)
+        nc.durations.push_back(sim.unlocalized_duration(id, a));
+      for (const LayerId p : model.graph().preds(id))
+        nc.ready = std::max(nc.ready, finish[p.value]);
+      nodes.push_back(std::move(nc));
+    }
+
+    // Split into chunks whose assignment product stays enumerable.
+    std::size_t begin = 0;
+    while (begin < nodes.size()) {
+      std::size_t end = begin;
+      std::uint64_t product = 1;
+      while (end < nodes.size()) {
+        const std::uint64_t next = product * nodes[end].accs.size();
+        if (end > begin && next > options.max_candidates) break;
+        product = next;
+        ++end;
+      }
+      const std::size_t k = end - begin;
+
+      // Enumerate assignments in mixed radix; track the best by
+      // (makespan delta, sum of finishes, lexicographic choice index).
+      std::vector<std::size_t> choice(k, 0);
+      std::vector<std::size_t> best_choice;
+      double best_mk = std::numeric_limits<double>::infinity();
+      double best_sum = std::numeric_limits<double>::infinity();
+      std::vector<double> tails(sys.accelerator_count());
+      while (true) {
+        std::copy(acc_tail.begin(), acc_tail.end(), tails.begin());
+        double mk = makespan;
+        double sum = 0.0;
+        for (std::size_t i = 0; i < k; ++i) {
+          const NodeCandidates& nc = nodes[begin + i];
+          const AccId a = nc.accs[choice[i]];
+          const double start = std::max(nc.ready, tails[a.value]);
+          const double fin = start + nc.durations[choice[i]];
+          tails[a.value] = fin;
+          mk = std::max(mk, fin);
+          sum += fin;
+        }
+        if (mk < best_mk || (mk == best_mk && sum < best_sum)) {
+          best_mk = mk;
+          best_sum = sum;
+          best_choice = choice;
+        }
+        // Next assignment (mixed radix increment).
+        std::size_t d = 0;
+        while (d < k) {
+          if (++choice[d] < nodes[begin + d].accs.size()) break;
+          choice[d] = 0;
+          ++d;
+        }
+        if (d == k) break;
+      }
+
+      // Commit the chunk in frontier order.
+      H2H_ASSERT(best_choice.size() == k);
+      for (std::size_t i = 0; i < k; ++i) {
+        const NodeCandidates& nc = nodes[begin + i];
+        const AccId a = nc.accs[best_choice[i]];
+        mapping.assign(nc.node, a);
+        const double start = std::max(nc.ready, acc_tail[a.value]);
+        const double fin = start + nc.durations[best_choice[i]];
+        acc_tail[a.value] = fin;
+        finish[nc.node.value] = fin;
+        makespan = std::max(makespan, fin);
+        done[nc.node.value] = true;
+      }
+      begin = end;
+    }
+  }
+
+  H2H_ENSURES(mapping.complete());
+  return mapping;
+}
+
+}  // namespace h2h

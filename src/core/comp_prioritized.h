@@ -1,0 +1,36 @@
+// Step 1 — computation-prioritized mapping (paper §4.1).
+//
+// Iteratively take the frontier ("all the nodes without predecessors" among
+// unmapped layers), enumerate every frontier -> accelerator assignment, and
+// commit the one with the smallest system-latency increment. Zero data
+// locality is assumed: every layer's weights and activations cross the host
+// link, so the choice is driven by compute affinity and queue serialization.
+//
+// Enumeration is exact while the candidate product stays within
+// `max_candidates`; larger frontiers are split into deterministic chunks
+// mapped greedily in sequence (DESIGN.md §6; swept by the frontier ablation
+// bench).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "system/simulator.h"
+
+namespace h2h {
+
+struct CompPrioritizedOptions {
+  /// Upper bound on enumerated assignments per frontier chunk.
+  std::uint64_t max_candidates = 200000;
+  /// Optional placement preference (dynamic-modality extension §4.5): if it
+  /// returns an accelerator that supports the layer, that accelerator is the
+  /// only candidate considered.
+  std::function<std::optional<AccId>(LayerId)> preferred;
+};
+
+/// Produce a complete mapping (and execution sequence) for the model.
+/// Throws ConfigError if some layer kind is supported by no accelerator.
+[[nodiscard]] Mapping computation_prioritized_mapping(
+    const Simulator& sim, const CompPrioritizedOptions& options = {});
+
+}  // namespace h2h

@@ -1,0 +1,110 @@
+#include "core/dynamic_modality.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "util/error.h"
+
+namespace h2h {
+
+ModelGraph subset_model(const ModelGraph& full,
+                        std::span<const std::uint32_t> active) {
+  const std::set<std::uint32_t> active_set(active.begin(), active.end());
+  const auto topo = topological_order(full.graph());
+  H2H_EXPECTS(topo.has_value());
+
+  std::vector<bool> keep(full.layer_count(), false);
+  for (const LayerId id : *topo) {
+    const Layer& l = full.layer(id);
+    const bool tag_active = l.modality == 0 || active_set.contains(l.modality);
+    if (!tag_active) continue;
+    if (l.kind == LayerKind::Input) {
+      keep[id.value] = true;
+      continue;
+    }
+    // A non-source layer survives only if at least one producer survives.
+    const auto preds = full.graph().preds(id);
+    keep[id.value] = std::any_of(preds.begin(), preds.end(), [&](LayerId p) {
+      return keep[p.value];
+    });
+  }
+
+  ModelGraph sub(full.name() + "[sub]", full.dtype_bytes());
+  std::vector<LayerId> remap(full.layer_count());
+  for (const LayerId id : *topo) {
+    if (!keep[id.value]) continue;
+    std::vector<LayerId> inputs;
+    for (const LayerId p : full.graph().preds(id))
+      if (keep[p.value]) inputs.push_back(remap[p.value]);
+    remap[id.value] = sub.add_layer(full.layer(id), inputs);
+  }
+  if (sub.layer_count() == 0)
+    throw ConfigError("subset_model: no layers remain active");
+  return sub;
+}
+
+DynamicModalityMapper::DynamicModalityMapper(const SystemConfig& sys,
+                                             H2HOptions options)
+    : sys_(&sys), options_(std::move(options)) {}
+
+DynamicRemapResult DynamicModalityMapper::remap(const ModelGraph& variant) {
+  H2HOptions opts = options_;
+
+  // Preference hook: map a layer where its weights already live.
+  opts.step1.preferred = [this, &variant](LayerId id) -> std::optional<AccId> {
+    const auto it = resident_.find(variant.layer(id).name);
+    if (it == resident_.end()) return std::nullopt;
+    return it->second;
+  };
+
+  // Modified knapsack: resident weights are pinned first.
+  std::vector<bool> force(variant.layer_count(), false);
+  for (const LayerId id : variant.all_layers())
+    force[id.value] = resident_.contains(variant.layer(id).name);
+  opts.weight.force_pin = &force;
+
+  // The subset variants keep single-input Concats, so skip full validation
+  // by mapping directly rather than through H2HMapper's validate().
+  Simulator sim(variant, *sys_);
+  Mapping mapping = computation_prioritized_mapping(sim, opts.step1);
+  LocalityPlan plan(variant);
+  plan.ensure_acc_count(sys_->accelerator_count());
+
+  DynamicRemapResult out{
+      H2HResult{std::move(mapping), std::move(plan), {}, {}, 0.0}, 0, 0};
+  H2HResult& r = out.h2h;
+  const auto t0 = std::chrono::steady_clock::now();
+  r.steps.push_back({"1: computation-prioritized (resident-preferred)",
+                     sim.simulate(r.mapping, r.plan)});
+  optimize_weight_locality(sim, r.mapping, r.plan, opts.weight);
+  r.steps.push_back({"2: weight locality (modified knapsack)",
+                     sim.simulate(r.mapping, r.plan)});
+  optimize_activation_fusion(sim, r.mapping, r.plan, opts.fusion);
+  r.steps.push_back({"3: activation fusion", sim.simulate(r.mapping, r.plan)});
+  if (opts.run_remapping) {
+    r.remap_stats = data_locality_remapping(sim, r.mapping, r.plan, opts.remap);
+    r.steps.push_back({"4: locality-aware remapping",
+                       sim.simulate(r.mapping, r.plan)});
+  }
+  r.search_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Weight-reload accounting and residency update.
+  std::map<std::string, AccId, std::less<>> next_resident;
+  for (const LayerId id : variant.all_layers()) {
+    if (!r.plan.pinned(id)) continue;
+    const Bytes wb = variant.weight_bytes(id);
+    const std::string& name = variant.layer(id).name;
+    const AccId acc = r.mapping.acc_of(id);
+    const auto it = resident_.find(name);
+    if (it != resident_.end() && it->second == acc) out.weights_reused += wb;
+    else out.weights_loaded += wb;
+    next_resident.emplace(name, acc);
+  }
+  resident_ = std::move(next_resident);
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,68 @@
+// §4.5 extension — dynamic modality change.
+//
+// Multi-sensor systems toggle modalities at runtime (the paper's example: a
+// health monitor enabling/disabling motion sensors several times a second).
+// Re-running H2H from scratch would re-load every weight; the extension
+// re-uses the previous round's buffered weights:
+//  1. step 1 prioritizes mapping a layer onto the accelerator that already
+//     holds its weights (preference hook), and
+//  2. the knapsack is modified so that resident weights are pinned first
+//     ("part of the weight allocation is determined").
+//
+// Model variants are derived with subset_model(): inactive branches are
+// removed, kept layers keep their shapes (dropped inputs are semantically
+// zero-filled), so layer names/weights stay identical across rounds and
+// weight residency can be tracked by name.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/h2h_mapper.h"
+
+namespace h2h {
+
+/// Sub-model induced by the active modality set (shared tag 0 is always
+/// active). Structural layers left without any live producer are dropped
+/// transitively. The result intentionally skips full shape validation:
+/// a Concat may legitimately keep a single live input.
+[[nodiscard]] ModelGraph subset_model(const ModelGraph& full,
+                                      std::span<const std::uint32_t> active);
+
+struct DynamicRemapResult {
+  H2HResult h2h;
+  Bytes weights_reused = 0;  // pinned bytes already resident on that accelerator
+  Bytes weights_loaded = 0;  // pinned bytes that must be (re)loaded
+  /// Fraction of pinned weight bytes served from residency.
+  [[nodiscard]] double reuse_ratio() const noexcept {
+    const Bytes total = weights_reused + weights_loaded;
+    return total == 0 ? 0.0
+                      : static_cast<double>(weights_reused) /
+                            static_cast<double>(total);
+  }
+};
+
+class DynamicModalityMapper {
+ public:
+  explicit DynamicModalityMapper(const SystemConfig& sys,
+                                 H2HOptions options = {});
+
+  /// Map a model variant, preferring residency from earlier rounds, and
+  /// update residency to the new pinned set.
+  [[nodiscard]] DynamicRemapResult remap(const ModelGraph& variant);
+
+  /// Forget all resident weights (cold start).
+  void reset_residency() noexcept { resident_.clear(); }
+
+  [[nodiscard]] std::size_t resident_layer_count() const noexcept {
+    return resident_.size();
+  }
+
+ private:
+  const SystemConfig* sys_;
+  H2HOptions options_;
+  std::map<std::string, AccId, std::less<>> resident_;  // layer name -> acc
+};
+
+}  // namespace h2h

@@ -1,0 +1,70 @@
+// The H2H mapping pipeline (paper Algorithm 1): the library's primary entry
+// point. Runs the four steps in order and records a schedule snapshot after
+// each, so callers (benches, EXPERIMENTS.md) can reproduce the per-step
+// series of Fig. 4 / Table 4. The paper's comparison baseline is the
+// pipeline after step 2 (computation-prioritized mapping + weight locality).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/comp_prioritized.h"
+#include "core/remapping.h"
+
+namespace h2h {
+
+struct H2HOptions {
+  CompPrioritizedOptions step1;
+  WeightLocalityOptions weight;
+  FusionOptions fusion;
+  RemapOptions remap;
+  /// Disable step 4 (used to study the post-optimizations alone).
+  bool run_remapping = true;
+};
+
+struct StepSnapshot {
+  std::string name;        // "1: computation-prioritized", ...
+  ScheduleResult result;   // full schedule + energy after this step
+};
+
+struct H2HResult {
+  Mapping mapping;
+  LocalityPlan plan;
+  std::vector<StepSnapshot> steps;  // one per executed step, in order
+  RemapStats remap_stats;
+  double search_seconds = 0;  // wall-clock of the whole pipeline (Fig. 5b)
+
+  [[nodiscard]] const ScheduleResult& final_result() const {
+    return steps.back().result;
+  }
+  /// The paper's baseline: after step 2.
+  [[nodiscard]] const ScheduleResult& baseline_result() const {
+    H2H_EXPECTS(steps.size() >= 2);
+    return steps[1].result;
+  }
+  /// final latency / baseline latency (Table 4 column 4 semantics).
+  [[nodiscard]] double latency_vs_baseline() const {
+    return final_result().latency / baseline_result().latency;
+  }
+  [[nodiscard]] double energy_vs_baseline() const {
+    return final_result().energy.total() / baseline_result().energy.total();
+  }
+};
+
+class H2HMapper {
+ public:
+  H2HMapper(const ModelGraph& model, const SystemConfig& sys,
+            H2HOptions options = {});
+
+  /// Execute the pipeline. Deterministic: same inputs, same result.
+  [[nodiscard]] H2HResult run() const;
+
+  [[nodiscard]] const Simulator& simulator() const noexcept { return sim_; }
+
+ private:
+  Simulator sim_;
+  H2HOptions options_;
+};
+
+}  // namespace h2h

@@ -1,0 +1,151 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace h2h {
+namespace {
+
+void finalize(KnapsackSolution& s, std::span<const KnapsackItem> items) {
+  std::sort(s.selected.begin(), s.selected.end());
+  s.used = 0;
+  s.value = 0;
+  for (const std::uint32_t id : s.selected) {
+    const auto it = std::find_if(items.begin(), items.end(),
+                                 [id](const KnapsackItem& i) { return i.id == id; });
+    H2H_ASSERT(it != items.end());
+    s.used += it->weight;
+    s.value += it->value;
+  }
+}
+
+KnapsackSolution solve_dp(std::span<const KnapsackItem> items, Bytes capacity,
+                          std::uint32_t max_dp_units) {
+  H2H_EXPECTS(max_dp_units > 0);
+  // Quantize: unit size chosen so capacity fits in max_dp_units columns.
+  const Bytes unit = std::max<Bytes>(1, (capacity + max_dp_units - 1) / max_dp_units);
+  const auto cap_units = static_cast<std::uint32_t>(capacity / unit);
+
+  // Scaled item weights (rounded up => never overfills real capacity).
+  std::vector<std::uint32_t> w(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Bytes scaled = (items[i].weight + unit - 1) / unit;
+    w[i] = scaled > cap_units ? cap_units + 1  // cannot fit
+                              : static_cast<std::uint32_t>(scaled);
+  }
+
+  // dp[c] = best value with capacity c; keep[i][c] for reconstruction.
+  std::vector<double> dp(cap_units + 1, 0.0);
+  std::vector<std::vector<bool>> keep(items.size(),
+                                      std::vector<bool>(cap_units + 1, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight == 0 || items[i].value <= 0) continue;  // handled below
+    if (w[i] > cap_units) continue;
+    for (std::uint32_t c = cap_units; c >= w[i]; --c) {
+      const double candidate = dp[c - w[i]] + items[i].value;
+      if (candidate > dp[c]) {
+        dp[c] = candidate;
+        keep[i][c] = true;
+      }
+    }
+  }
+
+  KnapsackSolution out;
+  std::uint32_t c = cap_units;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (items[i].weight == 0) {
+      out.selected.push_back(items[i].id);  // free items always selected
+    } else if (keep[i][c]) {
+      out.selected.push_back(items[i].id);
+      c -= w[i];
+    }
+  }
+  finalize(out, items);
+  return out;
+}
+
+KnapsackSolution solve_greedy(std::span<const KnapsackItem> items, Bytes capacity) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = items[a].weight == 0
+                          ? std::numeric_limits<double>::infinity()
+                          : items[a].value / static_cast<double>(items[a].weight);
+    const double db = items[b].weight == 0
+                          ? std::numeric_limits<double>::infinity()
+                          : items[b].value / static_cast<double>(items[b].weight);
+    if (da != db) return da > db;
+    return items[a].id < items[b].id;  // deterministic tie-break
+  });
+  KnapsackSolution out;
+  Bytes used = 0;
+  for (const std::size_t i : order) {
+    if (items[i].value <= 0 && items[i].weight > 0) continue;
+    if (used + items[i].weight <= capacity) {
+      used += items[i].weight;
+      out.selected.push_back(items[i].id);
+    }
+  }
+  finalize(out, items);
+  return out;
+}
+
+KnapsackSolution solve_brute(std::span<const KnapsackItem> items, Bytes capacity) {
+  H2H_EXPECTS(items.size() <= 24);  // reference solver for tests only
+  const std::uint32_t n = static_cast<std::uint32_t>(items.size());
+  double best_value = -1.0;
+  std::uint32_t best_mask = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    Bytes used = 0;
+    double value = 0;
+    bool ok = true;
+    for (std::uint32_t i = 0; i < n && ok; ++i) {
+      if (mask & (1u << i)) {
+        used += items[i].weight;
+        value += items[i].value;
+        if (used > capacity) ok = false;
+      }
+    }
+    if (ok && value > best_value) {
+      best_value = value;
+      best_mask = mask;
+    }
+  }
+  KnapsackSolution out;
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (best_mask & (1u << i)) out.selected.push_back(items[i].id);
+  finalize(out, items);
+  return out;
+}
+
+}  // namespace
+
+KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                Bytes capacity, KnapsackAlgo algo,
+                                std::uint32_t max_dp_units) {
+  // Fast path: everything fits (the common case on large-DRAM boards).
+  Bytes total = 0;
+  bool all_valuable = true;
+  for (const KnapsackItem& i : items) {
+    total += i.weight;
+    all_valuable = all_valuable && i.value >= 0;
+  }
+  if (total <= capacity && all_valuable) {
+    KnapsackSolution out;
+    for (const KnapsackItem& i : items) out.selected.push_back(i.id);
+    finalize(out, items);
+    return out;
+  }
+
+  switch (algo) {
+    case KnapsackAlgo::ExactDp: return solve_dp(items, capacity, max_dp_units);
+    case KnapsackAlgo::GreedyDensity: return solve_greedy(items, capacity);
+    case KnapsackAlgo::BruteForce: return solve_brute(items, capacity);
+  }
+  return {};
+}
+
+}  // namespace h2h

@@ -1,0 +1,42 @@
+// 0/1 knapsack solvers for the weight-locality optimization (paper §4.2):
+// choose which layers' weights to keep in an accelerator's local DRAM to
+// maximize saved weight-transfer time under the M_acc capacity.
+//
+// Three interchangeable algorithms:
+//  - ExactDp: dynamic program over quantized capacity (default). Capacity is
+//    quantized to at most `max_dp_units` units with item weights rounded UP,
+//    so a returned selection never overfills the true capacity.
+//  - GreedyDensity: sort by value/weight, take while it fits. Fast, and the
+//    ablation bench shows how close it gets.
+//  - BruteForce: exact reference for small instances (tests only).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace h2h {
+
+struct KnapsackItem {
+  std::uint32_t id = 0;    // caller-defined (layer id value)
+  Bytes weight = 0;        // bytes
+  double value = 0;        // seconds of transfer time saved
+};
+
+enum class KnapsackAlgo { ExactDp, GreedyDensity, BruteForce };
+
+struct KnapsackSolution {
+  std::vector<std::uint32_t> selected;  // item ids, ascending
+  Bytes used = 0;
+  double value = 0;
+};
+
+/// Solve the 0/1 knapsack. Items with weight 0 are always selected (free);
+/// items with weight > capacity are never selected.
+[[nodiscard]] KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
+                                              Bytes capacity, KnapsackAlgo algo,
+                                              std::uint32_t max_dp_units = 4096);
+
+}  // namespace h2h

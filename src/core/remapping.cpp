@@ -1,0 +1,149 @@
+#include "core/remapping.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace h2h {
+namespace {
+
+/// Candidate destination accelerators: the accelerators of the layer's graph
+/// neighbours (paper: "re-allocates a layer ... to a new destination
+/// accelerator, on which its predecessors and/or successors are mapped"),
+/// plus the layer's compute-affinity accelerator — the one minimizing
+/// pinned-weight execution (compute + local weight read). The extra
+/// candidate un-strands layers whose step-1 placement turns memory-bound
+/// once weights are pinned but whose neighbours all share that placement
+/// (DESIGN.md §6).
+std::vector<AccId> neighbour_accs(const Simulator& sim, const Mapping& mapping,
+                                  LayerId node) {
+  const ModelGraph& model = sim.model();
+  const Layer& layer = model.layer(node);
+  const AccId current = mapping.acc_of(node);
+  std::set<AccId> accs;
+  const auto consider = [&](AccId a) {
+    if (a.is_host() || a == current) return;
+    if (sim.sys().accelerator(a).supports(layer.kind)) accs.insert(a);
+  };
+  for (const LayerId p : model.graph().preds(node))
+    consider(mapping.acc_of(p));
+  for (const LayerId s : model.graph().succs(node))
+    consider(mapping.acc_of(s));
+
+  AccId best{};
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const AccId a : sim.sys().supporting(layer.kind)) {
+    const AcceleratorModel& acc = sim.sys().accelerator(a);
+    const double t =
+        acc.compute_latency(layer) * model.batch() +
+        static_cast<double>(model.weight_bytes(node)) /
+            acc.spec().dram_bandwidth;
+    if (t < best_time) {
+      best_time = t;
+      best = a;
+    }
+  }
+  if (best.valid()) consider(best);
+  return {accs.begin(), accs.end()};
+}
+
+/// Layers whose transfer components may change when `node` moves between
+/// `a` and `b`: everything on either accelerator (pins can be redistributed
+/// there) — graph neighbours on third accelerators keep their components.
+std::vector<LayerId> dirty_set(const Mapping& mapping, AccId a, AccId b) {
+  std::vector<LayerId> dirty = mapping.layers_on(a);
+  const std::vector<LayerId> on_b = mapping.layers_on(b);
+  dirty.insert(dirty.end(), on_b.begin(), on_b.end());
+  return dirty;
+}
+
+}  // namespace
+
+RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
+                                   LocalityPlan& plan,
+                                   const RemapOptions& options) {
+  const ModelGraph& model = sim.model();
+  RemapStats stats;
+
+  const auto metric_of = [&options](const ScheduleResult& r) {
+    return options.objective == RemapObjective::Latency
+               ? r.latency
+               : r.latency * r.energy.total();
+  };
+
+  IncrementalSchedule inc(sim);
+  if (options.use_incremental) inc.reset(mapping, plan);
+  double best_latency =
+      options.use_incremental
+          ? metric_of(inc.result(mapping))
+          : metric_of(sim.simulate(mapping, plan));
+
+  // Visit layers in execution order each pass.
+  std::vector<LayerId> order = model.all_layers();
+  std::sort(order.begin(), order.end(), [&mapping](LayerId l, LayerId r) {
+    return mapping.seq_of(l) < mapping.seq_of(r);
+  });
+
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    ++stats.passes;
+    bool improved = false;
+
+    for (const LayerId node : order) {
+      if (model.layer(node).kind == LayerKind::Input) continue;
+      const AccId src = mapping.acc_of(node);
+
+      // Evaluate every neighbour destination; keep the best improving one.
+      AccId best_dst{};
+      LocalityPlan best_plan(model);
+      IncrementalSchedule best_inc(sim);
+      double best_candidate = best_latency;
+
+      for (const AccId dst : neighbour_accs(sim, mapping, node)) {
+        ++stats.attempts;
+        mapping.reassign(node, dst);
+        const std::vector<LayerId> dirty = dirty_set(mapping, src, dst);
+        const std::array<AccId, 2> touched{src, dst};
+
+        LocalityPlan candidate_plan = plan;
+        optimize_weight_locality(sim, mapping, candidate_plan, options.weight,
+                                 touched);
+        optimize_activation_fusion(sim, mapping, candidate_plan,
+                                   options.fusion, touched);
+
+        double lat;
+        IncrementalSchedule candidate_inc(sim);
+        if (options.use_incremental) {
+          candidate_inc = inc;
+          candidate_inc.apply_remap(mapping, candidate_plan, node, src, dirty);
+          lat = options.objective == RemapObjective::Latency
+                    ? candidate_inc.latency()
+                    : metric_of(candidate_inc.result(mapping));
+        } else {
+          lat = metric_of(sim.simulate(mapping, candidate_plan));
+        }
+
+        if (lat < best_candidate - options.epsilon) {
+          best_candidate = lat;
+          best_dst = dst;
+          best_plan = std::move(candidate_plan);
+          if (options.use_incremental) best_inc = std::move(candidate_inc);
+        }
+        mapping.reassign(node, src);  // roll back for the next candidate
+      }
+
+      if (best_dst.valid()) {
+        mapping.reassign(node, best_dst);
+        plan = std::move(best_plan);
+        if (options.use_incremental) inc = std::move(best_inc);
+        best_latency = best_candidate;
+        ++stats.accepted;
+        improved = true;
+      }
+    }
+
+    if (!improved) break;
+  }
+  return stats;
+}
+
+}  // namespace h2h

@@ -1,0 +1,47 @@
+// Step 4 — data-locality-aware remapping (paper §4.4).
+//
+// For every layer, attempt to re-allocate it to an accelerator hosting one
+// of its graph neighbours; re-run weight locality (step 2) and activation
+// fusion (step 3) for the two affected accelerators; accept iff the overall
+// system latency strictly decreases. Passes repeat until a fixed point (or
+// max_passes). Termination is guaranteed by the strict-decrease acceptance.
+#pragma once
+
+#include "core/activation_fusion.h"
+#include "core/weight_locality.h"
+#include "system/incremental.h"
+
+namespace h2h {
+
+/// What the greedy loop minimizes. The paper uses latency; the
+/// energy-delay-product option is our extension for energy-constrained
+/// deployments (swept by bench_ablation_objective).
+enum class RemapObjective { Latency, EnergyDelayProduct };
+
+struct RemapOptions {
+  std::uint32_t max_passes = 32;
+  /// Minimum objective improvement to accept a move (same unit as the
+  /// objective: seconds, or joule-seconds for EDP).
+  double epsilon = 1e-12;
+  /// Use the incremental scheduler for candidate evaluation (the paper's
+  /// successor-only updates); false falls back to full re-simulation.
+  /// Results are identical (asserted in tests); speed differs.
+  bool use_incremental = true;
+  RemapObjective objective = RemapObjective::Latency;
+  WeightLocalityOptions weight;
+  FusionOptions fusion;
+};
+
+struct RemapStats {
+  std::uint32_t passes = 0;
+  std::uint32_t attempts = 0;
+  std::uint32_t accepted = 0;
+};
+
+/// Runs the remapping loop in place on `mapping`/`plan` (which must already
+/// have steps 2-3 applied). Returns loop statistics.
+RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
+                                   LocalityPlan& plan,
+                                   const RemapOptions& options = {});
+
+}  // namespace h2h

@@ -1,0 +1,65 @@
+#include "core/weight_locality.h"
+
+#include <algorithm>
+
+namespace h2h {
+namespace {
+
+double optimize_one(const Simulator& sim, const Mapping& mapping,
+                    LocalityPlan& plan, const WeightLocalityOptions& options,
+                    AccId acc) {
+  const ModelGraph& model = sim.model();
+  const SystemConfig& sys = sim.sys();
+  const AcceleratorSpec& spec = sys.spec(acc);
+  const double bw_host = sys.bw_acc(acc);
+  const double bw_local = spec.dram_bandwidth;
+
+  Bytes capacity = spec.dram_capacity;
+  Bytes forced_bytes = 0;
+  std::vector<KnapsackItem> items;
+
+  // Clear pins on this accelerator, force-pin resident weights first.
+  for (const LayerId id : mapping.layers_on(acc)) {
+    plan.set_pinned(id, false);
+    const Bytes wb = model.weight_bytes(id);
+    if (wb == 0) continue;
+    if (options.force_pin != nullptr && (*options.force_pin)[id.value] &&
+        forced_bytes + wb <= capacity) {
+      plan.set_pinned(id, true);
+      forced_bytes += wb;
+      continue;
+    }
+    const double saved = static_cast<double>(wb) / bw_host -
+                         static_cast<double>(wb) / bw_local;
+    items.push_back(KnapsackItem{id.value, wb, saved});
+  }
+
+  const KnapsackSolution sol =
+      solve_knapsack(items, capacity - forced_bytes, options.algo,
+                     options.max_dp_units);
+  for (const std::uint32_t id : sol.selected)
+    plan.set_pinned(LayerId{id}, true);
+
+  plan.set_used_dram(acc, forced_bytes + sol.used);
+  return sol.value;
+}
+
+}  // namespace
+
+double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
+                                LocalityPlan& plan,
+                                const WeightLocalityOptions& options,
+                                std::span<const AccId> only_accs) {
+  plan.ensure_acc_count(sim.sys().accelerator_count());
+  double saved = 0;
+  if (only_accs.empty()) {
+    for (const AccId acc : sim.sys().all_accelerators())
+      saved += optimize_one(sim, mapping, plan, options, acc);
+  } else {
+    for (const AccId acc : only_accs)
+      saved += optimize_one(sim, mapping, plan, options, acc);
+  }
+  return saved;
+}
+
+}  // namespace h2h

@@ -1,0 +1,109 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace h2h {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> remaining(n);
+  // Min-heap on NodeId::value for deterministic tie-breaking.
+  std::priority_queue<std::uint32_t, std::vector<std::uint32_t>,
+                      std::greater<>> ready;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    remaining[i] = static_cast<std::uint32_t>(g.in_degree(NodeId{i}));
+    if (remaining[i] == 0) ready.push(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u{ready.top()};
+    ready.pop();
+    order.push_back(u);
+    for (const NodeId v : g.succs(u)) {
+      if (--remaining[v.value] == 0) ready.push(v.value);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_dag(const Digraph& g) { return topological_order(g).has_value(); }
+
+std::vector<bool> reachable_from(const Digraph& g, std::span<const NodeId> roots) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack;
+  for (const NodeId r : roots) {
+    H2H_EXPECTS(g.contains(r));
+    if (!seen[r.value]) {
+      seen[r.value] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const NodeId v : g.succs(u)) {
+      if (!seen[v.value]) {
+        seen[v.value] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<NodeId> frontier(const Digraph& g, const std::vector<bool>& done) {
+  H2H_EXPECTS(done.size() == g.node_count());
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    const NodeId n{i};
+    if (done[i]) continue;
+    const auto ps = g.preds(n);
+    const bool all_done = std::all_of(ps.begin(), ps.end(), [&](NodeId p) {
+      return done[p.value];
+    });
+    if (all_done) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> order_ranks(const Digraph& g,
+                                       std::span<const NodeId> order) {
+  H2H_EXPECTS(order.size() == g.node_count());
+  std::vector<std::uint32_t> ranks(g.node_count(), NodeId::kInvalid);
+  for (std::uint32_t r = 0; r < order.size(); ++r) {
+    H2H_EXPECTS(g.contains(order[r]));
+    H2H_EXPECTS(ranks[order[r].value] == NodeId::kInvalid);
+    ranks[order[r].value] = r;
+  }
+  return ranks;
+}
+
+Components connected_components(const Digraph& g) {
+  Components out;
+  out.component_of.assign(g.node_count(), NodeId::kInvalid);
+  std::vector<NodeId> stack;
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    if (out.component_of[i] != NodeId::kInvalid) continue;
+    const std::uint32_t comp = out.count++;
+    out.component_of[i] = comp;
+    stack.push_back(NodeId{i});
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const auto visit = [&](NodeId v) {
+        if (out.component_of[v.value] == NodeId::kInvalid) {
+          out.component_of[v.value] = comp;
+          stack.push_back(v);
+        }
+      };
+      for (const NodeId v : g.succs(u)) visit(v);
+      for (const NodeId v : g.preds(u)) visit(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,41 @@
+// Graph algorithms used by the mapper: topological order (Kahn), cycle
+// detection, reachability, and frontier extraction (the paper's step-1
+// iteration primitive: "select all the nodes without predecessors").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace h2h {
+
+/// Kahn topological order; returns std::nullopt if the graph has a cycle.
+/// Deterministic: ties are broken by ascending NodeId.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+[[nodiscard]] bool is_dag(const Digraph& g);
+
+/// Nodes reachable from `roots` (inclusive), as a dense bitmap indexed by
+/// NodeId::value.
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& g,
+                                               std::span<const NodeId> roots);
+
+/// The mapping frontier: nodes not yet `done` whose predecessors are all
+/// `done`. `done` is a dense bitmap indexed by NodeId::value.
+[[nodiscard]] std::vector<NodeId> frontier(const Digraph& g,
+                                           const std::vector<bool>& done);
+
+/// Position of each node in `order`, as a dense array (node id -> rank).
+[[nodiscard]] std::vector<std::uint32_t> order_ranks(const Digraph& g,
+                                                     std::span<const NodeId> order);
+
+/// Undirected connected components (used by the clustering baseline).
+/// Returns a dense array node id -> component id, and the component count.
+struct Components {
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Components connected_components(const Digraph& g);
+
+}  // namespace h2h

@@ -1,0 +1,38 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace h2h {
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  H2H_EXPECTS(contains(from));
+  H2H_EXPECTS(contains(to));
+  H2H_EXPECTS(from != to);
+  H2H_EXPECTS(!has_edge(from, to));
+  succs_[from.value].push_back(to);
+  preds_[to.value].push_back(from);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  H2H_EXPECTS(contains(from));
+  H2H_EXPECTS(contains(to));
+  const auto& s = succs_[from.value];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < preds_.size(); ++i)
+    if (preds_[i].empty()) out.push_back(NodeId{i});
+  return out;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < succs_.size(); ++i)
+    if (succs_[i].empty()) out.push_back(NodeId{i});
+  return out;
+}
+
+}  // namespace h2h

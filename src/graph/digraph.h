@@ -1,0 +1,87 @@
+// A small dense directed graph used for both G_model (layer dependencies)
+// and G_sys (per-accelerator execution order). Nodes are created once and
+// never removed (mapping never mutates the model graph), which keeps ids
+// stable and adjacency cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace h2h {
+
+/// Strong node identifier (an index into the graph's dense node array).
+struct NodeId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr auto operator<=>(const NodeId&) const noexcept = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Pre-size internal arrays for `n` nodes (optional optimization).
+  explicit Digraph(std::size_t reserve_nodes) {
+    preds_.reserve(reserve_nodes);
+    succs_.reserve(reserve_nodes);
+  }
+
+  [[nodiscard]] NodeId add_node() {
+    const NodeId id{static_cast<std::uint32_t>(preds_.size())};
+    preds_.emplace_back();
+    succs_.emplace_back();
+    return id;
+  }
+
+  /// Add edge from -> to. Parallel edges are rejected (the model IR carries
+  /// at most one tensor edge per layer pair; multi-input consumers use
+  /// distinct producers).
+  void add_edge(NodeId from, NodeId to);
+
+  [[nodiscard]] bool has_edge(NodeId from, NodeId to) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return preds_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] std::span<const NodeId> preds(NodeId n) const {
+    H2H_EXPECTS(contains(n));
+    return preds_[n.value];
+  }
+  [[nodiscard]] std::span<const NodeId> succs(NodeId n) const {
+    H2H_EXPECTS(contains(n));
+    return succs_[n.value];
+  }
+
+  [[nodiscard]] std::size_t in_degree(NodeId n) const { return preds(n).size(); }
+  [[nodiscard]] std::size_t out_degree(NodeId n) const { return succs(n).size(); }
+
+  [[nodiscard]] bool contains(NodeId n) const noexcept {
+    return n.valid() && n.value < preds_.size();
+  }
+
+  /// All nodes with no predecessors (model inputs / frontier seeds).
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  /// All nodes with no successors (model outputs).
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+ private:
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace h2h
+
+template <>
+struct std::hash<h2h::NodeId> {
+  [[nodiscard]] std::size_t operator()(const h2h::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,45 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace h2h {
+namespace {
+
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Digraph& g,
+                   const std::function<std::string(NodeId)>& label,
+                   const std::function<std::string(NodeId)>& attrs) {
+  H2H_EXPECTS(static_cast<bool>(label));
+  std::ostringstream out;
+  out << "digraph g {\n  rankdir=TB;\n  node [shape=box, style=filled, "
+         "fillcolor=white];\n";
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    const NodeId n{i};
+    out << "  n" << i << " [label=\"" << escape_label(label(n)) << '"';
+    if (attrs) {
+      const std::string extra = attrs(n);
+      if (!extra.empty()) out << ", " << extra;
+    }
+    out << "];\n";
+  }
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    for (const NodeId s : g.succs(NodeId{i})) {
+      out << "  n" << i << " -> n" << s.value << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace h2h

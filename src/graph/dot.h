@@ -1,0 +1,18 @@
+// Graphviz export for debugging and documentation figures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace h2h {
+
+/// Render `g` as a Graphviz digraph. `label` provides per-node labels;
+/// `attrs` (optional) provides extra per-node attribute strings such as
+/// `fillcolor=...` used to visualize mappings.
+[[nodiscard]] std::string to_dot(
+    const Digraph& g, const std::function<std::string(NodeId)>& label,
+    const std::function<std::string(NodeId)>& attrs = nullptr);
+
+}  // namespace h2h

@@ -1,0 +1,32 @@
+// Umbrella header: the full public API of the H2H library.
+//
+// Typical usage (see examples/quickstart.cpp):
+//
+//   #include "h2h.h"
+//   auto model = h2h::make_model(h2h::ZooModel::MoCap);
+//   auto sys = h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
+//   h2h::H2HMapper mapper(model, sys);
+//   h2h::H2HResult result = mapper.run();
+#pragma once
+
+#include "accel/analytical_models.h"
+#include "accel/catalog.h"
+#include "accel/registry.h"
+#include "accel/tiling.h"
+#include "core/baselines.h"
+#include "core/dynamic_modality.h"
+#include "core/h2h_mapper.h"
+#include "model/blocks.h"
+#include "model/summary.h"
+#include "model/synthetic.h"
+#include "model/zoo.h"
+#include "system/mapping_io.h"
+#include "system/schedule_analysis.h"
+#include "report/experiment.h"
+#include "report/mapping_report.h"
+#include "report/paper_tables.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/log.h"
+#include "util/str.h"
+#include "util/table.h"

@@ -1,0 +1,144 @@
+#include "model/blocks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/str.h"
+
+namespace h2h {
+
+std::uint32_t scale_channels(std::uint32_t channels, double width) {
+  H2H_EXPECTS(width > 0.0);
+  const double scaled = static_cast<double>(channels) * width;
+  const auto rounded =
+      static_cast<std::uint32_t>(std::lround(scaled / 8.0)) * 8u;
+  return std::max(rounded, 8u);
+}
+
+LayerId resnet_stem(ModelBuilder& b, LayerId from, std::uint32_t out_channels,
+                    const std::string& prefix) {
+  const LayerId c = b.conv(prefix + ".conv1", from, out_channels, 7, 2);
+  return b.pool(prefix + ".maxpool", c, 3, 2);
+}
+
+LayerId resnet_basic_block(ModelBuilder& b, LayerId from,
+                           std::uint32_t out_channels, std::uint32_t stride,
+                           const std::string& prefix) {
+  const LayerId c1 = b.conv(prefix + ".conv1", from, out_channels, 3, stride);
+  const LayerId c2 = b.conv(prefix + ".conv2", c1, out_channels, 3, 1);
+  LayerId shortcut = from;
+  if (stride != 1 || b.geometry(from).channels != out_channels) {
+    shortcut = b.conv(prefix + ".proj", from, out_channels, 1, stride);
+  }
+  return b.eltwise(prefix + ".add", c2, shortcut);
+}
+
+LayerId resnet_bottleneck(ModelBuilder& b, LayerId from, std::uint32_t mid_channels,
+                          std::uint32_t out_channels, std::uint32_t stride,
+                          const std::string& prefix) {
+  const LayerId c1 = b.conv(prefix + ".conv1", from, mid_channels, 1, 1);
+  const LayerId c2 = b.conv(prefix + ".conv2", c1, mid_channels, 3, stride);
+  const LayerId c3 = b.conv(prefix + ".conv3", c2, out_channels, 1, 1);
+  LayerId shortcut = from;
+  if (stride != 1 || b.geometry(from).channels != out_channels) {
+    shortcut = b.conv(prefix + ".proj", from, out_channels, 1, stride);
+  }
+  return b.eltwise(prefix + ".add", c3, shortcut);
+}
+
+LayerId resnet_stage_basic(ModelBuilder& b, LayerId from,
+                           std::uint32_t out_channels, std::uint32_t blocks,
+                           std::uint32_t stride, const std::string& prefix) {
+  LayerId x = from;
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    x = resnet_basic_block(b, x, out_channels, i == 0 ? stride : 1,
+                           strformat("%s.b%u", prefix.c_str(), i + 1));
+  }
+  return x;
+}
+
+LayerId resnet_stage_bottleneck(ModelBuilder& b, LayerId from,
+                                std::uint32_t mid_channels,
+                                std::uint32_t out_channels, std::uint32_t blocks,
+                                std::uint32_t stride, const std::string& prefix) {
+  LayerId x = from;
+  for (std::uint32_t i = 0; i < blocks; ++i) {
+    x = resnet_bottleneck(b, x, mid_channels, out_channels,
+                          i == 0 ? stride : 1,
+                          strformat("%s.b%u", prefix.c_str(), i + 1));
+  }
+  return x;
+}
+
+LayerId resnet18_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                          double width, std::uint32_t stages) {
+  H2H_EXPECTS(stages >= 1 && stages <= 4);
+  const std::uint32_t c64 = scale_channels(64, width);
+  LayerId x = resnet_stem(b, from, c64, prefix);
+  static constexpr std::uint32_t kBase[] = {64, 128, 256, 512};
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    x = resnet_stage_basic(b, x, scale_channels(kBase[s], width), 2,
+                           s == 0 ? 1 : 2,
+                           strformat("%s.res%u", prefix.c_str(), s + 2));
+  }
+  return x;
+}
+
+LayerId resnet50_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                          double width, std::uint32_t stages) {
+  H2H_EXPECTS(stages >= 1 && stages <= 4);
+  const std::uint32_t c64 = scale_channels(64, width);
+  LayerId x = resnet_stem(b, from, c64, prefix);
+  static constexpr std::uint32_t kMid[] = {64, 128, 256, 512};
+  static constexpr std::uint32_t kOut[] = {256, 512, 1024, 2048};
+  static constexpr std::uint32_t kBlocks[] = {3, 4, 6, 3};
+  for (std::uint32_t s = 0; s < stages; ++s) {
+    x = resnet_stage_bottleneck(
+        b, x, scale_channels(kMid[s], width), scale_channels(kOut[s], width),
+        kBlocks[s], s == 0 ? 1 : 2,
+        strformat("%s.res%u", prefix.c_str(), s + 2));
+  }
+  return x;
+}
+
+LayerId vgg16_backbone(ModelBuilder& b, LayerId from, const std::string& prefix) {
+  struct Stage {
+    std::uint32_t channels;
+    std::uint32_t convs;
+  };
+  static constexpr Stage kStages[] = {
+      {64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}};
+  LayerId x = from;
+  std::uint32_t stage_idx = 1;
+  for (const Stage& st : kStages) {
+    for (std::uint32_t i = 0; i < st.convs; ++i) {
+      x = b.conv(strformat("%s.s%u.conv%u", prefix.c_str(), stage_idx, i + 1), x,
+                 st.channels, 3, 1);
+    }
+    x = b.pool(strformat("%s.s%u.pool", prefix.c_str(), stage_idx), x, 2, 2);
+    ++stage_idx;
+  }
+  return x;
+}
+
+LayerId vdcnn_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                       std::array<std::uint32_t, 4> pairs) {
+  // Stem: character embedding modeled as a width-1 temporal conv to 64 maps.
+  LayerId x = b.conv1d(prefix + ".embed", from, 64, 3, 1);
+  static constexpr std::uint32_t kWidths[] = {64, 128, 256, 512};
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    if (w > 0) {
+      x = b.pool(strformat("%s.pool%u", prefix.c_str(), w), x, 3, 2);
+    }
+    for (std::uint32_t i = 0; i < pairs[w]; ++i) {
+      x = b.conv1d(strformat("%s.w%u.conv%ua", prefix.c_str(), kWidths[w], i + 1),
+                   x, kWidths[w], 3, 1);
+      x = b.conv1d(strformat("%s.w%u.conv%ub", prefix.c_str(), kWidths[w], i + 1),
+                   x, kWidths[w], 3, 1);
+    }
+  }
+  return x;
+}
+
+}  // namespace h2h

@@ -1,0 +1,60 @@
+// Reusable network blocks for the model zoo: ResNet stems/stages, VGG
+// stages, and VD-CNN text-convolution blocks. All helpers append layers to a
+// ModelBuilder and return the block's output layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "model/model_builder.h"
+
+namespace h2h {
+
+/// 7x7 s2 conv + 3x3 s2 max pool (the classic ResNet stem).
+LayerId resnet_stem(ModelBuilder& b, LayerId from, std::uint32_t out_channels,
+                    const std::string& prefix);
+
+/// Two 3x3 convs + identity/projection shortcut (ResNet-18/34 block).
+LayerId resnet_basic_block(ModelBuilder& b, LayerId from,
+                           std::uint32_t out_channels, std::uint32_t stride,
+                           const std::string& prefix);
+
+/// 1x1 reduce, 3x3, 1x1 expand + shortcut (ResNet-50 block).
+LayerId resnet_bottleneck(ModelBuilder& b, LayerId from, std::uint32_t mid_channels,
+                          std::uint32_t out_channels, std::uint32_t stride,
+                          const std::string& prefix);
+
+/// `blocks` basic blocks; the first uses `stride`.
+LayerId resnet_stage_basic(ModelBuilder& b, LayerId from,
+                           std::uint32_t out_channels, std::uint32_t blocks,
+                           std::uint32_t stride, const std::string& prefix);
+
+/// `blocks` bottlenecks; the first uses `stride`.
+LayerId resnet_stage_bottleneck(ModelBuilder& b, LayerId from,
+                                std::uint32_t mid_channels,
+                                std::uint32_t out_channels, std::uint32_t blocks,
+                                std::uint32_t stride, const std::string& prefix);
+
+/// Full ResNet-18 convolutional trunk (stem + 4 stages), `width` scales
+/// channel counts (rounded to a multiple of 8). Returns the res5 feature map.
+LayerId resnet18_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                          double width = 1.0, std::uint32_t stages = 4);
+
+/// Full ResNet-50 convolutional trunk. `stages` in [1,4] allows truncation.
+LayerId resnet50_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                          double width = 1.0, std::uint32_t stages = 4);
+
+/// VGG-16 convolutional trunk (13 convs in 5 stages with pooling).
+LayerId vgg16_backbone(ModelBuilder& b, LayerId from, const std::string& prefix);
+
+/// VD-CNN text trunk: embedding-like first conv, then conv pairs at widths
+/// {64,128,256,512} with pooling halvings between widths. The default pair
+/// distribution {5,5,2,2} reproduces VD-CNN-29 (1 stem + 28 convs).
+LayerId vdcnn_backbone(ModelBuilder& b, LayerId from, const std::string& prefix,
+                       std::array<std::uint32_t, 4> pairs = {5, 5, 2, 2});
+
+/// Scale a channel count, rounding to a multiple of 8 with a floor of 8.
+[[nodiscard]] std::uint32_t scale_channels(std::uint32_t channels, double width);
+
+}  // namespace h2h

@@ -1,0 +1,157 @@
+#include "model/layer.h"
+
+#include "util/contracts.h"
+
+namespace h2h {
+
+std::string_view to_string(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::Input: return "Input";
+    case LayerKind::Conv: return "Conv";
+    case LayerKind::FullyConnected: return "FC";
+    case LayerKind::Lstm: return "LSTM";
+    case LayerKind::Pool: return "Pool";
+    case LayerKind::Eltwise: return "Eltwise";
+    case LayerKind::Concat: return "Concat";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-layer input size for LSTM layer `l` within a (possibly stacked) cell.
+[[nodiscard]] std::uint64_t lstm_layer_in(const LstmShape& s, std::uint32_t l) noexcept {
+  return l == 0 ? s.in_size : s.hidden_size;
+}
+
+}  // namespace
+
+std::uint64_t Layer::macs() const noexcept {
+  switch (kind) {
+    case LayerKind::Conv: {
+      const auto& s = std::get<ConvShape>(shape);
+      const std::uint64_t per_out = static_cast<std::uint64_t>(s.in_channels) /
+                                    s.groups * s.kernel * s.effective_kernel_w();
+      return static_cast<std::uint64_t>(s.out_channels) * s.out_h * s.out_w * per_out;
+    }
+    case LayerKind::FullyConnected: {
+      const auto& s = std::get<FcShape>(shape);
+      return static_cast<std::uint64_t>(s.in_features) * s.out_features;
+    }
+    case LayerKind::Lstm: {
+      const auto& s = std::get<LstmShape>(shape);
+      std::uint64_t per_step = 0;
+      for (std::uint32_t l = 0; l < s.layers; ++l) {
+        // Four gates, each an (in + hidden) x hidden mat-vec.
+        per_step += 4ull * (lstm_layer_in(s, l) + s.hidden_size) * s.hidden_size;
+      }
+      return per_step * s.seq_len;
+    }
+    case LayerKind::Input:
+    case LayerKind::Pool:
+    case LayerKind::Eltwise:
+    case LayerKind::Concat:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Layer::light_ops() const noexcept {
+  switch (kind) {
+    case LayerKind::Pool: {
+      const auto& s = std::get<PoolShape>(shape);
+      // One comparison per kernel element per output element.
+      return static_cast<std::uint64_t>(s.channels) * s.out_h * s.out_w *
+             s.kernel * s.kernel;
+    }
+    case LayerKind::Eltwise: {
+      const auto& s = std::get<EltwiseShape>(shape);
+      return static_cast<std::uint64_t>(s.channels) * s.h * s.w;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t Layer::param_count() const noexcept {
+  switch (kind) {
+    case LayerKind::Conv: {
+      const auto& s = std::get<ConvShape>(shape);
+      const std::uint64_t weights = static_cast<std::uint64_t>(s.out_channels) *
+                                    s.in_channels / s.groups * s.kernel *
+                                    s.effective_kernel_w();
+      return weights + s.out_channels;  // + bias
+    }
+    case LayerKind::FullyConnected: {
+      const auto& s = std::get<FcShape>(shape);
+      return static_cast<std::uint64_t>(s.in_features) * s.out_features +
+             s.out_features;
+    }
+    case LayerKind::Lstm: {
+      const auto& s = std::get<LstmShape>(shape);
+      std::uint64_t total = 0;
+      for (std::uint32_t l = 0; l < s.layers; ++l) {
+        total += 4ull * ((lstm_layer_in(s, l) + s.hidden_size) * s.hidden_size +
+                         s.hidden_size);
+      }
+      return total;
+    }
+    case LayerKind::Input:
+    case LayerKind::Pool:
+    case LayerKind::Eltwise:
+    case LayerKind::Concat:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t producer_channels(const Layer& l) noexcept {
+  switch (l.kind) {
+    case LayerKind::Input: return std::get<InputShape>(l.shape).channels;
+    case LayerKind::Conv: return std::get<ConvShape>(l.shape).out_channels;
+    case LayerKind::Pool: return std::get<PoolShape>(l.shape).channels;
+    case LayerKind::Eltwise: return std::get<EltwiseShape>(l.shape).channels;
+    case LayerKind::Concat: return std::get<ConcatShape>(l.shape).channels;
+    case LayerKind::FullyConnected:
+    case LayerKind::Lstm:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Layer::out_elems() const noexcept {
+  switch (kind) {
+    case LayerKind::Input: {
+      const auto& s = std::get<InputShape>(shape);
+      return static_cast<std::uint64_t>(s.channels) * s.h * s.w;
+    }
+    case LayerKind::Conv: {
+      const auto& s = std::get<ConvShape>(shape);
+      return static_cast<std::uint64_t>(s.out_channels) * s.out_h * s.out_w;
+    }
+    case LayerKind::FullyConnected: {
+      const auto& s = std::get<FcShape>(shape);
+      return s.out_features;
+    }
+    case LayerKind::Lstm: {
+      const auto& s = std::get<LstmShape>(shape);
+      // The full hidden-state sequence is the consumed activation.
+      return static_cast<std::uint64_t>(s.seq_len) * s.hidden_size;
+    }
+    case LayerKind::Pool: {
+      const auto& s = std::get<PoolShape>(shape);
+      return static_cast<std::uint64_t>(s.channels) * s.out_h * s.out_w;
+    }
+    case LayerKind::Eltwise: {
+      const auto& s = std::get<EltwiseShape>(shape);
+      return static_cast<std::uint64_t>(s.channels) * s.h * s.w;
+    }
+    case LayerKind::Concat: {
+      const auto& s = std::get<ConcatShape>(shape);
+      return static_cast<std::uint64_t>(s.channels) * s.h * s.w;
+    }
+  }
+  return 0;
+}
+
+}  // namespace h2h

@@ -1,0 +1,144 @@
+// DNN layer intermediate representation.
+//
+// The paper (Table 1) parameterizes three accelerated layer families:
+//   Conv <N, M, R, C, K, S>  (ofm channels, ifm channels, ofm h, ofm w,
+//                             kernel, stride)
+//   FC   <N, M>              (in_features, out_features)
+//   LSTM <N, H, L>           (in_size, hidden_size, layers)
+// plus the structural layers MMMT graphs need (Input, Pool, Eltwise add,
+// Concat). BatchNorm/ReLU are folded into their producer Conv, the common
+// deployment practice for the surveyed FPGA accelerators.
+//
+// LSTM additionally carries seq_len (timesteps); the paper's Table 1 omits
+// it but every LSTM cost model needs it — documented substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/units.h"
+
+namespace h2h {
+
+enum class LayerKind : std::uint8_t {
+  Input,
+  Conv,
+  FullyConnected,
+  Lstm,
+  Pool,
+  Eltwise,  // element-wise add (residual shortcut)
+  Concat,
+};
+
+[[nodiscard]] std::string_view to_string(LayerKind kind) noexcept;
+
+/// Conv <N, M, R, C, K, S> per Table 1. `kernel_w` supports the 1-D
+/// convolutions of text backbones (VD-CNN): a k x 1 kernel sets kernel_w=1.
+struct ConvShape {
+  std::uint32_t out_channels = 0;  // N
+  std::uint32_t in_channels = 0;   // M
+  std::uint32_t out_h = 0;         // R
+  std::uint32_t out_w = 0;         // C
+  std::uint32_t kernel = 0;        // K
+  std::uint32_t stride = 1;        // S
+  std::uint32_t kernel_w = 0;      // 0 => square kernel (== kernel)
+  std::uint32_t groups = 1;
+
+  [[nodiscard]] std::uint32_t effective_kernel_w() const noexcept {
+    return kernel_w == 0 ? kernel : kernel_w;
+  }
+};
+
+/// FC <in_features, out_features> per Table 1.
+struct FcShape {
+  std::uint32_t in_features = 0;
+  std::uint32_t out_features = 0;
+};
+
+/// LSTM <N, H, L> per Table 1, plus timesteps.
+struct LstmShape {
+  std::uint32_t in_size = 0;      // N
+  std::uint32_t hidden_size = 0;  // H
+  std::uint32_t layers = 1;       // L
+  std::uint32_t seq_len = 1;      // timesteps (see header comment)
+};
+
+struct PoolShape {
+  std::uint32_t channels = 0;
+  std::uint32_t out_h = 0;
+  std::uint32_t out_w = 0;
+  std::uint32_t kernel = 0;
+  std::uint32_t stride = 1;
+};
+
+struct EltwiseShape {
+  std::uint32_t channels = 0;
+  std::uint32_t h = 0;
+  std::uint32_t w = 0;
+};
+
+struct ConcatShape {
+  std::uint32_t channels = 0;  // sum of input channels
+  std::uint32_t h = 0;
+  std::uint32_t w = 0;
+};
+
+struct InputShape {
+  std::uint32_t channels = 0;
+  std::uint32_t h = 0;
+  std::uint32_t w = 0;
+};
+
+using LayerShape = std::variant<InputShape, ConvShape, FcShape, LstmShape,
+                                PoolShape, EltwiseShape, ConcatShape>;
+
+/// One node of G_model.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::Input;
+  LayerShape shape = InputShape{};
+  /// MMMT bookkeeping: which modality backbone this layer belongs to
+  /// (0 = shared/fusion trunk). Drives the dynamic-modality extension.
+  std::uint32_t modality = 0;
+
+  /// Multiply-accumulate count (the compute cost driver for Conv/FC/LSTM).
+  [[nodiscard]] std::uint64_t macs() const noexcept;
+
+  /// Lightweight vector ops (pool comparisons, eltwise adds) that run on the
+  /// PE array at one op per PE per cycle. Zero for Conv/FC/LSTM (subsumed by
+  /// macs) and for Input/Concat (pure data movement).
+  [[nodiscard]] std::uint64_t light_ops() const noexcept;
+
+  /// Number of weight parameters (including biases).
+  [[nodiscard]] std::uint64_t param_count() const noexcept;
+
+  /// Weight footprint for a given element size.
+  [[nodiscard]] Bytes weight_bytes(std::uint32_t dtype_bytes) const noexcept {
+    return param_count() * dtype_bytes;
+  }
+
+  /// Elements in this layer's output tensor.
+  [[nodiscard]] std::uint64_t out_elems() const noexcept;
+
+  /// Output tensor footprint for a given element size.
+  [[nodiscard]] Bytes out_bytes(std::uint32_t dtype_bytes) const noexcept {
+    return out_elems() * dtype_bytes;
+  }
+
+  /// True for kinds that carry trainable weights.
+  [[nodiscard]] bool has_weights() const noexcept {
+    return kind == LayerKind::Conv || kind == LayerKind::FullyConnected ||
+           kind == LayerKind::Lstm;
+  }
+
+  /// True for the kinds the paper's Table 1 parameterizes (the "real"
+  /// layers counted in e.g. "VLocNet consists of 141 layers").
+  [[nodiscard]] bool is_compute_layer() const noexcept { return has_weights(); }
+};
+
+/// Channel count of a layer's output when it has C x H x W structure
+/// (Input/Conv/Pool/Eltwise/Concat); 0 for FC/LSTM whose outputs are flat.
+[[nodiscard]] std::uint64_t producer_channels(const Layer& l) noexcept;
+
+}  // namespace h2h

@@ -1,0 +1,158 @@
+#include "model/model_builder.h"
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+
+ModelBuilder::ModelBuilder(std::string name, std::uint32_t dtype_bytes)
+    : model_(std::move(name), dtype_bytes) {}
+
+LayerId ModelBuilder::add(Layer layer, std::span<const LayerId> inputs,
+                          Geometry geo) {
+  layer.modality = modality_;
+  const LayerId id = model_.add_layer(std::move(layer), inputs);
+  geo_.push_back(geo);
+  return id;
+}
+
+const ModelBuilder::Geometry& ModelBuilder::geometry(LayerId id) const {
+  H2H_EXPECTS(id.valid() && id.value < geo_.size());
+  return geo_[id.value];
+}
+
+LayerId ModelBuilder::input(const std::string& name, std::uint32_t channels,
+                            std::uint32_t h, std::uint32_t w) {
+  H2H_EXPECTS(channels > 0 && h > 0 && w > 0);
+  Layer l{name, LayerKind::Input, InputShape{channels, h, w}};
+  return add(std::move(l), {}, Geometry{channels, h, w, 0});
+}
+
+LayerId ModelBuilder::input_seq(const std::string& name, std::uint32_t seq_len,
+                                std::uint32_t features) {
+  H2H_EXPECTS(seq_len > 0 && features > 0);
+  Layer l{name, LayerKind::Input, InputShape{features, seq_len, 1}};
+  return add(std::move(l), {}, Geometry{features, seq_len, 1, seq_len});
+}
+
+LayerId ModelBuilder::conv(const std::string& name, LayerId from,
+                           std::uint32_t out_channels, std::uint32_t kernel,
+                           std::uint32_t stride) {
+  const Geometry& in = geometry(from);
+  H2H_EXPECTS(out_channels > 0 && kernel > 0 && stride > 0);
+  if (in.channels == 0)
+    throw ConfigError(strformat("conv '%s': producer has no channel structure",
+                                name.c_str()));
+  const std::uint32_t oh = ceil_div(in.h, stride);
+  const std::uint32_t ow = ceil_div(in.w, stride);
+  Layer l{name, LayerKind::Conv,
+          ConvShape{out_channels, in.channels, oh, ow, kernel, stride}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{out_channels, oh, ow, in.seq ? oh : 0});
+}
+
+LayerId ModelBuilder::conv1d(const std::string& name, LayerId from,
+                             std::uint32_t out_channels, std::uint32_t kernel,
+                             std::uint32_t stride) {
+  const Geometry& in = geometry(from);
+  H2H_EXPECTS(out_channels > 0 && kernel > 0 && stride > 0);
+  if (in.w != 1)
+    throw ConfigError(strformat("conv1d '%s': producer is not sequence-shaped",
+                                name.c_str()));
+  const std::uint32_t oh = ceil_div(in.h, stride);
+  Layer l{name, LayerKind::Conv,
+          ConvShape{out_channels, in.channels, oh, 1, kernel, stride,
+                    /*kernel_w=*/1}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{out_channels, oh, 1, oh});
+}
+
+LayerId ModelBuilder::pool(const std::string& name, LayerId from,
+                           std::uint32_t kernel, std::uint32_t stride) {
+  const Geometry& in = geometry(from);
+  H2H_EXPECTS(kernel > 0 && stride > 0);
+  const std::uint32_t oh = ceil_div(in.h, stride);
+  const std::uint32_t ow = ceil_div(in.w, stride);
+  Layer l{name, LayerKind::Pool, PoolShape{in.channels, oh, ow, kernel, stride}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{in.channels, oh, ow, in.seq ? oh : 0});
+}
+
+LayerId ModelBuilder::global_pool(const std::string& name, LayerId from) {
+  const Geometry& in = geometry(from);
+  Layer l{name, LayerKind::Pool,
+          PoolShape{in.channels, 1, 1, /*kernel=*/in.h, /*stride=*/in.h}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{in.channels, 1, 1, 0});
+}
+
+LayerId ModelBuilder::fc(const std::string& name, LayerId from,
+                         std::uint32_t out_features) {
+  const Geometry& in = geometry(from);
+  H2H_EXPECTS(out_features > 0);
+  const std::uint64_t in_features = in.elems();
+  if (in_features == 0 || in_features > 0xFFFFFFFFull)
+    throw ConfigError(strformat("fc '%s': bad flattened input size", name.c_str()));
+  Layer l{name, LayerKind::FullyConnected,
+          FcShape{static_cast<std::uint32_t>(in_features), out_features}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{out_features, 1, 1, 0});
+}
+
+LayerId ModelBuilder::lstm(const std::string& name, LayerId from,
+                           std::uint32_t hidden_size, std::uint32_t layers,
+                           std::uint32_t seq_len) {
+  const Geometry& in = geometry(from);
+  H2H_EXPECTS(hidden_size > 0 && layers > 0);
+  const std::uint32_t seq = seq_len != 0 ? seq_len : in.seq;
+  if (seq == 0)
+    throw ConfigError(
+        strformat("lstm '%s': producer has no sequence structure and no "
+                  "seq_len was given", name.c_str()));
+  const std::uint64_t elems = in.elems();
+  if (elems % seq != 0)
+    throw ConfigError(strformat(
+        "lstm '%s': producer elems (%llu) not divisible by seq_len (%u)",
+        name.c_str(), static_cast<unsigned long long>(elems), seq));
+  const auto in_size = static_cast<std::uint32_t>(elems / seq);
+  Layer l{name, LayerKind::Lstm, LstmShape{in_size, hidden_size, layers, seq}};
+  const LayerId ids[] = {from};
+  return add(std::move(l), ids, Geometry{hidden_size, seq, 1, seq});
+}
+
+LayerId ModelBuilder::eltwise(const std::string& name, LayerId a, LayerId b) {
+  const Geometry& ga = geometry(a);
+  const Geometry& gb = geometry(b);
+  if (ga.elems() != gb.elems())
+    throw ConfigError(strformat("eltwise '%s': input sizes differ (%llu vs %llu)",
+                                name.c_str(),
+                                static_cast<unsigned long long>(ga.elems()),
+                                static_cast<unsigned long long>(gb.elems())));
+  Layer l{name, LayerKind::Eltwise, EltwiseShape{ga.channels, ga.h, ga.w}};
+  const LayerId ids[] = {a, b};
+  return add(std::move(l), ids, ga);
+}
+
+LayerId ModelBuilder::concat(const std::string& name,
+                             std::span<const LayerId> inputs) {
+  H2H_EXPECTS(inputs.size() >= 2);
+  const Geometry& g0 = geometry(inputs.front());
+  std::uint32_t channels = 0;
+  for (const LayerId in : inputs) {
+    const Geometry& g = geometry(in);
+    if (g.h != g0.h || g.w != g0.w)
+      throw ConfigError(strformat(
+          "concat '%s': spatial mismatch (%ux%u vs %ux%u)", name.c_str(), g.h,
+          g.w, g0.h, g0.w));
+    channels += g.channels;
+  }
+  Layer l{name, LayerKind::Concat, ConcatShape{channels, g0.h, g0.w}};
+  return add(std::move(l), inputs, Geometry{channels, g0.h, g0.w, g0.seq});
+}
+
+ModelGraph ModelBuilder::build(bool validate) && {
+  if (validate) model_.validate();
+  return std::move(model_);
+}
+
+}  // namespace h2h

@@ -1,0 +1,93 @@
+// Fluent construction of ModelGraphs with automatic shape propagation.
+//
+// The builder tracks each layer's output geometry (channels x h x w, plus an
+// optional sequence length for recurrent paths) so call sites specify only
+// what a network description specifies: output channels, kernel, stride,
+// hidden sizes. "Same" padding is assumed: out_dim = ceil(in_dim / stride),
+// matching the ResNet/VGG conventions of the surveyed models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/model_graph.h"
+
+namespace h2h {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name, std::uint32_t dtype_bytes = 2);
+
+  /// Layers added after this call carry the given modality tag
+  /// (0 = shared/fusion trunk). Used by the dynamic-modality extension.
+  void set_modality(std::uint32_t modality) noexcept { modality_ = modality; }
+
+  /// Image-like input tensor (channels x h x w).
+  LayerId input(const std::string& name, std::uint32_t channels, std::uint32_t h,
+                std::uint32_t w);
+
+  /// Sequence input (text/sensor): seq_len steps of `features` values.
+  LayerId input_seq(const std::string& name, std::uint32_t seq_len,
+                    std::uint32_t features);
+
+  /// 2-D convolution, square kernel, same padding.
+  LayerId conv(const std::string& name, LayerId from, std::uint32_t out_channels,
+               std::uint32_t kernel, std::uint32_t stride = 1);
+
+  /// 1-D (temporal) convolution over a sequence-shaped tensor (k x 1 kernel).
+  LayerId conv1d(const std::string& name, LayerId from, std::uint32_t out_channels,
+                 std::uint32_t kernel, std::uint32_t stride = 1);
+
+  /// Max/avg pooling (cost model does not distinguish), same padding.
+  LayerId pool(const std::string& name, LayerId from, std::uint32_t kernel,
+               std::uint32_t stride);
+
+  /// Global average pooling: output is channels x 1 x 1.
+  LayerId global_pool(const std::string& name, LayerId from);
+
+  /// Fully connected from the flattened producer output.
+  LayerId fc(const std::string& name, LayerId from, std::uint32_t out_features);
+
+  /// (Stacked) LSTM. If the producer has sequence structure its seq_len is
+  /// used; otherwise `seq_len` must be given and divide the producer's
+  /// element count. in_size is inferred.
+  LayerId lstm(const std::string& name, LayerId from, std::uint32_t hidden_size,
+               std::uint32_t layers = 1, std::uint32_t seq_len = 0);
+
+  /// Element-wise addition (residual shortcut). Inputs must agree in size.
+  LayerId eltwise(const std::string& name, LayerId a, LayerId b);
+
+  /// Channel concatenation. Inputs must agree spatially.
+  LayerId concat(const std::string& name, std::span<const LayerId> inputs);
+
+  /// Output geometry of an already-added layer (for block helpers).
+  struct Geometry {
+    std::uint32_t channels = 0;
+    std::uint32_t h = 1;
+    std::uint32_t w = 1;
+    std::uint32_t seq = 0;  // 0 = no sequence semantics
+    [[nodiscard]] std::uint64_t elems() const noexcept {
+      return static_cast<std::uint64_t>(channels) * h * w;
+    }
+  };
+  [[nodiscard]] const Geometry& geometry(LayerId id) const;
+
+  [[nodiscard]] const ModelGraph& peek() const noexcept { return model_; }
+
+  /// Finalize; validates by default. The builder is consumed.
+  [[nodiscard]] ModelGraph build(bool validate = true) &&;
+
+ private:
+  LayerId add(Layer layer, std::span<const LayerId> inputs, Geometry geo);
+  [[nodiscard]] static std::uint32_t ceil_div(std::uint32_t a, std::uint32_t b) {
+    return (a + b - 1) / b;
+  }
+
+  ModelGraph model_;
+  std::vector<Geometry> geo_;
+  std::uint32_t modality_ = 0;
+};
+
+}  // namespace h2h

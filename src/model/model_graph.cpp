@@ -1,0 +1,153 @@
+#include "model/model_graph.h"
+
+#include <set>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+
+ModelGraph::ModelGraph(std::string name, std::uint32_t dtype_bytes)
+    : name_(std::move(name)), dtype_bytes_(dtype_bytes) {
+  H2H_EXPECTS(dtype_bytes_ >= 1 && dtype_bytes_ <= 8);
+}
+
+LayerId ModelGraph::add_layer(Layer layer, std::span<const LayerId> inputs) {
+  const LayerId id = graph_.add_node();
+  layers_.push_back(std::move(layer));
+  for (const LayerId in : inputs) graph_.add_edge(in, id);
+  return id;
+}
+
+ModelStats ModelGraph::stats() const {
+  ModelStats s;
+  s.node_count = layers_.size();
+  std::set<std::uint32_t> modalities;
+  for (const Layer& l : layers_) {
+    s.total_params += l.param_count();
+    s.total_macs += l.macs();
+    s.total_weight_bytes += l.weight_bytes(dtype_bytes_);
+    s.total_activation_bytes += l.out_bytes(dtype_bytes_);
+    if (l.is_compute_layer()) ++s.compute_layer_count;
+    if (l.modality != 0) modalities.insert(l.modality);
+  }
+  s.modality_count = static_cast<std::uint32_t>(modalities.size());
+  return s;
+}
+
+std::vector<LayerId> ModelGraph::all_layers() const {
+  std::vector<LayerId> ids;
+  ids.reserve(layers_.size());
+  for (std::uint32_t i = 0; i < layers_.size(); ++i) ids.push_back(LayerId{i});
+  return ids;
+}
+
+namespace {
+
+[[noreturn]] void fail(const ModelGraph& m, const Layer& l, const std::string& why) {
+  throw ConfigError(strformat("model '%s', layer '%s' (%s): %s",
+                              m.name().c_str(), l.name.c_str(),
+                              std::string(to_string(l.kind)).c_str(),
+                              why.c_str()));
+}
+
+}  // namespace
+
+void ModelGraph::validate() const {
+  if (layers_.empty())
+    throw ConfigError(strformat("model '%s' has no layers", name_.c_str()));
+  if (!is_dag(graph_))
+    throw ConfigError(strformat("model '%s' has a dependency cycle", name_.c_str()));
+
+  for (const LayerId id : all_layers()) {
+    const Layer& l = layer(id);
+    const auto preds = graph_.preds(id);
+
+    switch (l.kind) {
+      case LayerKind::Input:
+        if (!preds.empty()) fail(*this, l, "Input layer must have no predecessors");
+        break;
+      case LayerKind::Conv:
+      case LayerKind::FullyConnected:
+      case LayerKind::Lstm:
+      case LayerKind::Pool:
+        if (preds.size() != 1)
+          fail(*this, l, strformat("expects exactly 1 input, has %zu", preds.size()));
+        break;
+      case LayerKind::Eltwise:
+      case LayerKind::Concat:
+        if (preds.size() < 2)
+          fail(*this, l, strformat("expects >= 2 inputs, has %zu", preds.size()));
+        break;
+    }
+
+    // Shape agreement with producers.
+    if (l.kind == LayerKind::Eltwise) {
+      const std::uint64_t want = l.out_elems();
+      for (const LayerId p : preds) {
+        if (layer(p).out_elems() != want)
+          fail(*this, l,
+               strformat("eltwise input '%s' has %llu elems, expected %llu",
+                         layer(p).name.c_str(),
+                         static_cast<unsigned long long>(layer(p).out_elems()),
+                         static_cast<unsigned long long>(want)));
+      }
+    } else if (l.kind == LayerKind::Concat) {
+      std::uint64_t got = 0;
+      for (const LayerId p : preds) got += layer(p).out_elems();
+      if (got != l.out_elems())
+        fail(*this, l,
+             strformat("concat inputs sum to %llu elems, expected %llu",
+                       static_cast<unsigned long long>(got),
+                       static_cast<unsigned long long>(l.out_elems())));
+    } else if (l.kind == LayerKind::Conv || l.kind == LayerKind::Pool ||
+               l.kind == LayerKind::FullyConnected || l.kind == LayerKind::Lstm) {
+      const Layer& p = layer(preds.front());
+      std::uint64_t want = 0;
+      switch (l.kind) {
+        case LayerKind::Conv: {
+          // Input tensor = M x (R*S) x (C*S) approximately; we check only
+          // channel agreement (spatial padding conventions vary).
+          const auto& s = std::get<ConvShape>(l.shape);
+          const std::uint64_t in_c = producer_channels(p);
+          if (in_c != 0 && in_c != s.in_channels)
+            fail(*this, l,
+                 strformat("in_channels=%u but producer '%s' provides %llu",
+                           s.in_channels, p.name.c_str(),
+                           static_cast<unsigned long long>(in_c)));
+          want = 0;  // handled above
+          break;
+        }
+        case LayerKind::Pool: {
+          const auto& s = std::get<PoolShape>(l.shape);
+          const std::uint64_t in_c = producer_channels(p);
+          if (in_c != 0 && in_c != s.channels)
+            fail(*this, l,
+                 strformat("channels=%u but producer '%s' provides %llu",
+                           s.channels, p.name.c_str(),
+                           static_cast<unsigned long long>(in_c)));
+          want = 0;
+          break;
+        }
+        case LayerKind::FullyConnected: {
+          const auto& s = std::get<FcShape>(l.shape);
+          want = s.in_features;
+          break;
+        }
+        case LayerKind::Lstm: {
+          const auto& s = std::get<LstmShape>(l.shape);
+          want = static_cast<std::uint64_t>(s.in_size) * s.seq_len;
+          break;
+        }
+        default: break;
+      }
+      if (want != 0 && p.out_elems() != want)
+        fail(*this, l,
+             strformat("consumes %llu elems but producer '%s' provides %llu",
+                       static_cast<unsigned long long>(want), p.name.c_str(),
+                       static_cast<unsigned long long>(p.out_elems())));
+    }
+  }
+}
+
+}  // namespace h2h

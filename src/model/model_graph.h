@@ -1,0 +1,87 @@
+// G_model: the heterogeneous-model dependency graph of the paper's §3.
+// A Digraph whose nodes carry Layer payloads plus model-wide metadata.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "model/layer.h"
+
+namespace h2h {
+
+using LayerId = NodeId;
+
+struct ModelStats {
+  std::uint64_t total_params = 0;
+  std::uint64_t total_macs = 0;
+  Bytes total_weight_bytes = 0;
+  Bytes total_activation_bytes = 0;  // sum of per-layer output tensors
+  std::size_t node_count = 0;        // all graph nodes
+  std::size_t compute_layer_count = 0;  // Conv + FC + LSTM (paper's "layers")
+  std::uint32_t modality_count = 0;     // distinct non-zero modality tags
+};
+
+class ModelGraph {
+ public:
+  /// `dtype_bytes`: element size for weights and activations. The surveyed
+  /// accelerators mostly use 16-bit fixed point; 2 is the default.
+  explicit ModelGraph(std::string name, std::uint32_t dtype_bytes = 2);
+
+  /// Append a layer whose inputs are `inputs` (producer layers).
+  LayerId add_layer(Layer layer, std::span<const LayerId> inputs = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint32_t dtype_bytes() const noexcept { return dtype_bytes_; }
+  [[nodiscard]] const Digraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Inference batch size. Activations and compute scale linearly with it;
+  /// weights are loaded once per inference regardless (the paper evaluates
+  /// batch 1; the batch ablation bench sweeps this).
+  void set_batch(std::uint32_t batch) {
+    H2H_EXPECTS(batch >= 1);
+    batch_ = batch;
+  }
+  [[nodiscard]] std::uint32_t batch() const noexcept { return batch_; }
+
+  [[nodiscard]] const Layer& layer(LayerId id) const {
+    H2H_EXPECTS(graph_.contains(id));
+    return layers_[id.value];
+  }
+
+  /// Bytes moved along edge producer -> consumer (the producer's output
+  /// tensor for the whole batch; Concat consumers read each input in full).
+  [[nodiscard]] Bytes edge_bytes(LayerId producer) const {
+    return layer(producer).out_bytes(dtype_bytes_) * batch_;
+  }
+
+  [[nodiscard]] Bytes weight_bytes(LayerId id) const {
+    return layer(id).weight_bytes(dtype_bytes_);
+  }
+
+  [[nodiscard]] ModelStats stats() const;
+
+  /// Structural + shape validation; throws ConfigError on:
+  ///  - cyclic graph, empty graph
+  ///  - Input layers with predecessors / non-Input layers without any
+  ///  - arity violations (Conv/FC/LSTM/Pool take 1 input; Eltwise/Concat >= 2)
+  ///  - Eltwise input size mismatches; Concat channel-sum mismatches
+  ///  - Conv/FC/LSTM input element-count mismatches vs the producer
+  void validate() const;
+
+  /// Convenience for range-for over ids.
+  [[nodiscard]] std::vector<LayerId> all_layers() const;
+
+ private:
+  std::string name_;
+  std::uint32_t dtype_bytes_;
+  std::uint32_t batch_ = 1;
+  Digraph graph_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace h2h

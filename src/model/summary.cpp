@@ -1,0 +1,72 @@
+#include "model/summary.h"
+
+#include "util/str.h"
+#include "util/table.h"
+
+namespace h2h {
+
+std::string describe_shape(const Layer& layer) {
+  switch (layer.kind) {
+    case LayerKind::Input: {
+      const auto& s = std::get<InputShape>(layer.shape);
+      return strformat("Input %ux%ux%u", s.channels, s.h, s.w);
+    }
+    case LayerKind::Conv: {
+      const auto& s = std::get<ConvShape>(layer.shape);
+      return strformat("Conv %ux%ux%ux%u k%ux%u s%u", s.out_channels,
+                       s.in_channels, s.out_h, s.out_w, s.kernel,
+                       s.effective_kernel_w(), s.stride);
+    }
+    case LayerKind::FullyConnected: {
+      const auto& s = std::get<FcShape>(layer.shape);
+      return strformat("FC %u->%u", s.in_features, s.out_features);
+    }
+    case LayerKind::Lstm: {
+      const auto& s = std::get<LstmShape>(layer.shape);
+      return strformat("LSTM in%u h%u L%u T%u", s.in_size, s.hidden_size,
+                       s.layers, s.seq_len);
+    }
+    case LayerKind::Pool: {
+      const auto& s = std::get<PoolShape>(layer.shape);
+      return strformat("Pool %ux%ux%u k%u s%u", s.channels, s.out_h, s.out_w,
+                       s.kernel, s.stride);
+    }
+    case LayerKind::Eltwise: {
+      const auto& s = std::get<EltwiseShape>(layer.shape);
+      return strformat("Eltwise %ux%ux%u", s.channels, s.h, s.w);
+    }
+    case LayerKind::Concat: {
+      const auto& s = std::get<ConcatShape>(layer.shape);
+      return strformat("Concat %ux%ux%u", s.channels, s.h, s.w);
+    }
+  }
+  return "?";
+}
+
+void print_model_summary(const ModelGraph& model, std::ostream& out,
+                         bool per_layer) {
+  const ModelStats s = model.stats();
+  out << strformat(
+      "model %s: %zu nodes (%zu compute layers), %.1fM params, %.2f GMACs, "
+      "%s weights, %u modalities\n",
+      model.name().c_str(), s.node_count, s.compute_layer_count,
+      static_cast<double>(s.total_params) / 1e6,
+      static_cast<double>(s.total_macs) / 1e9,
+      human_bytes(s.total_weight_bytes).c_str(), s.modality_count);
+  if (!per_layer) return;
+
+  TextTable table({"id", "name", "shape", "modality", "params", "MACs", "out"},
+                  {TextTable::Align::Right, TextTable::Align::Left,
+                   TextTable::Align::Left});
+  for (const LayerId id : model.all_layers()) {
+    const Layer& l = model.layer(id);
+    table.add_row({strformat("%u", id.value), l.name, describe_shape(l),
+                   strformat("%u", l.modality),
+                   strformat("%llu", static_cast<unsigned long long>(l.param_count())),
+                   strformat("%llu", static_cast<unsigned long long>(l.macs())),
+                   human_bytes(l.out_bytes(model.dtype_bytes()))});
+  }
+  table.print(out);
+}
+
+}  // namespace h2h

@@ -1,0 +1,18 @@
+// Human-readable model summaries (layer table + aggregate stats),
+// used by examples and the EXPERIMENTS.md generator.
+#pragma once
+
+#include <ostream>
+
+#include "model/model_graph.h"
+
+namespace h2h {
+
+/// Print a per-layer table (name, kind, shape, params, MACs, output bytes).
+void print_model_summary(const ModelGraph& model, std::ostream& out,
+                         bool per_layer = false);
+
+/// One-line shape description, e.g. "Conv 256x128x14x14 k3 s1".
+[[nodiscard]] std::string describe_shape(const Layer& layer);
+
+}  // namespace h2h

@@ -1,0 +1,110 @@
+#include "model/synthetic.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "model/blocks.h"
+#include "model/model_builder.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace h2h {
+
+void SyntheticMmmtSpec::validate() const {
+  if (modalities < 1) throw ConfigError("synthetic: modalities must be >= 1");
+  if (lstm_modalities > modalities)
+    throw ConfigError("synthetic: lstm_modalities exceeds modalities");
+  if (backbone_depth < 1) throw ConfigError("synthetic: empty backbones");
+  if (width <= 0) throw ConfigError("synthetic: width must be > 0");
+  if (input_hw < 8) throw ConfigError("synthetic: input_hw too small");
+  if (seq_len < 2) throw ConfigError("synthetic: seq_len too small");
+}
+
+namespace {
+
+/// A vision backbone: strided conv stack with channel doubling every other
+/// layer, ending in global pooling. Returns the pooled feature layer.
+LayerId vision_backbone(ModelBuilder& b, const SyntheticMmmtSpec& spec,
+                        std::uint32_t modality, Rng& rng) {
+  const LayerId in = b.input(strformat("m%u.in", modality), 3, spec.input_hw,
+                             spec.input_hw);
+  std::uint32_t channels = scale_channels(32, spec.width);
+  LayerId x = in;
+  for (std::uint32_t d = 0; d < spec.backbone_depth; ++d) {
+    // Jitter keeps backbones heterogeneous (distinct best accelerators).
+    const auto jitter = static_cast<std::uint32_t>(rng.uniform_int(0, 1)) * 8;
+    const std::uint32_t stride = (d % 2 == 0 && b.geometry(x).h > 7) ? 2 : 1;
+    x = b.conv(strformat("m%u.conv%u", modality, d + 1), x, channels + jitter,
+               3, stride);
+    if (d % 2 == 1) channels = std::min(channels * 2, 512u);
+  }
+  return b.global_pool(strformat("m%u.gap", modality), x);
+}
+
+/// A recurrent backbone: temporal convs + stacked LSTM, last-state pooled.
+LayerId recurrent_backbone(ModelBuilder& b, const SyntheticMmmtSpec& spec,
+                           std::uint32_t modality, Rng& rng) {
+  const auto features = static_cast<std::uint32_t>(rng.uniform_int(16, 128));
+  const LayerId in =
+      b.input_seq(strformat("m%u.in", modality), spec.seq_len, features);
+  LayerId x = in;
+  const std::uint32_t conv_layers = spec.backbone_depth / 2;
+  const std::uint32_t ch = scale_channels(64, spec.width);
+  for (std::uint32_t d = 0; d < conv_layers; ++d) {
+    x = b.conv1d(strformat("m%u.tconv%u", modality, d + 1), x, ch, 3, 1);
+  }
+  const std::uint32_t hidden = scale_channels(256, spec.width);
+  const std::uint32_t stacks =
+      std::max(1u, spec.backbone_depth - conv_layers > 4 ? 2u : 1u);
+  x = b.lstm(strformat("m%u.lstm", modality), x, hidden, stacks);
+  return b.global_pool(strformat("m%u.last", modality), x);
+}
+
+}  // namespace
+
+ModelGraph make_synthetic_mmmt(const SyntheticMmmtSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  ModelBuilder b(strformat("synthetic-m%u-d%u", spec.modalities,
+                           spec.backbone_depth));
+
+  std::vector<LayerId> features;
+  std::vector<LayerId> raw_features;  // pre-pool tensors for cross-talk
+  for (std::uint32_t m = 1; m <= spec.modalities; ++m) {
+    b.set_modality(m);
+    const bool recurrent = m > spec.modalities - spec.lstm_modalities;
+    features.push_back(recurrent ? recurrent_backbone(b, spec, m, rng)
+                                 : vision_backbone(b, spec, m, rng));
+  }
+
+  // Cross-talk: each backbone's pooled feature also feeds a shared
+  // projection with its neighbour (the VLocNet-style auxiliary links).
+  b.set_modality(0);
+  if (spec.cross_talk && spec.modalities >= 2) {
+    for (std::uint32_t m = 0; m + 1 < spec.modalities; ++m) {
+      const LayerId pair = b.concat(strformat("xt%u.cat", m + 1),
+                                    std::array{features[m], features[m + 1]});
+      raw_features.push_back(
+          b.fc(strformat("xt%u.proj", m + 1), pair,
+               scale_channels(128, spec.width)));
+    }
+  }
+
+  std::vector<LayerId> to_fuse = features;
+  to_fuse.insert(to_fuse.end(), raw_features.begin(), raw_features.end());
+  LayerId x = to_fuse.size() >= 2 ? b.concat("fuse.cat", to_fuse)
+                                  : to_fuse.front();
+  std::uint32_t fc_width = scale_channels(512, spec.width);
+  for (std::uint32_t d = 0; d < spec.fusion_fc_layers; ++d) {
+    x = b.fc(strformat("fuse.fc%u", d + 1), x, fc_width);
+    fc_width = std::max(fc_width / 2, 64u);
+  }
+  for (std::uint32_t t = 0; t < spec.task_heads; ++t) {
+    (void)b.fc(strformat("task%u", t + 1), x,
+               static_cast<std::uint32_t>(rng.uniform_int(2, 64)));
+  }
+  return std::move(b).build();
+}
+
+}  // namespace h2h

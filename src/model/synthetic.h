@@ -1,0 +1,35 @@
+// Parameterized synthetic MMMT generator.
+//
+// The paper's conclusion stresses that H2H "can be easily configured to
+// catch up with ... the growing size of DNN models". This generator builds
+// MMMT models of arbitrary scale — N modality backbones (vision conv stacks
+// and/or recurrent stacks), cross-talk links between neighbouring
+// backbones, a fusion trunk, and task heads — for the scaling experiments
+// (search time vs layer count) and for stress tests beyond the six Table-2
+// models.
+#pragma once
+
+#include <cstdint>
+
+#include "model/model_graph.h"
+
+namespace h2h {
+
+struct SyntheticMmmtSpec {
+  std::uint32_t modalities = 3;       // total backbones, >= 1
+  std::uint32_t lstm_modalities = 1;  // how many of them are recurrent
+  std::uint32_t backbone_depth = 8;   // conv (or conv1d) layers per backbone
+  double width = 1.0;                 // channel-count multiplier
+  std::uint32_t fusion_fc_layers = 2; // depth of the joint MLP
+  std::uint32_t task_heads = 2;       // multi-task outputs
+  std::uint32_t input_hw = 112;       // vision input resolution
+  std::uint32_t seq_len = 64;         // recurrent input length
+  bool cross_talk = true;             // lateral links between backbones
+  std::uint64_t seed = 1;             // deterministic channel jitter
+
+  void validate() const;  // throws ConfigError on nonsensical combinations
+};
+
+[[nodiscard]] ModelGraph make_synthetic_mmmt(const SyntheticMmmtSpec& spec);
+
+}  // namespace h2h

@@ -1,0 +1,54 @@
+#include "model/zoo.h"
+
+#include <array>
+
+#include "util/contracts.h"
+
+namespace h2h {
+namespace {
+
+constexpr std::array<ZooInfo, 6> kCatalog{{
+    {ZooModel::VLocNet, "vlocnet", "Augmented Reality", "ResNet-50 variants",
+     192.0},
+    {ZooModel::CasiaSurf, "casia-surf", "Face Recognition",
+     "ResNet-18 variants", 13.2},
+    {ZooModel::Vfs, "vfs", "Sentiment Analysis", "VGG and VD-CNN variants",
+     365.0},
+    {ZooModel::FaceBag, "facebag", "Face Recognition", "ResNet variants", 25.0},
+    {ZooModel::CnnLstm, "cnn-lstm", "Activity Recognition",
+     "ConvNet and LSTM variants", 16.0},
+    {ZooModel::MoCap, "mocap", "Emotion Recognition",
+     "Convolution and LSTM unit", 8.0},
+}};
+
+}  // namespace
+
+std::span<const ZooInfo> zoo_catalog() { return kCatalog; }
+
+const ZooInfo& zoo_info(ZooModel id) {
+  for (const ZooInfo& info : kCatalog)
+    if (info.id == id) return info;
+  H2H_ASSERT(false);  // unreachable: all enumerators are in the catalog
+  return kCatalog.front();
+}
+
+std::optional<ZooModel> zoo_model_by_key(std::string_view key) {
+  for (const ZooInfo& info : kCatalog)
+    if (info.key == key) return info.id;
+  return std::nullopt;
+}
+
+ModelGraph make_model(ZooModel id) {
+  switch (id) {
+    case ZooModel::VLocNet: return make_vlocnet();
+    case ZooModel::CasiaSurf: return make_casia_surf();
+    case ZooModel::Vfs: return make_vfs();
+    case ZooModel::FaceBag: return make_facebag();
+    case ZooModel::CnnLstm: return make_cnn_lstm();
+    case ZooModel::MoCap: return make_mocap();
+  }
+  H2H_ASSERT(false);
+  return make_mocap();
+}
+
+}  // namespace h2h

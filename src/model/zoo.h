@@ -1,0 +1,49 @@
+// The six heterogeneous MMMT evaluation models of the paper's Table 2,
+// reconstructed synthetically from the cited architectures. Exact weights are
+// irrelevant to the mapping problem; topology, layer shapes, and parameter
+// counts (asserted within +/-15% of Table 2 in tests) are what matter.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "model/model_graph.h"
+
+namespace h2h {
+
+enum class ZooModel {
+  VLocNet,    // Augmented Reality; ResNet-50 variants; 192M params
+  CasiaSurf,  // Face Recognition; ResNet-18 variants; 13.2M params
+  Vfs,        // Sentiment Analysis; VGG + VD-CNN variants; 365M params
+  FaceBag,    // Face Recognition; ResNet variants; 25M params
+  CnnLstm,    // Activity Recognition; ConvNet + LSTM; 16M params
+  MoCap,      // Emotion Recognition; Conv + LSTM; 8M params
+};
+
+struct ZooInfo {
+  ZooModel id;
+  std::string_view key;        // stable CLI identifier, e.g. "vlocnet"
+  std::string_view domain;     // Table 2 "Domain"
+  std::string_view backbones;  // Table 2 "Backbones"
+  double paper_params_millions;  // Table 2 "Para."
+};
+
+/// Table 2, in paper order.
+[[nodiscard]] std::span<const ZooInfo> zoo_catalog();
+
+[[nodiscard]] const ZooInfo& zoo_info(ZooModel id);
+[[nodiscard]] std::optional<ZooModel> zoo_model_by_key(std::string_view key);
+
+/// Build one of the evaluation models (validated).
+[[nodiscard]] ModelGraph make_model(ZooModel id);
+
+// Individual builders (used by make_model and directly by tests).
+[[nodiscard]] ModelGraph make_vlocnet();
+[[nodiscard]] ModelGraph make_casia_surf();
+[[nodiscard]] ModelGraph make_vfs();
+[[nodiscard]] ModelGraph make_facebag();
+[[nodiscard]] ModelGraph make_cnn_lstm();
+[[nodiscard]] ModelGraph make_mocap();
+
+}  // namespace h2h

@@ -1,0 +1,37 @@
+// CASIA-SURF baseline (Zhang et al., CVPR 2019): multi-modal face
+// anti-spoofing with three ResNet-18-style branches (RGB, depth, IR)
+// truncated after res4, fused by concatenation and a shared res5 trunk.
+//
+// Modality tags: 1 = RGB, 2 = depth, 3 = IR, 0 = fusion.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_casia_surf() {
+  ModelBuilder b("CASIA-SURF");
+
+  b.set_modality(1);
+  const LayerId rgb = b.input("rgb", 3, 112, 112);
+  const LayerId f_rgb = resnet18_backbone(b, rgb, "rgb", 1.0, 3);
+
+  b.set_modality(2);
+  const LayerId depth = b.input("depth", 1, 112, 112);
+  const LayerId f_depth = resnet18_backbone(b, depth, "depth", 1.0, 3);
+
+  b.set_modality(3);
+  const LayerId ir = b.input("ir", 1, 112, 112);
+  const LayerId f_ir = resnet18_backbone(b, ir, "ir", 1.0, 3);
+
+  b.set_modality(0);
+  const LayerId cat = b.concat("fuse.concat", std::array{f_rgb, f_depth, f_ir});
+  const LayerId squeeze = b.conv("fuse.squeeze", cat, 512, 1, 1);
+  const LayerId res5 = resnet_stage_basic(b, squeeze, 512, 1, 2, "fuse.res5");
+  const LayerId gap = b.global_pool("fuse.gap", res5);
+  const LayerId fc1 = b.fc("fuse.fc1", gap, 128);
+  (void)b.fc("fuse.cls", fc1, 2);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

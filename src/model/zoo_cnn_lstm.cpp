@@ -1,0 +1,42 @@
+// CNN-LSTM (Li et al., 2017): concurrent activity recognition from video
+// and wearable-sensor streams. The video path is a small ConvNet whose
+// feature map is consumed row-wise by an LSTM; the sensor path is a stacked
+// LSTM over 128 IMU timesteps. Pooled temporal states are fused for two
+// concurrent task heads. Under 30 layers, LSTM-heavy: the paper's most
+// communication-bound model class.
+//
+// Modality tags: 1 = video, 2 = IMU sensors, 0 = fusion.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_cnn_lstm() {
+  ModelBuilder b("CNN-LSTM");
+
+  b.set_modality(1);
+  const LayerId video = b.input("video", 3, 112, 112);
+  const LayerId c1 = b.conv("vid.conv1", video, 64, 3, 2);
+  const LayerId p1 = b.pool("vid.pool1", c1, 3, 2);
+  const LayerId c2 = b.conv("vid.conv2", p1, 128, 3, 1);
+  const LayerId c3 = b.conv("vid.conv3", c2, 256, 3, 2);
+  const LayerId c4 = b.conv("vid.conv4", c3, 512, 3, 2);
+  // Feature rows as timesteps: 7 steps of 512x7 features.
+  const LayerId vlstm = b.lstm("vid.lstm", c4, 560, 1, 7);
+  const LayerId vlast = b.global_pool("vid.last", vlstm);
+
+  b.set_modality(2);
+  const LayerId imu = b.input_seq("imu", 128, 9);
+  const LayerId slstm = b.lstm("imu.lstm", imu, 512, 2);
+  const LayerId slast = b.global_pool("imu.last", slstm);
+
+  b.set_modality(0);
+  const LayerId cat = b.concat("fuse.concat", std::array{vlast, slast});
+  const LayerId fc1 = b.fc("fuse.fc1", cat, 512);
+  (void)b.fc("task.activity", fc1, 64);
+  (void)b.fc("task.intensity", fc1, 64);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

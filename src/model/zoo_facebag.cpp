@@ -1,0 +1,37 @@
+// FaceBagNet (Shen et al., CVPR-W 2019): bag-of-local-features multi-modal
+// face anti-spoofing. Three patch-level ResNet branches (RGB, depth, IR) at
+// 0.75x width feed a fused res-block trunk and classifier.
+//
+// Modality tags: 1 = RGB, 2 = depth, 3 = IR, 0 = fusion.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_facebag() {
+  ModelBuilder b("FaceBag");
+
+  b.set_modality(1);
+  const LayerId rgb = b.input("rgb_patch", 3, 112, 112);
+  const LayerId f_rgb = resnet18_backbone(b, rgb, "rgb", 0.75, 4);
+
+  b.set_modality(2);
+  const LayerId depth = b.input("depth_patch", 1, 112, 112);
+  const LayerId f_depth = resnet18_backbone(b, depth, "depth", 0.75, 4);
+
+  b.set_modality(3);
+  const LayerId ir = b.input("ir_patch", 1, 112, 112);
+  const LayerId f_ir = resnet18_backbone(b, ir, "ir", 0.75, 4);
+
+  b.set_modality(0);
+  const LayerId cat = b.concat("fuse.concat", std::array{f_rgb, f_depth, f_ir});
+  const LayerId squeeze = b.conv("fuse.squeeze", cat, 512, 1, 1);
+  const LayerId block = resnet_stage_basic(b, squeeze, 512, 1, 1, "fuse.res");
+  const LayerId gap = b.global_pool("fuse.gap", block);
+  const LayerId fc1 = b.fc("fuse.fc1", gap, 256);
+  (void)b.fc("fuse.cls", fc1, 2);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

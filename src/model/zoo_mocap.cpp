@@ -1,0 +1,44 @@
+// MoCap emotion recognition (Tripathi et al., 2018, on IEMOCAP): three
+// modalities — speech MFCCs, text transcripts, and motion-capture marker
+// trajectories — each with an LSTM unit (the mocap branch adds temporal
+// convolutions), fused by an MLP with two task heads. The smallest and most
+// communication-bound evaluation model.
+//
+// Modality tags: 1 = speech, 2 = text, 3 = mocap, 0 = fusion.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_mocap() {
+  ModelBuilder b("MoCap");
+
+  b.set_modality(1);
+  const LayerId speech = b.input_seq("mfcc", 100, 40);
+  const LayerId sl = b.lstm("speech.lstm", speech, 448, 2);
+  const LayerId slast = b.global_pool("speech.last", sl);
+
+  b.set_modality(2);
+  const LayerId text = b.input_seq("glove", 64, 300);
+  const LayerId tl = b.lstm("text.lstm", text, 448, 2);
+  const LayerId tlast = b.global_pool("text.last", tl);
+
+  b.set_modality(3);
+  const LayerId mocap = b.input_seq("markers", 200, 160);
+  const LayerId mc1 = b.conv1d("mocap.conv1", mocap, 128, 3, 1);
+  const LayerId mc2 = b.conv1d("mocap.conv2", mc1, 128, 3, 1);
+  const LayerId mp = b.pool("mocap.pool", mc2, 3, 2);
+  const LayerId ml = b.lstm("mocap.lstm", mp, 448, 1);
+  const LayerId mlast = b.global_pool("mocap.last", ml);
+
+  b.set_modality(0);
+  const LayerId cat = b.concat("fuse.concat", std::array{slast, tlast, mlast});
+  const LayerId fc1 = b.fc("fuse.fc1", cat, 512);
+  const LayerId fc2 = b.fc("fuse.fc2", fc1, 256);
+  (void)b.fc("task.emotion", fc2, 4);
+  (void)b.fc("task.valence", fc2, 2);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

@@ -1,0 +1,44 @@
+// VFS (Thuseethan et al., WI-IAT 2020): visual-textual sentiment analysis.
+// A VGG-16 image stream and a VD-CNN-29 text stream are fused through a
+// large joint MLP; the fusion FCs carry most of the 365M parameters and
+// create the heavy cross-modality traffic the paper's motivation describes.
+//
+// Modality tags: 1 = image, 2 = text, 0 = fusion.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_vfs() {
+  ModelBuilder b("VFS");
+
+  // Image stream: VGG-16 trunk + fc6/fc7.
+  b.set_modality(1);
+  const LayerId img = b.input("image", 3, 224, 224);
+  const LayerId vgg = vgg16_backbone(b, img, "img");
+  const LayerId fc6 = b.fc("img.fc6", vgg, 4096);
+  const LayerId fc7 = b.fc("img.fc7", fc6, 4096);
+
+  // Text stream: VD-CNN-29 over a 1024-character sequence with a 16-wide
+  // embedding, k-max pooling to 8 positions, then two dense layers.
+  b.set_modality(2);
+  const LayerId txt = b.input_seq("text", 1024, 16);
+  const LayerId vdcnn = vdcnn_backbone(b, txt, "txt");
+  const LayerId kmax = b.pool("txt.kmax", vdcnn, 16, 16);
+  const LayerId tfc1 = b.fc("txt.fc1", kmax, 2048);
+  const LayerId tfc2 = b.fc("txt.fc2", tfc1, 2048);
+
+  // Joint sentiment MLP.
+  b.set_modality(0);
+  const LayerId cat = b.concat("fuse.concat", std::array{fc7, tfc2});
+  const LayerId f1 = b.fc("fuse.fc1", cat, 8192);
+  const LayerId f2 = b.fc("fuse.fc2", f1, 8192);
+  const LayerId f3 = b.fc("fuse.fc3", f2, 8192);
+  const LayerId f4 = b.fc("fuse.fc4", f3, 4096);
+  const LayerId f5 = b.fc("fuse.fc5", f4, 1024);
+  (void)b.fc("fuse.sentiment", f5, 3);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

@@ -1,0 +1,53 @@
+// VLocNet (Valada et al., ICRA 2018): joint visual localization and
+// odometry. Two siamese ResNet-50 trunks (previous/current frame) feed a
+// relative-odometry head; a full ResNet-50 global-pose stream regresses the
+// 6-DoF pose. The odometry head regresses from un-pooled res5 features,
+// which is where the bulk of the 192M parameters lives.
+//
+// Modality tags: 1 = previous frame, 2 = current frame, 0 = fusion/heads.
+#include "model/blocks.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+ModelGraph make_vlocnet() {
+  ModelBuilder b("VLocNet");
+
+  // Odometry stream: siamese trunks truncated after res4 (stages=3).
+  b.set_modality(1);
+  const LayerId img_prev = b.input("prev_frame", 3, 224, 224);
+  const LayerId feat_prev = resnet50_backbone(b, img_prev, "odo_prev", 1.0, 3);
+
+  b.set_modality(2);
+  const LayerId img_cur = b.input("cur_frame", 3, 224, 224);
+  const LayerId feat_cur = resnet50_backbone(b, img_cur, "odo_cur", 1.0, 3);
+
+  // Global pose stream: full ResNet-50 on the current frame (cross-talk edge:
+  // it consumes the same input node as the odometry stream).
+  const LayerId feat_pose = resnet50_backbone(b, img_cur, "pose", 1.0, 4);
+
+  // Odometry head: concat res4 features, one res5 stage, then dense
+  // regression from the un-pooled feature map.
+  b.set_modality(0);
+  const LayerId odo_cat =
+      b.concat("odo.concat", std::array{feat_prev, feat_cur});
+  const LayerId odo_res5 = resnet_stage_bottleneck(
+      b, odo_cat, 512, 2048, 3, 2, "odo.res5");
+  const LayerId odo_fc1 = b.fc("odo.fc1", odo_res5, 1280);
+  (void)b.fc("odo.se3", odo_fc1, 6);
+
+  // Global pose head: GAP + two-stage regression (translation + rotation),
+  // with a cross-talk edge from the odometry head (VLocNet's auxiliary
+  // learning connection).
+  const LayerId pose_gap = b.global_pool("pose.gap", feat_pose);
+  const LayerId pose_fc1 = b.fc("pose.fc1", pose_gap, 1024);
+  const LayerId pose_join =
+      b.concat("pose.join", std::array{pose_fc1, odo_fc1});
+  const LayerId pose_fc2 = b.fc("pose.fc2", pose_join, 1024);
+  (void)b.fc("pose.xyz", pose_fc2, 3);
+  (void)b.fc("pose.quat", pose_fc2, 4);
+
+  return std::move(b).build();
+}
+
+}  // namespace h2h

@@ -1,0 +1,42 @@
+#include "report/experiment.h"
+
+namespace h2h {
+
+StepSeries run_experiment_on(const ModelGraph& model, const SystemConfig& sys,
+                             const H2HOptions& options) {
+  const H2HMapper mapper(model, sys, options);
+  const H2HResult r = mapper.run();
+
+  StepSeries s;
+  for (const StepSnapshot& step : r.steps) {
+    s.latency.push_back(step.result.latency);
+    s.energy.push_back(step.result.energy.total());
+  }
+  s.baseline_comp_ratio = r.baseline_result().comp_ratio();
+  s.h2h_comp_ratio = r.final_result().comp_ratio();
+  s.search_seconds = r.search_seconds;
+  s.remap = r.remap_stats;
+  return s;
+}
+
+StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
+                          const H2HOptions& options) {
+  const ModelGraph graph = make_model(model);
+  const SystemConfig sys = SystemConfig::standard(bw);
+  StepSeries s = run_experiment_on(graph, sys, options);
+  s.model = model;
+  s.bw = bw;
+  return s;
+}
+
+std::vector<StepSeries> run_full_sweep(const H2HOptions& options) {
+  std::vector<StepSeries> out;
+  for (const ZooInfo& info : zoo_catalog()) {
+    for (const BandwidthSetting bw : all_bandwidth_settings()) {
+      out.push_back(run_experiment(info.id, bw, options));
+    }
+  }
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,49 @@
+// Shared experiment runner: executes the H2H pipeline for a zoo model under
+// a bandwidth setting and collects exactly the series the paper's evaluation
+// reports (per-step latency/energy, comm/comp ratios, search time). Used by
+// every bench binary and by EXPERIMENTS.md.
+#pragma once
+
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/h2h_mapper.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+struct StepSeries {
+  ZooModel model = ZooModel::MoCap;
+  BandwidthSetting bw = BandwidthSetting::Mid;
+  std::vector<double> latency;  // seconds, one entry per pipeline step
+  std::vector<double> energy;   // joules, aligned with `latency`
+  double baseline_comp_ratio = 0;  // after step 2 (Fig. 5a "Baseline")
+  double h2h_comp_ratio = 0;       // after step 4 (Fig. 5a "H2H")
+  double search_seconds = 0;       // Fig. 5b
+  RemapStats remap;
+
+  /// Step-4 latency as a fraction of step-2 (Table 4 column-4 semantics).
+  [[nodiscard]] double latency_vs_baseline() const {
+    H2H_EXPECTS(latency.size() >= 2);
+    return latency.back() / latency[1];
+  }
+  [[nodiscard]] double energy_vs_baseline() const {
+    H2H_EXPECTS(energy.size() >= 2);
+    return energy.back() / energy[1];
+  }
+};
+
+/// Run the full H2H pipeline for one (model, bandwidth) cell.
+[[nodiscard]] StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
+                                        const H2HOptions& options = {});
+
+/// As run_experiment but on a caller-provided model/system (ablations).
+[[nodiscard]] StepSeries run_experiment_on(const ModelGraph& model,
+                                           const SystemConfig& sys,
+                                           const H2HOptions& options = {});
+
+/// The paper's full sweep: 6 models x 5 bandwidth settings, paper order.
+[[nodiscard]] std::vector<StepSeries> run_full_sweep(
+    const H2HOptions& options = {});
+
+}  // namespace h2h

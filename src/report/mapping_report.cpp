@@ -1,0 +1,100 @@
+#include "report/mapping_report.h"
+
+#include "model/summary.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace h2h {
+
+void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
+                          const H2HResult& result, std::ostream& out,
+                          const MappingReportOptions& options) {
+  const ScheduleResult& sched = result.final_result();
+
+  print_model_summary(model, out);
+  out << strformat(
+      "system: %zu accelerators, BW_acc %.3f GB/s\n\n",
+      sys.accelerator_count(), sys.host().bw_acc / 1e9);
+
+  out << "pipeline:\n";
+  for (const StepSnapshot& step : result.steps) {
+    out << strformat("  %-32s latency %-12s energy %8.4f J  comp %s\n",
+                     step.name.c_str(),
+                     human_seconds(step.result.latency).c_str(),
+                     step.result.energy.total(),
+                     format_percent(step.result.comp_ratio(), 1).c_str());
+  }
+  out << strformat(
+      "vs baseline (step 2): latency -%s, energy -%s; %u remaps accepted in "
+      "%u passes; search %s\n\n",
+      format_percent(1.0 - result.latency_vs_baseline(), 1).c_str(),
+      format_percent(1.0 - result.energy_vs_baseline(), 1).c_str(),
+      result.remap_stats.accepted, result.remap_stats.passes,
+      human_seconds(result.search_seconds).c_str());
+
+  // Locality summary.
+  Bytes pinned_bytes = 0;
+  for (const LayerId id : model.all_layers())
+    if (result.plan.pinned(id)) pinned_bytes += model.weight_bytes(id);
+  out << strformat(
+      "locality: %zu layers pinned (%s of weights), %zu edges fused; host "
+      "traffic %s, local traffic %s\n\n",
+      result.plan.pinned_count(), human_bytes(pinned_bytes).c_str(),
+      result.plan.fused_edge_count(), human_bytes(sched.host_bytes).c_str(),
+      human_bytes(sched.local_bytes).c_str());
+
+  // Per-accelerator load.
+  TextTable loads_table({"acc", "dataflow", "layers", "busy", "util", "pinned"},
+                        {TextTable::Align::Left, TextTable::Align::Left});
+  const auto loads = accelerator_loads(model, sys, result.mapping, sched);
+  for (const AcceleratorLoad& load : loads) {
+    Bytes acc_pinned = 0;
+    for (const LayerId id : result.mapping.layers_on(load.acc))
+      if (result.plan.pinned(id)) acc_pinned += model.weight_bytes(id);
+    loads_table.add_row(
+        {sys.spec(load.acc).name,
+         std::string(to_string(sys.spec(load.acc).style)),
+         strformat("%zu", load.layer_count),
+         human_seconds(load.busy_time),
+         format_percent(load.utilization(sched.latency), 0),
+         human_bytes(acc_pinned)});
+  }
+  loads_table.print(out);
+
+  // Critical path.
+  const CriticalPathBreakdown cp =
+      critical_path_breakdown(model, result.mapping, sched);
+  out << strformat(
+      "\ncritical path %s: %s compute, %s host comm, %s local DRAM, %s "
+      "waiting\n",
+      human_seconds(cp.total).c_str(),
+      format_percent(cp.compute_time / cp.total, 0).c_str(),
+      format_percent(cp.host_time / cp.total, 0).c_str(),
+      format_percent(cp.local_time / cp.total, 0).c_str(),
+      format_percent(cp.wait_time / cp.total, 0).c_str());
+
+  if (options.gantt) {
+    out << '\n';
+    print_gantt(model, sys, result.mapping, sched, out, options.gantt_width);
+  }
+
+  if (options.per_layer) {
+    out << '\n';
+    TextTable layer_table({"layer", "kind", "acc", "start", "finish",
+                           "pinned"},
+                          {TextTable::Align::Left, TextTable::Align::Left,
+                           TextTable::Align::Left});
+    for (const LayerId id : model.all_layers()) {
+      const Layer& l = model.layer(id);
+      if (l.kind == LayerKind::Input) continue;
+      const LayerTiming& t = sched.timings[id.value];
+      layer_table.add_row({l.name, std::string(to_string(l.kind)),
+                           sys.spec(result.mapping.acc_of(id)).name,
+                           human_seconds(t.start), human_seconds(t.finish),
+                           result.plan.pinned(id) ? "yes" : "no"});
+    }
+    layer_table.print(out);
+  }
+}
+
+}  // namespace h2h

@@ -1,0 +1,24 @@
+// Full text report of a mapping solution: per-accelerator placement and
+// load, locality statistics, critical-path decomposition, and the Gantt
+// chart — the "explain this mapping" view used by h2h_cli and the examples.
+#pragma once
+
+#include <ostream>
+
+#include "core/h2h_mapper.h"
+#include "system/schedule_analysis.h"
+
+namespace h2h {
+
+struct MappingReportOptions {
+  bool per_layer = false;   // include the full layer placement table
+  bool gantt = true;        // include the ASCII Gantt chart
+  std::size_t gantt_width = 72;
+};
+
+/// Render a complete report of `result` for `model` on `sys`.
+void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
+                          const H2HResult& result, std::ostream& out,
+                          const MappingReportOptions& options = {});
+
+}  // namespace h2h

@@ -1,0 +1,136 @@
+#include "report/paper_tables.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/str.h"
+#include "util/table.h"
+
+namespace h2h {
+namespace {
+
+const StepSeries* find_cell(std::span<const StepSeries> sweep, ZooModel model,
+                            BandwidthSetting bw) {
+  const auto it = std::find_if(sweep.begin(), sweep.end(),
+                               [&](const StepSeries& s) {
+                                 return s.model == model && s.bw == bw;
+                               });
+  return it == sweep.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+void print_fig4(std::span<const StepSeries> sweep, std::ostream& out) {
+  out << "Figure 4: latency and energy across the four H2H steps\n";
+  for (const BandwidthSetting bw : all_bandwidth_settings()) {
+    out << strformat("\n-- Bandwidth %s (%.3f GB/s) --\n",
+                     std::string(to_string(bw)).c_str(),
+                     bandwidth_value(bw) / 1e9);
+    TextTable t({"model", "lat s1 (s)", "lat s2 (s)", "lat s3 (s)",
+                 "lat s4 (s)", "lat red.", "en s2 (J)", "en s4 (J)",
+                 "en red."},
+                {TextTable::Align::Left});
+    for (const ZooInfo& info : zoo_catalog()) {
+      const StepSeries* s = find_cell(sweep, info.id, bw);
+      if (s == nullptr || s->latency.size() < 4) continue;
+      t.add_row({std::string(info.key), format_fixed(s->latency[0], 4),
+                 format_fixed(s->latency[1], 4), format_fixed(s->latency[2], 4),
+                 format_fixed(s->latency[3], 4),
+                 format_percent(1.0 - s->latency_vs_baseline(), 1),
+                 format_fixed(s->energy[1], 3), format_fixed(s->energy[3], 3),
+                 format_percent(1.0 - s->energy_vs_baseline(), 1)});
+    }
+    t.print(out);
+  }
+
+  // Headline claim check (paper: 15-74% latency / 23-64% energy at Low-).
+  double min_lat = 1.0, max_lat = 0.0, min_en = 1.0, max_en = 0.0;
+  for (const ZooInfo& info : zoo_catalog()) {
+    const StepSeries* s = find_cell(sweep, info.id, BandwidthSetting::LowMinus);
+    if (s == nullptr) continue;
+    const double lr = 1.0 - s->latency_vs_baseline();
+    const double er = 1.0 - s->energy_vs_baseline();
+    min_lat = std::min(min_lat, lr);
+    max_lat = std::max(max_lat, lr);
+    min_en = std::min(min_en, er);
+    max_en = std::max(max_en, er);
+  }
+  out << strformat(
+      "\nHeadline @ Low-: latency reduction %s..%s (paper: 15%%-74%%), "
+      "energy reduction %s..%s (paper: 23%%-64%%)\n",
+      format_percent(min_lat, 0).c_str(), format_percent(max_lat, 0).c_str(),
+      format_percent(min_en, 0).c_str(), format_percent(max_en, 0).c_str());
+}
+
+void print_table4(std::span<const StepSeries> sweep, std::ostream& out) {
+  out << "Table 4: latency reduction breakdown vs the step-2 baseline\n"
+         "(columns 1,2: absolute seconds; columns 3,4: % of step-2 latency)\n\n";
+  TextTable t({"bandwidth", "model", "step1 (s)", "step2 (s)", "step3 (%)",
+               "step4 (%)"},
+              {TextTable::Align::Left, TextTable::Align::Left});
+  for (const BandwidthSetting bw : all_bandwidth_settings()) {
+    for (const ZooInfo& info : zoo_catalog()) {
+      const StepSeries* s = find_cell(sweep, info.id, bw);
+      if (s == nullptr || s->latency.size() < 4) continue;
+      t.add_row({std::string(to_string(bw)), std::string(info.key),
+                 format_fixed(s->latency[0], 4), format_fixed(s->latency[1], 4),
+                 format_percent(s->latency[2] / s->latency[1], 2),
+                 format_percent(s->latency[3] / s->latency[1], 2)});
+    }
+  }
+  t.print(out);
+}
+
+void print_fig5a(std::span<const StepSeries> sweep, std::ostream& out) {
+  out << "Figure 5(a): communication vs computation ratio @ bandwidth Low-\n\n";
+  TextTable t({"model", "baseline comp%", "baseline comm%", "H2H comp%",
+               "H2H comm%"},
+              {TextTable::Align::Left});
+  for (const ZooInfo& info : zoo_catalog()) {
+    const StepSeries* s = find_cell(sweep, info.id, BandwidthSetting::LowMinus);
+    if (s == nullptr) continue;
+    t.add_row({std::string(info.key),
+               format_percent(s->baseline_comp_ratio, 0),
+               format_percent(1.0 - s->baseline_comp_ratio, 0),
+               format_percent(s->h2h_comp_ratio, 0),
+               format_percent(1.0 - s->h2h_comp_ratio, 0)});
+  }
+  t.print(out);
+}
+
+void print_fig5b(std::span<const StepSeries> sweep, std::ostream& out) {
+  out << "Figure 5(b): H2H mapping search time (seconds)\n\n";
+  TextTable t({"model", "Low-", "Low", "Mid-", "Mid", "High"},
+              {TextTable::Align::Left});
+  for (const ZooInfo& info : zoo_catalog()) {
+    std::vector<std::string> row{std::string(info.key)};
+    for (const BandwidthSetting bw : all_bandwidth_settings()) {
+      const StepSeries* s = find_cell(sweep, info.id, bw);
+      row.push_back(s != nullptr ? format_fixed(s->search_seconds, 4) : "-");
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(out);
+}
+
+void write_sweep_csv(std::span<const StepSeries> sweep, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.header({"model", "bandwidth", "bw_gbps", "step", "latency_s", "energy_j",
+              "baseline_comp_ratio", "h2h_comp_ratio", "search_s",
+              "remap_accepted"});
+  for (const StepSeries& s : sweep) {
+    for (std::size_t step = 0; step < s.latency.size(); ++step) {
+      csv.row({std::string(zoo_info(s.model).key),
+               std::string(to_string(s.bw)),
+               format_fixed(bandwidth_value(s.bw) / 1e9, 3),
+               strformat("%zu", step + 1), strformat("%.9f", s.latency[step]),
+               strformat("%.9f", s.energy[step]),
+               strformat("%.6f", s.baseline_comp_ratio),
+               strformat("%.6f", s.h2h_comp_ratio),
+               strformat("%.6f", s.search_seconds),
+               strformat("%u", s.remap.accepted)});
+    }
+  }
+}
+
+}  // namespace h2h

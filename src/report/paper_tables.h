@@ -1,0 +1,30 @@
+// Emitters that print the paper's tables/figures from StepSeries sweeps.
+// One function per artifact; bench binaries are thin wrappers around these.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "report/experiment.h"
+
+namespace h2h {
+
+/// Fig. 4: per-model latency (s) and energy (J) across the four H2H steps,
+/// one block per bandwidth setting, plus the headline reduction summary.
+void print_fig4(std::span<const StepSeries> sweep, std::ostream& out);
+
+/// Table 4: absolute latency for steps 1-2 and step-3/step-4 latency as a
+/// percentage of step 2, per bandwidth x model.
+void print_table4(std::span<const StepSeries> sweep, std::ostream& out);
+
+/// Fig. 5(a): communication/computation ratio at bandwidth Low-, baseline
+/// (after step 2) vs H2H (after step 4).
+void print_fig5a(std::span<const StepSeries> sweep, std::ostream& out);
+
+/// Fig. 5(b): H2H search time per model and bandwidth.
+void print_fig5b(std::span<const StepSeries> sweep, std::ostream& out);
+
+/// Machine-readable dump of the whole sweep.
+void write_sweep_csv(std::span<const StepSeries> sweep, std::ostream& out);
+
+}  // namespace h2h

@@ -1,0 +1,10 @@
+#include "system/energy.h"
+
+// EnergyBreakdown is header-only; the per-layer accumulation lives in
+// simulator.cpp where all byte flows are known. This TU anchors the target.
+
+namespace h2h {
+namespace {
+// intentionally empty
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,32 @@
+// Energy accounting. Following the paper's evaluation, system energy is the
+// sum of
+//   - compute energy: MAC/vector switching energy per layer,
+//   - host-link energy: link power x active transfer time (this is what
+//     makes energy track the communication savings in Fig. 4),
+//   - local DRAM energy: per-byte access cost for pinned-weight and fused
+//     activation traffic (host traffic also lands in the accelerator DRAM),
+//   - optional static energy: idle power x makespan x accelerator count.
+#pragma once
+
+namespace h2h {
+
+struct EnergyBreakdown {
+  double compute = 0;       // joules
+  double link = 0;          // joules
+  double dram = 0;          // joules
+  double static_power = 0;  // joules
+
+  [[nodiscard]] double total() const noexcept {
+    return compute + link + dram + static_power;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& rhs) noexcept {
+    compute += rhs.compute;
+    link += rhs.link;
+    dram += rhs.dram;
+    static_power += rhs.static_power;
+    return *this;
+  }
+};
+
+}  // namespace h2h

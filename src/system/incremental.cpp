@@ -1,0 +1,192 @@
+#include "system/incremental.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace h2h {
+
+namespace {
+constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+}  // namespace
+
+void IncrementalSchedule::reset(const Mapping& m, const LocalityPlan& plan) {
+  const ModelGraph& model = sim_->model();
+  const SystemConfig& sys = sim_->sys();
+  H2H_EXPECTS(m.complete());
+
+  timings_.assign(model.layer_count(), LayerTiming{});
+  queues_ = m.acc_queues(sys);
+  pos_.assign(model.layer_count(), kNoPos);
+  acc_.assign(model.layer_count(), AccId{});
+  for (std::uint32_t q = 0; q < queues_.size(); ++q) {
+    for (std::uint32_t i = 0; i < queues_[q].size(); ++i) {
+      pos_[queues_[q][i].value] = i;
+      acc_[queues_[q][i].value] = AccId{q};
+    }
+  }
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) acc_[id.value] = AccId::host();
+  }
+
+  // Initial full timing in sequence order.
+  std::vector<LayerId> order = model.all_layers();
+  std::sort(order.begin(), order.end(), [&m](LayerId lhs, LayerId rhs) {
+    return m.seq_of(lhs) < m.seq_of(rhs);
+  });
+  std::vector<double> acc_free(sys.accelerator_count(), 0.0);
+  for (const LayerId id : order) {
+    LayerTiming t = sim_->layer_components(id, m, plan);
+    if (!acc_[id.value].is_host()) {
+      double ready = 0.0;
+      for (const LayerId p : model.graph().preds(id))
+        ready = std::max(ready, timings_[p.value].finish);
+      t.start = std::max(ready, acc_free[acc_[id.value].value]);
+      t.finish = t.start + t.duration();
+      acc_free[acc_[id.value].value] = t.finish;
+    }
+    timings_[id.value] = t;
+  }
+}
+
+LayerId IncrementalSchedule::queue_prev(LayerId id) const {
+  const AccId a = acc_[id.value];
+  if (a.is_host()) return LayerId{};
+  const std::uint32_t p = pos_[id.value];
+  return p == 0 ? LayerId{} : queues_[a.value][p - 1];
+}
+
+LayerId IncrementalSchedule::queue_next(LayerId id) const {
+  const AccId a = acc_[id.value];
+  if (a.is_host()) return LayerId{};
+  const std::uint32_t p = pos_[id.value];
+  const auto& q = queues_[a.value];
+  return p + 1 < q.size() ? q[p + 1] : LayerId{};
+}
+
+void IncrementalSchedule::retime_from(const Mapping& m,
+                                      std::vector<LayerId> worklist) {
+  const ModelGraph& model = sim_->model();
+  // Min-heap on sequence number: nodes are re-timed in execution order so
+  // each node is processed at most a handful of times.
+  const auto seq_greater = [&m](LayerId lhs, LayerId rhs) {
+    return m.seq_of(lhs) > m.seq_of(rhs);
+  };
+  std::priority_queue<LayerId, std::vector<LayerId>, decltype(seq_greater)>
+      heap(seq_greater);
+  std::vector<bool> queued(model.layer_count(), false);
+  const auto push = [&](LayerId id) {
+    if (id.valid() && !queued[id.value] &&
+        model.layer(id).kind != LayerKind::Input) {
+      queued[id.value] = true;
+      heap.push(id);
+    }
+  };
+  for (const LayerId id : worklist) push(id);
+
+  while (!heap.empty()) {
+    const LayerId id = heap.top();
+    heap.pop();
+    queued[id.value] = false;
+    ++retimes_;
+
+    LayerTiming& t = timings_[id.value];
+    double ready = 0.0;
+    for (const LayerId p : model.graph().preds(id))
+      ready = std::max(ready, timings_[p.value].finish);
+    const LayerId prev = queue_prev(id);
+    const double free_at = prev.valid() ? timings_[prev.value].finish : 0.0;
+    const double start = std::max(ready, free_at);
+    const double finish = start + t.duration();
+    if (start == t.start && finish == t.finish) continue;  // cone stops here
+    t.start = start;
+    t.finish = finish;
+    for (const LayerId s : model.graph().succs(id)) push(s);
+    push(queue_next(id));
+  }
+}
+
+void IncrementalSchedule::refresh_components(const Mapping& m,
+                                             const LocalityPlan& plan,
+                                             std::span<const LayerId> dirty) {
+  std::vector<LayerId> work;
+  work.reserve(dirty.size());
+  for (const LayerId id : dirty) {
+    LayerTiming& t = timings_[id.value];
+    const LayerTiming fresh = sim_->layer_components(id, m, plan);
+    t.t_in = fresh.t_in;
+    t.t_weight = fresh.t_weight;
+    t.t_compute = fresh.t_compute;
+    t.t_out = fresh.t_out;
+    t.t_host = fresh.t_host;
+    t.t_local = fresh.t_local;
+    t.host_bytes = fresh.host_bytes;
+    t.local_bytes = fresh.local_bytes;
+    work.push_back(id);
+  }
+  retime_from(m, std::move(work));
+}
+
+void IncrementalSchedule::apply_remap(const Mapping& m, const LocalityPlan& plan,
+                                      LayerId node, AccId old_acc,
+                                      std::span<const LayerId> dirty) {
+  H2H_EXPECTS(!old_acc.is_host() && old_acc.value < queues_.size());
+  const AccId new_acc = m.acc_of(node);
+  H2H_EXPECTS(new_acc != old_acc);
+
+  // Remove from the old queue.
+  auto& oq = queues_[old_acc.value];
+  const std::uint32_t old_pos = pos_[node.value];
+  H2H_ASSERT(old_pos < oq.size() && oq[old_pos] == node);
+  oq.erase(oq.begin() + old_pos);
+  for (std::uint32_t i = old_pos; i < oq.size(); ++i) pos_[oq[i].value] = i;
+  const LayerId old_follower = old_pos < oq.size() ? oq[old_pos] : LayerId{};
+
+  // Insert into the new queue by sequence.
+  auto& nq = queues_[new_acc.value];
+  const auto it = std::lower_bound(
+      nq.begin(), nq.end(), node, [&m](LayerId lhs, LayerId rhs) {
+        return m.seq_of(lhs) < m.seq_of(rhs);
+      });
+  const auto new_pos = static_cast<std::uint32_t>(it - nq.begin());
+  nq.insert(it, node);
+  for (std::uint32_t i = new_pos; i < nq.size(); ++i) pos_[nq[i].value] = i;
+  acc_[node.value] = new_acc;
+
+  // Refresh components of everything the move may have touched, then retime
+  // from the node, the old queue's follower, and the new queue's follower.
+  std::vector<LayerId> work(dirty.begin(), dirty.end());
+  work.push_back(node);
+  if (old_follower.valid()) work.push_back(old_follower);
+  if (const LayerId nf = queue_next(node); nf.valid()) work.push_back(nf);
+  refresh_components(m, plan, work);
+}
+
+double IncrementalSchedule::latency() const noexcept {
+  double out = 0.0;
+  for (const LayerTiming& t : timings_) out = std::max(out, t.finish);
+  return out;
+}
+
+ScheduleResult IncrementalSchedule::result(const Mapping& m) const {
+  const ModelGraph& model = sim_->model();
+  const SystemConfig& sys = sim_->sys();
+  ScheduleResult r;
+  r.timings = timings_;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    const LayerTiming& t = timings_[id.value];
+    r.comp_time += t.t_compute;
+    r.local_time += t.t_local;
+    r.host_time += t.t_host;
+    r.host_bytes += t.host_bytes;
+    r.local_bytes += t.local_bytes;
+    r.energy += sim_->layer_energy(id, m, t);
+    r.latency = std::max(r.latency, t.finish);
+  }
+  r.energy.static_power = sys.host().static_power_w *
+                          static_cast<double>(sys.accelerator_count()) *
+                          r.latency;
+  return r;
+}
+
+}  // namespace h2h

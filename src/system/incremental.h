@@ -1,0 +1,67 @@
+// Incremental schedule maintenance.
+//
+// The paper stresses that after a locality or remapping change "we only
+// update a node's direct successor neighbours without traversing the entire
+// graph". This class keeps per-accelerator FIFO queues and per-layer timing,
+// and re-times only the affected cone: a worklist ordered by execution
+// sequence propagates through graph successors and queue followers, stopping
+// wherever a finish time is unchanged.
+//
+// Equivalence with Simulator::simulate is asserted in tests; the ablation
+// bench bench_ablation_incremental measures the speedup.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "system/simulator.h"
+
+namespace h2h {
+
+class IncrementalSchedule {
+ public:
+  explicit IncrementalSchedule(const Simulator& sim) noexcept : sim_(&sim) {}
+
+  /// Full (re)build for a complete mapping: O(V + E).
+  void reset(const Mapping& m, const LocalityPlan& plan);
+
+  /// The plan changed the transfer components of `dirty` layers (pins or
+  /// fusion flags); accelerator placement is unchanged. Re-times the
+  /// affected cone only.
+  void refresh_components(const Mapping& m, const LocalityPlan& plan,
+                          std::span<const LayerId> dirty);
+
+  /// `node` was re-assigned (Mapping::reassign already applied) from
+  /// `old_acc` to its new accelerator; `dirty` lists every layer whose
+  /// transfer components may have changed (typically all layers on both
+  /// accelerators).
+  void apply_remap(const Mapping& m, const LocalityPlan& plan, LayerId node,
+                   AccId old_acc, std::span<const LayerId> dirty);
+
+  [[nodiscard]] double latency() const noexcept;
+  [[nodiscard]] const LayerTiming& timing(LayerId id) const {
+    H2H_EXPECTS(id.value < timings_.size());
+    return timings_[id.value];
+  }
+
+  /// Aggregate into a full ScheduleResult (energy, ratios): O(V).
+  [[nodiscard]] ScheduleResult result(const Mapping& m) const;
+
+  /// Number of node re-timings performed since construction (for the
+  /// ablation bench's work accounting).
+  [[nodiscard]] std::uint64_t retime_count() const noexcept { return retimes_; }
+
+ private:
+  void retime_from(const Mapping& m, std::vector<LayerId> worklist);
+  [[nodiscard]] LayerId queue_prev(LayerId id) const;
+  [[nodiscard]] LayerId queue_next(LayerId id) const;
+
+  const Simulator* sim_;
+  std::vector<LayerTiming> timings_;
+  std::vector<std::vector<LayerId>> queues_;  // per accelerator, seq-sorted
+  std::vector<std::uint32_t> pos_;            // node -> index in its queue
+  std::vector<AccId> acc_;                    // node -> accelerator (cache)
+  std::uint64_t retimes_ = 0;
+};
+
+}  // namespace h2h

@@ -1,0 +1,131 @@
+#include "system/mapping_io.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+constexpr std::string_view kHeader = "h2h-mapping v1";
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& why) {
+  throw ConfigError(strformat("mapping file line %zu: %s", line_no,
+                              why.c_str()));
+}
+
+}  // namespace
+
+void write_mapping(std::ostream& out, const ModelGraph& model,
+                   const SystemConfig& sys, const Mapping& mapping,
+                   const LocalityPlan& plan) {
+  out << kHeader << '\n';
+  out << "model " << model.name() << '\n';
+
+  std::vector<LayerId> order = model.all_layers();
+  std::sort(order.begin(), order.end(), [&mapping](LayerId l, LayerId r) {
+    return mapping.seq_of(l) < mapping.seq_of(r);
+  });
+  for (const LayerId id : order) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    out << "layer " << model.layer(id).name << " -> "
+        << sys.spec(mapping.acc_of(id)).name;
+    if (plan.pinned(id)) out << " pinned";
+    out << '\n';
+  }
+  for (const LayerId id : order) {
+    const auto preds = model.graph().preds(id);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (plan.fused_in(id, i)) {
+        out << "fuse " << model.layer(preds[i]).name << " -> "
+            << model.layer(id).name << '\n';
+      }
+    }
+  }
+}
+
+LoadedMapping read_mapping(std::istream& in, const ModelGraph& model,
+                           const SystemConfig& sys) {
+  std::map<std::string, LayerId, std::less<>> layers_by_name;
+  for (const LayerId id : model.all_layers()) {
+    const auto [it, inserted] =
+        layers_by_name.emplace(model.layer(id).name, id);
+    if (!inserted)
+      throw ConfigError(strformat("model has duplicate layer name '%s'",
+                                  it->first.c_str()));
+  }
+  std::map<std::string, AccId, std::less<>> accs_by_name;
+  for (const AccId acc : sys.all_accelerators())
+    accs_by_name.emplace(sys.spec(acc).name, acc);
+
+  const auto layer_of = [&](const std::string& name, std::size_t line_no) {
+    const auto it = layers_by_name.find(name);
+    if (it == layers_by_name.end())
+      parse_error(line_no, strformat("unknown layer '%s'", name.c_str()));
+    return it->second;
+  };
+
+  LoadedMapping out{Mapping(model), LocalityPlan(model)};
+  out.plan.ensure_acc_count(sys.accelerator_count());
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    if (!header_seen) {
+      if (line != kHeader) parse_error(line_no, "missing 'h2h-mapping v1' header");
+      header_seen = true;
+      continue;
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword == "model") {
+      continue;  // informational
+    } else if (keyword == "layer") {
+      std::string name, arrow, acc_name, pinned;
+      tokens >> name >> arrow >> acc_name;
+      if (arrow != "->") parse_error(line_no, "expected '->'");
+      const LayerId id = layer_of(name, line_no);
+      const auto acc_it = accs_by_name.find(acc_name);
+      if (acc_it == accs_by_name.end())
+        parse_error(line_no,
+                    strformat("unknown accelerator '%s'", acc_name.c_str()));
+      if (out.mapping.is_assigned(id))
+        parse_error(line_no, strformat("layer '%s' assigned twice", name.c_str()));
+      out.mapping.assign(id, acc_it->second);
+      if (tokens >> pinned) {
+        if (pinned != "pinned") parse_error(line_no, "trailing junk");
+        out.plan.set_pinned(id, true);
+      }
+    } else if (keyword == "fuse") {
+      std::string producer, arrow, consumer;
+      tokens >> producer >> arrow >> consumer;
+      if (arrow != "->") parse_error(line_no, "expected '->'");
+      const LayerId p = layer_of(producer, line_no);
+      const LayerId c = layer_of(consumer, line_no);
+      const auto preds = model.graph().preds(c);
+      const auto it = std::find(preds.begin(), preds.end(), p);
+      if (it == preds.end())
+        parse_error(line_no, strformat("'%s' -> '%s' is not a model edge",
+                                       producer.c_str(), consumer.c_str()));
+      out.plan.set_fused_in(
+          c, static_cast<std::size_t>(it - preds.begin()), true);
+    } else {
+      parse_error(line_no, strformat("unknown directive '%s'", keyword.c_str()));
+    }
+  }
+  if (!header_seen) throw ConfigError("mapping file is empty");
+  if (!out.mapping.complete())
+    throw ConfigError("mapping file does not cover every layer");
+  out.mapping.validate(model, sys);
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,38 @@
+// Plain-text serialization of mapping solutions, so a mapping computed once
+// can be deployed, diffed, or re-simulated later (and so the CLI can save /
+// load results). Layers are addressed by name — stable across rebuilds of
+// the same model. Format (one directive per line, '#' comments):
+//
+//   h2h-mapping v1
+//   model <model-name>
+//   layer <layer-name> -> <accelerator-name> [pinned]
+//   fuse <producer-name> -> <consumer-name>
+//
+// `layer` lines appear in execution-sequence order; replaying them in file
+// order reproduces the schedule exactly.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "system/mapping_state.h"
+
+namespace h2h {
+
+void write_mapping(std::ostream& out, const ModelGraph& model,
+                   const SystemConfig& sys, const Mapping& mapping,
+                   const LocalityPlan& plan);
+
+struct LoadedMapping {
+  Mapping mapping;
+  LocalityPlan plan;
+};
+
+/// Parse a mapping for `model` on `sys`. Throws ConfigError on unknown
+/// layer/accelerator names, duplicate assignments, missing layers, fused
+/// edges that are not graph edges, or version mismatches.
+[[nodiscard]] LoadedMapping read_mapping(std::istream& in,
+                                         const ModelGraph& model,
+                                         const SystemConfig& sys);
+
+}  // namespace h2h

@@ -1,0 +1,156 @@
+#include "system/mapping_state.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+
+Mapping::Mapping(const ModelGraph& model)
+    : assignment_(model.layer_count()), seq_(model.layer_count(), 0) {
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) {
+      assignment_[id.value] = AccId::host();
+      seq_[id.value] = next_seq_++;
+    }
+  }
+}
+
+void Mapping::assign(LayerId id, AccId acc) {
+  H2H_EXPECTS(id.value < assignment_.size());
+  H2H_EXPECTS(!assignment_[id.value].valid());
+  H2H_EXPECTS(acc.valid() && !acc.is_host());
+  assignment_[id.value] = acc;
+  seq_[id.value] = next_seq_++;
+}
+
+void Mapping::reassign(LayerId id, AccId acc) {
+  H2H_EXPECTS(is_assigned(id));
+  H2H_EXPECTS(!assignment_[id.value].is_host());
+  H2H_EXPECTS(acc.valid() && !acc.is_host());
+  assignment_[id.value] = acc;
+}
+
+bool Mapping::complete() const noexcept {
+  return std::all_of(assignment_.begin(), assignment_.end(),
+                     [](AccId a) { return a.valid(); });
+}
+
+std::vector<std::vector<LayerId>> Mapping::acc_queues(
+    const SystemConfig& sys) const {
+  std::vector<std::vector<LayerId>> queues(sys.accelerator_count());
+  for (std::uint32_t i = 0; i < assignment_.size(); ++i) {
+    const AccId a = assignment_[i];
+    if (a.valid() && !a.is_host()) {
+      H2H_ASSERT(a.value < queues.size());
+      queues[a.value].push_back(LayerId{i});
+    }
+  }
+  for (auto& q : queues) {
+    std::sort(q.begin(), q.end(), [this](LayerId lhs, LayerId rhs) {
+      return seq_[lhs.value] < seq_[rhs.value];
+    });
+  }
+  return queues;
+}
+
+std::vector<LayerId> Mapping::layers_on(AccId acc) const {
+  std::vector<LayerId> out;
+  for (std::uint32_t i = 0; i < assignment_.size(); ++i)
+    if (assignment_[i] == acc) out.push_back(LayerId{i});
+  std::sort(out.begin(), out.end(), [this](LayerId lhs, LayerId rhs) {
+    return seq_[lhs.value] < seq_[rhs.value];
+  });
+  return out;
+}
+
+std::vector<AccId> Mapping::used_accelerators() const {
+  std::vector<AccId> out;
+  for (const AccId a : assignment_)
+    if (a.valid() && !a.is_host()) out.push_back(a);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Mapping::validate(const ModelGraph& model, const SystemConfig& sys) const {
+  H2H_EXPECTS(model.layer_count() == assignment_.size());
+  for (const LayerId id : model.all_layers()) {
+    const Layer& l = model.layer(id);
+    if (!is_assigned(id))
+      throw ConfigError(strformat("layer '%s' is unmapped", l.name.c_str()));
+    const AccId a = acc_of(id);
+    if (l.kind == LayerKind::Input) {
+      if (!a.is_host())
+        throw ConfigError(
+            strformat("input '%s' must stay on the host", l.name.c_str()));
+      continue;
+    }
+    if (a.is_host())
+      throw ConfigError(strformat("layer '%s' mapped to host", l.name.c_str()));
+    if (!sys.contains(a))
+      throw ConfigError(strformat("layer '%s' mapped to unknown accelerator",
+                                  l.name.c_str()));
+    if (!sys.accelerator(a).supports(l.kind))
+      throw ConfigError(strformat(
+          "layer '%s' (%s) mapped to '%s' which does not support it",
+          l.name.c_str(), std::string(to_string(l.kind)).c_str(),
+          sys.spec(a).name.c_str()));
+  }
+}
+
+LocalityPlan::LocalityPlan(const ModelGraph& model)
+    : pinned_(model.layer_count(), false) {
+  fused_in_.reserve(model.layer_count());
+  for (const LayerId id : model.all_layers())
+    fused_in_.emplace_back(model.graph().in_degree(id), false);
+}
+
+bool LocalityPlan::edge_fused(const ModelGraph& model, LayerId producer,
+                              LayerId consumer) const {
+  const auto preds = model.graph().preds(consumer);
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == producer) return fused_in(consumer, i);
+  H2H_EXPECTS(false);  // not an edge
+  return false;
+}
+
+void LocalityPlan::clear_fusion() {
+  for (auto& flags : fused_in_)
+    std::fill(flags.begin(), flags.end(), false);
+}
+
+void LocalityPlan::clear_pins() {
+  std::fill(pinned_.begin(), pinned_.end(), false);
+}
+
+Bytes LocalityPlan::used_dram(AccId acc) const {
+  H2H_EXPECTS(acc.valid() && !acc.is_host());
+  if (acc.value >= used_dram_.size()) return 0;
+  return used_dram_[acc.value];
+}
+
+void LocalityPlan::set_used_dram(AccId acc, Bytes bytes) {
+  H2H_EXPECTS(acc.valid() && !acc.is_host());
+  if (acc.value >= used_dram_.size()) used_dram_.resize(acc.value + 1, 0);
+  used_dram_[acc.value] = bytes;
+}
+
+void LocalityPlan::ensure_acc_count(std::size_t count) {
+  if (used_dram_.size() < count) used_dram_.resize(count, 0);
+}
+
+std::size_t LocalityPlan::pinned_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count(pinned_.begin(), pinned_.end(), true));
+}
+
+std::size_t LocalityPlan::fused_edge_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& flags : fused_in_)
+    n += static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
+  return n;
+}
+
+}  // namespace h2h

@@ -1,0 +1,122 @@
+// Mapping and locality state shared by the H2H passes and the simulator.
+//
+// Mapping: layer -> accelerator assignment plus a global execution-priority
+// sequence (the order step 1 mapped the layers in, which is topological).
+// Each accelerator executes its layers FIFO in sequence order — the paper's
+// per-accelerator computation graphs G_Acc_i.
+//
+// LocalityPlan: which layers' weights are pinned in local DRAM (step 2) and
+// which edges are activation-fused (step 3). Steps 2-4 recompute this plan;
+// the simulator consumes it.
+#pragma once
+
+#include <vector>
+
+#include "model/model_graph.h"
+#include "system/system_config.h"
+
+namespace h2h {
+
+class Mapping {
+ public:
+  /// All layers unassigned except Input layers, which live on the host.
+  explicit Mapping(const ModelGraph& model);
+
+  [[nodiscard]] std::size_t size() const noexcept { return assignment_.size(); }
+
+  [[nodiscard]] bool is_assigned(LayerId id) const {
+    H2H_EXPECTS(id.value < assignment_.size());
+    return assignment_[id.value].valid();
+  }
+  [[nodiscard]] AccId acc_of(LayerId id) const {
+    H2H_EXPECTS(is_assigned(id));
+    return assignment_[id.value];
+  }
+  [[nodiscard]] std::uint32_t seq_of(LayerId id) const {
+    H2H_EXPECTS(is_assigned(id));
+    return seq_[id.value];
+  }
+
+  /// First-time assignment with the next execution priority.
+  void assign(LayerId id, AccId acc);
+
+  /// Step-4 remapping: change the accelerator, keep the priority.
+  void reassign(LayerId id, AccId acc);
+
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Per-accelerator FIFO queues (layers sorted by sequence).
+  [[nodiscard]] std::vector<std::vector<LayerId>> acc_queues(
+      const SystemConfig& sys) const;
+
+  /// Layers mapped to `acc`, sorted by sequence.
+  [[nodiscard]] std::vector<LayerId> layers_on(AccId acc) const;
+
+  /// Distinct accelerators that have at least one layer, ascending.
+  [[nodiscard]] std::vector<AccId> used_accelerators() const;
+
+  /// Throws ConfigError if any layer sits on an accelerator that does not
+  /// support its kind, or a non-Input layer is on the host, or an Input
+  /// layer is not on the host. `model` must be the graph this mapping was
+  /// built for (the mapping stores no back-pointer so that result structs
+  /// stay freely movable).
+  void validate(const ModelGraph& model, const SystemConfig& sys) const;
+
+ private:
+  std::vector<AccId> assignment_;
+  std::vector<std::uint32_t> seq_;
+  std::uint32_t next_seq_ = 0;
+};
+
+class LocalityPlan {
+ public:
+  /// Zero-locality plan (step 1 semantics): nothing pinned, nothing fused.
+  explicit LocalityPlan(const ModelGraph& model);
+
+  [[nodiscard]] bool pinned(LayerId id) const {
+    H2H_EXPECTS(id.value < pinned_.size());
+    return pinned_[id.value];
+  }
+  void set_pinned(LayerId id, bool value) {
+    H2H_EXPECTS(id.value < pinned_.size());
+    pinned_[id.value] = value;
+  }
+
+  /// Fusion flag of the in-edge `pred_index` (index into graph.preds(id)).
+  [[nodiscard]] bool fused_in(LayerId id, std::size_t pred_index) const {
+    H2H_EXPECTS(id.value < fused_in_.size());
+    H2H_EXPECTS(pred_index < fused_in_[id.value].size());
+    return fused_in_[id.value][pred_index];
+  }
+  void set_fused_in(LayerId id, std::size_t pred_index, bool value) {
+    H2H_EXPECTS(id.value < fused_in_.size());
+    H2H_EXPECTS(pred_index < fused_in_[id.value].size());
+    fused_in_[id.value][pred_index] = value;
+  }
+
+  /// Fusion flag of the edge producer -> consumer (looked up by scanning the
+  /// consumer's predecessor list).
+  [[nodiscard]] bool edge_fused(const ModelGraph& model, LayerId producer,
+                                LayerId consumer) const;
+
+  /// Clear all fusion flags (pins are kept).
+  void clear_fusion();
+  /// Clear all pins (fusion flags are kept).
+  void clear_pins();
+
+  /// Local DRAM bytes committed on each accelerator (pinned weights plus
+  /// fused activation buffers). Maintained by the locality passes.
+  [[nodiscard]] Bytes used_dram(AccId acc) const;
+  void set_used_dram(AccId acc, Bytes bytes);
+  void ensure_acc_count(std::size_t count);
+
+  [[nodiscard]] std::size_t pinned_count() const noexcept;
+  [[nodiscard]] std::size_t fused_edge_count() const noexcept;
+
+ private:
+  std::vector<bool> pinned_;
+  std::vector<std::vector<bool>> fused_in_;
+  std::vector<Bytes> used_dram_;
+};
+
+}  // namespace h2h

@@ -1,0 +1,146 @@
+#include "system/schedule_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+/// The layer whose finish time defines the makespan (latest finish; ties
+/// broken toward the smaller id for determinism).
+LayerId makespan_layer(const ModelGraph& model, const ScheduleResult& r) {
+  LayerId best{};
+  double latest = -1.0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    const double f = r.timings[id.value].finish;
+    if (f > latest) {
+      latest = f;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<CriticalHop> critical_path(const ModelGraph& model,
+                                       const Mapping& mapping,
+                                       const ScheduleResult& r) {
+  std::vector<CriticalHop> path;
+  LayerId cur = makespan_layer(model, r);
+  if (!cur.valid()) return path;
+
+  // Pre-compute queue predecessors (previous layer on the same accelerator).
+  std::vector<LayerId> queue_prev(model.layer_count());
+  for (const AccId acc : mapping.used_accelerators()) {
+    const std::vector<LayerId> q = mapping.layers_on(acc);
+    for (std::size_t i = 1; i < q.size(); ++i) queue_prev[q[i].value] = q[i - 1];
+  }
+
+  while (cur.valid()) {
+    const LayerTiming& t = r.timings[cur.value];
+    CriticalHop hop;
+    hop.layer = cur;
+    hop.reason = CriticalHop::Reason::Source;
+
+    // Which constraint set start? Prefer the dependency bound on ties (it is
+    // the structural one).
+    LayerId next{};
+    for (const LayerId p : model.graph().preds(cur)) {
+      if (r.timings[p.value].finish == t.start &&
+          model.layer(p).kind != LayerKind::Input) {
+        hop.reason = CriticalHop::Reason::Dependency;
+        hop.blocker = p;
+        next = p;
+        break;
+      }
+    }
+    if (!next.valid()) {
+      const LayerId qp = queue_prev[cur.value];
+      if (qp.valid() && r.timings[qp.value].finish == t.start) {
+        hop.reason = CriticalHop::Reason::QueueBusy;
+        hop.blocker = qp;
+        next = qp;
+      }
+    }
+    path.push_back(hop);
+    cur = next;  // invalid when the layer started at its ready time of 0
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<AcceleratorLoad> accelerator_loads(const ModelGraph& /*model*/,
+                                               const SystemConfig& sys,
+                                               const Mapping& mapping,
+                                               const ScheduleResult& r) {
+  std::vector<AcceleratorLoad> loads;
+  for (const AccId acc : sys.all_accelerators()) {
+    AcceleratorLoad load;
+    load.acc = acc;
+    const std::vector<LayerId> q = mapping.layers_on(acc);
+    load.layer_count = q.size();
+    if (q.empty()) {
+      load.idle_time = r.latency;
+      loads.push_back(load);
+      continue;
+    }
+    load.first_start = r.timings[q.front().value].start;
+    double prev_finish = 0.0;
+    for (const LayerId id : q) {
+      const LayerTiming& t = r.timings[id.value];
+      load.busy_time += t.finish - t.start;
+      load.idle_time += std::max(0.0, t.start - prev_finish);
+      prev_finish = t.finish;
+      load.last_finish = std::max(load.last_finish, t.finish);
+    }
+    load.idle_time += std::max(0.0, r.latency - load.last_finish);
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+CriticalPathBreakdown critical_path_breakdown(const ModelGraph& model,
+                                              const Mapping& mapping,
+                                              const ScheduleResult& r) {
+  CriticalPathBreakdown out;
+  const std::vector<CriticalHop> path = critical_path(model, mapping, r);
+  double prev_finish = 0.0;
+  for (const CriticalHop& hop : path) {
+    const LayerTiming& t = r.timings[hop.layer.value];
+    out.host_time += t.t_host;
+    out.compute_time += t.t_compute;
+    out.local_time += t.t_local;
+    out.wait_time += std::max(0.0, t.start - prev_finish);
+    prev_finish = t.finish;
+  }
+  out.total = out.host_time + out.compute_time + out.local_time + out.wait_time;
+  return out;
+}
+
+void print_gantt(const ModelGraph& /*model*/, const SystemConfig& sys,
+                 const Mapping& mapping, const ScheduleResult& r,
+                 std::ostream& out, std::size_t width) {
+  if (r.latency <= 0 || width == 0) return;
+  const double bucket = r.latency / static_cast<double>(width);
+  out << strformat("Gantt (makespan %s, %zu cols of %s):\n",
+                   human_seconds(r.latency).c_str(), width,
+                   human_seconds(bucket).c_str());
+  for (const AccId acc : sys.all_accelerators()) {
+    std::string row(width, '.');
+    for (const LayerId id : mapping.layers_on(acc)) {
+      const LayerTiming& t = r.timings[id.value];
+      auto lo = static_cast<std::size_t>(std::floor(t.start / bucket));
+      auto hi = static_cast<std::size_t>(std::ceil(t.finish / bucket));
+      lo = std::min(lo, width - 1);
+      hi = std::clamp<std::size_t>(hi, lo + 1, width);
+      for (std::size_t c = lo; c < hi; ++c) row[c] = '#';
+    }
+    out << strformat("%-5s |%s|\n", sys.spec(acc).name.c_str(), row.c_str());
+  }
+}
+
+}  // namespace h2h

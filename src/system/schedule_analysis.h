@@ -1,0 +1,66 @@
+// Post-mortem analysis of a simulated schedule: critical path extraction,
+// per-accelerator utilization/idle accounting, and a text Gantt rendering.
+// Used by the reports, the examples, and the EXPERIMENTS.md narrative to
+// explain *where* H2H's savings come from.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "system/simulator.h"
+
+namespace h2h {
+
+/// One hop of the critical path: the layer plus why it waited.
+struct CriticalHop {
+  LayerId layer;
+  /// The bound that set this layer's start time.
+  enum class Reason { Source, Dependency, QueueBusy } reason =
+      Reason::Source;
+  LayerId blocker;  // the predecessor/queue-neighbour that set the start
+};
+
+/// Longest start->finish chain ending at the makespan-defining layer.
+/// Walks backwards through whichever constraint (dependency readiness or
+/// accelerator FIFO occupancy) was binding at each hop.
+[[nodiscard]] std::vector<CriticalHop> critical_path(
+    const ModelGraph& model, const Mapping& mapping, const ScheduleResult& r);
+
+/// Per-accelerator schedule statistics.
+struct AcceleratorLoad {
+  AccId acc;
+  std::size_t layer_count = 0;
+  double busy_time = 0;   // sum of scheduled durations
+  double idle_time = 0;   // gaps between queue entries up to the makespan
+  double first_start = 0;
+  double last_finish = 0;
+
+  [[nodiscard]] double utilization(double makespan) const noexcept {
+    return makespan > 0 ? busy_time / makespan : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<AcceleratorLoad> accelerator_loads(
+    const ModelGraph& model, const SystemConfig& sys, const Mapping& mapping,
+    const ScheduleResult& r);
+
+/// Fraction of the critical path spent in host communication vs compute.
+struct CriticalPathBreakdown {
+  double total = 0;
+  double host_time = 0;
+  double compute_time = 0;
+  double local_time = 0;
+  double wait_time = 0;  // start-time gaps along the path
+};
+
+[[nodiscard]] CriticalPathBreakdown critical_path_breakdown(
+    const ModelGraph& model, const Mapping& mapping, const ScheduleResult& r);
+
+/// ASCII Gantt chart: one row per accelerator, time bucketed into `width`
+/// columns ('#' busy, '.' idle). Layers narrower than a column still mark it.
+void print_gantt(const ModelGraph& model, const SystemConfig& sys,
+                 const Mapping& mapping, const ScheduleResult& r,
+                 std::ostream& out, std::size_t width = 72);
+
+}  // namespace h2h

@@ -1,0 +1,144 @@
+#include "system/simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace h2h {
+
+LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
+                                        const LocalityPlan& plan) const {
+  LayerTiming t;
+  const Layer& layer = model_->layer(id);
+  if (layer.kind == LayerKind::Input) return t;  // host-resident source data
+
+  const AccId a = m.acc_of(id);
+  const AcceleratorModel& acc = sys_->accelerator(a);
+  const AcceleratorSpec& spec = acc.spec();
+  const double bw_host = sys_->bw_acc(a);
+  const double bw_local = spec.dram_bandwidth;
+
+  const auto add_host = [&](double& bucket, Bytes bytes) {
+    const double dt = static_cast<double>(bytes) / bw_host;
+    bucket += dt;
+    t.t_host += dt;
+    t.host_bytes += bytes;
+  };
+  const auto add_local = [&](double& bucket, Bytes bytes) {
+    const double dt = static_cast<double>(bytes) / bw_local;
+    bucket += dt;
+    t.t_local += dt;
+    t.local_bytes += bytes;
+  };
+
+  // Activation in-transfers, one per in-edge.
+  const auto preds = model_->graph().preds(id);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const Bytes bytes = model_->edge_bytes(preds[i]);
+    if (plan.fused_in(id, i)) add_local(t.t_in, bytes);
+    else add_host(t.t_in, bytes);
+  }
+
+  // Weights: from local DRAM when pinned, from the host otherwise.
+  if (const Bytes wb = model_->weight_bytes(id); wb != 0) {
+    if (plan.pinned(id)) add_local(t.t_weight, wb);
+    else add_host(t.t_weight, wb);
+  }
+
+  t.t_compute = acc.compute_latency(layer) * model_->batch();
+
+  // Output: written to the host once if any consumer is remote/unfused or
+  // this is a model output. Retention in local DRAM for fused consumers is
+  // not charged separately — the output tensor materializes in the
+  // accelerator's DRAM either way (the host DMA reads it from there), so
+  // fusion can only remove the host leg, never add cost.
+  if (const Bytes ob = model_->edge_bytes(id); ob != 0) {
+    const auto succs = model_->graph().succs(id);
+    bool host_write = succs.empty();  // model outputs return to the host
+    for (const LayerId s : succs) {
+      if (!plan.edge_fused(*model_, id, s)) host_write = true;
+    }
+    if (host_write) add_host(t.t_out, ob);
+  }
+  return t;
+}
+
+EnergyBreakdown Simulator::layer_energy(LayerId id, const Mapping& m,
+                                        const LayerTiming& t) const {
+  EnergyBreakdown e;
+  const Layer& layer = model_->layer(id);
+  if (layer.kind == LayerKind::Input) return e;
+  const AccId a = m.acc_of(id);
+  const AcceleratorModel& acc = sys_->accelerator(a);
+  const AcceleratorSpec& spec = acc.spec();
+  e.compute = acc.compute_energy(layer) * model_->batch();
+  e.link = static_cast<double>(t.host_bytes) / sys_->bw_acc(a) * spec.link_power;
+  e.dram = static_cast<double>(t.host_bytes + t.local_bytes) *
+           spec.energy_per_dram_byte;
+  return e;
+}
+
+double Simulator::unlocalized_duration(LayerId id, AccId acc) const {
+  const Layer& layer = model_->layer(id);
+  H2H_EXPECTS(layer.kind != LayerKind::Input);
+  const double bw_host = sys_->bw_acc(acc);
+  Bytes host_bytes = model_->weight_bytes(id) + model_->edge_bytes(id);
+  for (const LayerId p : model_->graph().preds(id))
+    host_bytes += model_->edge_bytes(p);
+  return static_cast<double>(host_bytes) / bw_host +
+         sys_->accelerator(acc).compute_latency(layer) * model_->batch();
+}
+
+ScheduleResult Simulator::simulate(const Mapping& m,
+                                   const LocalityPlan& plan) const {
+  H2H_EXPECTS(m.complete());
+  H2H_EXPECTS(m.size() == model_->layer_count());
+
+  // Process in sequence order; verify it is topological as we go.
+  std::vector<LayerId> order = model_->all_layers();
+  std::sort(order.begin(), order.end(), [&m](LayerId lhs, LayerId rhs) {
+    return m.seq_of(lhs) < m.seq_of(rhs);
+  });
+
+  ScheduleResult r;
+  r.timings.resize(model_->layer_count());
+  std::vector<double> acc_free(sys_->accelerator_count(), 0.0);
+  std::vector<bool> done(model_->layer_count(), false);
+
+  for (const LayerId id : order) {
+    LayerTiming t = layer_components(id, m, plan);
+    const Layer& layer = model_->layer(id);
+
+    double ready = 0.0;
+    for (const LayerId p : model_->graph().preds(id)) {
+      H2H_EXPECTS(done[p.value]);  // sequence must be topological
+      ready = std::max(ready, r.timings[p.value].finish);
+    }
+
+    if (layer.kind == LayerKind::Input) {
+      t.start = 0.0;
+      t.finish = 0.0;
+    } else {
+      const AccId a = m.acc_of(id);
+      t.start = std::max(ready, acc_free[a.value]);
+      t.finish = t.start + t.duration();
+      acc_free[a.value] = t.finish;
+
+      r.comp_time += t.t_compute;
+      r.local_time += t.t_local;
+      r.host_time += t.t_host;
+      r.host_bytes += t.host_bytes;
+      r.local_bytes += t.local_bytes;
+      r.energy += layer_energy(id, m, t);
+      r.latency = std::max(r.latency, t.finish);
+    }
+    r.timings[id.value] = t;
+    done[id.value] = true;
+  }
+
+  r.energy.static_power = sys_->host().static_power_w *
+                          static_cast<double>(sys_->accelerator_count()) *
+                          r.latency;
+  return r;
+}
+
+}  // namespace h2h

@@ -1,0 +1,96 @@
+// The system-level performance model: given a complete Mapping and a
+// LocalityPlan, compute per-layer timing, system latency (makespan), energy,
+// and the communication/computation decomposition of Fig. 5(a).
+//
+// Execution semantics (DESIGN.md §4):
+//  - Every non-Input layer runs on its accelerator; its duration is
+//    t_in + t_weight + t_compute + t_out (transfers are not overlapped with
+//    compute — the paper's latency blocks include transfer time).
+//  - Transfers use the host link at BW_acc unless the plan localizes them
+//    (pinned weights and fused activations move at the local DRAM rate).
+//  - A producer writes its output to the host once if any consumer is
+//    remote/unfused (or it is a model output); retention for fused
+//    consumers is free because the output materializes in the
+//    accelerator's DRAM in either case.
+//  - Each accelerator executes its layers FIFO in mapping-sequence order;
+//    start = max(predecessors' finish, accelerator free time).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "system/energy.h"
+#include "system/mapping_state.h"
+
+namespace h2h {
+
+struct LayerTiming {
+  double start = 0;
+  double finish = 0;
+  double t_in = 0;       // activation in-transfer time
+  double t_weight = 0;   // weight transfer time
+  double t_compute = 0;  // on-chip compute time
+  double t_out = 0;      // activation out-transfer time
+  double t_host = 0;     // host-link share of the transfer time
+  double t_local = 0;    // local-DRAM share of the transfer time
+  Bytes host_bytes = 0;   // bytes moved over the host link
+  Bytes local_bytes = 0;  // bytes moved through local DRAM
+
+  [[nodiscard]] double duration() const noexcept {
+    return t_in + t_weight + t_compute + t_out;
+  }
+};
+
+struct ScheduleResult {
+  double latency = 0;  // makespan, seconds
+  EnergyBreakdown energy;
+  double comp_time = 0;   // sum of t_compute over layers
+  double local_time = 0;  // sum of local-DRAM transfer time
+  double host_time = 0;   // sum of host-link transfer time
+  Bytes host_bytes = 0;
+  Bytes local_bytes = 0;
+  std::vector<LayerTiming> timings;  // indexed by LayerId::value
+
+  /// Computation share of total busy time (Fig. 5(a)). "Communication" is
+  /// cross-accelerator (host-link) traffic — the quantity H2H optimizes;
+  /// on-accelerator local DRAM access counts toward the computation side.
+  [[nodiscard]] double comp_ratio() const noexcept {
+    const double busy = comp_time + local_time + host_time;
+    return busy > 0 ? (comp_time + local_time) / busy : 1.0;
+  }
+};
+
+class Simulator {
+ public:
+  Simulator(const ModelGraph& model, const SystemConfig& sys) noexcept
+      : model_(&model), sys_(&sys) {}
+
+  [[nodiscard]] const ModelGraph& model() const noexcept { return *model_; }
+  [[nodiscard]] const SystemConfig& sys() const noexcept { return *sys_; }
+
+  /// Transfer/compute components of one layer under the plan (start/finish
+  /// are left zero). Input layers have all-zero components.
+  [[nodiscard]] LayerTiming layer_components(LayerId id, const Mapping& m,
+                                             const LocalityPlan& plan) const;
+
+  /// Full schedule + energy for a complete mapping. Sequence numbers must be
+  /// a topological order of the model graph (the H2H passes guarantee this).
+  [[nodiscard]] ScheduleResult simulate(const Mapping& m,
+                                        const LocalityPlan& plan) const;
+
+  /// Energy of one scheduled layer (used by simulate and the incremental
+  /// path).
+  [[nodiscard]] EnergyBreakdown layer_energy(LayerId id, const Mapping& m,
+                                             const LayerTiming& t) const;
+
+  /// Duration of `id` if it ran on `acc` under step-1 semantics (zero local
+  /// DRAM: weights, IFM, and OFM all cross the host link). Used by the
+  /// computation-prioritized mapper's delta evaluation.
+  [[nodiscard]] double unlocalized_duration(LayerId id, AccId acc) const;
+
+ private:
+  const ModelGraph* model_;
+  const SystemConfig* sys_;
+};
+
+}  // namespace h2h

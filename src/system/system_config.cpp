@@ -1,0 +1,81 @@
+#include "system/system_config.h"
+
+#include <array>
+#include <set>
+
+#include "accel/catalog.h"
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+constexpr std::array<BandwidthSetting, 5> kAllSettings{
+    BandwidthSetting::LowMinus, BandwidthSetting::Low,
+    BandwidthSetting::MidMinus, BandwidthSetting::Mid, BandwidthSetting::High};
+
+}  // namespace
+
+double bandwidth_value(BandwidthSetting setting) noexcept {
+  switch (setting) {
+    case BandwidthSetting::LowMinus: return gbps(0.125);
+    case BandwidthSetting::Low: return gbps(0.15);
+    case BandwidthSetting::MidMinus: return gbps(0.25);
+    case BandwidthSetting::Mid: return gbps(0.5);
+    case BandwidthSetting::High: return gbps(1.25);
+  }
+  return gbps(0.5);
+}
+
+std::string_view to_string(BandwidthSetting setting) noexcept {
+  switch (setting) {
+    case BandwidthSetting::LowMinus: return "Low-";
+    case BandwidthSetting::Low: return "Low";
+    case BandwidthSetting::MidMinus: return "Mid-";
+    case BandwidthSetting::Mid: return "Mid";
+    case BandwidthSetting::High: return "High";
+  }
+  return "?";
+}
+
+std::span<const BandwidthSetting> all_bandwidth_settings() noexcept {
+  return kAllSettings;
+}
+
+SystemConfig::SystemConfig(std::vector<AcceleratorPtr> accelerators,
+                           HostParams host)
+    : accs_(std::move(accelerators)), host_(host) {
+  if (accs_.empty()) throw ConfigError("system has no accelerators");
+  if (host_.bw_acc <= 0) throw ConfigError("BW_acc must be > 0");
+  if (host_.static_power_w < 0) throw ConfigError("static power must be >= 0");
+  std::set<std::string> names;
+  for (const AcceleratorPtr& a : accs_) {
+    H2H_EXPECTS(a != nullptr);
+    a->spec().validate();
+    if (!names.insert(a->spec().name).second)
+      throw ConfigError(strformat("duplicate accelerator name '%s'",
+                                  a->spec().name.c_str()));
+  }
+}
+
+SystemConfig SystemConfig::standard(double bw_acc) {
+  HostParams host;
+  host.bw_acc = bw_acc;
+  return SystemConfig(build_standard_accelerators(), host);
+}
+
+std::vector<AccId> SystemConfig::all_accelerators() const {
+  std::vector<AccId> out;
+  out.reserve(accs_.size());
+  for (std::uint32_t i = 0; i < accs_.size(); ++i) out.push_back(AccId{i});
+  return out;
+}
+
+std::vector<AccId> SystemConfig::supporting(LayerKind kind) const {
+  std::vector<AccId> out;
+  for (std::uint32_t i = 0; i < accs_.size(); ++i)
+    if (accs_[i]->supports(kind)) out.push_back(AccId{i});
+  return out;
+}
+
+}  // namespace h2h

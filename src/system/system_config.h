@@ -1,0 +1,94 @@
+// G_sys container: the heterogeneous multi-FPGA system of the paper's §3.
+// A star topology — every accelerator connects to the host node through
+// Ethernet switches at BW_acc; the host's main memory is the default home of
+// all weights and activations (zero-locality assumption of step 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator_model.h"
+#include "util/contracts.h"
+
+namespace h2h {
+
+/// Strong accelerator identifier (index into SystemConfig). The reserved
+/// kHost value marks layers that live on the host (model Input nodes).
+struct AccId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHostValue = 0xFFFFFFFEu;
+
+  [[nodiscard]] static constexpr AccId host() noexcept { return AccId{kHostValue}; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  [[nodiscard]] constexpr bool is_host() const noexcept { return value == kHostValue; }
+  [[nodiscard]] constexpr auto operator<=>(const AccId&) const noexcept = default;
+};
+
+/// The paper's Fig. 4 bandwidth settings for BW_acc.
+enum class BandwidthSetting { LowMinus, Low, MidMinus, Mid, High };
+
+/// 0.125 / 0.15 / 0.25 / 0.5 / 1.25 GB/s.
+[[nodiscard]] double bandwidth_value(BandwidthSetting setting) noexcept;
+[[nodiscard]] std::string_view to_string(BandwidthSetting setting) noexcept;
+[[nodiscard]] std::span<const BandwidthSetting> all_bandwidth_settings() noexcept;
+
+struct HostParams {
+  /// System-wide accelerator-to-host bandwidth BW_acc, bytes/s.
+  double bw_acc = 0.5e9;
+  /// Optional per-accelerator idle power applied for the whole makespan
+  /// (ablation knob; 0 reproduces the paper's transfer-dominated energy).
+  double static_power_w = 0.0;
+};
+
+class SystemConfig {
+ public:
+  SystemConfig(std::vector<AcceleratorPtr> accelerators, HostParams host);
+
+  /// The paper's evaluation system: all 12 Table-3 accelerators.
+  [[nodiscard]] static SystemConfig standard(double bw_acc);
+  [[nodiscard]] static SystemConfig standard(BandwidthSetting setting) {
+    return standard(bandwidth_value(setting));
+  }
+
+  [[nodiscard]] std::size_t accelerator_count() const noexcept {
+    return accs_.size();
+  }
+  [[nodiscard]] bool contains(AccId id) const noexcept {
+    return id.valid() && !id.is_host() && id.value < accs_.size();
+  }
+  [[nodiscard]] const AcceleratorModel& accelerator(AccId id) const {
+    H2H_EXPECTS(contains(id));
+    return *accs_[id.value];
+  }
+  [[nodiscard]] const AcceleratorSpec& spec(AccId id) const {
+    return accelerator(id).spec();
+  }
+
+  /// Effective host-link bandwidth for `id` (per-accelerator override or the
+  /// system-wide BW_acc).
+  [[nodiscard]] double bw_acc(AccId id) const {
+    const double o = spec(id).bw_acc_override;
+    return o > 0 ? o : host_.bw_acc;
+  }
+
+  [[nodiscard]] const HostParams& host() const noexcept { return host_; }
+
+  /// Sweep helper: change the system-wide BW_acc in place.
+  void set_bw_acc(double bw) {
+    H2H_EXPECTS(bw > 0);
+    host_.bw_acc = bw;
+  }
+
+  [[nodiscard]] std::vector<AccId> all_accelerators() const;
+  /// Accelerators able to run `kind`, in catalog order.
+  [[nodiscard]] std::vector<AccId> supporting(LayerKind kind) const;
+
+ private:
+  std::vector<AcceleratorPtr> accs_;
+  HostParams host_;
+};
+
+}  // namespace h2h

@@ -1,0 +1,18 @@
+#include "util/contracts.h"
+
+#include <string>
+
+#include "util/error.h"
+
+namespace h2h {
+
+void contract_failure(std::string_view kind, std::string_view cond,
+                      std::string_view file, int line) {
+  std::string msg;
+  msg.reserve(kind.size() + cond.size() + file.size() + 32);
+  msg.append(kind).append(" failed: ").append(cond).append(" at ");
+  msg.append(file).append(":").append(std::to_string(line));
+  throw ContractViolation(msg);
+}
+
+}  // namespace h2h

@@ -1,0 +1,34 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (GSL). Violations are programming errors: they throw
+// ContractViolation so tests can observe them, and they are never compiled
+// out (the library is control-plane code; the cost is negligible).
+#pragma once
+
+#include <string_view>
+
+namespace h2h {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+/// Deriving from std::logic_error would drag <stdexcept> into every header;
+/// we keep a dedicated type in error.h instead. See contracts.cpp.
+[[noreturn]] void contract_failure(std::string_view kind, std::string_view cond,
+                                   std::string_view file, int line);
+
+namespace detail {
+inline void check(bool ok, std::string_view kind, std::string_view cond,
+                  std::string_view file, int line) {
+  if (!ok) contract_failure(kind, cond, file, line);
+}
+}  // namespace detail
+
+}  // namespace h2h
+
+// Function-style macros are the one idiomatic exception the Core Guidelines
+// allow for source-location capture (pre-C++20-source_location codebases use
+// exactly this shape; we keep them scream-case and prefixed).
+#define H2H_EXPECTS(cond) \
+  ::h2h::detail::check(static_cast<bool>(cond), "precondition", #cond, __FILE__, __LINE__)
+#define H2H_ENSURES(cond) \
+  ::h2h::detail::check(static_cast<bool>(cond), "postcondition", #cond, __FILE__, __LINE__)
+#define H2H_ASSERT(cond) \
+  ::h2h::detail::check(static_cast<bool>(cond), "invariant", #cond, __FILE__, __LINE__)

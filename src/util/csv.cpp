@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include <algorithm>
+
+namespace h2h {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> fields) {
+  std::vector<std::string> row_fields;
+  row_fields.reserve(fields.size());
+  for (auto f : fields) row_fields.emplace_back(f);
+  row(row_fields);
+}
+
+}  // namespace h2h

@@ -1,0 +1,30 @@
+// CSV emission for benchmark outputs (EXPERIMENTS.md links the CSVs).
+// RFC-4180-style quoting: fields containing comma, quote, or newline are
+// quoted and inner quotes doubled.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace h2h {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row; each field is escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header row from string literals.
+  void header(std::initializer_list<std::string_view> fields);
+
+  [[nodiscard]] static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace h2h

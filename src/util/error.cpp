@@ -1,0 +1,11 @@
+#include "util/error.h"
+
+// Out-of-line key functions keep vtables in one translation unit.
+// (Both exception types are final and header-only otherwise.)
+
+namespace h2h {
+namespace {
+// Nothing required; this TU exists so the library has a stable object for
+// the error types and to anchor future error-category additions.
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,28 @@
+// Error types for the h2h library.
+//
+// Policy (per DESIGN.md): contract violations (bugs) throw ContractViolation;
+// invalid user configuration (bad model graphs, impossible mappings, malformed
+// specs) throws ConfigError. Algorithms themselves never use exceptions for
+// control flow.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace h2h {
+
+/// A precondition/postcondition/invariant failed; indicates a bug in the
+/// calling code (or in the library itself), not bad user input.
+class ContractViolation final : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// User-supplied configuration is invalid (e.g. a model layer that no
+/// accelerator in the system supports, a negative bandwidth, a cyclic graph).
+class ConfigError final : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace h2h

@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace h2h {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+[[nodiscard]] const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel log_level() noexcept { return g_level; }
+
+void log_message(LogLevel level, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[h2h %s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace h2h

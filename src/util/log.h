@@ -1,0 +1,25 @@
+// Minimal leveled logger. The mapping algorithm logs its decisions at Debug
+// level so tests/benches stay quiet by default while examples can turn on
+// tracing. Not thread-safe by design: the library is single-threaded
+// control-plane code (documented in README).
+#pragma once
+
+#include <string_view>
+
+namespace h2h {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide log threshold (default: Warn).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit `msg` to stderr if `level` passes the threshold.
+void log_message(LogLevel level, std::string_view msg);
+
+inline void log_debug(std::string_view msg) { log_message(LogLevel::Debug, msg); }
+inline void log_info(std::string_view msg) { log_message(LogLevel::Info, msg); }
+inline void log_warn(std::string_view msg) { log_message(LogLevel::Warn, msg); }
+inline void log_error(std::string_view msg) { log_message(LogLevel::Error, msg); }
+
+}  // namespace h2h

@@ -1,0 +1,9 @@
+#include "util/rng.h"
+
+// Header-only wrapper; TU anchors the target.
+
+namespace h2h {
+namespace {
+// intentionally empty
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,65 @@
+#include "util/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/contracts.h"
+
+namespace h2h {
+
+std::string strformat(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  H2H_ASSERT(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  // +1 for the terminating NUL vsnprintf always writes.
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_bytes(Bytes b) {
+  constexpr double kKiB = 1024.0;
+  constexpr double kMiB = kKiB * 1024.0;
+  constexpr double kGiB = kMiB * 1024.0;
+  const auto v = static_cast<double>(b);
+  if (v >= kGiB) return strformat("%.2f GiB", v / kGiB);
+  if (v >= kMiB) return strformat("%.2f MiB", v / kMiB);
+  if (v >= kKiB) return strformat("%.2f KiB", v / kKiB);
+  return strformat("%llu B", static_cast<unsigned long long>(b));
+}
+
+std::string human_seconds(double s) {
+  if (s >= 1.0) return strformat("%.3f s", s);
+  if (s >= 1e-3) return strformat("%.3f ms", s * 1e3);
+  if (s >= 1e-6) return strformat("%.3f us", s * 1e6);
+  return strformat("%.3f ns", s * 1e9);
+}
+
+std::string format_fixed(double v, int digits) {
+  H2H_EXPECTS(digits >= 0 && digits <= 12);
+  return strformat("%.*f", digits, v);
+}
+
+std::string format_percent(double ratio, int digits) {
+  return strformat("%.*f%%", digits, ratio * 100.0);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace h2h

@@ -1,0 +1,38 @@
+// Small string/formatting helpers. GCC 12 lacks <format>, so printf-style
+// formatting is wrapped once here (type-checked by -Wformat) and the rest of
+// the library stays free of raw snprintf calls.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace h2h {
+
+/// snprintf into a std::string. The attribute lets the compiler type-check
+/// call sites.
+[[nodiscard]] std::string strformat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.50 GiB", "512.00 MiB", "96 B" ...
+[[nodiscard]] std::string human_bytes(Bytes b);
+
+/// "1.234 s", "12.34 ms", "56.7 us" ...
+[[nodiscard]] std::string human_seconds(double s);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(0.12345, 2) == "0.12".
+[[nodiscard]] std::string format_fixed(double v, int digits);
+
+/// "65.84%" style percentage of a ratio in [0, inf).
+[[nodiscard]] std::string format_percent(double ratio, int digits = 2);
+
+/// Join parts with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` starts with `prefix` (string_view convenience, pre-C++20-lib).
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+}  // namespace h2h

@@ -1,0 +1,32 @@
+// Aligned plain-text tables for bench output, mirroring the paper's tables.
+// Columns are sized to the widest cell; numeric columns are right-aligned.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace h2h {
+
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Define the columns. `aligns` may be shorter than `headers`; missing
+  /// entries default to Right (tables here are mostly numeric).
+  TextTable(std::vector<std::string> headers, std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace h2h

@@ -1,0 +1,11 @@
+#include "util/units.h"
+
+// The unit helpers are constexpr and header-only; this TU anchors the
+// library target. Human formatting lives in str.cpp to keep snprintf usage
+// in one place.
+
+namespace h2h {
+namespace {
+// intentionally empty
+}  // namespace
+}  // namespace h2h

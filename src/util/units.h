@@ -1,0 +1,49 @@
+// Unit helpers: the library internally uses
+//   bytes            -> std::uint64_t
+//   seconds, joules  -> double
+//   bandwidth        -> bytes per second (double)
+//   frequency        -> hertz (double)
+// These helpers keep literal call sites readable (e.g. `gib(4)`,
+// `gbps(1.25)`) and centralize the binary/decimal conventions:
+// memory capacities are binary (KiB/MiB/GiB), link bandwidths decimal (GB/s),
+// matching how the surveyed FPGA papers quote them.
+#pragma once
+
+#include <cstdint>
+
+namespace h2h {
+
+using Bytes = std::uint64_t;
+
+[[nodiscard]] constexpr Bytes kib(double v) noexcept {
+  return static_cast<Bytes>(v * 1024.0);
+}
+[[nodiscard]] constexpr Bytes mib(double v) noexcept {
+  return static_cast<Bytes>(v * 1024.0 * 1024.0);
+}
+[[nodiscard]] constexpr Bytes gib(double v) noexcept {
+  return static_cast<Bytes>(v * 1024.0 * 1024.0 * 1024.0);
+}
+
+/// Decimal gigabytes per second -> bytes per second.
+[[nodiscard]] constexpr double gbps(double v) noexcept { return v * 1e9; }
+/// Decimal megabytes per second -> bytes per second.
+[[nodiscard]] constexpr double mbps(double v) noexcept { return v * 1e6; }
+
+/// Megahertz -> hertz.
+[[nodiscard]] constexpr double mhz(double v) noexcept { return v * 1e6; }
+
+/// Picojoules -> joules (per-MAC energies are quoted in pJ).
+[[nodiscard]] constexpr double picojoules(double v) noexcept { return v * 1e-12; }
+/// Nanojoules -> joules (per-byte energies are quoted in nJ).
+[[nodiscard]] constexpr double nanojoules(double v) noexcept { return v * 1e-9; }
+
+/// Pretty-printing helpers (definitions in units.cpp).
+struct HumanBytes {
+  Bytes value;
+};
+struct HumanSeconds {
+  double value;
+};
+
+}  // namespace h2h

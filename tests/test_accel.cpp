@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "accel/analytical_models.h"
+#include "accel/catalog.h"
+#include "accel/registry.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+Layer big_conv() {
+  return Layer{"c", LayerKind::Conv, ConvShape{64, 64, 56, 56, 3, 1}};
+}
+Layer big_lstm() {
+  return Layer{"l", LayerKind::Lstm, LstmShape{512, 512, 2, 32}};
+}
+
+TEST(Catalog, HasTwelveValidTable3Entries) {
+  const auto catalog = standard_catalog();
+  ASSERT_EQ(catalog.size(), 12u);
+  const char* expected[] = {"J.Z", "C.Z", "W.J", "J.Q", "A.C", "Y.G",
+                            "T.M", "A.P", "X.W", "S.H", "X.Z", "B.L"};
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(catalog[i].name, expected[i]);
+    EXPECT_NO_THROW(catalog[i].validate());
+  }
+}
+
+TEST(Catalog, LocalDramSpansPaperRange) {
+  // "local DRAM capacity ... ranging from 512 MB to 8 GB".
+  Bytes lo = ~0ull, hi = 0;
+  for (const AcceleratorSpec& s : standard_catalog()) {
+    lo = std::min(lo, s.dram_capacity);
+    hi = std::max(hi, s.dram_capacity);
+  }
+  EXPECT_EQ(lo, mib(512));
+  EXPECT_EQ(hi, gib(8));
+}
+
+TEST(Catalog, KindCoverage) {
+  std::size_t conv = 0, fc = 0, lstm = 0;
+  for (const AcceleratorSpec& s : standard_catalog()) {
+    conv += s.kinds.conv;
+    fc += s.kinds.fc;
+    lstm += s.kinds.lstm;
+  }
+  EXPECT_EQ(conv, 9u);  // 9 conv-capable designs in Table 3
+  EXPECT_GE(fc, 4u);
+  EXPECT_GE(lstm, 4u);  // J.Q (partial), Y.G, S.H, X.Z, B.L
+}
+
+TEST(Catalog, SpecializationOrderingHolds) {
+  // The systolic conv champion must beat the FPGA'15 design on a standard
+  // conv layer; the ESE pipeline must beat generic engines on LSTM.
+  const auto accs = build_standard_accelerators();
+  const auto latency_of = [&](const char* name, const Layer& l) {
+    for (const AcceleratorPtr& a : accs)
+      if (a->spec().name == name) return a->compute_latency(l);
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+  };
+  EXPECT_LT(latency_of("X.W", big_conv()), latency_of("C.Z", big_conv()));
+  EXPECT_LT(latency_of("T.M", big_conv()), latency_of("C.Z", big_conv()));
+  EXPECT_LT(latency_of("S.H", big_lstm()), latency_of("Y.G", big_lstm()));
+  EXPECT_LT(latency_of("B.L", big_lstm()), latency_of("J.Q", big_lstm()));
+}
+
+TEST(AnalyticalModel, LatencyScalesWithWork) {
+  AnalyticalAccelerator acc(eyeriss_like_spec());
+  const Layer small{"s", LayerKind::Conv, ConvShape{16, 16, 14, 14, 3, 1}};
+  const Layer large{"l", LayerKind::Conv, ConvShape{16, 16, 28, 28, 3, 1}};
+  EXPECT_GT(acc.compute_latency(large), acc.compute_latency(small));
+  // 4x the MACs at identical utilization => 4x the latency.
+  EXPECT_NEAR(acc.compute_latency(large) / acc.compute_latency(small), 4.0,
+              1e-9);
+}
+
+TEST(AnalyticalModel, UnsupportedKindIsContractViolation) {
+  AnalyticalAccelerator acc(eyeriss_like_spec());  // conv only
+  EXPECT_FALSE(acc.supports(LayerKind::Lstm));
+  EXPECT_THROW((void)acc.compute_latency(big_lstm()), ContractViolation);
+}
+
+TEST(AnalyticalModel, StructuralLayersUseVectorPath) {
+  AnalyticalAccelerator acc(eyeriss_like_spec());
+  const Layer pool{"p", LayerKind::Pool, PoolShape{64, 28, 28, 2, 2}};
+  const double expected =
+      static_cast<double>(pool.light_ops()) /
+      (static_cast<double>(acc.spec().peak_macs_per_cycle) * acc.spec().freq_hz);
+  EXPECT_DOUBLE_EQ(acc.compute_latency(pool), expected);
+  const Layer cat{"c", LayerKind::Concat, ConcatShape{8, 4, 4}};
+  EXPECT_DOUBLE_EQ(acc.compute_latency(cat), 0.0);
+}
+
+TEST(AnalyticalModel, EnergyCoefficients) {
+  AcceleratorSpec spec = eyeriss_like_spec();
+  spec.energy_per_mac = picojoules(10);
+  AnalyticalAccelerator acc(spec);
+  const Layer c = big_conv();
+  EXPECT_DOUBLE_EQ(acc.compute_energy(c),
+                   static_cast<double>(c.macs()) * picojoules(10));
+  const Layer pool{"p", LayerKind::Pool, PoolShape{8, 4, 4, 2, 2}};
+  EXPECT_DOUBLE_EQ(acc.compute_energy(pool),
+                   static_cast<double>(pool.light_ops()) * picojoules(10) * 0.25);
+}
+
+TEST(SpecValidate, RejectsNonsense) {
+  AcceleratorSpec s = eyeriss_like_spec();
+  s.freq_hz = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = eyeriss_like_spec();
+  s.peak_macs_per_cycle = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = eyeriss_like_spec();
+  s.kinds = KindSupport{};
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = eyeriss_like_spec();
+  s.name.clear();
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(LambdaAccelerator, PluginLatencyAndDefaultEnergy) {
+  AcceleratorSpec spec = eyeriss_like_spec();
+  spec.name = "CUSTOM";
+  const LambdaAccelerator acc(
+      spec, [](const Layer&) { return 42.0; });
+  EXPECT_DOUBLE_EQ(acc.compute_latency(big_conv()), 42.0);
+  EXPECT_GT(acc.compute_energy(big_conv()), 0.0);  // falls back to coefficients
+
+  const LambdaAccelerator acc2(
+      spec, [](const Layer&) { return 1.0; }, [](const Layer&) { return 7.0; });
+  EXPECT_DOUBLE_EQ(acc2.compute_energy(big_conv()), 7.0);
+}
+
+TEST(Registry, StandardNamesPreRegistered) {
+  auto& reg = AcceleratorRegistry::instance();
+  EXPECT_TRUE(reg.contains("C.Z"));
+  EXPECT_TRUE(reg.contains("B.L"));
+  EXPECT_FALSE(reg.contains("nope"));
+  EXPECT_GE(reg.names().size(), 12u);
+  const AcceleratorPtr a = reg.make("S.H");
+  EXPECT_EQ(a->spec().board, "XCKU060");
+  EXPECT_THROW((void)reg.make("nope"), ConfigError);
+}
+
+TEST(Registry, CustomRegistrationAndDuplicateRejection) {
+  auto& reg = AcceleratorRegistry::instance();
+  const std::string name = "TEST-EYE";
+  if (!reg.contains(name)) {
+    reg.register_factory(name, [] {
+      return make_analytical(eyeriss_like_spec());
+    });
+  }
+  EXPECT_TRUE(reg.contains(name));
+  EXPECT_THROW(
+      reg.register_factory(name, [] { return make_analytical(eyeriss_like_spec()); }),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/activation_fusion.h"
+#include "core/weight_locality.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+using testing::make_chain_model;
+using testing::make_diamond_model;
+using testing::make_uniform_system;
+
+TEST(ActivationFusion, FusesOnlySameAcceleratorEdges) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(2);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{0});
+  mapping.assign(LayerId{3}, AccId{1});
+
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(2);
+  const FusionStats stats = optimize_activation_fusion(sim, mapping, plan);
+  // convA->convB fused (same acc); input->convA never fused (host source);
+  // convB->fcC crosses accelerators.
+  EXPECT_EQ(stats.fused_edges, 1u);
+  EXPECT_TRUE(plan.edge_fused(m, LayerId{1}, LayerId{2}));
+  EXPECT_FALSE(plan.edge_fused(m, LayerId{0}, LayerId{1}));
+  EXPECT_FALSE(plan.edge_fused(m, LayerId{2}, LayerId{3}));
+  EXPECT_EQ(stats.fused_bytes, m.edge_bytes(LayerId{1}));
+}
+
+TEST(ActivationFusion, HostInputsNeverFuse) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(1);
+  optimize_activation_fusion(sim, mapping, plan);
+  EXPECT_FALSE(plan.edge_fused(m, LayerId{0}, LayerId{1}));
+}
+
+TEST(ActivationFusion, CapacityGatesFusion) {
+  const ModelGraph m = make_diamond_model();
+  // Tiny DRAM: pinned weights occupy nothing (no pins), but activations are
+  // 16*16*16*2 = 8192 B per edge; capacity 10000 B admits just one edge.
+  const SystemConfig sys = make_uniform_system(1, 1e9, 10000);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(1);
+  const FusionStats stats = optimize_activation_fusion(sim, mapping, plan);
+  EXPECT_EQ(stats.fused_edges, 1u);
+  EXPECT_GE(stats.rejected_for_capacity, 1u);
+  EXPECT_LE(plan.used_dram(AccId{0}), 10000u);
+
+  // Unbounded fusion takes every same-accelerator edge.
+  LocalityPlan unbounded(m);
+  unbounded.ensure_acc_count(1);
+  FusionOptions loose;
+  loose.enforce_capacity = false;
+  const FusionStats all = optimize_activation_fusion(sim, mapping, unbounded,
+                                                     loose);
+  EXPECT_EQ(all.fused_edges, 5u);  // a->b, a->c, b->d, c->d, d->e
+  EXPECT_EQ(all.rejected_for_capacity, 0u);
+}
+
+TEST(ActivationFusion, AccountsForPinnedWeightsFirst) {
+  const ModelGraph m = make_chain_model();
+  // Capacity just above the total weight bytes: pins eat the capacity, so
+  // no activation fits afterwards.
+  const Bytes weights = m.stats().total_weight_bytes;  // 23424 B
+  const SystemConfig sys = make_uniform_system(1, 1e9, weights + 100);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(1);
+  optimize_weight_locality(sim, mapping, plan);
+  ASSERT_EQ(plan.used_dram(AccId{0}), weights);
+  const FusionStats stats = optimize_activation_fusion(sim, mapping, plan);
+  EXPECT_EQ(stats.fused_edges, 0u);
+  EXPECT_EQ(stats.rejected_for_capacity, 2u);
+}
+
+TEST(ActivationFusion, LatencyNeverIncreases) {
+  const ModelGraph m = make_model(ZooModel::CnnLstm);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const Simulator sim(m, sys);
+  const Mapping mapping = [&] {
+    Mapping tmp(m);
+    const auto lstm_accs = sys.supporting(LayerKind::Lstm);
+    for (const LayerId id : m.all_layers()) {
+      const Layer& l = m.layer(id);
+      if (l.kind == LayerKind::Input) continue;
+      tmp.assign(id, l.kind == LayerKind::Lstm ? lstm_accs.front() : AccId{5});
+    }
+    return tmp;
+  }();
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  const double before = sim.simulate(mapping, plan).latency;
+  optimize_activation_fusion(sim, mapping, plan);
+  const double after = sim.simulate(mapping, plan).latency;
+  EXPECT_LE(after, before);
+}
+
+TEST(ActivationFusion, OnlyAccsRecomputesScopedEdges) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(2);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{0});
+  mapping.assign(LayerId{3}, AccId{0});
+
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(2);
+  optimize_activation_fusion(sim, mapping, plan);
+  EXPECT_EQ(plan.fused_edge_count(), 2u);
+
+  // Move fcC to acc 1: recomputing only the touched accelerators must
+  // unfuse convB->fcC and keep convA->convB.
+  mapping.reassign(LayerId{3}, AccId{1});
+  const std::array<AccId, 2> touched{AccId{0}, AccId{1}};
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  EXPECT_TRUE(plan.edge_fused(m, LayerId{1}, LayerId{2}));
+  EXPECT_FALSE(plan.edge_fused(m, LayerId{2}, LayerId{3}));
+  EXPECT_EQ(plan.fused_edge_count(), 1u);
+}
+
+}  // namespace
+}  // namespace h2h

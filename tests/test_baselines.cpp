@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+TEST(Baselines, CompPrioritizedEqualsFirstTwoH2HSteps) {
+  const ModelGraph m = make_model(ZooModel::MoCap);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const H2HResult baseline = run_computation_prioritized_baseline(m, sys);
+  const H2HResult h2h = H2HMapper(m, sys).run();
+  ASSERT_EQ(baseline.steps.size(), 2u);
+  // Identical pipeline prefix => identical numbers.
+  EXPECT_DOUBLE_EQ(baseline.steps[0].result.latency,
+                   h2h.steps[0].result.latency);
+  EXPECT_DOUBLE_EQ(baseline.final_result().latency,
+                   h2h.baseline_result().latency);
+}
+
+TEST(Baselines, ClusterMappingIsValidAndCoLocatesModalities) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const H2HResult r = run_cluster_prioritized_baseline(m, sys);
+  EXPECT_NO_THROW(r.mapping.validate(m, sys));
+  ASSERT_EQ(r.steps.size(), 3u);
+
+  // All conv layers of modality 1 share one accelerator (the cluster home).
+  AccId home{};
+  for (const LayerId id : m.all_layers()) {
+    const Layer& l = m.layer(id);
+    if (l.modality == 1 && l.kind == LayerKind::Conv) {
+      if (!home.valid()) home = r.mapping.acc_of(id);
+      EXPECT_EQ(r.mapping.acc_of(id), home) << l.name;
+    }
+  }
+}
+
+TEST(Baselines, ClusterSpillsUnsupportedLayers) {
+  // Modality-2 cluster in the mini system contains an LSTM; if the cluster
+  // home cannot run it, it must be spilled to a supporting accelerator.
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const H2HResult r = run_cluster_prioritized_baseline(m, sys);
+  for (const LayerId id : m.all_layers()) {
+    const Layer& l = m.layer(id);
+    if (l.kind == LayerKind::Input) continue;
+    EXPECT_TRUE(sys.accelerator(r.mapping.acc_of(id)).supports(l.kind))
+        << l.name;
+  }
+}
+
+TEST(Baselines, H2HBeatsClusteringOnComputeEfficiency) {
+  // §2: clustering "may largely hurt the computing efficiency". On a
+  // bandwidth-generous system the computation-aware H2H must win.
+  const ModelGraph m = make_model(ZooModel::CasiaSurf);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::High);
+  const double h2h = H2HMapper(m, sys).run().final_result().latency;
+  const double cluster =
+      run_cluster_prioritized_baseline(m, sys).final_result().latency;
+  EXPECT_LT(h2h, cluster);
+}
+
+TEST(Baselines, RandomMappingIsValidAndSeedStable) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  Rng rng1(42), rng2(42), rng3(43);
+  const Mapping a = random_valid_mapping(m, sys, rng1);
+  const Mapping b = random_valid_mapping(m, sys, rng2);
+  EXPECT_NO_THROW(a.validate(m, sys));
+  for (const LayerId id : m.all_layers())
+    EXPECT_EQ(a.acc_of(id), b.acc_of(id));
+  // Different seed: almost surely a different mapping somewhere.
+  const Mapping c = random_valid_mapping(m, sys, rng3);
+  bool any_diff = false;
+  for (const LayerId id : m.all_layers())
+    any_diff = any_diff || a.acc_of(id) != c.acc_of(id);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Baselines, H2HNoWorseThanRandomMappings) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
+  const Simulator sim(m, sys);
+  const double h2h = H2HMapper(m, sys).run().final_result().latency;
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const Mapping random = random_valid_mapping(m, sys, rng);
+    LocalityPlan plan(m);
+    plan.ensure_acc_count(sys.accelerator_count());
+    optimize_weight_locality(sim, random, plan);
+    optimize_activation_fusion(sim, random, plan);
+    EXPECT_LE(h2h, sim.simulate(random, plan).latency * (1 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace h2h

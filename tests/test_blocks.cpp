@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "model/blocks.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+std::size_t count_kind(const ModelGraph& m, LayerKind kind) {
+  std::size_t n = 0;
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind == kind) ++n;
+  return n;
+}
+
+TEST(Blocks, ScaleChannelsRoundsToMultiplesOfEight) {
+  EXPECT_EQ(scale_channels(64, 1.0), 64u);
+  EXPECT_EQ(scale_channels(64, 0.75), 48u);
+  EXPECT_EQ(scale_channels(64, 0.5), 32u);
+  EXPECT_EQ(scale_channels(10, 0.1), 8u);  // floor of 8
+  EXPECT_EQ(scale_channels(100, 1.0), 104u);  // 12.5 rounds half away from 0
+}
+
+TEST(Blocks, BasicBlockAddsProjectionOnlyWhenNeeded) {
+  {
+    ModelBuilder b("m");
+    const LayerId in = b.input("in", 64, 8, 8);
+    (void)resnet_basic_block(b, in, 64, 1, "blk");
+    const ModelGraph m = std::move(b).build();
+    EXPECT_EQ(count_kind(m, LayerKind::Conv), 2u);  // no projection
+    EXPECT_EQ(count_kind(m, LayerKind::Eltwise), 1u);
+  }
+  {
+    ModelBuilder b("m");
+    const LayerId in = b.input("in", 64, 8, 8);
+    (void)resnet_basic_block(b, in, 128, 2, "blk");
+    const ModelGraph m = std::move(b).build();
+    EXPECT_EQ(count_kind(m, LayerKind::Conv), 3u);  // + projection
+  }
+}
+
+TEST(Blocks, BottleneckStructure) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 256, 8, 8);
+  const LayerId out = resnet_bottleneck(b, in, 64, 256, 1, "blk");
+  EXPECT_EQ(b.geometry(out).channels, 256u);
+  const ModelGraph m = std::move(b).build();
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 3u);  // 1x1, 3x3, 1x1; no proj
+}
+
+TEST(Blocks, Resnet18BackboneLayerCount) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 3, 224, 224);
+  const LayerId out = resnet18_backbone(b, in, "r18");
+  // Stem 1 conv + 4 stages x 2 blocks x 2 convs + 3 projections = 20.
+  const ModelGraph m = std::move(b).build();
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 20u);
+  EXPECT_EQ(m.layer(out).kind, LayerKind::Eltwise);
+  // Standard ResNet-18 conv-trunk parameter count ~11.2M.
+  const double params = static_cast<double>(m.stats().total_params) / 1e6;
+  EXPECT_NEAR(params, 11.2, 0.6);
+}
+
+TEST(Blocks, Resnet50BackboneParamCount) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 3, 224, 224);
+  (void)resnet50_backbone(b, in, "r50");
+  const ModelGraph m = std::move(b).build();
+  // Stem 1 + 16 bottlenecks x 3 + 4 projections = 53 convs.
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 53u);
+  const double params = static_cast<double>(m.stats().total_params) / 1e6;
+  EXPECT_NEAR(params, 23.5, 1.5);  // conv trunk of ResNet-50
+}
+
+TEST(Blocks, Resnet50TruncationStops) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 3, 224, 224);
+  const LayerId out = resnet50_backbone(b, in, "r50", 1.0, 3);
+  EXPECT_EQ(b.geometry(out).channels, 1024u);  // res4 output
+  EXPECT_EQ(b.geometry(out).h, 14u);
+}
+
+TEST(Blocks, WidthMultiplierScalesQuadratically) {
+  const auto params_at = [](double width) {
+    ModelBuilder b("m");
+    const LayerId in = b.input("in", 3, 112, 112);
+    (void)resnet18_backbone(b, in, "r", width);
+    return static_cast<double>(std::move(b).build(false).stats().total_params);
+  };
+  const double full = params_at(1.0);
+  const double half = params_at(0.5);
+  EXPECT_NEAR(half / full, 0.25, 0.05);
+}
+
+TEST(Blocks, Vgg16BackboneStructure) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 3, 224, 224);
+  const LayerId out = vgg16_backbone(b, in, "vgg");
+  EXPECT_EQ(b.geometry(out).channels, 512u);
+  EXPECT_EQ(b.geometry(out).h, 7u);  // 224 / 2^5
+  const ModelGraph m = std::move(b).build();
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 13u);
+  EXPECT_EQ(count_kind(m, LayerKind::Pool), 5u);
+  const double params = static_cast<double>(m.stats().total_params) / 1e6;
+  EXPECT_NEAR(params, 14.7, 1.0);  // VGG-16 conv trunk
+}
+
+TEST(Blocks, VdcnnBackboneDepth29) {
+  ModelBuilder b("m");
+  const LayerId in = b.input_seq("txt", 1024, 16);
+  const LayerId out = vdcnn_backbone(b, in, "vd");
+  const ModelGraph m = std::move(b).build();
+  // 1 stem + 2 * (5+5+2+2) pairs = 29 convolutions (VD-CNN-29).
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 29u);
+  EXPECT_EQ(m.layer(out).kind, LayerKind::Conv);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/comp_prioritized.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+using testing::make_chain_model;
+using testing::make_mini_hetero_system;
+using testing::make_mini_mmmt_model;
+
+TEST(CompPrioritized, ProducesCompleteValidMapping) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  EXPECT_TRUE(mapping.complete());
+  EXPECT_NO_THROW(mapping.validate(m, sys));
+}
+
+TEST(CompPrioritized, SequenceIsTopological) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  for (const LayerId id : m.all_layers())
+    for (const LayerId s : m.graph().succs(id))
+      EXPECT_LT(mapping.seq_of(id), mapping.seq_of(s));
+}
+
+TEST(CompPrioritized, RespectsKindSupport) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  for (const LayerId id : m.all_layers()) {
+    const Layer& l = m.layer(id);
+    if (l.kind == LayerKind::Input) continue;
+    EXPECT_TRUE(sys.accelerator(mapping.acc_of(id)).supports(l.kind))
+        << l.name;
+  }
+  // In the mini system, LSTMs can only live on the LSTM specialist.
+  for (const LayerId id : m.all_layers()) {
+    if (m.layer(id).kind == LayerKind::Lstm) {
+      EXPECT_EQ(mapping.acc_of(id), AccId{2});
+    }
+  }
+}
+
+TEST(CompPrioritized, DeterministicAcrossRuns) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping a = computation_prioritized_mapping(sim);
+  const Mapping b = computation_prioritized_mapping(sim);
+  for (const LayerId id : m.all_layers()) {
+    EXPECT_EQ(a.acc_of(id), b.acc_of(id));
+    EXPECT_EQ(a.seq_of(id), b.seq_of(id));
+  }
+}
+
+TEST(CompPrioritized, PrefersFasterAcceleratorForConv) {
+  // A single conv layer must land on the conv champion (acc 0: 1000 MAC/c),
+  // not on the generic engine (200 MAC/c).
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{0});
+  EXPECT_EQ(mapping.acc_of(LayerId{2}), AccId{0});
+}
+
+TEST(CompPrioritized, ChunkingUnderTinyCandidateBudget) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  CompPrioritizedOptions opts;
+  opts.max_candidates = 2;  // forces single-node chunks
+  const Mapping mapping = computation_prioritized_mapping(sim, opts);
+  EXPECT_TRUE(mapping.complete());
+  EXPECT_NO_THROW(mapping.validate(m, sys));
+}
+
+TEST(CompPrioritized, ExhaustiveBeatsOrMatchesGreedyChunks) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const LocalityPlan zero(m);
+
+  CompPrioritizedOptions greedy;
+  greedy.max_candidates = 1;
+  const double lat_greedy =
+      sim.simulate(computation_prioritized_mapping(sim, greedy), zero).latency;
+  const double lat_full =
+      sim.simulate(computation_prioritized_mapping(sim), zero).latency;
+  EXPECT_LE(lat_full, lat_greedy + 1e-12);
+}
+
+TEST(CompPrioritized, PreferredHookPinsPlacement) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  CompPrioritizedOptions opts;
+  // Force the convs onto the slow generic engine.
+  opts.preferred = [&m](LayerId id) -> std::optional<AccId> {
+    if (m.layer(id).kind == LayerKind::Conv) return AccId{1};
+    return std::nullopt;
+  };
+  const Mapping mapping = computation_prioritized_mapping(sim, opts);
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{1});
+  EXPECT_EQ(mapping.acc_of(LayerId{2}), AccId{1});
+}
+
+TEST(CompPrioritized, PreferredHookIgnoredWhenUnsupported) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  CompPrioritizedOptions opts;
+  // Conv-only accelerator cannot take the FC; preference must be dropped.
+  opts.preferred = [](LayerId) -> std::optional<AccId> { return AccId{0}; };
+  const Mapping mapping = computation_prioritized_mapping(sim, opts);
+  EXPECT_NO_THROW(mapping.validate(m, sys));
+  EXPECT_NE(mapping.acc_of(LayerId{3}), AccId{0});
+}
+
+TEST(CompPrioritized, ThrowsWhenNoAcceleratorSupportsKind) {
+  ModelBuilder b("lstm-only");
+  const LayerId in = b.input_seq("in", 8, 4);
+  (void)b.lstm("l", in, 8, 1);
+  const ModelGraph m = std::move(b).build();
+
+  std::vector<AcceleratorPtr> accs;
+  AcceleratorSpec conv_only = testing::simple_spec("C", gib(1));
+  conv_only.kinds = KindSupport{true, false, false};
+  accs.push_back(make_analytical(std::move(conv_only)));
+  const SystemConfig sys(std::move(accs), HostParams{1e9, 0.0});
+  const Simulator sim(m, sys);
+  EXPECT_THROW((void)computation_prioritized_mapping(sim), ConfigError);
+}
+
+TEST(CompPrioritized, BalancesIndependentBranchesAcrossAccelerators) {
+  // Two identical independent conv branches and two identical conv-capable
+  // accelerators: the delta-latency rule must parallelize them.
+  ModelBuilder b("twin");
+  const LayerId i1 = b.input("i1", 8, 32, 32);
+  const LayerId i2 = b.input("i2", 8, 32, 32);
+  const LayerId c1 = b.conv("c1", i1, 32, 3, 1);
+  const LayerId c2 = b.conv("c2", i2, 32, 3, 1);
+  (void)c1;
+  (void)c2;
+  const ModelGraph m = std::move(b).build();
+  const SystemConfig sys = testing::make_uniform_system(2);
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  EXPECT_NE(mapping.acc_of(c1), mapping.acc_of(c2));
+}
+
+}  // namespace
+}  // namespace h2h

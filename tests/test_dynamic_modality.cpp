@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/dynamic_modality.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+TEST(SubsetModel, DropsInactiveBranchesTransitively) {
+  const ModelGraph full = testing::make_mini_mmmt_model();
+  const std::uint32_t active[] = {1};  // image branch only
+  const ModelGraph sub = subset_model(full, active);
+
+  EXPECT_LT(sub.layer_count(), full.layer_count());
+  for (const LayerId id : sub.all_layers()) {
+    const Layer& l = sub.layer(id);
+    EXPECT_NE(l.modality, 2u) << l.name;  // no sequence-branch layers
+  }
+  // The fusion concat survives with a single live input.
+  bool has_concat = false;
+  for (const LayerId id : sub.all_layers())
+    if (sub.layer(id).kind == LayerKind::Concat) {
+      has_concat = true;
+      EXPECT_EQ(sub.graph().in_degree(id), 1u);
+    }
+  EXPECT_TRUE(has_concat);
+}
+
+TEST(SubsetModel, PreservesLayerIdentity) {
+  const ModelGraph full = make_model(ZooModel::MoCap);
+  const std::uint32_t active[] = {1, 2};
+  const ModelGraph sub = subset_model(full, active);
+  // Every kept layer keeps its exact name and parameter count.
+  for (const LayerId id : sub.all_layers()) {
+    const Layer& sl = sub.layer(id);
+    bool found = false;
+    for (const LayerId fid : full.all_layers()) {
+      if (full.layer(fid).name == sl.name) {
+        found = true;
+        EXPECT_EQ(full.layer(fid).param_count(), sl.param_count());
+      }
+    }
+    EXPECT_TRUE(found) << sl.name;
+  }
+}
+
+TEST(SubsetModel, FullActiveSetIsIdentityShape) {
+  const ModelGraph full = testing::make_mini_mmmt_model();
+  const std::uint32_t active[] = {1, 2};
+  const ModelGraph sub = subset_model(full, active);
+  EXPECT_EQ(sub.layer_count(), full.layer_count());
+  EXPECT_EQ(sub.graph().edge_count(), full.graph().edge_count());
+}
+
+TEST(SubsetModel, RejectsAllInactive) {
+  const ModelGraph full = testing::make_mini_mmmt_model();
+  const std::uint32_t active[] = {99};
+  EXPECT_THROW((void)subset_model(full, active), ConfigError);
+}
+
+TEST(DynamicModality, ColdStartLoadsEverythingPinned) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  DynamicModalityMapper mapper(sys);
+  const ModelGraph full = make_model(ZooModel::MoCap);
+  const DynamicRemapResult r = mapper.remap(full);
+  EXPECT_EQ(r.weights_reused, 0u);
+  EXPECT_GT(r.weights_loaded, 0u);
+  EXPECT_DOUBLE_EQ(r.reuse_ratio(), 0.0);
+  EXPECT_GT(mapper.resident_layer_count(), 0u);
+}
+
+TEST(DynamicModality, RepeatMappingReusesResidentWeights) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  DynamicModalityMapper mapper(sys);
+  const ModelGraph full = make_model(ZooModel::MoCap);
+  (void)mapper.remap(full);
+  const DynamicRemapResult again = mapper.remap(full);
+  // Same model, warm residency: the preference hook pins placements, so
+  // almost all pinned weights are already where they need to be.
+  EXPECT_GT(again.reuse_ratio(), 0.9);
+}
+
+TEST(DynamicModality, ModalityToggleKeepsSharedResidency) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  DynamicModalityMapper mapper(sys);
+  const ModelGraph full = make_model(ZooModel::MoCap);
+
+  (void)mapper.remap(full);  // round 1: all three modalities
+  const std::uint32_t two[] = {1, 2};
+  const DynamicRemapResult down = mapper.remap(subset_model(full, two));
+  EXPECT_GT(down.reuse_ratio(), 0.5);  // speech+text+fusion stay resident
+
+  const DynamicRemapResult up = mapper.remap(full);  // modality 3 returns
+  EXPECT_GT(up.reuse_ratio(), 0.3);
+  EXPECT_GT(up.weights_loaded, 0u);  // the mocap branch must reload
+}
+
+TEST(DynamicModality, ResetResidencyForgetsWeights) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  DynamicModalityMapper mapper(sys);
+  const ModelGraph full = make_model(ZooModel::MoCap);
+  (void)mapper.remap(full);
+  mapper.reset_residency();
+  EXPECT_EQ(mapper.resident_layer_count(), 0u);
+  const DynamicRemapResult r = mapper.remap(full);
+  EXPECT_EQ(r.weights_reused, 0u);
+}
+
+TEST(DynamicModality, MappingsStayValid) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  DynamicModalityMapper mapper(sys);
+  const ModelGraph full = make_model(ZooModel::CnnLstm);
+  const std::uint32_t video_only[] = {1};
+  const ModelGraph sub = subset_model(full, video_only);
+  const DynamicRemapResult r = mapper.remap(sub);
+  for (const LayerId id : sub.all_layers()) {
+    const Layer& l = sub.layer(id);
+    if (l.kind == LayerKind::Input) continue;
+    EXPECT_TRUE(sys.accelerator(r.h2h.mapping.acc_of(id)).supports(l.kind));
+  }
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/experiment.h"
+#include "report/paper_tables.h"
+
+namespace h2h {
+namespace {
+
+TEST(Experiment, SingleCellHasFourStepSeries) {
+  const StepSeries s = run_experiment(ZooModel::MoCap, BandwidthSetting::LowMinus);
+  ASSERT_EQ(s.latency.size(), 4u);
+  ASSERT_EQ(s.energy.size(), 4u);
+  EXPECT_EQ(s.model, ZooModel::MoCap);
+  EXPECT_EQ(s.bw, BandwidthSetting::LowMinus);
+  EXPECT_LE(s.latency_vs_baseline(), 1.0);
+  EXPECT_GT(s.baseline_comp_ratio, 0.0);
+  EXPECT_GT(s.h2h_comp_ratio, 0.0);
+  EXPECT_LE(s.h2h_comp_ratio, 1.0);
+  EXPECT_GT(s.search_seconds, 0.0);
+}
+
+TEST(Experiment, RunOnCustomSystem) {
+  const ModelGraph m = make_model(ZooModel::CnnLstm);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  const StepSeries s = run_experiment_on(m, sys);
+  EXPECT_EQ(s.latency.size(), 4u);
+  for (double v : s.latency) EXPECT_GT(v, 0.0);
+}
+
+// A reduced sweep (2 models x 2 bandwidths) exercises all printers without
+// the cost of the full 30-cell sweep.
+std::vector<StepSeries> small_sweep() {
+  std::vector<StepSeries> out;
+  for (const ZooModel model : {ZooModel::CnnLstm, ZooModel::MoCap})
+    for (const BandwidthSetting bw :
+         {BandwidthSetting::LowMinus, BandwidthSetting::High})
+      out.push_back(run_experiment(model, bw));
+  return out;
+}
+
+TEST(PaperTables, PrintersEmitExpectedStructure) {
+  const std::vector<StepSeries> sweep = small_sweep();
+
+  std::ostringstream fig4;
+  print_fig4(sweep, fig4);
+  EXPECT_NE(fig4.str().find("Figure 4"), std::string::npos);
+  EXPECT_NE(fig4.str().find("cnn-lstm"), std::string::npos);
+  EXPECT_NE(fig4.str().find("Headline @ Low-"), std::string::npos);
+
+  std::ostringstream t4;
+  print_table4(sweep, t4);
+  EXPECT_NE(t4.str().find("Table 4"), std::string::npos);
+  EXPECT_NE(t4.str().find("step3 (%)"), std::string::npos);
+
+  std::ostringstream fig5a;
+  print_fig5a(sweep, fig5a);
+  EXPECT_NE(fig5a.str().find("Figure 5(a)"), std::string::npos);
+  EXPECT_NE(fig5a.str().find("mocap"), std::string::npos);
+
+  std::ostringstream fig5b;
+  print_fig5b(sweep, fig5b);
+  EXPECT_NE(fig5b.str().find("Figure 5(b)"), std::string::npos);
+  // Missing cells (Mid- etc.) are rendered as '-'.
+  EXPECT_NE(fig5b.str().find('-'), std::string::npos);
+}
+
+TEST(PaperTables, CsvHasOneRowPerStep) {
+  const std::vector<StepSeries> sweep = small_sweep();
+  std::ostringstream out;
+  write_sweep_csv(sweep, out);
+  const std::string csv = out.str();
+  std::size_t rows = 0;
+  for (char c : csv)
+    if (c == '\n') ++rows;
+  std::size_t expected = 1;  // header
+  for (const StepSeries& s : sweep) expected += s.latency.size();
+  EXPECT_EQ(rows, expected);
+  EXPECT_NE(csv.find("model,bandwidth"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "graph/dot.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace h2h {
+namespace {
+
+Digraph make_diamond() {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(Digraph, BasicAdjacency) {
+  Digraph g = make_diamond();
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(NodeId{0}, NodeId{1}));
+  EXPECT_FALSE(g.has_edge(NodeId{1}, NodeId{0}));
+  EXPECT_EQ(g.in_degree(NodeId{3}), 2u);
+  EXPECT_EQ(g.out_degree(NodeId{0}), 2u);
+  EXPECT_EQ(g.sources(), (std::vector<NodeId>{NodeId{0}}));
+  EXPECT_EQ(g.sinks(), (std::vector<NodeId>{NodeId{3}}));
+}
+
+TEST(Digraph, RejectsSelfLoopsAndParallelEdges) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  g.add_edge(a, b);
+  EXPECT_THROW(g.add_edge(a, b), ContractViolation);
+  EXPECT_THROW(g.add_edge(a, a), ContractViolation);
+  EXPECT_THROW(g.add_edge(a, NodeId{99}), ContractViolation);
+}
+
+TEST(Topological, DiamondOrderRespectsEdges) {
+  const Digraph g = make_diamond();
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  const auto ranks = order_ranks(g, *order);
+  for (std::uint32_t u = 0; u < g.node_count(); ++u)
+    for (const NodeId v : g.succs(NodeId{u}))
+      EXPECT_LT(ranks[u], ranks[v.value]);
+}
+
+TEST(Topological, DetectsCycle) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_dag(g));
+}
+
+TEST(Topological, DeterministicTieBreak) {
+  // Two independent chains: order must interleave by ascending id.
+  Digraph g;
+  for (int i = 0; i < 6; ++i) (void)g.add_node();
+  g.add_edge(NodeId{0}, NodeId{2});
+  g.add_edge(NodeId{1}, NodeId{3});
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ((*order)[0], NodeId{0});
+  EXPECT_EQ((*order)[1], NodeId{1});
+}
+
+TEST(Reachability, FromSingleRoot) {
+  const Digraph g = make_diamond();
+  const NodeId roots[] = {NodeId{1}};
+  const auto seen = reachable_from(g, roots);
+  EXPECT_FALSE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_FALSE(seen[2]);
+  EXPECT_TRUE(seen[3]);
+}
+
+TEST(Frontier, PeelsLayerByLayer) {
+  const Digraph g = make_diamond();
+  std::vector<bool> done(g.node_count(), false);
+  auto f = frontier(g, done);
+  EXPECT_EQ(f, (std::vector<NodeId>{NodeId{0}}));
+  done[0] = true;
+  f = frontier(g, done);
+  EXPECT_EQ(f, (std::vector<NodeId>{NodeId{1}, NodeId{2}}));
+  done[1] = done[2] = true;
+  f = frontier(g, done);
+  EXPECT_EQ(f, (std::vector<NodeId>{NodeId{3}}));
+  done[3] = true;
+  EXPECT_TRUE(frontier(g, done).empty());
+}
+
+TEST(Components, CountsUndirectedIslands) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) (void)g.add_node();
+  g.add_edge(NodeId{0}, NodeId{1});
+  g.add_edge(NodeId{2}, NodeId{3});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[2], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[4], c.component_of[0]);
+}
+
+TEST(Dot, EmitsAllNodesAndEdges) {
+  const Digraph g = make_diamond();
+  const std::string dot = to_dot(g, [](NodeId n) {
+    return "n" + std::to_string(n.value) + " \"quoted\"";
+  });
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos);
+}
+
+// Property: random DAGs (edges only id-ascending) always topo-sort, and the
+// order respects every edge.
+class RandomDagTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagTest, TopologicalOrderAlwaysValid) {
+  Rng rng(GetParam());
+  Digraph g;
+  const int n = static_cast<int>(rng.uniform_int(1, 60));
+  for (int i = 0; i < n; ++i) (void)g.add_node();
+  for (std::uint32_t v = 1; v < static_cast<std::uint32_t>(n); ++v) {
+    const int fanin = static_cast<int>(rng.uniform_int(0, 3));
+    for (int e = 0; e < fanin; ++e) {
+      const auto u = static_cast<std::uint32_t>(rng.uniform_int(0, v - 1));
+      if (!g.has_edge(NodeId{u}, NodeId{v})) g.add_edge(NodeId{u}, NodeId{v});
+    }
+  }
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  const auto ranks = order_ranks(g, *order);
+  for (std::uint32_t u = 0; u < g.node_count(); ++u)
+    for (const NodeId v : g.succs(NodeId{u}))
+      EXPECT_LT(ranks[u], ranks[v.value]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,49 @@
+// Shared fixtures for the test suite: deterministic miniature models and
+// systems with numbers simple enough to verify by hand, plus random DAG and
+// random system generators for property sweeps.
+#pragma once
+
+#include <cstdint>
+
+#include "h2h.h"
+#include "util/rng.h"
+
+namespace h2h::testing {
+
+/// A three-layer linear model: input(1KiB) -> convA -> convB -> fcC.
+/// All sizes chosen for easy hand-calculation.
+[[nodiscard]] ModelGraph make_chain_model();
+
+/// A diamond: input -> a -> {b, c} -> add(d) -> fc(e).
+[[nodiscard]] ModelGraph make_diamond_model();
+
+/// Two-modality mini MMMT model with a fusion concat and two task heads
+/// (modality tags 1 and 2 on the branches).
+[[nodiscard]] ModelGraph make_mini_mmmt_model();
+
+/// A spec with round numbers: 100 MACs/cycle at 1 GHz (1e11 MAC/s), 10 GB/s
+/// local DRAM, `dram_capacity` local DRAM, matrix-engine dataflow, supports
+/// everything. Energy: 1 pJ/MAC, 0.1 nJ/B DRAM, 1 W link.
+[[nodiscard]] AcceleratorSpec simple_spec(const std::string& name,
+                                          Bytes dram_capacity);
+
+/// System of `n` identical simple_spec accelerators at `bw_acc` (default
+/// 1 GB/s host links).
+[[nodiscard]] SystemConfig make_uniform_system(std::size_t n,
+                                               double bw_acc = 1e9,
+                                               Bytes dram_capacity = gib(1));
+
+/// A 3-accelerator heterogeneous mini system: a fast conv-only design, a
+/// generic conv/fc/lstm engine, and an LSTM/FC specialist, with distinct
+/// throughputs so computation-prioritized choices are predictable.
+[[nodiscard]] SystemConfig make_mini_hetero_system(double bw_acc = 1e9);
+
+/// Random layered DAG with Conv/FC/LSTM/Pool/Eltwise/Concat nodes: always a
+/// valid ModelGraph (shapes agree). Node count in [4, 40].
+[[nodiscard]] ModelGraph make_random_model(Rng& rng);
+
+/// Random heterogeneous system of 2..8 accelerators with randomized specs
+/// (every layer kind supported by at least one accelerator).
+[[nodiscard]] SystemConfig make_random_system(Rng& rng);
+
+}  // namespace h2h::testing

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/activation_fusion.h"
+#include "core/comp_prioritized.h"
+#include "core/weight_locality.h"
+#include "system/incremental.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+void expect_same_timings(const IncrementalSchedule& inc, const Simulator& sim,
+                         const Mapping& m, const LocalityPlan& plan) {
+  const ScheduleResult full = sim.simulate(m, plan);
+  for (std::uint32_t i = 0; i < full.timings.size(); ++i) {
+    const LayerTiming& a = inc.timing(LayerId{i});
+    const LayerTiming& b = full.timings[i];
+    EXPECT_DOUBLE_EQ(a.start, b.start) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.finish, b.finish) << "node " << i;
+    EXPECT_DOUBLE_EQ(a.duration(), b.duration()) << "node " << i;
+  }
+  EXPECT_DOUBLE_EQ(inc.latency(), full.latency);
+  const ScheduleResult agg = inc.result(m);
+  EXPECT_DOUBLE_EQ(agg.energy.total(), full.energy.total());
+  EXPECT_DOUBLE_EQ(agg.comp_time, full.comp_time);
+  EXPECT_DOUBLE_EQ(agg.host_time, full.host_time);
+}
+
+TEST(Incremental, ResetMatchesFullSimulation) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+  expect_same_timings(inc, sim, mapping, plan);
+}
+
+TEST(Incremental, ComponentRefreshAfterPinning) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+
+  // Pin everything (weight-locality pass) and refresh all layers.
+  optimize_weight_locality(sim, mapping, plan);
+  const std::vector<LayerId> all = m.all_layers();
+  inc.refresh_components(mapping, plan, all);
+  expect_same_timings(inc, sim, mapping, plan);
+}
+
+TEST(Incremental, RemapMatchesFullSimulation) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+
+  // Move one fc layer between the generic and LSTM accelerators.
+  LayerId victim{};
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind == LayerKind::FullyConnected) victim = id;
+  ASSERT_TRUE(victim.valid());
+  const AccId src = mapping.acc_of(victim);
+  const AccId dst = src == AccId{1} ? AccId{2} : AccId{1};
+
+  mapping.reassign(victim, dst);
+  const std::array<AccId, 2> touched{src, dst};
+  optimize_weight_locality(sim, mapping, plan, {}, touched);
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  std::vector<LayerId> dirty = mapping.layers_on(src);
+  const auto on_dst = mapping.layers_on(dst);
+  dirty.insert(dirty.end(), on_dst.begin(), on_dst.end());
+  inc.apply_remap(mapping, plan, victim, src, dirty);
+
+  expect_same_timings(inc, sim, mapping, plan);
+  EXPECT_GT(inc.retime_count(), 0u);
+}
+
+// Property: a random sequence of remaps tracked incrementally stays
+// bit-identical to full re-simulation.
+class IncrementalProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalProperty, RandomRemapSequenceStaysConsistent) {
+  Rng rng(GetParam());
+  const ModelGraph m = testing::make_random_model(rng);
+  const SystemConfig sys = testing::make_random_system(rng);
+  const Simulator sim(m, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+
+  const std::vector<LayerId> layers = m.all_layers();
+  for (int step = 0; step < 10; ++step) {
+    // Pick a random movable layer and a random supporting destination.
+    const LayerId node = layers[rng.index(layers.size())];
+    if (m.layer(node).kind == LayerKind::Input) continue;
+    const auto cands = sys.supporting(m.layer(node).kind);
+    const AccId dst = cands[rng.index(cands.size())];
+    const AccId src = mapping.acc_of(node);
+    if (dst == src) continue;
+
+    mapping.reassign(node, dst);
+    const std::array<AccId, 2> touched{src, dst};
+    optimize_weight_locality(sim, mapping, plan, {}, touched);
+    optimize_activation_fusion(sim, mapping, plan, {}, touched);
+    std::vector<LayerId> dirty = mapping.layers_on(src);
+    const auto on_dst = mapping.layers_on(dst);
+    dirty.insert(dirty.end(), on_dst.begin(), on_dst.end());
+    inc.apply_remap(mapping, plan, node, src, dirty);
+
+    const ScheduleResult full = sim.simulate(mapping, plan);
+    ASSERT_DOUBLE_EQ(inc.latency(), full.latency) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,122 @@
+// Structural deep-checks of the reconstructed Table-2 models and their
+// interaction with the full toolchain (summary, DOT export, standard-system
+// mapping), beyond the aggregate assertions of test_zoo.cpp.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dot.h"
+#include "h2h.h"
+
+namespace h2h {
+namespace {
+
+std::size_t count_kind(const ModelGraph& m, LayerKind kind) {
+  std::size_t n = 0;
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind == kind) ++n;
+  return n;
+}
+
+TEST(ZooStructure, VlocnetHasSiameseTrunksAndTwoHeads) {
+  const ModelGraph m = make_vlocnet();
+  // Two image inputs (previous/current frame), no sequence inputs.
+  EXPECT_EQ(m.graph().sources().size(), 2u);
+  // Two task groups: odometry se3 + pose xyz/quat = 3 sinks.
+  EXPECT_EQ(m.graph().sinks().size(), 3u);
+  // The current frame feeds both the odometry and the global pose stream
+  // (the cross-talk the paper's Fig. 1 highlights).
+  bool cur_frame_shared = false;
+  for (const LayerId id : m.graph().sources())
+    if (m.graph().out_degree(id) >= 2) cur_frame_shared = true;
+  EXPECT_TRUE(cur_frame_shared);
+  // ResNet-50 bottlenecks: eltwise count = 16 (full) + 13x2 (trunks) + 3.
+  EXPECT_EQ(count_kind(m, LayerKind::Eltwise), 16u + 13u + 13u + 3u);
+}
+
+TEST(ZooStructure, VfsIsDualStreamWithDeepFusion) {
+  const ModelGraph m = make_vfs();
+  EXPECT_EQ(m.graph().sources().size(), 2u);  // image + text
+  EXPECT_EQ(m.graph().sinks().size(), 1u);    // sentiment head
+  // 13 VGG convs + 29 VD-CNN convs.
+  EXPECT_EQ(count_kind(m, LayerKind::Conv), 42u);
+  // The fusion MLP carries most parameters (the communication hot spot).
+  std::uint64_t fusion_params = 0;
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).modality == 0) fusion_params += m.layer(id).param_count();
+  EXPECT_GT(static_cast<double>(fusion_params),
+            0.5 * static_cast<double>(m.stats().total_params));
+}
+
+TEST(ZooStructure, TriModalModelsHaveThreeIndependentSources) {
+  for (const ZooModel id :
+       {ZooModel::CasiaSurf, ZooModel::FaceBag, ZooModel::MoCap}) {
+    const ModelGraph m = make_model(id);
+    EXPECT_EQ(m.graph().sources().size(), 3u) << zoo_info(id).key;
+    // Each source reaches the sinks (fusion connects all modalities).
+    for (const LayerId src : m.graph().sources()) {
+      const std::array<LayerId, 1> roots{src};
+      const auto seen = reachable_from(m.graph(), roots);
+      bool reaches_sink = false;
+      for (const LayerId sink : m.graph().sinks())
+        reaches_sink = reaches_sink || seen[sink.value];
+      EXPECT_TRUE(reaches_sink) << zoo_info(id).key;
+    }
+  }
+}
+
+TEST(ZooStructure, SummaryPerLayerListsEveryNode) {
+  const ModelGraph m = make_mocap();
+  std::ostringstream out;
+  print_model_summary(m, out, /*per_layer=*/true);
+  const std::string text = out.str();
+  for (const LayerId id : m.all_layers())
+    EXPECT_NE(text.find(m.layer(id).name), std::string::npos)
+        << m.layer(id).name;
+}
+
+TEST(ZooStructure, DotExportCoversMappedModel) {
+  const ModelGraph m = make_cnn_lstm();
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  const H2HResult r = H2HMapper(m, sys).run();
+  const std::string dot = to_dot(
+      m.graph(), [&](NodeId n) { return m.layer(n).name; },
+      [&](NodeId n) {
+        const AccId acc = r.mapping.acc_of(n);
+        return acc.is_host() ? std::string()
+                             : "fillcolor=gray" ;
+      });
+  EXPECT_NE(dot.find("vid.lstm"), std::string::npos);
+  // Edge count in the DOT matches the graph.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1))
+    ++arrows;
+  EXPECT_EQ(arrows, m.graph().edge_count());
+}
+
+TEST(ZooStructure, StandardMappingUsesHeterogeneity) {
+  // On the 12-accelerator system, a mixed conv+LSTM model must spread over
+  // conv-capable AND lstm-capable designs (computation awareness).
+  const ModelGraph m = make_cnn_lstm();
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
+  const H2HResult r = H2HMapper(m, sys).run();
+  bool conv_on_conv_design = false;
+  bool lstm_on_lstm_design = false;
+  for (const LayerId id : m.all_layers()) {
+    const Layer& l = m.layer(id);
+    if (l.kind == LayerKind::Input) continue;
+    const AcceleratorSpec& spec = sys.spec(r.mapping.acc_of(id));
+    if (l.kind == LayerKind::Conv && spec.kinds.conv && !spec.kinds.lstm)
+      conv_on_conv_design = true;
+    if (l.kind == LayerKind::Lstm &&
+        (spec.style == DataflowStyle::LstmPipeline ||
+         spec.style == DataflowStyle::GateParallel))
+      lstm_on_lstm_design = true;
+  }
+  EXPECT_TRUE(conv_on_conv_design);
+  EXPECT_TRUE(lstm_on_lstm_design);
+}
+
+}  // namespace
+}  // namespace h2h

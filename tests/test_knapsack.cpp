@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/knapsack.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace h2h {
+namespace {
+
+TEST(Knapsack, AllFitFastPath) {
+  const KnapsackItem items[] = {{1, 100, 1.0}, {2, 200, 2.0}, {3, 50, 0.5}};
+  const KnapsackSolution s =
+      solve_knapsack(items, 1000, KnapsackAlgo::ExactDp);
+  EXPECT_EQ(s.selected, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(s.used, 350u);
+  EXPECT_DOUBLE_EQ(s.value, 3.5);
+}
+
+TEST(Knapsack, ClassicSelection) {
+  // Capacity 4: {w3,v3} + {w2,v2}+{w2,v2} -> best is the two 2s (v=4).
+  const KnapsackItem items[] = {{1, 3, 3.0}, {2, 2, 2.0}, {3, 2, 2.0}};
+  for (const KnapsackAlgo algo :
+       {KnapsackAlgo::ExactDp, KnapsackAlgo::BruteForce}) {
+    const KnapsackSolution s = solve_knapsack(items, 4, algo);
+    EXPECT_EQ(s.selected, (std::vector<std::uint32_t>{2, 3}));
+    EXPECT_DOUBLE_EQ(s.value, 4.0);
+    EXPECT_EQ(s.used, 4u);
+  }
+}
+
+TEST(Knapsack, GreedyCanBeSuboptimalButNeverOverfills) {
+  // Greedy takes the density-1.5 item (w2), then cannot fit both w3s.
+  const KnapsackItem items[] = {{1, 2, 3.0}, {2, 3, 4.0}, {3, 3, 4.0}};
+  const KnapsackSolution g =
+      solve_knapsack(items, 6, KnapsackAlgo::GreedyDensity);
+  const KnapsackSolution opt =
+      solve_knapsack(items, 6, KnapsackAlgo::BruteForce);
+  EXPECT_LE(g.used, 6u);
+  EXPECT_LE(g.value, opt.value);
+  EXPECT_DOUBLE_EQ(opt.value, 8.0);  // the two w3 items
+}
+
+TEST(Knapsack, ZeroCapacitySelectsOnlyFreeItems) {
+  const KnapsackItem items[] = {{1, 10, 1.0}, {2, 0, 0.5}};
+  for (const KnapsackAlgo algo :
+       {KnapsackAlgo::ExactDp, KnapsackAlgo::GreedyDensity,
+        KnapsackAlgo::BruteForce}) {
+    const KnapsackSolution s = solve_knapsack(items, 0, algo);
+    EXPECT_EQ(s.selected, (std::vector<std::uint32_t>{2})) << int(algo);
+    EXPECT_EQ(s.used, 0u);
+  }
+}
+
+TEST(Knapsack, OversizedItemIgnored) {
+  const KnapsackItem items[] = {{1, 100, 10.0}, {2, 5, 1.0}};
+  const KnapsackSolution s = solve_knapsack(items, 10, KnapsackAlgo::ExactDp);
+  EXPECT_EQ(s.selected, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Knapsack, EmptyItems) {
+  const KnapsackSolution s =
+      solve_knapsack({}, 100, KnapsackAlgo::ExactDp);
+  EXPECT_TRUE(s.selected.empty());
+  EXPECT_EQ(s.used, 0u);
+}
+
+TEST(Knapsack, QuantizationNeverOverfills) {
+  // Capacity forces coarse units; rounded-up weights must still respect the
+  // true capacity.
+  std::vector<KnapsackItem> items;
+  for (std::uint32_t i = 0; i < 50; ++i)
+    items.push_back({i, 1000003, 1.0});  // just over the 1e6 unit boundary
+  const Bytes cap = 10 * 1000000;
+  const KnapsackSolution s =
+      solve_knapsack(items, cap, KnapsackAlgo::ExactDp, /*max_dp_units=*/10);
+  EXPECT_LE(s.used, cap);
+}
+
+TEST(Knapsack, BruteForceGuardsSize) {
+  std::vector<KnapsackItem> items(25, KnapsackItem{0, 1, 1.0});
+  EXPECT_THROW(
+      (void)solve_knapsack(items, 1, KnapsackAlgo::BruteForce),
+      ContractViolation);
+}
+
+// Property: exact DP at byte granularity matches brute force on random
+// instances; greedy is never better than exact.
+class KnapsackProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackProperty, DpMatchesBruteForce) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(1, 12));
+  std::vector<KnapsackItem> items;
+  Bytes total = 0;
+  for (int i = 0; i < n; ++i) {
+    const Bytes w = static_cast<Bytes>(rng.uniform_int(1, 64));
+    total += w;
+    items.push_back({static_cast<std::uint32_t>(i), w,
+                     rng.uniform_real(0.1, 10.0)});
+  }
+  const Bytes cap = static_cast<Bytes>(rng.uniform_int(
+      0, static_cast<std::int64_t>(total)));
+  // max_dp_units >= capacity => unit size 1 byte => exact.
+  const KnapsackSolution dp = solve_knapsack(
+      items, cap, KnapsackAlgo::ExactDp,
+      static_cast<std::uint32_t>(std::max<Bytes>(cap, 1)));
+  const KnapsackSolution bf =
+      solve_knapsack(items, cap, KnapsackAlgo::BruteForce);
+  const KnapsackSolution greedy =
+      solve_knapsack(items, cap, KnapsackAlgo::GreedyDensity);
+  EXPECT_NEAR(dp.value, bf.value, 1e-9);
+  EXPECT_LE(dp.used, cap);
+  EXPECT_LE(greedy.value, bf.value + 1e-9);
+  EXPECT_LE(greedy.used, cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "model/layer.h"
+
+namespace h2h {
+namespace {
+
+TEST(Layer, ConvAccountingMatchesClosedForm) {
+  // Conv <N=16, M=8, R=10, C=12, K=3, S=1>.
+  Layer l{"c", LayerKind::Conv, ConvShape{16, 8, 10, 12, 3, 1}};
+  EXPECT_EQ(l.macs(), 16ull * 8 * 10 * 12 * 3 * 3);
+  EXPECT_EQ(l.param_count(), 16ull * 8 * 3 * 3 + 16);  // + bias
+  EXPECT_EQ(l.out_elems(), 16ull * 10 * 12);
+  EXPECT_EQ(l.out_bytes(2), 2 * 16ull * 10 * 12);
+  EXPECT_EQ(l.light_ops(), 0u);
+  EXPECT_TRUE(l.has_weights());
+  EXPECT_TRUE(l.is_compute_layer());
+}
+
+TEST(Layer, Conv1dUsesRectangularKernel) {
+  Layer l{"c1d", LayerKind::Conv, ConvShape{64, 16, 100, 1, 3, 1, /*kw=*/1}};
+  EXPECT_EQ(l.macs(), 64ull * 16 * 100 * 1 * 3 * 1);
+  EXPECT_EQ(l.param_count(), 64ull * 16 * 3 + 64);
+}
+
+TEST(Layer, GroupedConvDividesChannels) {
+  Layer full{"g1", LayerKind::Conv, ConvShape{32, 32, 8, 8, 3, 1, 0, 1}};
+  Layer grouped{"g4", LayerKind::Conv, ConvShape{32, 32, 8, 8, 3, 1, 0, 4}};
+  EXPECT_EQ(grouped.macs() * 4, full.macs());
+}
+
+TEST(Layer, FcAccounting) {
+  Layer l{"f", LayerKind::FullyConnected, FcShape{100, 10}};
+  EXPECT_EQ(l.macs(), 1000u);
+  EXPECT_EQ(l.param_count(), 1010u);
+  EXPECT_EQ(l.out_elems(), 10u);
+}
+
+TEST(Layer, LstmAccountingStacked) {
+  // Layer 0: in=32, layer 1: in=hidden. 4 gates, T timesteps.
+  Layer l{"r", LayerKind::Lstm, LstmShape{32, 64, 2, 10}};
+  const std::uint64_t per_step =
+      4ull * (32 + 64) * 64 + 4ull * (64 + 64) * 64;
+  EXPECT_EQ(l.macs(), per_step * 10);
+  const std::uint64_t params =
+      4ull * ((32 + 64) * 64 + 64) + 4ull * ((64 + 64) * 64 + 64);
+  EXPECT_EQ(l.param_count(), params);
+  EXPECT_EQ(l.out_elems(), 10ull * 64);  // full hidden sequence
+}
+
+TEST(Layer, PoolHasLightOpsOnly) {
+  Layer l{"p", LayerKind::Pool, PoolShape{8, 4, 4, 2, 2}};
+  EXPECT_EQ(l.macs(), 0u);
+  EXPECT_EQ(l.light_ops(), 8ull * 4 * 4 * 2 * 2);
+  EXPECT_EQ(l.param_count(), 0u);
+  EXPECT_FALSE(l.has_weights());
+}
+
+TEST(Layer, EltwiseAndConcatAreWeightless) {
+  Layer e{"e", LayerKind::Eltwise, EltwiseShape{8, 4, 4}};
+  EXPECT_EQ(e.light_ops(), 8ull * 4 * 4);
+  EXPECT_EQ(e.out_elems(), 8ull * 4 * 4);
+  Layer c{"c", LayerKind::Concat, ConcatShape{24, 4, 4}};
+  EXPECT_EQ(c.light_ops(), 0u);
+  EXPECT_EQ(c.out_elems(), 24ull * 4 * 4);
+  Layer in{"i", LayerKind::Input, InputShape{3, 8, 8}};
+  EXPECT_EQ(in.out_elems(), 3ull * 8 * 8);
+  EXPECT_EQ(in.macs(), 0u);
+}
+
+TEST(Layer, ProducerChannels) {
+  EXPECT_EQ(producer_channels(
+                Layer{"", LayerKind::Conv, ConvShape{16, 8, 4, 4, 3, 1}}),
+            16u);
+  EXPECT_EQ(producer_channels(
+                Layer{"", LayerKind::Input, InputShape{3, 8, 8}}),
+            3u);
+  EXPECT_EQ(producer_channels(
+                Layer{"", LayerKind::FullyConnected, FcShape{8, 4}}),
+            0u);  // flat output
+  EXPECT_EQ(producer_channels(
+                Layer{"", LayerKind::Lstm, LstmShape{8, 4, 1, 2}}),
+            0u);
+}
+
+TEST(Layer, KindNames) {
+  EXPECT_EQ(to_string(LayerKind::Conv), "Conv");
+  EXPECT_EQ(to_string(LayerKind::FullyConnected), "FC");
+  EXPECT_EQ(to_string(LayerKind::Lstm), "LSTM");
+  EXPECT_EQ(to_string(LayerKind::Input), "Input");
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/h2h_mapper.h"
+#include "system/mapping_io.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+TEST(MappingIo, RoundTripPreservesScheduleExactly) {
+  const ModelGraph model = make_model(ZooModel::MoCap);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const H2HResult r = H2HMapper(model, sys).run();
+  const Simulator sim(model, sys);
+  const ScheduleResult before = sim.simulate(r.mapping, r.plan);
+
+  std::stringstream buffer;
+  write_mapping(buffer, model, sys, r.mapping, r.plan);
+  const LoadedMapping loaded = read_mapping(buffer, model, sys);
+  const ScheduleResult after = sim.simulate(loaded.mapping, loaded.plan);
+
+  EXPECT_DOUBLE_EQ(after.latency, before.latency);
+  EXPECT_DOUBLE_EQ(after.energy.total(), before.energy.total());
+  for (const LayerId id : model.all_layers()) {
+    EXPECT_EQ(loaded.mapping.acc_of(id), r.mapping.acc_of(id));
+    EXPECT_EQ(loaded.plan.pinned(id), r.plan.pinned(id));
+  }
+  EXPECT_EQ(loaded.plan.fused_edge_count(), r.plan.fused_edge_count());
+}
+
+TEST(MappingIo, FormatIsHumanReadable) {
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const H2HResult r = H2HMapper(model, sys).run();
+  std::ostringstream out;
+  write_mapping(out, model, sys, r.mapping, r.plan);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("h2h-mapping v1", 0), 0u);  // header first
+  EXPECT_NE(text.find("model chain"), std::string::npos);
+  EXPECT_NE(text.find("layer convA -> "), std::string::npos);
+  EXPECT_NE(text.find("pinned"), std::string::npos);
+}
+
+TEST(MappingIo, RejectsMalformedInputs) {
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+
+  const auto expect_reject = [&](const std::string& content) {
+    std::istringstream in(content);
+    EXPECT_THROW((void)read_mapping(in, model, sys), ConfigError) << content;
+  };
+
+  expect_reject("");  // empty
+  expect_reject("not-a-header\n");
+  expect_reject("h2h-mapping v1\nlayer nope -> CONV\n");       // unknown layer
+  expect_reject("h2h-mapping v1\nlayer convA -> NOPE\n");      // unknown acc
+  expect_reject("h2h-mapping v1\nlayer convA -- CONV\n");      // bad arrow
+  expect_reject("h2h-mapping v1\nwat convA -> CONV\n");        // bad keyword
+  expect_reject(
+      "h2h-mapping v1\nlayer convA -> CONV\nlayer convA -> GEN\n");  // dup
+  // Incomplete mapping (fcC missing).
+  expect_reject("h2h-mapping v1\nlayer convA -> CONV\nlayer convB -> CONV\n");
+  // Fusing a non-edge.
+  expect_reject(
+      "h2h-mapping v1\nlayer convA -> CONV\nlayer convB -> CONV\n"
+      "layer fcC -> LSTM\nfuse convA -> fcC\n");
+  // Valid placement but unsupported kind (FC on the conv-only accelerator).
+  expect_reject(
+      "h2h-mapping v1\nlayer convA -> CONV\nlayer convB -> CONV\n"
+      "layer fcC -> CONV\n");
+}
+
+TEST(MappingIo, CommentsAndBlankLinesIgnored) {
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  std::istringstream in(
+      "h2h-mapping v1\n"
+      "# a comment\n"
+      "\n"
+      "model chain\n"
+      "layer convA -> CONV pinned\n"
+      "layer convB -> CONV\n"
+      "layer fcC -> LSTM\n"
+      "fuse convA -> convB\n");
+  const LoadedMapping loaded = read_mapping(in, model, sys);
+  EXPECT_TRUE(loaded.plan.pinned(LayerId{1}));
+  EXPECT_FALSE(loaded.plan.pinned(LayerId{2}));
+  EXPECT_TRUE(loaded.plan.edge_fused(model, LayerId{1}, LayerId{2}));
+  EXPECT_EQ(loaded.mapping.acc_of(LayerId{3}), AccId{2});
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/mapping_report.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+TEST(MappingReport, ContainsEverySection) {
+  const ModelGraph model = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
+  const H2HResult r = H2HMapper(model, sys).run();
+
+  std::ostringstream out;
+  MappingReportOptions opts;
+  opts.per_layer = true;
+  print_mapping_report(model, sys, r, out, opts);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("model mini-mmmt"), std::string::npos);
+  EXPECT_NE(text.find("pipeline:"), std::string::npos);
+  EXPECT_NE(text.find("1: computation-prioritized"), std::string::npos);
+  EXPECT_NE(text.find("4: locality-aware remapping"), std::string::npos);
+  EXPECT_NE(text.find("locality:"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+  EXPECT_NE(text.find("Gantt"), std::string::npos);
+  // Per-layer table includes every compute layer by name.
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    EXPECT_NE(text.find(model.layer(id).name), std::string::npos)
+        << model.layer(id).name;
+  }
+}
+
+TEST(MappingReport, GanttAndPerLayerAreOptional) {
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const H2HResult r = H2HMapper(model, sys).run();
+
+  std::ostringstream out;
+  MappingReportOptions opts;
+  opts.gantt = false;
+  opts.per_layer = false;
+  print_mapping_report(model, sys, r, out, opts);
+  EXPECT_EQ(out.str().find("Gantt"), std::string::npos);
+  // Still reports the pipeline and loads.
+  EXPECT_NE(out.str().find("pipeline:"), std::string::npos);
+}
+
+TEST(MappingReport, LocalityNumbersMatchPlan) {
+  const ModelGraph model = make_model(ZooModel::MoCap);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const H2HResult r = H2HMapper(model, sys).run();
+  std::ostringstream out;
+  print_mapping_report(model, sys, r, out);
+  const std::string text = out.str();
+  // The pinned-layer count printed matches the plan.
+  EXPECT_NE(text.find(strformat("%zu layers pinned", r.plan.pinned_count())),
+            std::string::npos);
+  EXPECT_NE(text.find(strformat("%zu edges fused", r.plan.fused_edge_count())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2h

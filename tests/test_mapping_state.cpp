@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "system/mapping_state.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+using testing::make_chain_model;
+using testing::make_mini_hetero_system;
+
+TEST(Mapping, InputsStartOnHost) {
+  const ModelGraph m = make_chain_model();
+  const Mapping mapping(m);
+  EXPECT_TRUE(mapping.is_assigned(LayerId{0}));  // the input
+  EXPECT_TRUE(mapping.acc_of(LayerId{0}).is_host());
+  EXPECT_FALSE(mapping.is_assigned(LayerId{1}));
+  EXPECT_FALSE(mapping.complete());
+}
+
+TEST(Mapping, AssignSequencesInCallOrder) {
+  const ModelGraph m = make_chain_model();
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{0});
+  EXPECT_TRUE(mapping.complete());
+  EXPECT_LT(mapping.seq_of(LayerId{1}), mapping.seq_of(LayerId{2}));
+  EXPECT_LT(mapping.seq_of(LayerId{2}), mapping.seq_of(LayerId{3}));
+  // Double-assignment is a bug.
+  EXPECT_THROW(mapping.assign(LayerId{1}, AccId{1}), ContractViolation);
+}
+
+TEST(Mapping, ReassignKeepsSequence) {
+  const ModelGraph m = make_chain_model();
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  const std::uint32_t seq = mapping.seq_of(LayerId{1});
+  mapping.reassign(LayerId{1}, AccId{2});
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{2});
+  EXPECT_EQ(mapping.seq_of(LayerId{1}), seq);
+  // Host is not a remap destination.
+  EXPECT_THROW(mapping.reassign(LayerId{1}, AccId::host()), ContractViolation);
+}
+
+TEST(Mapping, QueuesAreSeqSorted) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{1});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{2});
+  const auto queues = mapping.acc_queues(sys);
+  ASSERT_EQ(queues.size(), 3u);
+  EXPECT_TRUE(queues[0].empty());
+  EXPECT_EQ(queues[1], (std::vector<LayerId>{LayerId{1}, LayerId{2}}));
+  EXPECT_EQ(queues[2], (std::vector<LayerId>{LayerId{3}}));
+  EXPECT_EQ(mapping.layers_on(AccId{1}),
+            (std::vector<LayerId>{LayerId{1}, LayerId{2}}));
+}
+
+TEST(Mapping, ValidateCatchesUnsupportedPlacement) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  Mapping mapping(m);
+  // Layer 3 is an FC; accelerator 0 is conv-only.
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{0});
+  mapping.assign(LayerId{3}, AccId{0});
+  EXPECT_THROW(mapping.validate(m, sys), ConfigError);
+  mapping.reassign(LayerId{3}, AccId{2});
+  EXPECT_NO_THROW(mapping.validate(m, sys));
+}
+
+TEST(Mapping, ValidateCatchesUnmappedLayers) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Mapping mapping(m);
+  EXPECT_THROW(mapping.validate(m, sys), ConfigError);
+}
+
+TEST(LocalityPlan, StartsWithZeroLocality) {
+  const ModelGraph m = make_chain_model();
+  const LocalityPlan plan(m);
+  for (const LayerId id : m.all_layers()) EXPECT_FALSE(plan.pinned(id));
+  EXPECT_EQ(plan.pinned_count(), 0u);
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+}
+
+TEST(LocalityPlan, PinAndFuseFlags) {
+  const ModelGraph m = make_chain_model();
+  LocalityPlan plan(m);
+  plan.set_pinned(LayerId{1}, true);
+  EXPECT_TRUE(plan.pinned(LayerId{1}));
+  EXPECT_EQ(plan.pinned_count(), 1u);
+
+  // Edge input(0) -> convA(1) is pred index 0 of layer 1.
+  plan.set_fused_in(LayerId{1}, 0, true);
+  EXPECT_TRUE(plan.fused_in(LayerId{1}, 0));
+  EXPECT_TRUE(plan.edge_fused(m, LayerId{0}, LayerId{1}));
+  EXPECT_EQ(plan.fused_edge_count(), 1u);
+
+  plan.clear_fusion();
+  EXPECT_EQ(plan.fused_edge_count(), 1u - 1u);
+  EXPECT_TRUE(plan.pinned(LayerId{1}));  // pins survive fusion reset
+  plan.clear_pins();
+  EXPECT_EQ(plan.pinned_count(), 0u);
+}
+
+TEST(LocalityPlan, EdgeFusedRejectsNonEdges) {
+  const ModelGraph m = make_chain_model();
+  const LocalityPlan plan(m);
+  EXPECT_THROW((void)plan.edge_fused(m, LayerId{0}, LayerId{3}),
+               ContractViolation);
+}
+
+TEST(LocalityPlan, DramBookkeeping) {
+  const ModelGraph m = make_chain_model();
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(3);
+  EXPECT_EQ(plan.used_dram(AccId{2}), 0u);
+  plan.set_used_dram(AccId{2}, mib(7));
+  EXPECT_EQ(plan.used_dram(AccId{2}), mib(7));
+}
+
+}  // namespace
+}  // namespace h2h

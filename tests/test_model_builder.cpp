@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "model/model_builder.h"
+#include "model/summary.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+TEST(ModelBuilder, SamePaddingShapePropagation) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 3, 224, 224);
+  const LayerId c1 = b.conv("c1", in, 64, 7, 2);  // ceil(224/2) = 112
+  EXPECT_EQ(b.geometry(c1).h, 112u);
+  const LayerId p1 = b.pool("p1", c1, 3, 2);  // 56
+  EXPECT_EQ(b.geometry(p1).h, 56u);
+  const LayerId c2 = b.conv("c2", p1, 128, 3, 3);  // ceil(56/3) = 19
+  EXPECT_EQ(b.geometry(c2).h, 19u);
+  EXPECT_EQ(b.geometry(c2).channels, 128u);
+  // in_channels inferred from the producer.
+  const auto& shape = std::get<ConvShape>(b.peek().layer(c2).shape);
+  EXPECT_EQ(shape.in_channels, 64u);
+}
+
+TEST(ModelBuilder, FcFlattensProducer) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 4, 6, 6);
+  const LayerId f = b.fc("f", in, 10);
+  const auto& shape = std::get<FcShape>(b.peek().layer(f).shape);
+  EXPECT_EQ(shape.in_features, 4u * 6 * 6);
+  const ModelGraph m = std::move(b).build();
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ModelBuilder, LstmInfersSequenceFromProducer) {
+  ModelBuilder b("m");
+  const LayerId in = b.input_seq("in", 20, 16);
+  const LayerId l = b.lstm("l", in, 32, 2);
+  const auto& shape = std::get<LstmShape>(b.peek().layer(l).shape);
+  EXPECT_EQ(shape.in_size, 16u);
+  EXPECT_EQ(shape.seq_len, 20u);
+  EXPECT_EQ(shape.layers, 2u);
+}
+
+TEST(ModelBuilder, LstmExplicitSeqOverImage) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 8, 7, 7);
+  // 8*7*7 = 392 elems over 7 steps -> 56 per step.
+  const LayerId l = b.lstm("l", in, 16, 1, 7);
+  EXPECT_EQ(std::get<LstmShape>(b.peek().layer(l).shape).in_size, 56u);
+  // Indivisible sequence is rejected.
+  EXPECT_THROW((void)b.lstm("bad", in, 16, 1, 5), ConfigError);
+  // No sequence info at all is rejected.
+  const LayerId f = b.fc("f", in, 9);
+  EXPECT_THROW((void)b.lstm("bad2", f, 16, 1, 2), ConfigError);
+}
+
+TEST(ModelBuilder, EltwiseRequiresMatchingShapes) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 4, 8, 8);
+  const LayerId a = b.conv("a", in, 8, 3, 1);
+  const LayerId c = b.conv("c", in, 8, 3, 2);
+  EXPECT_THROW((void)b.eltwise("bad", a, c), ConfigError);
+  const LayerId d = b.conv("d", in, 8, 3, 1);
+  EXPECT_NO_THROW((void)b.eltwise("ok", a, d));
+}
+
+TEST(ModelBuilder, ConcatRequiresSpatialAgreement) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 4, 8, 8);
+  const LayerId a = b.conv("a", in, 8, 3, 1);
+  const LayerId c = b.conv("c", in, 16, 3, 1);
+  const LayerId cat = b.concat("cat", std::array{a, c});
+  EXPECT_EQ(b.geometry(cat).channels, 24u);
+  const LayerId strided = b.conv("s", in, 8, 3, 2);
+  EXPECT_THROW((void)b.concat("bad", std::array{a, strided}), ConfigError);
+}
+
+TEST(ModelBuilder, Conv1dRequiresSequenceShape) {
+  ModelBuilder b("m");
+  const LayerId img = b.input("img", 3, 8, 8);
+  EXPECT_THROW((void)b.conv1d("bad", img, 8, 3, 1), ConfigError);
+  const LayerId seq = b.input_seq("seq", 64, 16);
+  const LayerId c = b.conv1d("ok", seq, 32, 3, 2);
+  EXPECT_EQ(b.geometry(c).h, 32u);
+  EXPECT_EQ(b.geometry(c).w, 1u);
+}
+
+TEST(ModelBuilder, ModalityTagging) {
+  ModelBuilder b("m");
+  b.set_modality(3);
+  const LayerId in = b.input("in", 1, 4, 4);
+  const LayerId c = b.conv("c", in, 4, 3, 1);
+  b.set_modality(0);
+  const LayerId f = b.fc("f", c, 2);
+  EXPECT_EQ(b.peek().layer(in).modality, 3u);
+  EXPECT_EQ(b.peek().layer(c).modality, 3u);
+  EXPECT_EQ(b.peek().layer(f).modality, 0u);
+}
+
+TEST(ModelGraph, ValidateCatchesArityViolations) {
+  // Hand-build a graph that the builder would refuse: conv with two inputs.
+  ModelGraph m("bad");
+  const LayerId i1 =
+      m.add_layer(Layer{"i1", LayerKind::Input, InputShape{4, 4, 4}});
+  const LayerId i2 =
+      m.add_layer(Layer{"i2", LayerKind::Input, InputShape{4, 4, 4}});
+  const std::array<LayerId, 2> both{i1, i2};
+  (void)m.add_layer(Layer{"c", LayerKind::Conv, ConvShape{8, 4, 4, 4, 3, 1}},
+                    both);
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(ModelGraph, ValidateCatchesChannelMismatch) {
+  ModelGraph m("bad");
+  const LayerId in =
+      m.add_layer(Layer{"in", LayerKind::Input, InputShape{4, 4, 4}});
+  const std::array<LayerId, 1> one{in};
+  // Claims 8 input channels; producer provides 4.
+  (void)m.add_layer(Layer{"c", LayerKind::Conv, ConvShape{8, 8, 4, 4, 3, 1}},
+                    one);
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(ModelGraph, ValidateCatchesEmptyModel) {
+  ModelGraph m("empty");
+  EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(ModelGraph, StatsAggregateAcrossLayers) {
+  ModelBuilder b("m");
+  const LayerId in = b.input("in", 2, 4, 4);
+  const LayerId c = b.conv("c", in, 4, 3, 1);
+  const LayerId f = b.fc("f", c, 8);
+  (void)f;
+  const ModelGraph m = std::move(b).build();
+  const ModelStats s = m.stats();
+  EXPECT_EQ(s.node_count, 3u);
+  EXPECT_EQ(s.compute_layer_count, 2u);
+  const Layer& conv = m.layer(c);
+  const Layer& fc = m.layer(f);
+  EXPECT_EQ(s.total_params, conv.param_count() + fc.param_count());
+  EXPECT_EQ(s.total_macs, conv.macs() + fc.macs());
+}
+
+TEST(ModelSummary, DescribesEveryKind) {
+  EXPECT_NE(describe_shape(Layer{"", LayerKind::Conv,
+                                 ConvShape{8, 4, 2, 2, 3, 1}})
+                .find("Conv"),
+            std::string::npos);
+  EXPECT_NE(describe_shape(Layer{"", LayerKind::Lstm, LstmShape{8, 16, 2, 4}})
+                .find("LSTM"),
+            std::string::npos);
+  EXPECT_NE(describe_shape(Layer{"", LayerKind::FullyConnected, FcShape{8, 4}})
+                .find("FC 8->4"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,97 @@
+// Cross-module property sweeps: the full H2H pipeline on randomized models
+// and randomized heterogeneous systems must uphold the algorithm's
+// invariants for every seed.
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+class PipelineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineProperty, InvariantsHoldOnRandomInstances) {
+  Rng rng(GetParam());
+  const ModelGraph model = testing::make_random_model(rng);
+  const SystemConfig sys = testing::make_random_system(rng);
+  const H2HMapper mapper(model, sys);
+  const H2HResult r = mapper.run();
+
+  // 1. All four steps ran, latencies positive and monotone from step 2 on.
+  ASSERT_EQ(r.steps.size(), 4u);
+  for (const StepSnapshot& s : r.steps) {
+    EXPECT_GT(s.result.latency, 0.0);
+    EXPECT_GT(s.result.energy.total(), 0.0);
+  }
+  EXPECT_LE(r.steps[1].result.latency, r.steps[0].result.latency);
+  EXPECT_LE(r.steps[2].result.latency, r.steps[1].result.latency);
+  EXPECT_LE(r.steps[3].result.latency, r.steps[2].result.latency);
+
+  // 2. Final mapping is complete and kind-valid.
+  EXPECT_NO_THROW(r.mapping.validate(model, sys));
+
+  // 3. Pins and fused buffers respect every accelerator's DRAM capacity.
+  for (const AccId acc : sys.all_accelerators()) {
+    Bytes pinned = 0;
+    for (const LayerId id : r.mapping.layers_on(acc))
+      if (r.plan.pinned(id)) pinned += model.weight_bytes(id);
+    EXPECT_LE(pinned, sys.spec(acc).dram_capacity) << sys.spec(acc).name;
+    EXPECT_LE(r.plan.used_dram(acc), sys.spec(acc).dram_capacity);
+  }
+
+  // 4. Fused edges connect co-located layers only.
+  for (const LayerId id : model.all_layers()) {
+    const auto preds = model.graph().preds(id);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (!r.plan.fused_in(id, i)) continue;
+      EXPECT_EQ(r.mapping.acc_of(preds[i]), r.mapping.acc_of(id));
+      EXPECT_FALSE(r.mapping.acc_of(id).is_host());
+    }
+  }
+
+  // 5. Schedule sanity: every layer starts after its predecessors finish,
+  //    and accelerator queues do not overlap.
+  const ScheduleResult& final = r.final_result();
+  for (const LayerId id : model.all_layers()) {
+    for (const LayerId p : model.graph().preds(id)) {
+      EXPECT_GE(final.timings[id.value].start,
+                final.timings[p.value].finish - 1e-12);
+    }
+  }
+  for (const AccId acc : sys.all_accelerators()) {
+    const auto queue = r.mapping.layers_on(acc);
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      EXPECT_GE(final.timings[queue[i].value].start,
+                final.timings[queue[i - 1].value].finish - 1e-12);
+    }
+  }
+
+  // 6. Makespan equals the max finish time.
+  double max_finish = 0;
+  for (const LayerTiming& t : final.timings)
+    max_finish = std::max(max_finish, t.finish);
+  EXPECT_DOUBLE_EQ(final.latency, max_finish);
+}
+
+TEST_P(PipelineProperty, EnergyDecomposesAndTracksTraffic) {
+  Rng rng(GetParam() + 1000);
+  const ModelGraph model = testing::make_random_model(rng);
+  const SystemConfig sys = testing::make_random_system(rng);
+  const H2HResult r = H2HMapper(model, sys).run();
+
+  const EnergyBreakdown& base = r.baseline_result().energy;
+  const EnergyBreakdown& fin = r.final_result().energy;
+  // Steps 2-3 only localize traffic, so up to the end of step 3 host bytes
+  // cannot grow. (Step 4 optimizes latency and may trade traffic around.)
+  EXPECT_LE(r.steps[2].result.host_bytes, r.steps[0].result.host_bytes);
+  EXPECT_GT(fin.compute, 0.0);
+  EXPECT_DOUBLE_EQ(fin.total(),
+                   fin.compute + fin.link + fin.dram + fin.static_power);
+  EXPECT_GE(base.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace h2h

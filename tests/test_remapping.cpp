@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/activation_fusion.h"
+#include "core/comp_prioritized.h"
+#include "core/remapping.h"
+#include "core/weight_locality.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+struct Prepared {
+  ModelGraph model;
+  SystemConfig sys;
+  Mapping mapping;
+  LocalityPlan plan;
+};
+
+Prepared prepare(ModelGraph model, SystemConfig sys) {
+  const Simulator sim(model, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(model);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+  return Prepared{std::move(model), std::move(sys), std::move(mapping),
+                  std::move(plan)};
+}
+
+TEST(Remapping, NeverIncreasesLatency) {
+  Prepared p = prepare(testing::make_mini_mmmt_model(),
+                       testing::make_mini_hetero_system(0.125e9));
+  const Simulator sim(p.model, p.sys);
+  const double before = sim.simulate(p.mapping, p.plan).latency;
+  const RemapStats stats = data_locality_remapping(sim, p.mapping, p.plan);
+  const double after = sim.simulate(p.mapping, p.plan).latency;
+  EXPECT_LE(after, before);
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_GE(stats.attempts, stats.accepted);
+}
+
+TEST(Remapping, MappingStaysValidAfterMoves) {
+  Prepared p = prepare(make_model(ZooModel::MoCap),
+                       SystemConfig::standard(BandwidthSetting::LowMinus));
+  const Simulator sim(p.model, p.sys);
+  (void)data_locality_remapping(sim, p.mapping, p.plan);
+  EXPECT_NO_THROW(p.mapping.validate(p.model, p.sys));
+}
+
+TEST(Remapping, IncrementalAndFullResimAgree) {
+  const auto run = [](bool use_inc) {
+    Prepared p = prepare(make_model(ZooModel::CnnLstm),
+                         SystemConfig::standard(BandwidthSetting::LowMinus));
+    const Simulator sim(p.model, p.sys);
+    RemapOptions opts;
+    opts.use_incremental = use_inc;
+    (void)data_locality_remapping(sim, p.mapping, p.plan, opts);
+    return sim.simulate(p.mapping, p.plan).latency;
+  };
+  const double full = run(false);
+  const double incremental = run(true);
+  EXPECT_NEAR(incremental, full, full * 1e-9);
+}
+
+TEST(Remapping, ReducesHostTrafficAtLowBandwidth) {
+  Prepared p = prepare(make_model(ZooModel::CasiaSurf),
+                       SystemConfig::standard(BandwidthSetting::LowMinus));
+  const Simulator sim(p.model, p.sys);
+  const Bytes host_before = sim.simulate(p.mapping, p.plan).host_bytes;
+  (void)data_locality_remapping(sim, p.mapping, p.plan);
+  const Bytes host_after = sim.simulate(p.mapping, p.plan).host_bytes;
+  EXPECT_LT(host_after, host_before);
+}
+
+TEST(Remapping, TerminatesWithinMaxPasses) {
+  Prepared p = prepare(make_model(ZooModel::FaceBag),
+                       SystemConfig::standard(BandwidthSetting::Low));
+  const Simulator sim(p.model, p.sys);
+  RemapOptions opts;
+  opts.max_passes = 3;
+  const RemapStats stats = data_locality_remapping(sim, p.mapping, p.plan, opts);
+  EXPECT_LE(stats.passes, 3u);
+}
+
+TEST(Remapping, NoOpWhenAlreadyOptimal) {
+  // Single accelerator: there is nowhere to move anything.
+  Prepared p = prepare(testing::make_chain_model(),
+                       testing::make_uniform_system(1));
+  const Simulator sim(p.model, p.sys);
+  const double before = sim.simulate(p.mapping, p.plan).latency;
+  const RemapStats stats = data_locality_remapping(sim, p.mapping, p.plan);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_DOUBLE_EQ(sim.simulate(p.mapping, p.plan).latency, before);
+}
+
+TEST(Remapping, AcceptedMovesMatchLatencyTrajectory) {
+  // Strict-decrease acceptance: with zero epsilon tolerance the final
+  // latency must be strictly lower than the start when moves were accepted.
+  Prepared p = prepare(make_model(ZooModel::MoCap),
+                       SystemConfig::standard(BandwidthSetting::LowMinus));
+  const Simulator sim(p.model, p.sys);
+  const double before = sim.simulate(p.mapping, p.plan).latency;
+  const RemapStats stats = data_locality_remapping(sim, p.mapping, p.plan);
+  const double after = sim.simulate(p.mapping, p.plan).latency;
+  if (stats.accepted > 0) EXPECT_LT(after, before);
+  else EXPECT_DOUBLE_EQ(after, before);
+}
+
+}  // namespace
+}  // namespace h2h

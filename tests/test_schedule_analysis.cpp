@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/h2h_mapper.h"
+#include "system/schedule_analysis.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+struct Scheduled {
+  ModelGraph model;
+  SystemConfig sys;
+  H2HResult result;
+};
+
+Scheduled schedule_mini() {
+  ModelGraph model = testing::make_mini_mmmt_model();
+  SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
+  H2HResult r = H2HMapper(model, sys).run();
+  return Scheduled{std::move(model), std::move(sys), std::move(r)};
+}
+
+TEST(CriticalPath, EndsAtMakespanAndIsContiguous) {
+  const Scheduled s = schedule_mini();
+  const ScheduleResult& sched = s.result.final_result();
+  const auto path = critical_path(s.model, s.result.mapping, sched);
+  ASSERT_FALSE(path.empty());
+  // Last hop finishes exactly at the makespan.
+  EXPECT_DOUBLE_EQ(sched.timings[path.back().layer.value].finish,
+                   sched.latency);
+  // Every consecutive pair is glued: blocker's finish == layer's start.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(path[i].blocker, path[i - 1].layer);
+    EXPECT_DOUBLE_EQ(sched.timings[path[i].blocker.value].finish,
+                     sched.timings[path[i].layer.value].start);
+    EXPECT_NE(path[i].reason, CriticalHop::Reason::Source);
+  }
+  // The first hop started unconstrained (or at time zero).
+  EXPECT_EQ(path.front().reason, CriticalHop::Reason::Source);
+}
+
+TEST(CriticalPath, BreakdownSumsToMakespan) {
+  const Scheduled s = schedule_mini();
+  const ScheduleResult& sched = s.result.final_result();
+  const CriticalPathBreakdown b =
+      critical_path_breakdown(s.model, s.result.mapping, sched);
+  EXPECT_NEAR(b.total, sched.latency, sched.latency * 1e-9);
+  EXPECT_GE(b.compute_time, 0.0);
+  EXPECT_GE(b.host_time, 0.0);
+  EXPECT_GE(b.wait_time, 0.0);
+}
+
+TEST(AcceleratorLoads, BusyPlusIdleEqualsMakespan) {
+  const Scheduled s = schedule_mini();
+  const ScheduleResult& sched = s.result.final_result();
+  const auto loads =
+      accelerator_loads(s.model, s.sys, s.result.mapping, sched);
+  ASSERT_EQ(loads.size(), s.sys.accelerator_count());
+  std::size_t total_layers = 0;
+  for (const AcceleratorLoad& load : loads) {
+    EXPECT_NEAR(load.busy_time + load.idle_time, sched.latency,
+                sched.latency * 1e-9);
+    EXPECT_GE(load.utilization(sched.latency), 0.0);
+    EXPECT_LE(load.utilization(sched.latency), 1.0 + 1e-12);
+    total_layers += load.layer_count;
+  }
+  // Every non-input layer is on exactly one accelerator.
+  std::size_t expect = 0;
+  for (const LayerId id : s.model.all_layers())
+    if (s.model.layer(id).kind != LayerKind::Input) ++expect;
+  EXPECT_EQ(total_layers, expect);
+}
+
+TEST(AcceleratorLoads, EmptyAcceleratorIsAllIdle) {
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(3);
+  const Simulator sim(model, sys);
+  Mapping mapping(model);
+  for (const LayerId id : model.all_layers())
+    if (model.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+  const LocalityPlan plan(model);
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  const auto loads = accelerator_loads(model, sys, mapping, r);
+  EXPECT_EQ(loads[1].layer_count, 0u);
+  EXPECT_DOUBLE_EQ(loads[1].busy_time, 0.0);
+  EXPECT_NEAR(loads[1].idle_time, r.latency, 1e-15);
+}
+
+TEST(Gantt, RendersOneRowPerAccelerator) {
+  const Scheduled s = schedule_mini();
+  std::ostringstream out;
+  print_gantt(s.model, s.sys, s.result.mapping, s.result.final_result(), out,
+              40);
+  const std::string text = out.str();
+  // Header + one row per accelerator.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<std::ptrdiff_t>(1 + s.sys.accelerator_count()));
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("CONV"), std::string::npos);
+}
+
+TEST(Gantt, BusyColumnsMatchLoad) {
+  // A fully serial chain on one accelerator: its row must be all '#'.
+  const ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(1);
+  const Simulator sim(model, sys);
+  Mapping mapping(model);
+  for (const LayerId id : model.all_layers())
+    if (model.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+  const LocalityPlan plan(model);
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  std::ostringstream out;
+  print_gantt(model, sys, mapping, r, out, 20);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '#'), 20);
+  // No idle columns in the row itself (the header line contains dots in
+  // formatted numbers, so inspect only the accelerator row).
+  const std::string row = text.substr(text.find('\n') + 1);
+  EXPECT_EQ(row.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2h

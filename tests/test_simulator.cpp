@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "system/simulator.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+using testing::make_chain_model;
+using testing::make_diamond_model;
+using testing::make_uniform_system;
+
+// Uniform test accelerator: 1e11 MAC/s peak, 10 GB/s local DRAM; host links
+// at 1 GB/s. MatrixEngine base affinity 0.85, PE array 10x10.
+
+Mapping map_all_to(const ModelGraph& m, AccId acc) {
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, acc);
+  return mapping;
+}
+
+TEST(Simulator, ChainLatencyIsSumOfDurationsOnOneAccelerator) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+  const LocalityPlan plan(m);
+
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  double expected = 0;
+  for (const LayerId id : m.all_layers())
+    expected += sim.layer_components(id, mapping, plan).duration();
+  EXPECT_DOUBLE_EQ(r.latency, expected);
+
+  // With zero locality every byte crosses the host link.
+  EXPECT_EQ(r.local_bytes, 0u);
+  EXPECT_GT(r.host_bytes, 0u);
+  EXPECT_DOUBLE_EQ(r.local_time, 0.0);
+}
+
+TEST(Simulator, ZeroPlanComponentsMatchHandComputation) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+  const LocalityPlan plan(m);
+
+  // convA: IFM 1024 B, weights (16*8*9+16)*2 = 2336 B, OFM 16*8*8*2 = 2048 B.
+  const LayerTiming t = sim.layer_components(LayerId{1}, mapping, plan);
+  EXPECT_DOUBLE_EQ(t.t_in, 1024.0 / 1e9);
+  EXPECT_DOUBLE_EQ(t.t_weight, 2336.0 / 1e9);
+  EXPECT_DOUBLE_EQ(t.t_out, 2048.0 / 1e9);
+  EXPECT_EQ(t.host_bytes, 1024u + 2336u + 2048u);
+  // Compute: 73728 MACs at 1e11 * 0.85 * align(16,10)*align(8,10).
+  const double util = 0.85 * (16.0 / 20.0) * (8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(t.t_compute, 73728.0 / (1e11 * util));
+  // Sum decomposition is consistent.
+  EXPECT_DOUBLE_EQ(t.t_host, t.t_in + t.t_weight + t.t_out);
+}
+
+TEST(Simulator, UnlocalizedDurationMatchesZeroPlan) {
+  const ModelGraph m = make_diamond_model();
+  const SystemConfig sys = make_uniform_system(2);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{1});
+  const LocalityPlan plan(m);
+  for (const LayerId id : m.all_layers()) {
+    if (m.layer(id).kind == LayerKind::Input) continue;
+    EXPECT_DOUBLE_EQ(sim.unlocalized_duration(id, AccId{1}),
+                     sim.layer_components(id, mapping, plan).duration())
+        << m.layer(id).name;
+  }
+}
+
+TEST(Simulator, PinnedWeightsMoveAtLocalRate) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+
+  LocalityPlan plan(m);
+  const ScheduleResult before = sim.simulate(mapping, plan);
+  plan.set_pinned(LayerId{1}, true);  // convA: 2336 weight bytes
+  const ScheduleResult after = sim.simulate(mapping, plan);
+
+  const double saving = 2336.0 / 1e9 - 2336.0 / 1e10;
+  EXPECT_NEAR(before.latency - after.latency, saving, 1e-15);
+  EXPECT_EQ(after.local_bytes, 2336u);
+}
+
+TEST(Simulator, FusedEdgeSkipsHostRoundTrip) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+
+  LocalityPlan plan(m);
+  const ScheduleResult before = sim.simulate(mapping, plan);
+  // Fuse convA -> convB (convB's only in-edge): consumer read becomes local
+  // AND producer's host write disappears (its only consumer is local).
+  plan.set_fused_in(LayerId{2}, 0, true);
+  const ScheduleResult after = sim.simulate(mapping, plan);
+
+  const double bytes = 2048.0;  // convA OFM
+  const double read_saving = bytes / 1e9 - bytes / 1e10;  // host -> local read
+  const double write_saving = bytes / 1e9;  // host write disappears entirely
+  EXPECT_NEAR(before.latency - after.latency, read_saving + write_saving,
+              1e-15);
+}
+
+TEST(Simulator, PartialFusionStillWritesToHost) {
+  const ModelGraph m = make_diamond_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+
+  // Layer a (id 1) feeds b (id 2) and c (id 3). Fuse only a->b.
+  LocalityPlan plan(m);
+  plan.set_fused_in(LayerId{2}, 0, true);
+  const LayerTiming t = sim.layer_components(LayerId{1}, mapping, plan);
+  const Bytes ob = m.layer(LayerId{1}).out_bytes(m.dtype_bytes());
+  // The host write remains (consumer c is unfused); no extra local charge.
+  EXPECT_DOUBLE_EQ(t.t_out, static_cast<double>(ob) / 1e9);
+
+  // Fusing the second consumer as well removes the host write entirely.
+  plan.set_fused_in(LayerId{3}, 0, true);
+  const LayerTiming t2 = sim.layer_components(LayerId{1}, mapping, plan);
+  EXPECT_DOUBLE_EQ(t2.t_out, 0.0);
+}
+
+TEST(Simulator, SinksAlwaysReturnResultsToHost) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+  const LocalityPlan plan(m);
+  const LayerTiming t = sim.layer_components(LayerId{3}, mapping, plan);
+  EXPECT_GT(t.t_out, 0.0);  // fc output must reach the host
+}
+
+TEST(Simulator, ParallelBranchesOverlapAcrossAccelerators) {
+  const ModelGraph m = make_diamond_model();
+  const SystemConfig sys2 = make_uniform_system(2);
+  const SystemConfig sys1 = make_uniform_system(1);
+  const Simulator sim2(m, sys2);
+  const Simulator sim1(m, sys1);
+  const LocalityPlan plan(m);
+
+  // Split: branches b and c on different accelerators.
+  Mapping split(m);
+  split.assign(LayerId{1}, AccId{0});
+  split.assign(LayerId{2}, AccId{0});
+  split.assign(LayerId{3}, AccId{1});
+  split.assign(LayerId{4}, AccId{0});
+  split.assign(LayerId{5}, AccId{0});
+
+  const Mapping serial = map_all_to(m, AccId{0});
+  const double lat_split = sim2.simulate(split, plan).latency;
+  const double lat_serial = sim1.simulate(serial, plan).latency;
+  EXPECT_LT(lat_split, lat_serial);
+
+  // The two branch layers really overlap in time.
+  const ScheduleResult r = sim2.simulate(split, plan);
+  const LayerTiming& b = r.timings[2];
+  const LayerTiming& c = r.timings[3];
+  EXPECT_LT(std::max(b.start, c.start), std::min(b.finish, c.finish));
+}
+
+TEST(Simulator, FifoOrderSerializesSameAccelerator) {
+  const ModelGraph m = make_diamond_model();
+  const SystemConfig sys = make_uniform_system(2);
+  const Simulator sim(m, sys);
+  const LocalityPlan plan(m);
+  const Mapping mapping = map_all_to(m, AccId{0});
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  // b (seq earlier) must fully precede c on the shared accelerator.
+  EXPECT_LE(r.timings[2].finish, r.timings[3].start + 1e-18);
+}
+
+TEST(Simulator, DependentLayerWaitsForAllPredecessors) {
+  const ModelGraph m = make_diamond_model();
+  const SystemConfig sys = make_uniform_system(3);
+  const Simulator sim(m, sys);
+  const LocalityPlan plan(m);
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{2});
+  mapping.assign(LayerId{4}, AccId{0});
+  mapping.assign(LayerId{5}, AccId{0});
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  EXPECT_GE(r.timings[4].start,
+            std::max(r.timings[2].finish, r.timings[3].finish));
+}
+
+TEST(Simulator, NonTopologicalSequenceIsRejected) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  // Assign out of dependency order: fcC gets an earlier sequence than convB.
+  mapping.assign(LayerId{3}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{0});
+  mapping.assign(LayerId{1}, AccId{0});
+  const LocalityPlan plan(m);
+  EXPECT_THROW((void)sim.simulate(mapping, plan), ContractViolation);
+}
+
+TEST(Simulator, EnergyBreakdownTracksTransfers) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+
+  LocalityPlan zero(m);
+  const ScheduleResult before = sim.simulate(mapping, zero);
+  // link energy = host_bytes / bw * link_power (1 W).
+  EXPECT_NEAR(before.energy.link, static_cast<double>(before.host_bytes) / 1e9,
+              1e-15);
+  EXPECT_GT(before.energy.compute, 0.0);
+  EXPECT_GT(before.energy.dram, 0.0);
+  EXPECT_DOUBLE_EQ(before.energy.static_power, 0.0);
+
+  // Pinning + fusing reduces link energy but not compute energy.
+  LocalityPlan local(m);
+  for (const LayerId id : m.all_layers()) local.set_pinned(id, true);
+  local.set_fused_in(LayerId{2}, 0, true);
+  local.set_fused_in(LayerId{3}, 0, true);
+  const ScheduleResult after = sim.simulate(mapping, local);
+  EXPECT_LT(after.energy.link, before.energy.link);
+  EXPECT_DOUBLE_EQ(after.energy.compute, before.energy.compute);
+  EXPECT_LT(after.energy.total(), before.energy.total());
+}
+
+TEST(Simulator, StaticPowerScalesWithMakespan) {
+  const ModelGraph m = make_chain_model();
+  std::vector<AcceleratorPtr> accs;
+  accs.push_back(make_analytical(testing::simple_spec("U0", gib(1))));
+  HostParams host;
+  host.bw_acc = 1e9;
+  host.static_power_w = 2.0;
+  const SystemConfig sys(std::move(accs), host);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+  const LocalityPlan plan(m);
+  const ScheduleResult r = sim.simulate(mapping, plan);
+  EXPECT_DOUBLE_EQ(r.energy.static_power, 2.0 * 1 * r.latency);
+}
+
+TEST(Simulator, CompRatioCountsLocalTrafficAsComputation) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  const Mapping mapping = map_all_to(m, AccId{0});
+
+  LocalityPlan zero(m);
+  LocalityPlan local(m);
+  for (const LayerId id : m.all_layers()) local.set_pinned(id, true);
+  local.set_fused_in(LayerId{2}, 0, true);
+  local.set_fused_in(LayerId{3}, 0, true);
+  const double before = sim.simulate(mapping, zero).comp_ratio();
+  const double after = sim.simulate(mapping, local).comp_ratio();
+  EXPECT_GT(after, before);  // locality shifts time from comm to comp side
+  EXPECT_GT(before, 0.0);
+  EXPECT_LE(after, 1.0);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "core/h2h_mapper.h"
+#include "model/synthetic.h"
+#include "util/error.h"
+
+namespace h2h {
+namespace {
+
+TEST(Synthetic, DefaultSpecBuildsValidMmmt) {
+  const ModelGraph m = make_synthetic_mmmt(SyntheticMmmtSpec{});
+  EXPECT_NO_THROW(m.validate());
+  const ModelStats s = m.stats();
+  EXPECT_EQ(s.modality_count, 3u);
+  EXPECT_GT(s.total_params, 0u);
+  // One recurrent branch requested by default.
+  bool has_lstm = false;
+  for (const LayerId id : m.all_layers())
+    has_lstm = has_lstm || m.layer(id).kind == LayerKind::Lstm;
+  EXPECT_TRUE(has_lstm);
+}
+
+TEST(Synthetic, DepthControlsLayerCount) {
+  SyntheticMmmtSpec shallow;
+  shallow.backbone_depth = 4;
+  SyntheticMmmtSpec deep;
+  deep.backbone_depth = 16;
+  const std::size_t a =
+      make_synthetic_mmmt(shallow).stats().compute_layer_count;
+  const std::size_t b = make_synthetic_mmmt(deep).stats().compute_layer_count;
+  EXPECT_GT(b, a + 3 * (16 - 4) / 2);  // at least the extra conv layers
+}
+
+TEST(Synthetic, WidthScalesParameters) {
+  SyntheticMmmtSpec narrow;
+  narrow.width = 0.5;
+  narrow.lstm_modalities = 0;
+  SyntheticMmmtSpec wide = narrow;
+  wide.width = 1.0;
+  const auto p_narrow = make_synthetic_mmmt(narrow).stats().total_params;
+  const auto p_wide = make_synthetic_mmmt(wide).stats().total_params;
+  EXPECT_GT(static_cast<double>(p_wide), 2.0 * static_cast<double>(p_narrow));
+}
+
+TEST(Synthetic, CrossTalkAddsSharedEdges) {
+  SyntheticMmmtSpec with;
+  SyntheticMmmtSpec without = with;
+  without.cross_talk = false;
+  const ModelGraph a = make_synthetic_mmmt(with);
+  const ModelGraph b = make_synthetic_mmmt(without);
+  EXPECT_GT(a.graph().edge_count(), b.graph().edge_count());
+}
+
+TEST(Synthetic, DeterministicPerSeed) {
+  SyntheticMmmtSpec spec;
+  spec.seed = 7;
+  const ModelGraph a = make_synthetic_mmmt(spec);
+  const ModelGraph b = make_synthetic_mmmt(spec);
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  for (const LayerId id : a.all_layers())
+    EXPECT_EQ(a.layer(id).param_count(), b.layer(id).param_count());
+  spec.seed = 8;
+  const ModelGraph c = make_synthetic_mmmt(spec);
+  bool differs = c.layer_count() != a.layer_count();
+  for (const LayerId id : a.all_layers()) {
+    if (differs) break;
+    if (!c.graph().contains(id)) break;
+    differs = a.layer(id).param_count() != c.layer(id).param_count();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, RejectsBadSpecs) {
+  SyntheticMmmtSpec spec;
+  spec.modalities = 0;
+  EXPECT_THROW((void)make_synthetic_mmmt(spec), ConfigError);
+  spec = SyntheticMmmtSpec{};
+  spec.lstm_modalities = 99;
+  EXPECT_THROW((void)make_synthetic_mmmt(spec), ConfigError);
+  spec = SyntheticMmmtSpec{};
+  spec.width = -1;
+  EXPECT_THROW((void)make_synthetic_mmmt(spec), ConfigError);
+}
+
+// Scaling property: the H2H pipeline stays sub-second across a wide range
+// of synthetic sizes (Fig. 5(b) extended beyond the Table-2 models).
+class SyntheticScale : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SyntheticScale, PipelineScalesAndStaysMonotone) {
+  SyntheticMmmtSpec spec;
+  spec.modalities = GetParam();
+  spec.lstm_modalities = GetParam() / 3;
+  spec.backbone_depth = 10;
+  const ModelGraph m = make_synthetic_mmmt(spec);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const H2HResult r = H2HMapper(m, sys).run();
+  EXPECT_LE(r.final_result().latency, r.baseline_result().latency);
+  EXPECT_LT(r.search_seconds, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modalities, SyntheticScale,
+                         ::testing::Values(1u, 2u, 4u, 6u, 8u));
+
+}  // namespace
+}  // namespace h2h

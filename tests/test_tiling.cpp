@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "accel/analytical_models.h"
+#include "accel/catalog.h"
+#include "accel/tiling.h"
+
+namespace h2h {
+namespace {
+
+TEST(Tiling, DisabledBuffersMeanSingleStream) {
+  const Layer conv{"c", LayerKind::Conv, ConvShape{64, 64, 28, 28, 3, 1}};
+  const TileAnalysis ta = analyze_tiling(conv, OnChipBuffers{}, 2);
+  EXPECT_EQ(ta.weight_reloads, 1u);
+  EXPECT_GT(ta.dram_traffic, 0u);
+}
+
+TEST(Tiling, ConvWeightsThatFitStreamOnce) {
+  const Layer conv{"c", LayerKind::Conv, ConvShape{64, 64, 28, 28, 3, 1}};
+  // Weights: 64*64*9*2 + bias = ~74 KB; a 1 MiB buffer holds them.
+  const OnChipBuffers big{mib(1), mib(1)};
+  const TileAnalysis ta = analyze_tiling(conv, big, 2);
+  EXPECT_EQ(ta.weight_reloads, 1u);
+  const Bytes weights = conv.weight_bytes(2);
+  EXPECT_GE(ta.dram_traffic, weights);  // weights + ifm + ofm
+}
+
+TEST(Tiling, ConvWeightsThatDoNotFitReloadPerTile) {
+  const Layer conv{"c", LayerKind::Conv, ConvShape{512, 512, 28, 28, 3, 1}};
+  // Weights ~4.7 MB; a 64 KiB weight buffer forces per-tile reload, and a
+  // small act buffer forces multiple tiles.
+  const OnChipBuffers small{kib(64), kib(64)};
+  const TileAnalysis ta = analyze_tiling(conv, small, 2);
+  EXPECT_GT(ta.tile_count, 1u);
+  EXPECT_EQ(ta.weight_reloads, ta.tile_count);
+  EXPECT_GT(ta.dram_traffic, conv.weight_bytes(2) * 2);
+}
+
+TEST(Tiling, LargerActBufferNeverIncreasesTiles) {
+  const Layer conv{"c", LayerKind::Conv, ConvShape{128, 128, 56, 56, 3, 1}};
+  std::uint32_t prev_tiles = 0xFFFFFFFF;
+  for (const Bytes act : {kib(32), kib(128), mib(1), mib(8)}) {
+    const TileAnalysis ta = analyze_tiling(conv, OnChipBuffers{kib(64), act}, 2);
+    EXPECT_LE(ta.tile_count, prev_tiles);
+    prev_tiles = ta.tile_count;
+  }
+}
+
+TEST(Tiling, FcStreamsWeightsExactlyOnce) {
+  const Layer fc{"f", LayerKind::FullyConnected, FcShape{4096, 4096}};
+  const TileAnalysis ta = analyze_tiling(fc, OnChipBuffers{kib(64), kib(64)}, 2);
+  EXPECT_EQ(ta.weight_reloads, 1u);  // batch-1 GEMV has no weight reuse
+  EXPECT_GE(ta.dram_traffic, fc.weight_bytes(2));
+  // Reuse is ~1 MAC/byte for FC: macs = in*out, traffic ~ 2*in*out bytes.
+  EXPECT_NEAR(ta.reuse(fc.macs()), 0.5, 0.05);
+}
+
+TEST(Tiling, LstmRefetchesGatesPerTimestepWhenTooBig) {
+  const Layer lstm{"l", LayerKind::Lstm, LstmShape{512, 512, 1, 100}};
+  // Gate matrices ~4.2 MB at 2 B; 1 MiB on-chip forces 100 reloads.
+  const TileAnalysis tight =
+      analyze_tiling(lstm, OnChipBuffers{mib(1), mib(1)}, 2);
+  EXPECT_EQ(tight.weight_reloads, 100u);
+  const TileAnalysis roomy =
+      analyze_tiling(lstm, OnChipBuffers{mib(16), mib(1)}, 2);
+  EXPECT_EQ(roomy.weight_reloads, 1u);
+  EXPECT_GT(tight.dram_traffic, roomy.dram_traffic * 10);
+}
+
+TEST(Tiling, StructuralLayersStreamOnly) {
+  const Layer pool{"p", LayerKind::Pool, PoolShape{32, 14, 14, 2, 2}};
+  const TileAnalysis ta = analyze_tiling(pool, OnChipBuffers{mib(1), mib(1)}, 2);
+  EXPECT_EQ(ta.weight_reloads, 1u);
+  EXPECT_GT(ta.dram_traffic, 0u);
+  const Layer input{"i", LayerKind::Input, InputShape{3, 8, 8}};
+  EXPECT_EQ(analyze_tiling(input, OnChipBuffers{mib(1), mib(1)}, 2).dram_traffic,
+            0u);
+}
+
+TEST(Tiling, RefetchRooflineOnlySlowsLayersDown) {
+  // The analytical model with buffers must be >= the pure-compute model.
+  AcceleratorSpec with = eyeriss_like_spec();
+  AcceleratorSpec without = eyeriss_like_spec();
+  without.buffers = OnChipBuffers{};
+  const AnalyticalAccelerator a_with(with);
+  const AnalyticalAccelerator a_without(without);
+  const Layer big{"c", LayerKind::Conv, ConvShape{512, 512, 56, 56, 3, 1}};
+  const Layer small{"c", LayerKind::Conv, ConvShape{32, 32, 14, 14, 3, 1}};
+  EXPECT_GE(a_with.compute_latency(big), a_without.compute_latency(big));
+  // Small layers fit on chip: no penalty at all.
+  EXPECT_DOUBLE_EQ(a_with.compute_latency(small),
+                   a_without.compute_latency(small));
+}
+
+TEST(Tiling, CatalogLstmEnginesDifferOnBigRecurrence) {
+  // The FTRANS-class design (32 MiB on-chip) holds gate matrices that the
+  // ESE-class design (4 MiB) must re-stream: for a large LSTM the per-MAC
+  // latency gap must exceed the raw peak-throughput ratio.
+  const auto accs = build_standard_accelerators();
+  const AcceleratorModel* sh = nullptr;
+  const AcceleratorModel* bl = nullptr;
+  for (const AcceleratorPtr& a : accs) {
+    if (a->spec().name == "S.H") sh = a.get();
+    if (a->spec().name == "B.L") bl = a.get();
+  }
+  ASSERT_NE(sh, nullptr);
+  ASSERT_NE(bl, nullptr);
+  // 1024-hidden single-layer gates: ~16.8 MB at 2 B — fits B.L's 32 MiB,
+  // exceeds S.H's 4 MiB.
+  const Layer big_lstm{"l", LayerKind::Lstm, LstmShape{1024, 1024, 1, 64}};
+  const double ratio =
+      sh->compute_latency(big_lstm) / bl->compute_latency(big_lstm);
+  const double peak_ratio = (1536.0 * 200e6) / (1024.0 * 200e6);
+  EXPECT_GT(ratio, peak_ratio);
+}
+
+}  // namespace
+}  // namespace h2h

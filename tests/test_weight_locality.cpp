@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/comp_prioritized.h"
+#include "core/weight_locality.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+TEST(WeightLocality, PinsEverythingWhenDramIsAmple) {
+  const ModelGraph m = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(1);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  LocalityPlan plan(m);
+  const double saved = optimize_weight_locality(sim, mapping, plan);
+  for (const LayerId id : m.all_layers()) {
+    if (m.layer(id).has_weights())
+      EXPECT_TRUE(plan.pinned(id)) << m.layer(id).name;
+    else
+      EXPECT_FALSE(plan.pinned(id)) << m.layer(id).name;
+  }
+  // Saved time = weights * (1/bw_host - 1/bw_local).
+  const Bytes wb = m.stats().total_weight_bytes;
+  EXPECT_NEAR(saved,
+              static_cast<double>(wb) * (1.0 / 1e9 - 1.0 / 1e10), 1e-12);
+  EXPECT_EQ(plan.used_dram(AccId{0}), wb);
+}
+
+TEST(WeightLocality, RespectsTightCapacity) {
+  const ModelGraph m = testing::make_chain_model();
+  // convA weights 2336 B, convB 4640 B, fcC 16448 B. Capacity 8 KiB: the
+  // knapsack must prefer convB + convA (savings scale with bytes).
+  const SystemConfig sys = testing::make_uniform_system(1, 1e9, 8192);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  LocalityPlan plan(m);
+  optimize_weight_locality(sim, mapping, plan);
+  EXPECT_TRUE(plan.pinned(LayerId{1}));
+  EXPECT_TRUE(plan.pinned(LayerId{2}));
+  EXPECT_FALSE(plan.pinned(LayerId{3}));  // 16448 B does not fit
+  EXPECT_LE(plan.used_dram(AccId{0}), 8192u);
+}
+
+TEST(WeightLocality, SchedulingImprovesAfterPass) {
+  const ModelGraph m = make_model(ZooModel::MoCap);
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  const double before = sim.simulate(mapping, plan).latency;
+  optimize_weight_locality(sim, mapping, plan);
+  const double after = sim.simulate(mapping, plan).latency;
+  EXPECT_LT(after, before);
+}
+
+TEST(WeightLocality, OnlyAccsLimitsScope) {
+  const ModelGraph m = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(2);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{1});
+
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(2);
+  const std::array<AccId, 1> only{AccId{1}};
+  optimize_weight_locality(sim, mapping, plan, {}, only);
+  EXPECT_FALSE(plan.pinned(LayerId{1}));  // acc 0 untouched
+  EXPECT_TRUE(plan.pinned(LayerId{2}));
+  EXPECT_TRUE(plan.pinned(LayerId{3}));
+}
+
+TEST(WeightLocality, ForcePinTakesPriorityUnderPressure) {
+  const ModelGraph m = testing::make_chain_model();
+  // Capacity fits only the fc (16448 B) OR the two convs; force the fc.
+  const SystemConfig sys = testing::make_uniform_system(1, 1e9, 17000);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  std::vector<bool> force(m.layer_count(), false);
+  force[3] = true;  // fcC
+  WeightLocalityOptions opts;
+  opts.force_pin = &force;
+
+  LocalityPlan plan(m);
+  optimize_weight_locality(sim, mapping, plan, opts);
+  EXPECT_TRUE(plan.pinned(LayerId{3}));
+  // Remaining capacity (552 B) fits neither conv.
+  EXPECT_FALSE(plan.pinned(LayerId{1}));
+  EXPECT_FALSE(plan.pinned(LayerId{2}));
+}
+
+TEST(WeightLocality, GreedyAlgoOptionWorks) {
+  const ModelGraph m = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(1, 1e9, 8192);
+  const Simulator sim(m, sys);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  WeightLocalityOptions opts;
+  opts.algo = KnapsackAlgo::GreedyDensity;
+  LocalityPlan plan(m);
+  optimize_weight_locality(sim, mapping, plan, opts);
+  EXPECT_LE(plan.used_dram(AccId{0}), 8192u);
+  EXPECT_GE(plan.pinned_count(), 1u);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,0 +1,232 @@
+// h2h_cli — command-line driver for the H2H mapper.
+//
+//   h2h_cli list-models
+//   h2h_cli list-accelerators
+//   h2h_cli map --model <key> [--bw <GB/s>] [--batch <n>] [--no-remap]
+//               [--knapsack exact|greedy] [--objective latency|edp]
+//               [--save <file>] [--gantt] [--per-layer]
+//   h2h_cli replay --model <key> --load <file> [--bw <GB/s>]
+//   h2h_cli sweep [--csv <file>]
+//
+// Exit codes: 0 success, 1 usage error, 2 configuration error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2h.h"
+#include "model/summary.h"
+#include "system/mapping_io.h"
+#include "system/schedule_analysis.h"
+
+namespace {
+
+using namespace h2h;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? std::nullopt : std::optional(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.contains(key);
+  }
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view raw = argv[i];
+    if (raw.rfind("--", 0) != 0) return std::nullopt;
+    const std::string flag(raw.substr(2));
+    // Boolean flags take no value.
+    if (flag == "no-remap" || flag == "gantt" || flag == "per-layer") {
+      args.flags.emplace(flag, std::string("1"));
+    } else {
+      if (i + 1 >= argc) return std::nullopt;
+      args.flags.emplace(flag, std::string(argv[++i]));
+    }
+  }
+  return args;
+}
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+         "  h2h_cli list-models\n"
+         "  h2h_cli list-accelerators\n"
+         "  h2h_cli map --model <key> [--bw <GB/s>] [--batch <n>]\n"
+         "              [--no-remap] [--knapsack exact|greedy]\n"
+         "              [--objective latency|edp] [--save <file>]\n"
+         "              [--gantt] [--per-layer]\n"
+         "  h2h_cli replay --model <key> --load <file> [--bw <GB/s>]\n"
+         "  h2h_cli sweep [--csv <file>]\n";
+}
+
+int cmd_list_models() {
+  TextTable table({"key", "domain", "backbones", "params (Table 2)"},
+                  {TextTable::Align::Left, TextTable::Align::Left,
+                   TextTable::Align::Left});
+  for (const ZooInfo& info : zoo_catalog()) {
+    table.add_row({std::string(info.key), std::string(info.domain),
+                   std::string(info.backbones),
+                   strformat("%.1fM", info.paper_params_millions)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_list_accelerators() {
+  TextTable table({"name", "board", "dataflow", "kinds", "peak GMAC/s",
+                   "M_acc", "DRAM BW"},
+                  {TextTable::Align::Left, TextTable::Align::Left,
+                   TextTable::Align::Left, TextTable::Align::Left});
+  for (const AcceleratorSpec& s : standard_catalog()) {
+    std::string kinds;
+    if (s.kinds.conv) kinds += "Conv ";
+    if (s.kinds.fc) kinds += "FC ";
+    if (s.kinds.lstm) kinds += "LSTM";
+    table.add_row(
+        {s.name, s.board, std::string(to_string(s.style)), kinds,
+         strformat("%.0f", static_cast<double>(s.peak_macs_per_cycle) *
+                               s.freq_hz / 1e9),
+         human_bytes(s.dram_capacity),
+         strformat("%.1f GB/s", s.dram_bandwidth / 1e9)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+struct Common {
+  ModelGraph model;
+  SystemConfig sys;
+};
+
+std::optional<Common> load_common(const Args& args) {
+  const std::string key = args.get("model").value_or("");
+  const auto id = zoo_model_by_key(key);
+  if (!id) {
+    std::cerr << "error: unknown or missing --model '" << key << "'\n";
+    return std::nullopt;
+  }
+  const double bw_gbps = std::stod(args.get("bw").value_or("0.5"));
+  if (bw_gbps <= 0) {
+    std::cerr << "error: --bw must be positive\n";
+    return std::nullopt;
+  }
+  ModelGraph model = make_model(*id);
+  if (const auto batch = args.get("batch")) {
+    model.set_batch(static_cast<std::uint32_t>(std::stoul(*batch)));
+  }
+  return Common{std::move(model), SystemConfig::standard(gbps(bw_gbps))};
+}
+
+void print_result(const Common& c, const H2HResult& r, const Args& args) {
+  MappingReportOptions opts;
+  opts.gantt = args.has("gantt");
+  opts.per_layer = args.has("per-layer");
+  print_mapping_report(c.model, c.sys, r, std::cout, opts);
+}
+
+int cmd_map(const Args& args) {
+  auto common = load_common(args);
+  if (!common) return 1;
+
+  H2HOptions options;
+  options.run_remapping = !args.has("no-remap");
+  if (args.get("knapsack").value_or("exact") == "greedy") {
+    options.weight.algo = KnapsackAlgo::GreedyDensity;
+    options.remap.weight.algo = KnapsackAlgo::GreedyDensity;
+  }
+  if (args.get("objective").value_or("latency") == "edp") {
+    options.remap.objective = RemapObjective::EnergyDelayProduct;
+  }
+
+  const H2HResult r = H2HMapper(common->model, common->sys, options).run();
+  print_result(*common, r, args);
+
+  if (const auto path = args.get("save")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << *path << "'\n";
+      return 2;
+    }
+    write_mapping(out, common->model, common->sys, r.mapping, r.plan);
+    std::cout << "saved mapping to " << *path << '\n';
+  }
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  auto common = load_common(args);
+  if (!common) return 1;
+  const auto path = args.get("load");
+  if (!path) {
+    std::cerr << "error: replay requires --load <file>\n";
+    return 1;
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::cerr << "error: cannot read '" << *path << "'\n";
+    return 2;
+  }
+  const LoadedMapping loaded = read_mapping(in, common->model, common->sys);
+  const Simulator sim(common->model, common->sys);
+  const ScheduleResult r = sim.simulate(loaded.mapping, loaded.plan);
+  std::cout << "replayed mapping: latency " << human_seconds(r.latency)
+            << ", energy " << strformat("%.4f J", r.energy.total())
+            << ", comp share " << format_percent(r.comp_ratio(), 1) << '\n';
+  if (args.has("gantt"))
+    print_gantt(common->model, common->sys, loaded.mapping, r, std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const std::vector<StepSeries> sweep = run_full_sweep();
+  print_fig4(sweep, std::cout);
+  std::cout << '\n';
+  print_table4(sweep, std::cout);
+  std::cout << '\n';
+  print_fig5a(sweep, std::cout);
+  std::cout << '\n';
+  print_fig5b(sweep, std::cout);
+  if (const auto path = args.get("csv")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << *path << "'\n";
+      return 2;
+    }
+    write_sweep_csv(sweep, out);
+    std::cout << "\nwrote " << *path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage(std::cerr);
+    return 1;
+  }
+  try {
+    if (args->command == "list-models") return cmd_list_models();
+    if (args->command == "list-accelerators") return cmd_list_accelerators();
+    if (args->command == "map") return cmd_map(*args);
+    if (args->command == "replay") return cmd_replay(*args);
+    if (args->command == "sweep") return cmd_sweep(*args);
+    usage(std::cerr);
+    return 1;
+  } catch (const h2h::ConfigError& e) {
+    std::cerr << "configuration error: " << e.what() << '\n';
+    return 2;
+  }
+}
