@@ -1,0 +1,153 @@
+// Smoke tests pinning the shared fixtures to hand-computed numbers.
+//
+// Every expectation below is derived on paper from the layer shapes in
+// test_helpers.cpp and the round-number uniform accelerator of simple_spec()
+// (1e11 MAC/s peak, MatrixEngine affinities 0.85/0.85/0.70, 10x10 PE array,
+// 1 GB/s host link, 1 pJ/MAC, 0.1 nJ/B DRAM, 1 W link power). They guard
+// the fixtures themselves: if a refactor of the builder, the analytical
+// model, or the simulator shifts any of these totals, the hand-verifiable
+// contract documented in test_helpers.h is broken and every other test's
+// premises silently change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "system/simulator.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+using testing::make_chain_model;
+using testing::make_diamond_model;
+using testing::make_mini_mmmt_model;
+using testing::make_uniform_system;
+
+constexpr double kPeak = 1e11;  // 100 MACs/cycle * 1 GHz
+constexpr double kBwHost = 1e9;
+
+Mapping map_all_to(const ModelGraph& m, AccId acc) {
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, acc);
+  return mapping;
+}
+
+/// Serial schedule on one uniform accelerator with zero locality.
+ScheduleResult simulate_serial(const ModelGraph& m) {
+  const SystemConfig sys = make_uniform_system(1);
+  const Simulator sim(m, sys);
+  return sim.simulate(map_all_to(m, AccId{0}), LocalityPlan(m));
+}
+
+/// MatrixEngine PE-alignment fraction on a 10-lane dimension.
+double align10(double work) {
+  const double folds = std::ceil(work / 10.0);
+  return work / (folds * 10.0);
+}
+
+/// Relative tolerance loose enough to absorb float reassociation in the
+/// simulator's accumulation order, tight enough to catch any model change.
+double rel(double expected) { return std::abs(expected) * 1e-12; }
+
+TEST(FixtureSmoke, ChainModelMatchesHandNumbers) {
+  const ModelGraph m = make_chain_model();
+  // in(8x8x8) -> convA(16,k3,s1) -> convB(16,k3,s2) -> fcC(32).
+  // MACs: convA 16*8*8*(8*9) = 73728; convB 16*4*4*(16*9) = 36864;
+  //       fcC 256*32 = 8192.
+  EXPECT_EQ(m.layer(LayerId{1}).macs(), 73728u);
+  EXPECT_EQ(m.layer(LayerId{2}).macs(), 36864u);
+  EXPECT_EQ(m.layer(LayerId{3}).macs(), 8192u);
+  // Weights @2B: convA (16*8*9+16)*2 = 2336; convB (16*16*9+16)*2 = 4640;
+  //              fcC (256*32+32)*2 = 16448.
+  EXPECT_EQ(m.weight_bytes(LayerId{1}), 2336u);
+  EXPECT_EQ(m.weight_bytes(LayerId{2}), 4640u);
+  EXPECT_EQ(m.weight_bytes(LayerId{3}), 16448u);
+
+  const ScheduleResult r = simulate_serial(m);
+  // Host traffic (zero locality, every tensor crosses the 1 GB/s link):
+  //   convA 1024+2336+2048, convB 2048+4640+512, fcC 512+16448+64 = 29632 B.
+  EXPECT_EQ(r.host_bytes, 29632u);
+  // Latency = host transfer time + compute time (serial on one accelerator).
+  const double t_comm = 29632.0 / kBwHost;
+  const double t_conv = (73728.0 + 36864.0) / (kPeak * 0.85 * 0.8 * 0.8);
+  const double t_fc = 8192.0 / (kPeak * 0.85 * align10(32) * align10(256));
+  EXPECT_NEAR(r.latency, t_comm + t_conv + t_fc, rel(t_comm + t_conv + t_fc));
+  // Energy: compute 118784 MACs * 1 pJ; link 29632 B / 1 GB/s * 1 W;
+  //         DRAM 29632 B * 0.1 nJ/B.
+  EXPECT_NEAR(r.energy.compute, 118784e-12, rel(118784e-12));
+  EXPECT_NEAR(r.energy.link, 29632.0 / kBwHost, rel(29632.0 / kBwHost));
+  EXPECT_NEAR(r.energy.dram, 29632.0 * 0.1e-9, rel(29632.0 * 0.1e-9));
+  EXPECT_DOUBLE_EQ(r.energy.static_power, 0.0);
+}
+
+TEST(FixtureSmoke, DiamondModelMatchesHandNumbers) {
+  const ModelGraph m = make_diamond_model();
+  // in(8x16x16) -> a(16,k3,s1) -> {b, c}(16,k3,s1) -> d(add) -> e(fc 10).
+  // MACs: a 16*16*16*(8*9) = 294912; b = c = 16*16*16*(16*9) = 589824;
+  //       e 4096*10 = 40960. d contributes 4096 one-per-element adds.
+  EXPECT_EQ(m.layer(LayerId{1}).macs(), 294912u);
+  EXPECT_EQ(m.layer(LayerId{2}).macs(), 589824u);
+  EXPECT_EQ(m.layer(LayerId{3}).macs(), 589824u);
+  EXPECT_EQ(m.layer(LayerId{4}).light_ops(), 4096u);
+  EXPECT_EQ(m.layer(LayerId{5}).macs(), 40960u);
+
+  const ScheduleResult r = simulate_serial(m);
+  // Host bytes: a 4096+2336+8192, b/c 8192+4640+8192 each,
+  //             d (8192+8192)+8192, e 8192+81940+20 = 171400 B total.
+  EXPECT_EQ(r.host_bytes, 171400u);
+  const double t_comm = 171400.0 / kBwHost;
+  const double t_conv = (294912.0 + 2 * 589824.0) / (kPeak * 0.85 * 0.8 * 0.8);
+  const double t_add = 4096.0 / kPeak;
+  const double t_fc = 40960.0 / (kPeak * 0.85 * align10(10) * align10(4096));
+  const double t_total = t_comm + t_conv + t_add + t_fc;
+  EXPECT_NEAR(r.latency, t_total, rel(t_total));
+  // Energy: 1515520 MACs * 1 pJ + 4096 adds * 0.25 pJ.
+  const double e_compute = 1515520e-12 + 4096 * 0.25e-12;
+  EXPECT_NEAR(r.energy.compute, e_compute, rel(e_compute));
+  EXPECT_NEAR(r.energy.link, 171400.0 / kBwHost, rel(171400.0 / kBwHost));
+  EXPECT_NEAR(r.energy.dram, 171400.0 * 0.1e-9, rel(171400.0 * 0.1e-9));
+}
+
+TEST(FixtureSmoke, MiniMmmtModelMatchesHandNumbers) {
+  const ModelGraph m = make_mini_mmmt_model();
+  // img(3x32x32) -> conv1(16,k3,s2) -> conv2(32,k3,s2) -> gap;
+  // seq(16x8) -> lstm(h32) -> last(gap); concat -> fc(32) -> 2x fc(4).
+  // MACs: conv1 16*16*16*(3*9) = 110592; conv2 32*8*8*(16*9) = 294912;
+  //       lstm 4*(8+32)*32*16 = 81920; fuse.fc 64*32 = 2048;
+  //       task heads 32*4 = 128 each.
+  const std::uint64_t macs[] = {0, 110592, 294912, 0, 0, 81920,
+                                0, 0,      2048,   128, 128};
+  // Light ops: m1.gap 32*8*8 = 2048 (k=8 global pool over 1x1 output);
+  //            m2.last 32*16*16 = 8192 (k=16 over the hidden sequence).
+  const std::uint64_t light[] = {0, 0, 0, 2048, 0, 0, 8192, 0, 0, 0, 0};
+  ASSERT_EQ(m.layer_count(), 11u);
+  for (std::uint32_t i = 0; i < 11; ++i) {
+    EXPECT_EQ(m.layer(LayerId{i}).macs(), macs[i]) << i;
+    EXPECT_EQ(m.layer(LayerId{i}).light_ops(), light[i]) << i;
+  }
+
+  const ScheduleResult r = simulate_serial(m);
+  // Host bytes: conv1 6144+896+8192, conv2 8192+9280+4096, gap 4096+64,
+  //   lstm 256+10496+1024, last 1024+64, cat (64+64)+128, fc 128+4160+64,
+  //   tasks (64+264+8)*2 = 59104 B total.
+  EXPECT_EQ(r.host_bytes, 59104u);
+  const double t_comm = 59104.0 / kBwHost;
+  const double t_compute =
+      110592.0 / (kPeak * 0.85 * align10(16) * align10(3)) +   // conv1
+      294912.0 / (kPeak * 0.85 * align10(32) * align10(16)) +  // conv2
+      (2048.0 + 8192.0) / kPeak +                              // both pools
+      81920.0 / (kPeak * 0.70 * align10(32) * align10(40)) +   // lstm
+      2048.0 / (kPeak * 0.85 * align10(32) * align10(64)) +    // fuse.fc
+      2 * 128.0 / (kPeak * 0.85 * align10(4) * align10(32));   // task heads
+  EXPECT_NEAR(r.latency, t_comm + t_compute, rel(t_comm + t_compute));
+  // Energy: 489728 MACs * 1 pJ + 10240 pool ops * 0.25 pJ.
+  const double e_compute = 489728e-12 + 10240 * 0.25e-12;
+  EXPECT_NEAR(r.energy.compute, e_compute, rel(e_compute));
+  EXPECT_NEAR(r.energy.link, 59104.0 / kBwHost, rel(59104.0 / kBwHost));
+  EXPECT_NEAR(r.energy.dram, 59104.0 * 0.1e-9, rel(59104.0 * 0.1e-9));
+}
+
+}  // namespace
+}  // namespace h2h

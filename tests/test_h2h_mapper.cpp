@@ -92,7 +92,8 @@ TEST_P(ZooPipelineTest, SearchTimeUnderOneSecond) {
   const ModelGraph m = make_model(GetParam());
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
   const H2HResult r = H2HMapper(m, sys).run();
-  EXPECT_LT(r.search_seconds, 1.0);  // Fig. 5(b): "consistently low"
+  // Fig. 5(b): "consistently low" (relaxed in unoptimized builds).
+  EXPECT_LT(r.search_seconds, testing::search_time_budget());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ZooPipelineTest,

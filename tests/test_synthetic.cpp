@@ -2,6 +2,7 @@
 
 #include "core/h2h_mapper.h"
 #include "model/synthetic.h"
+#include "test_helpers.h"
 #include "util/error.h"
 
 namespace h2h {
@@ -95,7 +96,7 @@ TEST_P(SyntheticScale, PipelineScalesAndStaysMonotone) {
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
   const H2HResult r = H2HMapper(m, sys).run();
   EXPECT_LE(r.final_result().latency, r.baseline_result().latency);
-  EXPECT_LT(r.search_seconds, 1.0);
+  EXPECT_LT(r.search_seconds, testing::search_time_budget());
 }
 
 INSTANTIATE_TEST_SUITE_P(Modalities, SyntheticScale,
