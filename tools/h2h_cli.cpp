@@ -1,12 +1,12 @@
-// h2h_cli — command-line driver for the H2H mapper.
+// h2h — command-line driver for the H2H mapper.
 //
-//   h2h_cli list-models
-//   h2h_cli list-accelerators
-//   h2h_cli map --model <key> [--bw <GB/s>] [--batch <n>] [--no-remap]
+//   h2h list-models
+//   h2h list-accelerators
+//   h2h map --model <key> [--bw <GB/s>] [--batch <n>] [--no-remap]
 //               [--knapsack exact|greedy] [--objective latency|edp]
 //               [--save <file>] [--gantt] [--per-layer]
-//   h2h_cli replay --model <key> --load <file> [--bw <GB/s>]
-//   h2h_cli sweep [--csv <file>]
+//   h2h replay --model <key> --load <file> [--bw <GB/s>]
+//   h2h sweep [--csv <file>]
 //
 // Exit codes: 0 success, 1 usage error, 2 configuration error.
 #include <cstring>
@@ -60,14 +60,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
 
 void usage(std::ostream& out) {
   out << "usage:\n"
-         "  h2h_cli list-models\n"
-         "  h2h_cli list-accelerators\n"
-         "  h2h_cli map --model <key> [--bw <GB/s>] [--batch <n>]\n"
+         "  h2h list-models\n"
+         "  h2h list-accelerators\n"
+         "  h2h map --model <key> [--bw <GB/s>] [--batch <n>]\n"
          "              [--no-remap] [--knapsack exact|greedy]\n"
          "              [--objective latency|edp] [--save <file>]\n"
          "              [--gantt] [--per-layer]\n"
-         "  h2h_cli replay --model <key> --load <file> [--bw <GB/s>]\n"
-         "  h2h_cli sweep [--csv <file>]\n";
+         "  h2h replay --model <key> --load <file> [--bw <GB/s>]\n"
+         "  h2h sweep [--csv <file>]\n";
 }
 
 int cmd_list_models() {
