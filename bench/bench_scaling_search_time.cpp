@@ -45,7 +45,7 @@ BENCHMARK(BM_SearchVsModelSize)
 
 int main(int argc, char** argv) {
   TextTable table({"modalities", "depth", "graph nodes", "compute layers",
-                   "search (s)", "latency gain"},
+                   "search (s)", "probes", "us/probe", "latency gain"},
                   {TextTable::Align::Left});
   for (const auto& [modalities, depth] :
        {std::pair{2u, 6u}, {3u, 10u}, {4u, 12u}, {6u, 18u}, {8u, 24u}}) {
@@ -54,10 +54,19 @@ int main(int argc, char** argv) {
         SystemConfig::standard(BandwidthSetting::LowMinus);
     const H2HResult r = H2HMapper(model, sys).run();
     const ModelStats s = model.stats();
+    // The probe rate is the journaled search core's figure of merit: it
+    // should stay roughly flat as the model grows (each probe touches only
+    // the two affected accelerators plus the re-timed cone).
+    const double us_per_probe =
+        r.remap_stats.attempts > 0
+            ? r.search_seconds * 1e6 / r.remap_stats.attempts
+            : 0.0;
     table.add_row({strformat("%u", modalities), strformat("%u", depth),
                    strformat("%zu", s.node_count),
                    strformat("%zu", s.compute_layer_count),
                    strformat("%.4f", r.search_seconds),
+                   strformat("%u", r.remap_stats.attempts),
+                   strformat("%.1f", us_per_probe),
                    format_percent(1.0 - r.latency_vs_baseline(), 1)});
   }
   std::cout << "search-time scaling on synthetic MMMT models @ Low-:\n";

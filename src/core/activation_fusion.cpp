@@ -7,34 +7,39 @@ namespace {
 
 FusionStats fuse_one(const Simulator& sim, const Mapping& mapping,
                      LocalityPlan& plan, const FusionOptions& options,
-                     AccId acc) {
+                     AccId acc, FusionScratch& scratch) {
   const ModelGraph& model = sim.model();
   const AcceleratorSpec& spec = sim.sys().spec(acc);
+  mapping.layers_on(acc, scratch.layers);
 
   // Start from the DRAM committed to pinned weights on this accelerator.
   Bytes used = 0;
-  for (const LayerId id : mapping.layers_on(acc))
+  for (const LayerId id : scratch.layers)
     if (plan.pinned(id)) used += model.weight_bytes(id);
 
   FusionStats stats;
-  // Walk consumers in execution order; reset then greedily fuse each
-  // same-accelerator in-edge while capacity lasts. Deterministic.
-  for (const LayerId id : mapping.layers_on(acc)) {
+  // Walk consumers in execution order; greedily fuse each same-accelerator
+  // in-edge while capacity lasts. Deterministic. Each flag is written
+  // exactly once with its final value so an open plan journal records only
+  // real diffs (the step-4 probe loop turns those into its dirty set).
+  for (const LayerId id : scratch.layers) {
     const auto preds = model.graph().preds(id);
     for (std::size_t i = 0; i < preds.size(); ++i) {
-      plan.set_fused_in(id, i, false);
       const LayerId p = preds[i];
       const AccId pa = mapping.acc_of(p);
-      if (pa != acc) continue;  // producer elsewhere (or host input)
-      const Bytes bytes = model.edge_bytes(p);
-      if (options.enforce_capacity && used + bytes > spec.dram_capacity) {
-        ++stats.rejected_for_capacity;
-        continue;
+      bool fuse = false;
+      if (pa == acc) {  // producer co-located (not elsewhere / host input)
+        const Bytes bytes = model.edge_bytes(p);
+        if (options.enforce_capacity && used + bytes > spec.dram_capacity) {
+          ++stats.rejected_for_capacity;
+        } else {
+          fuse = true;
+          used += bytes;
+          ++stats.fused_edges;
+          stats.fused_bytes += bytes;
+        }
       }
-      plan.set_fused_in(id, i, true);
-      used += bytes;
-      ++stats.fused_edges;
-      stats.fused_bytes += bytes;
+      plan.set_fused_in(id, i, fuse);
     }
   }
   plan.set_used_dram(acc, used);
@@ -47,20 +52,23 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
                                        const Mapping& mapping,
                                        LocalityPlan& plan,
                                        const FusionOptions& options,
-                                       std::span<const AccId> only_accs) {
+                                       std::span<const AccId> only_accs,
+                                       FusionScratch* scratch) {
   plan.ensure_acc_count(sim.sys().accelerator_count());
+  FusionScratch local;
+  FusionScratch& s = scratch != nullptr ? *scratch : local;
   FusionStats total;
-  const auto accumulate = [&](const FusionStats& s) {
-    total.fused_edges += s.fused_edges;
-    total.fused_bytes += s.fused_bytes;
-    total.rejected_for_capacity += s.rejected_for_capacity;
+  const auto accumulate = [&](const FusionStats& st) {
+    total.fused_edges += st.fused_edges;
+    total.fused_bytes += st.fused_bytes;
+    total.rejected_for_capacity += st.rejected_for_capacity;
   };
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      accumulate(fuse_one(sim, mapping, plan, options, acc));
+      accumulate(fuse_one(sim, mapping, plan, options, acc, s));
   } else {
     for (const AccId acc : only_accs)
-      accumulate(fuse_one(sim, mapping, plan, options, acc));
+      accumulate(fuse_one(sim, mapping, plan, options, acc, s));
   }
   return total;
 }

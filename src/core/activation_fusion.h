@@ -26,6 +26,11 @@ struct FusionStats {
   std::size_t rejected_for_capacity = 0;
 };
 
+/// Reusable buffer for the pass (see WeightLocalityScratch).
+struct FusionScratch {
+  std::vector<LayerId> layers;
+};
+
 /// Recompute fusion flags. If `only_accs` is empty all accelerators are
 /// re-optimized; otherwise only edges both of whose endpoints are on a
 /// listed accelerator are reconsidered (step-4 inner loop).
@@ -33,6 +38,7 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
                                        const Mapping& mapping,
                                        LocalityPlan& plan,
                                        const FusionOptions& options = {},
-                                       std::span<const AccId> only_accs = {});
+                                       std::span<const AccId> only_accs = {},
+                                       FusionScratch* scratch = nullptr);
 
 }  // namespace h2h

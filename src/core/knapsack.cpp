@@ -37,10 +37,11 @@ KnapsackSolution solve_dp(std::span<const KnapsackItem> items, Bytes capacity,
                               : static_cast<std::uint32_t>(scaled);
   }
 
-  // dp[c] = best value with capacity c; keep[i][c] for reconstruction.
-  std::vector<double> dp(cap_units + 1, 0.0);
-  std::vector<std::vector<bool>> keep(items.size(),
-                                      std::vector<bool>(cap_units + 1, false));
+  // dp[c] = best value with capacity c; keep is a flat items x (cap+1)
+  // bitset for reconstruction (one allocation, not one per item row).
+  const std::size_t stride = cap_units + 1;
+  std::vector<double> dp(stride, 0.0);
+  std::vector<bool> keep(items.size() * stride, false);
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (items[i].weight == 0 || items[i].value <= 0) continue;  // handled below
     if (w[i] > cap_units) continue;
@@ -48,17 +49,18 @@ KnapsackSolution solve_dp(std::span<const KnapsackItem> items, Bytes capacity,
       const double candidate = dp[c - w[i]] + items[i].value;
       if (candidate > dp[c]) {
         dp[c] = candidate;
-        keep[i][c] = true;
+        keep[i * stride + c] = true;
       }
     }
   }
 
   KnapsackSolution out;
+  out.selected.reserve(items.size());
   std::uint32_t c = cap_units;
   for (std::size_t i = items.size(); i-- > 0;) {
     if (items[i].weight == 0) {
       out.selected.push_back(items[i].id);  // free items always selected
-    } else if (keep[i][c]) {
+    } else if (keep[i * stride + c]) {
       out.selected.push_back(items[i].id);
       c -= w[i];
     }
@@ -135,6 +137,7 @@ KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
   }
   if (total <= capacity && all_valuable) {
     KnapsackSolution out;
+    out.selected.reserve(items.size());
     for (const KnapsackItem& i : items) out.selected.push_back(i.id);
     finalize(out, items);
     return out;

@@ -1,8 +1,8 @@
 #include "core/remapping.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
-#include <set>
 
 namespace h2h {
 namespace {
@@ -14,16 +14,18 @@ namespace {
 /// pinned-weight execution (compute + local weight read). The extra
 /// candidate un-strands layers whose step-1 placement turns memory-bound
 /// once weights are pinned but whose neighbours all share that placement
-/// (DESIGN.md §6).
-std::vector<AccId> neighbour_accs(const Simulator& sim, const Mapping& mapping,
-                                  LayerId node) {
+/// (DESIGN.md §6). Fills the caller's scratch vector (sorted ascending for
+/// determinism) instead of allocating per call.
+void neighbour_accs(const Simulator& sim, const Mapping& mapping, LayerId node,
+                    std::vector<AccId>& out) {
   const ModelGraph& model = sim.model();
   const Layer& layer = model.layer(node);
   const AccId current = mapping.acc_of(node);
-  std::set<AccId> accs;
+  out.clear();
   const auto consider = [&](AccId a) {
     if (a.is_host() || a == current) return;
-    if (sim.sys().accelerator(a).supports(layer.kind)) accs.insert(a);
+    if (std::find(out.begin(), out.end(), a) != out.end()) return;
+    if (sim.sys().accelerator(a).supports(layer.kind)) out.push_back(a);
   };
   for (const LayerId p : model.graph().preds(node))
     consider(mapping.acc_of(p));
@@ -44,17 +46,7 @@ std::vector<AccId> neighbour_accs(const Simulator& sim, const Mapping& mapping,
     }
   }
   if (best.valid()) consider(best);
-  return {accs.begin(), accs.end()};
-}
-
-/// Layers whose transfer components may change when `node` moves between
-/// `a` and `b`: everything on either accelerator (pins can be redistributed
-/// there) — graph neighbours on third accelerators keep their components.
-std::vector<LayerId> dirty_set(const Mapping& mapping, AccId a, AccId b) {
-  std::vector<LayerId> dirty = mapping.layers_on(a);
-  const std::vector<LayerId> on_b = mapping.layers_on(b);
-  dirty.insert(dirty.end(), on_b.begin(), on_b.end());
-  return dirty;
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace
@@ -73,16 +65,48 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
 
   IncrementalSchedule inc(sim);
   if (options.use_incremental) inc.reset(mapping, plan);
-  double best_latency =
-      options.use_incremental
-          ? metric_of(inc.result(mapping))
-          : metric_of(sim.simulate(mapping, plan));
+
+  // Objective value of the current journaled state. The Latency objective
+  // reads the maintained makespan directly; the energy-aware objective
+  // aggregates energy without materializing a full ScheduleResult.
+  const auto current_metric = [&]() {
+    if (!options.use_incremental) return metric_of(sim.simulate(mapping, plan));
+    return options.objective == RemapObjective::Latency
+               ? inc.latency()
+               : inc.latency() * inc.energy(mapping).total();
+  };
+
+  // Apply one candidate move with steps 2-3 re-run on the two affected
+  // accelerators, and the schedule updated incrementally. Requires open
+  // journals: the plan journal doubles as the exact dirty set for the
+  // schedule update (only layers whose pins or fusion flags flipped get
+  // their components re-read).
+  std::vector<LayerId> dirty;  // scratch, reused across probes
+  WeightLocalityScratch weight_scratch;
+  FusionScratch fusion_scratch;
+  const auto apply_move = [&](LayerId node, AccId src, AccId dst) {
+    mapping.reassign(node, dst);
+    const std::array<AccId, 2> touched{src, dst};
+    optimize_weight_locality(sim, mapping, plan, options.weight, touched,
+                             &weight_scratch);
+    optimize_activation_fusion(sim, mapping, plan, options.fusion, touched,
+                               &fusion_scratch);
+    if (options.use_incremental) {
+      dirty.clear();
+      plan.journal_touched_layers(model, dirty);
+      inc.apply_remap(mapping, plan, node, src, dirty);
+    }
+  };
+
+  double best_metric = current_metric();
 
   // Visit layers in execution order each pass.
   std::vector<LayerId> order = model.all_layers();
   std::sort(order.begin(), order.end(), [&mapping](LayerId l, LayerId r) {
     return mapping.seq_of(l) < mapping.seq_of(r);
   });
+
+  std::vector<AccId> candidates;  // scratch, reused across nodes
 
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
     ++stats.passes;
@@ -91,51 +115,44 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
     for (const LayerId node : order) {
       if (model.layer(node).kind == LayerKind::Input) continue;
       const AccId src = mapping.acc_of(node);
+      neighbour_accs(sim, mapping, node, candidates);
 
-      // Evaluate every neighbour destination; keep the best improving one.
+      // Probe every neighbour destination under an apply/undo journal —
+      // no per-candidate copies of the plan or the schedule — and remember
+      // only the best improving destination.
       AccId best_dst{};
-      LocalityPlan best_plan(model);
-      IncrementalSchedule best_inc(sim);
-      double best_candidate = best_latency;
+      double best_candidate = best_metric;
 
-      for (const AccId dst : neighbour_accs(sim, mapping, node)) {
+      for (const AccId dst : candidates) {
         ++stats.attempts;
-        mapping.reassign(node, dst);
-        const std::vector<LayerId> dirty = dirty_set(mapping, src, dst);
-        const std::array<AccId, 2> touched{src, dst};
+        mapping.begin_journal();
+        plan.begin_journal();
+        if (options.use_incremental) inc.begin_journal();
 
-        LocalityPlan candidate_plan = plan;
-        optimize_weight_locality(sim, mapping, candidate_plan, options.weight,
-                                 touched);
-        optimize_activation_fusion(sim, mapping, candidate_plan,
-                                   options.fusion, touched);
-
-        double lat;
-        IncrementalSchedule candidate_inc(sim);
-        if (options.use_incremental) {
-          candidate_inc = inc;
-          candidate_inc.apply_remap(mapping, candidate_plan, node, src, dirty);
-          lat = options.objective == RemapObjective::Latency
-                    ? candidate_inc.latency()
-                    : metric_of(candidate_inc.result(mapping));
-        } else {
-          lat = metric_of(sim.simulate(mapping, candidate_plan));
-        }
-
-        if (lat < best_candidate - options.epsilon) {
-          best_candidate = lat;
+        apply_move(node, src, dst);
+        const double metric = current_metric();
+        if (metric < best_candidate - options.epsilon) {
+          best_candidate = metric;
           best_dst = dst;
-          best_plan = std::move(candidate_plan);
-          if (options.use_incremental) best_inc = std::move(candidate_inc);
         }
-        mapping.reassign(node, src);  // roll back for the next candidate
+
+        if (options.use_incremental) inc.rollback_journal();
+        plan.rollback_journal();
+        mapping.rollback_journal();
       }
 
       if (best_dst.valid()) {
-        mapping.reassign(node, best_dst);
-        plan = std::move(best_plan);
-        if (options.use_incremental) inc = std::move(best_inc);
-        best_latency = best_candidate;
+        // Re-apply the winning move for keeps (journaled for the dirty-set
+        // bookkeeping, then committed). Steps 2-3 are deterministic, so
+        // this reproduces the probed state exactly.
+        mapping.begin_journal();
+        plan.begin_journal();
+        if (options.use_incremental) inc.begin_journal();
+        apply_move(node, src, best_dst);
+        if (options.use_incremental) inc.commit_journal();
+        plan.commit_journal();
+        mapping.commit_journal();
+        best_metric = best_candidate;
         ++stats.accepted;
         improved = true;
       }
@@ -143,6 +160,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
 
     if (!improved) break;
   }
+  if (options.use_incremental) stats.retimes = inc.retime_count();
   return stats;
 }
 

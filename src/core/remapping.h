@@ -3,8 +3,14 @@
 // For every layer, attempt to re-allocate it to an accelerator hosting one
 // of its graph neighbours; re-run weight locality (step 2) and activation
 // fusion (step 3) for the two affected accelerators; accept iff the overall
-// system latency strictly decreases. Passes repeat until a fixed point (or
+// objective strictly decreases. Passes repeat until a fixed point (or
 // max_passes). Termination is guaranteed by the strict-decrease acceptance.
+//
+// Candidate evaluation is probe -> journal-undo: each probe applies the move
+// against the live Mapping/LocalityPlan/IncrementalSchedule under their
+// apply/undo journals and rolls back in O(touched), so the hot loop performs
+// no per-candidate deep copies (the paper's sub-second search times depend
+// on this; see bench_ablation_incremental).
 #pragma once
 
 #include "core/activation_fusion.h"
@@ -36,6 +42,9 @@ struct RemapStats {
   std::uint32_t passes = 0;
   std::uint32_t attempts = 0;
   std::uint32_t accepted = 0;
+  /// Node re-timings the incremental schedule performed across all probes
+  /// (0 when use_incremental is off) — the bench's work accounting.
+  std::uint64_t retimes = 0;
 };
 
 /// Runs the remapping loop in place on `mapping`/`plan` (which must already

@@ -7,7 +7,7 @@ namespace {
 
 double optimize_one(const Simulator& sim, const Mapping& mapping,
                     LocalityPlan& plan, const WeightLocalityOptions& options,
-                    AccId acc) {
+                    AccId acc, WeightLocalityScratch& scratch) {
   const ModelGraph& model = sim.model();
   const SystemConfig& sys = sim.sys();
   const AcceleratorSpec& spec = sys.spec(acc);
@@ -16,13 +16,20 @@ double optimize_one(const Simulator& sim, const Mapping& mapping,
 
   Bytes capacity = spec.dram_capacity;
   Bytes forced_bytes = 0;
-  std::vector<KnapsackItem> items;
+  std::vector<KnapsackItem>& items = scratch.items;
+  items.clear();
+  mapping.layers_on(acc, scratch.layers);
 
-  // Clear pins on this accelerator, force-pin resident weights first.
-  for (const LayerId id : mapping.layers_on(acc)) {
-    plan.set_pinned(id, false);
+  // Force-pin resident weights first; everything else competes in the
+  // knapsack. Each pin flag is written exactly once with its final value —
+  // no clear-then-reset — so an open plan journal records only real diffs
+  // (the step-4 probe loop turns those diffs into its dirty set).
+  for (const LayerId id : scratch.layers) {
     const Bytes wb = model.weight_bytes(id);
-    if (wb == 0) continue;
+    if (wb == 0) {
+      plan.set_pinned(id, false);
+      continue;
+    }
     if (options.force_pin != nullptr && (*options.force_pin)[id.value] &&
         forced_bytes + wb <= capacity) {
       plan.set_pinned(id, true);
@@ -37,8 +44,10 @@ double optimize_one(const Simulator& sim, const Mapping& mapping,
   const KnapsackSolution sol =
       solve_knapsack(items, capacity - forced_bytes, options.algo,
                      options.max_dp_units);
-  for (const std::uint32_t id : sol.selected)
-    plan.set_pinned(LayerId{id}, true);
+  for (const KnapsackItem& item : items)  // sol.selected is sorted
+    plan.set_pinned(LayerId{item.id},
+                    std::binary_search(sol.selected.begin(),
+                                       sol.selected.end(), item.id));
 
   plan.set_used_dram(acc, forced_bytes + sol.used);
   return sol.value;
@@ -49,15 +58,18 @@ double optimize_one(const Simulator& sim, const Mapping& mapping,
 double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
                                 LocalityPlan& plan,
                                 const WeightLocalityOptions& options,
-                                std::span<const AccId> only_accs) {
+                                std::span<const AccId> only_accs,
+                                WeightLocalityScratch* scratch) {
   plan.ensure_acc_count(sim.sys().accelerator_count());
+  WeightLocalityScratch local;
+  WeightLocalityScratch& s = scratch != nullptr ? *scratch : local;
   double saved = 0;
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      saved += optimize_one(sim, mapping, plan, options, acc);
+      saved += optimize_one(sim, mapping, plan, options, acc, s);
   } else {
     for (const AccId acc : only_accs)
-      saved += optimize_one(sim, mapping, plan, options, acc);
+      saved += optimize_one(sim, mapping, plan, options, acc, s);
   }
   return saved;
 }

@@ -25,12 +25,21 @@ struct WeightLocalityOptions {
   const std::vector<bool>* force_pin = nullptr;
 };
 
+/// Reusable buffers for the pass. The step-4 probe loop runs this pass per
+/// candidate move; threading one scratch through keeps the steady state free
+/// of per-probe allocations.
+struct WeightLocalityScratch {
+  std::vector<LayerId> layers;
+  std::vector<KnapsackItem> items;
+};
+
 /// Recompute weight pins. If `only_accs` is empty all accelerators are
 /// re-optimized; otherwise only the listed ones (step-4 inner loop).
 /// Returns the total saved host-transfer seconds (sum of selected values).
 double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
                                 LocalityPlan& plan,
                                 const WeightLocalityOptions& options = {},
-                                std::span<const AccId> only_accs = {});
+                                std::span<const AccId> only_accs = {},
+                                WeightLocalityScratch* scratch = nullptr);
 
 }  // namespace h2h

@@ -1,7 +1,6 @@
 #include "system/incremental.h"
 
 #include <algorithm>
-#include <queue>
 
 namespace h2h {
 
@@ -13,6 +12,7 @@ void IncrementalSchedule::reset(const Mapping& m, const LocalityPlan& plan) {
   const ModelGraph& model = sim_->model();
   const SystemConfig& sys = sim_->sys();
   H2H_EXPECTS(m.complete());
+  H2H_EXPECTS(!journaling_);
 
   timings_.assign(model.layer_count(), LayerTiming{});
   queues_ = m.acc_queues(sys);
@@ -27,6 +27,12 @@ void IncrementalSchedule::reset(const Mapping& m, const LocalityPlan& plan) {
   for (const LayerId id : model.all_layers()) {
     if (model.layer(id).kind == LayerKind::Input) acc_[id.value] = AccId::host();
   }
+  queued_stamp_.assign(model.layer_count(), 0);
+  refreshed_stamp_.assign(model.layer_count(), 0);
+  stamp_ = 0;
+  saved_stamp_.assign(model.layer_count(), 0);
+  save_epoch_ = 0;
+  heap_.clear();
 
   // Initial full timing in sequence order.
   std::vector<LayerId> order = model.all_layers();
@@ -63,30 +69,44 @@ LayerId IncrementalSchedule::queue_next(LayerId id) const {
   return p + 1 < q.size() ? q[p + 1] : LayerId{};
 }
 
-void IncrementalSchedule::retime_from(const Mapping& m,
-                                      std::vector<LayerId> worklist) {
+void IncrementalSchedule::save_timing(LayerId id) {
+  if (!journaling_ || saved_stamp_[id.value] == save_epoch_) return;
+  saved_stamp_[id.value] = save_epoch_;
+  journal_timings_.emplace_back(id, timings_[id.value]);
+}
+
+void IncrementalSchedule::begin_retime() {
+  heap_.clear();
+  if (++stamp_ == 0) {  // stamp wrapped: invalidate all stale marks
+    std::fill(queued_stamp_.begin(), queued_stamp_.end(), 0u);
+    std::fill(refreshed_stamp_.begin(), refreshed_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+}
+
+void IncrementalSchedule::enqueue(const Mapping& m, LayerId id) {
+  if (!id.valid() || queued_stamp_[id.value] == stamp_ ||
+      sim_->model().layer(id).kind == LayerKind::Input)
+    return;
+  queued_stamp_[id.value] = stamp_;
+  heap_.push_back(id);
+  std::push_heap(heap_.begin(), heap_.end(), [&m](LayerId lhs, LayerId rhs) {
+    return m.seq_of(lhs) > m.seq_of(rhs);
+  });
+}
+
+void IncrementalSchedule::retime(const Mapping& m) {
   const ModelGraph& model = sim_->model();
   // Min-heap on sequence number: nodes are re-timed in execution order so
   // each node is processed at most a handful of times.
   const auto seq_greater = [&m](LayerId lhs, LayerId rhs) {
     return m.seq_of(lhs) > m.seq_of(rhs);
   };
-  std::priority_queue<LayerId, std::vector<LayerId>, decltype(seq_greater)>
-      heap(seq_greater);
-  std::vector<bool> queued(model.layer_count(), false);
-  const auto push = [&](LayerId id) {
-    if (id.valid() && !queued[id.value] &&
-        model.layer(id).kind != LayerKind::Input) {
-      queued[id.value] = true;
-      heap.push(id);
-    }
-  };
-  for (const LayerId id : worklist) push(id);
-
-  while (!heap.empty()) {
-    const LayerId id = heap.top();
-    heap.pop();
-    queued[id.value] = false;
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), seq_greater);
+    const LayerId id = heap_.back();
+    heap_.pop_back();
+    queued_stamp_[id.value] = 0;
     ++retimes_;
 
     LayerTiming& t = timings_[id.value];
@@ -98,37 +118,42 @@ void IncrementalSchedule::retime_from(const Mapping& m,
     const double start = std::max(ready, free_at);
     const double finish = start + t.duration();
     if (start == t.start && finish == t.finish) continue;  // cone stops here
+    save_timing(id);
     t.start = start;
     t.finish = finish;
-    for (const LayerId s : model.graph().succs(id)) push(s);
-    push(queue_next(id));
+    for (const LayerId s : model.graph().succs(id)) enqueue(m, s);
+    enqueue(m, queue_next(id));
   }
+}
+
+void IncrementalSchedule::refresh_one(const Mapping& m,
+                                      const LocalityPlan& plan, LayerId id) {
+  if (refreshed_stamp_[id.value] == stamp_) return;  // already this batch
+  refreshed_stamp_[id.value] = stamp_;
+  save_timing(id);
+  LayerTiming& t = timings_[id.value];
+  const LayerTiming fresh = sim_->layer_components(id, m, plan);
+  t.t_in = fresh.t_in;
+  t.t_weight = fresh.t_weight;
+  t.t_compute = fresh.t_compute;
+  t.t_out = fresh.t_out;
+  t.t_host = fresh.t_host;
+  t.t_local = fresh.t_local;
+  t.host_bytes = fresh.host_bytes;
+  t.local_bytes = fresh.local_bytes;
+  enqueue(m, id);
 }
 
 void IncrementalSchedule::refresh_components(const Mapping& m,
                                              const LocalityPlan& plan,
                                              std::span<const LayerId> dirty) {
-  std::vector<LayerId> work;
-  work.reserve(dirty.size());
-  for (const LayerId id : dirty) {
-    LayerTiming& t = timings_[id.value];
-    const LayerTiming fresh = sim_->layer_components(id, m, plan);
-    t.t_in = fresh.t_in;
-    t.t_weight = fresh.t_weight;
-    t.t_compute = fresh.t_compute;
-    t.t_out = fresh.t_out;
-    t.t_host = fresh.t_host;
-    t.t_local = fresh.t_local;
-    t.host_bytes = fresh.host_bytes;
-    t.local_bytes = fresh.local_bytes;
-    work.push_back(id);
-  }
-  retime_from(m, std::move(work));
+  begin_retime();
+  for (const LayerId id : dirty) refresh_one(m, plan, id);
+  retime(m);
 }
 
-void IncrementalSchedule::apply_remap(const Mapping& m, const LocalityPlan& plan,
-                                      LayerId node, AccId old_acc,
-                                      std::span<const LayerId> dirty) {
+LayerId IncrementalSchedule::relocate(const Mapping& m, LayerId node,
+                                      AccId old_acc) {
   H2H_EXPECTS(!old_acc.is_host() && old_acc.value < queues_.size());
   const AccId new_acc = m.acc_of(node);
   H2H_EXPECTS(new_acc != old_acc);
@@ -137,6 +162,7 @@ void IncrementalSchedule::apply_remap(const Mapping& m, const LocalityPlan& plan
   auto& oq = queues_[old_acc.value];
   const std::uint32_t old_pos = pos_[node.value];
   H2H_ASSERT(old_pos < oq.size() && oq[old_pos] == node);
+  if (journaling_) journal_moves_.push_back({node, old_acc, old_pos, new_acc});
   oq.erase(oq.begin() + old_pos);
   for (std::uint32_t i = old_pos; i < oq.size(); ++i) pos_[oq[i].value] = i;
   const LayerId old_follower = old_pos < oq.size() ? oq[old_pos] : LayerId{};
@@ -151,14 +177,79 @@ void IncrementalSchedule::apply_remap(const Mapping& m, const LocalityPlan& plan
   nq.insert(it, node);
   for (std::uint32_t i = new_pos; i < nq.size(); ++i) pos_[nq[i].value] = i;
   acc_[node.value] = new_acc;
+  return old_follower;
+}
 
-  // Refresh components of everything the move may have touched, then retime
-  // from the node, the old queue's follower, and the new queue's follower.
-  std::vector<LayerId> work(dirty.begin(), dirty.end());
-  work.push_back(node);
-  if (old_follower.valid()) work.push_back(old_follower);
-  if (const LayerId nf = queue_next(node); nf.valid()) work.push_back(nf);
-  refresh_components(m, plan, work);
+void IncrementalSchedule::apply_remap(const Mapping& m,
+                                      const LocalityPlan& plan, LayerId node,
+                                      AccId old_acc) {
+  const AccId new_acc = m.acc_of(node);
+  (void)relocate(m, node, old_acc);
+
+  // Every layer on either accelerator may have changed transfer components
+  // (the locality passes redistribute pins and fusion there). Refreshing
+  // both queues also seeds the retime with the node itself and both queue
+  // followers, which covers the displaced FIFO slots.
+  begin_retime();
+  for (const LayerId id : queues_[old_acc.value]) refresh_one(m, plan, id);
+  for (const LayerId id : queues_[new_acc.value]) refresh_one(m, plan, id);
+  retime(m);
+}
+
+void IncrementalSchedule::apply_remap(const Mapping& m,
+                                      const LocalityPlan& plan, LayerId node,
+                                      AccId old_acc,
+                                      std::span<const LayerId> dirty) {
+  const LayerId old_follower = relocate(m, node, old_acc);
+
+  begin_retime();
+  refresh_one(m, plan, node);
+  for (const LayerId id : dirty) refresh_one(m, plan, id);
+  // The displaced FIFO slots: components unchanged, start times may not be.
+  enqueue(m, old_follower);
+  enqueue(m, queue_next(node));
+  retime(m);
+}
+
+void IncrementalSchedule::begin_journal() {
+  H2H_EXPECTS(!journaling_);
+  H2H_EXPECTS(!timings_.empty());  // reset() must have run
+  journal_timings_.clear();
+  journal_moves_.clear();
+  if (++save_epoch_ == 0) {  // epoch wrapped: invalidate all stale marks
+    std::fill(saved_stamp_.begin(), saved_stamp_.end(), 0u);
+    save_epoch_ = 1;
+  }
+  journaling_ = true;
+}
+
+void IncrementalSchedule::rollback_journal() {
+  H2H_EXPECTS(journaling_);
+  // Reverse the queue surgery, newest move first.
+  for (auto it = journal_moves_.rbegin(); it != journal_moves_.rend(); ++it) {
+    auto& nq = queues_[it->new_acc.value];
+    const std::uint32_t cur = pos_[it->node.value];
+    H2H_ASSERT(cur < nq.size() && nq[cur] == it->node);
+    nq.erase(nq.begin() + cur);
+    for (std::uint32_t i = cur; i < nq.size(); ++i) pos_[nq[i].value] = i;
+    auto& oq = queues_[it->old_acc.value];
+    oq.insert(oq.begin() + it->old_pos, it->node);
+    for (std::uint32_t i = it->old_pos; i < oq.size(); ++i)
+      pos_[oq[i].value] = i;
+    acc_[it->node.value] = it->old_acc;
+  }
+  // Restore saved timings (each node saved once; order is irrelevant).
+  for (const auto& [id, t] : journal_timings_) timings_[id.value] = t;
+  journal_timings_.clear();
+  journal_moves_.clear();
+  journaling_ = false;
+}
+
+void IncrementalSchedule::commit_journal() {
+  H2H_EXPECTS(journaling_);
+  journal_timings_.clear();
+  journal_moves_.clear();
+  journaling_ = false;
 }
 
 double IncrementalSchedule::latency() const noexcept {
@@ -167,9 +258,22 @@ double IncrementalSchedule::latency() const noexcept {
   return out;
 }
 
+EnergyBreakdown IncrementalSchedule::energy(const Mapping& m) const {
+  const ModelGraph& model = sim_->model();
+  EnergyBreakdown e;
+  double latency = 0.0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    const LayerTiming& t = timings_[id.value];
+    e += sim_->layer_energy(id, m, t);
+    latency = std::max(latency, t.finish);
+  }
+  e.static_power = sim_->sys().static_energy(latency);
+  return e;
+}
+
 ScheduleResult IncrementalSchedule::result(const Mapping& m) const {
   const ModelGraph& model = sim_->model();
-  const SystemConfig& sys = sim_->sys();
   ScheduleResult r;
   r.timings = timings_;
   for (const LayerId id : model.all_layers()) {
@@ -183,9 +287,7 @@ ScheduleResult IncrementalSchedule::result(const Mapping& m) const {
     r.energy += sim_->layer_energy(id, m, t);
     r.latency = std::max(r.latency, t.finish);
   }
-  r.energy.static_power = sys.host().static_power_w *
-                          static_cast<double>(sys.accelerator_count()) *
-                          r.latency;
+  r.energy.static_power = sim_->sys().static_energy(r.latency);
   return r;
 }
 

@@ -7,11 +7,19 @@
 // sequence propagates through graph successors and queue followers, stopping
 // wherever a finish time is unchanged.
 //
+// Probe/undo: the step-4 remapping loop evaluates hundreds of candidate
+// moves per pass. Instead of deep-copying the schedule per candidate, an
+// apply/undo journal records every touched timing and queue move while open
+// (begin_journal) and rolls them back in O(touched) (rollback_journal). The
+// journal buffers, the retime heap, and the dedup stamps are all reused
+// members, so steady-state candidate evaluation allocates nothing here.
+//
 // Equivalence with Simulator::simulate is asserted in tests; the ablation
 // bench bench_ablation_incremental measures the speedup.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "system/simulator.h"
@@ -22,7 +30,8 @@ class IncrementalSchedule {
  public:
   explicit IncrementalSchedule(const Simulator& sim) noexcept : sim_(&sim) {}
 
-  /// Full (re)build for a complete mapping: O(V + E).
+  /// Full (re)build for a complete mapping: O(V + E). Not allowed while a
+  /// journal is open.
   void reset(const Mapping& m, const LocalityPlan& plan);
 
   /// The plan changed the transfer components of `dirty` layers (pins or
@@ -32,11 +41,30 @@ class IncrementalSchedule {
                           std::span<const LayerId> dirty);
 
   /// `node` was re-assigned (Mapping::reassign already applied) from
-  /// `old_acc` to its new accelerator; `dirty` lists every layer whose
-  /// transfer components may have changed (typically all layers on both
-  /// accelerators).
+  /// `old_acc` to its new accelerator. Moves it between the FIFO queues,
+  /// re-reads the transfer components of every layer on both accelerators
+  /// from `plan` (pins and fusion may have been redistributed there), and
+  /// re-times the affected cone.
+  void apply_remap(const Mapping& m, const LocalityPlan& plan, LayerId node,
+                   AccId old_acc);
+
+  /// Targeted variant for the step-4 probe loop: `dirty` lists exactly the
+  /// layers whose transfer components may have changed (typically
+  /// LocalityPlan::journal_touched_layers). Only those components are
+  /// re-read; the displaced queue followers are re-timed regardless. The
+  /// moved node is always refreshed and need not appear in `dirty`.
   void apply_remap(const Mapping& m, const LocalityPlan& plan, LayerId node,
                    AccId old_acc, std::span<const LayerId> dirty);
+
+  /// Start recording timing and queue changes. One journal at a time.
+  void begin_journal();
+  /// Undo every change since begin_journal — saved timings restored, queue
+  /// moves reversed — and close the journal. O(touched). The retime work
+  /// counter is not rolled back (it measures work performed).
+  void rollback_journal();
+  /// Keep the changes and close the journal.
+  void commit_journal();
+  [[nodiscard]] bool journal_open() const noexcept { return journaling_; }
 
   [[nodiscard]] double latency() const noexcept;
   [[nodiscard]] const LayerTiming& timing(LayerId id) const {
@@ -47,12 +75,23 @@ class IncrementalSchedule {
   /// Aggregate into a full ScheduleResult (energy, ratios): O(V).
   [[nodiscard]] ScheduleResult result(const Mapping& m) const;
 
+  /// Energy alone, without materializing the O(V) timings copy a full
+  /// ScheduleResult carries: the allocation-free probe path for
+  /// energy-aware objectives.
+  [[nodiscard]] EnergyBreakdown energy(const Mapping& m) const;
+
   /// Number of node re-timings performed since construction (for the
   /// ablation bench's work accounting).
   [[nodiscard]] std::uint64_t retime_count() const noexcept { return retimes_; }
 
  private:
-  void retime_from(const Mapping& m, std::vector<LayerId> worklist);
+  void save_timing(LayerId id);
+  /// Journaled queue surgery; returns the old queue's displaced follower.
+  LayerId relocate(const Mapping& m, LayerId node, AccId old_acc);
+  void refresh_one(const Mapping& m, const LocalityPlan& plan, LayerId id);
+  void begin_retime();
+  void enqueue(const Mapping& m, LayerId id);
+  void retime(const Mapping& m);
   [[nodiscard]] LayerId queue_prev(LayerId id) const;
   [[nodiscard]] LayerId queue_next(LayerId id) const;
 
@@ -62,6 +101,28 @@ class IncrementalSchedule {
   std::vector<std::uint32_t> pos_;            // node -> index in its queue
   std::vector<AccId> acc_;                    // node -> accelerator (cache)
   std::uint64_t retimes_ = 0;
+
+  // Reusable retime worklist: a manual binary heap plus stamp arrays that
+  // dedup heap membership and per-batch component refreshes without an O(V)
+  // clear per probe.
+  std::vector<LayerId> heap_;
+  std::vector<std::uint32_t> queued_stamp_;
+  std::vector<std::uint32_t> refreshed_stamp_;
+  std::uint32_t stamp_ = 0;
+
+  // Journal. Timings are saved once per (journal, node) via an epoch stamp;
+  // queue moves record enough to reverse the surgery exactly.
+  struct QueueMove {
+    LayerId node;
+    AccId old_acc;
+    std::uint32_t old_pos;
+    AccId new_acc;
+  };
+  bool journaling_ = false;
+  std::vector<std::pair<LayerId, LayerTiming>> journal_timings_;
+  std::vector<QueueMove> journal_moves_;
+  std::vector<std::uint32_t> saved_stamp_;
+  std::uint32_t save_epoch_ = 0;
 };
 
 }  // namespace h2h

@@ -18,6 +18,7 @@ Mapping::Mapping(const ModelGraph& model)
 }
 
 void Mapping::assign(LayerId id, AccId acc) {
+  H2H_EXPECTS(!journaling_);
   H2H_EXPECTS(id.value < assignment_.size());
   H2H_EXPECTS(!assignment_[id.value].valid());
   H2H_EXPECTS(acc.valid() && !acc.is_host());
@@ -29,7 +30,28 @@ void Mapping::reassign(LayerId id, AccId acc) {
   H2H_EXPECTS(is_assigned(id));
   H2H_EXPECTS(!assignment_[id.value].is_host());
   H2H_EXPECTS(acc.valid() && !acc.is_host());
+  if (journaling_) journal_.emplace_back(id.value, assignment_[id.value]);
   assignment_[id.value] = acc;
+}
+
+void Mapping::begin_journal() {
+  H2H_EXPECTS(!journaling_);
+  journal_.clear();
+  journaling_ = true;
+}
+
+void Mapping::rollback_journal() {
+  H2H_EXPECTS(journaling_);
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it)
+    assignment_[it->first] = it->second;
+  journal_.clear();
+  journaling_ = false;
+}
+
+void Mapping::commit_journal() {
+  H2H_EXPECTS(journaling_);
+  journal_.clear();
+  journaling_ = false;
 }
 
 bool Mapping::complete() const noexcept {
@@ -57,12 +79,17 @@ std::vector<std::vector<LayerId>> Mapping::acc_queues(
 
 std::vector<LayerId> Mapping::layers_on(AccId acc) const {
   std::vector<LayerId> out;
+  layers_on(acc, out);
+  return out;
+}
+
+void Mapping::layers_on(AccId acc, std::vector<LayerId>& out) const {
+  out.clear();
   for (std::uint32_t i = 0; i < assignment_.size(); ++i)
     if (assignment_[i] == acc) out.push_back(LayerId{i});
   std::sort(out.begin(), out.end(), [this](LayerId lhs, LayerId rhs) {
     return seq_[lhs.value] < seq_[rhs.value];
   });
-  return out;
 }
 
 std::vector<AccId> Mapping::used_accelerators() const {
@@ -102,9 +129,28 @@ void Mapping::validate(const ModelGraph& model, const SystemConfig& sys) const {
 
 LocalityPlan::LocalityPlan(const ModelGraph& model)
     : pinned_(model.layer_count(), false) {
-  fused_in_.reserve(model.layer_count());
+  fused_offset_.reserve(model.layer_count() + 1);
+  fused_offset_.push_back(0);
   for (const LayerId id : model.all_layers())
-    fused_in_.emplace_back(model.graph().in_degree(id), false);
+    fused_offset_.push_back(
+        fused_offset_.back() +
+        static_cast<std::uint32_t>(model.graph().in_degree(id)));
+  fused_.assign(fused_offset_.back(), false);
+}
+
+void LocalityPlan::set_pinned(LayerId id, bool value) {
+  H2H_EXPECTS(id.value < pinned_.size());
+  if (pinned_[id.value] == value) return;
+  if (journaling_) journal_pins_.push_back(id.value);
+  pinned_[id.value] = value;
+}
+
+void LocalityPlan::set_fused_in(LayerId id, std::size_t pred_index,
+                                bool value) {
+  const std::size_t e = edge_index(id, pred_index);
+  if (fused_[e] == value) return;
+  if (journaling_) journal_fused_.push_back(static_cast<std::uint32_t>(e));
+  fused_[e] = value;
 }
 
 bool LocalityPlan::edge_fused(const ModelGraph& model, LayerId producer,
@@ -117,11 +163,28 @@ bool LocalityPlan::edge_fused(const ModelGraph& model, LayerId producer,
 }
 
 void LocalityPlan::clear_fusion() {
-  for (auto& flags : fused_in_)
-    std::fill(flags.begin(), flags.end(), false);
+  if (journaling_) {
+    for (std::size_t e = 0; e < fused_.size(); ++e) {
+      if (fused_[e]) {
+        journal_fused_.push_back(static_cast<std::uint32_t>(e));
+        fused_[e] = false;
+      }
+    }
+    return;
+  }
+  std::fill(fused_.begin(), fused_.end(), false);
 }
 
 void LocalityPlan::clear_pins() {
+  if (journaling_) {
+    for (std::size_t i = 0; i < pinned_.size(); ++i) {
+      if (pinned_[i]) {
+        journal_pins_.push_back(static_cast<std::uint32_t>(i));
+        pinned_[i] = false;
+      }
+    }
+    return;
+  }
   std::fill(pinned_.begin(), pinned_.end(), false);
 }
 
@@ -134,11 +197,58 @@ Bytes LocalityPlan::used_dram(AccId acc) const {
 void LocalityPlan::set_used_dram(AccId acc, Bytes bytes) {
   H2H_EXPECTS(acc.valid() && !acc.is_host());
   if (acc.value >= used_dram_.size()) used_dram_.resize(acc.value + 1, 0);
+  if (used_dram_[acc.value] == bytes) return;
+  if (journaling_) journal_dram_.emplace_back(acc.value, used_dram_[acc.value]);
   used_dram_[acc.value] = bytes;
 }
 
 void LocalityPlan::ensure_acc_count(std::size_t count) {
   if (used_dram_.size() < count) used_dram_.resize(count, 0);
+}
+
+void LocalityPlan::begin_journal() {
+  H2H_EXPECTS(!journaling_);
+  journal_pins_.clear();
+  journal_fused_.clear();
+  journal_dram_.clear();
+  journaling_ = true;
+}
+
+void LocalityPlan::journal_touched_layers(const ModelGraph& model,
+                                          std::vector<LayerId>& out) const {
+  H2H_EXPECTS(journaling_);
+  for (const std::uint32_t i : journal_pins_) out.push_back(LayerId{i});
+  for (const std::uint32_t e : journal_fused_) {
+    // Edge index -> consumer: the CSR row containing e.
+    const auto it = std::upper_bound(fused_offset_.begin(),
+                                     fused_offset_.end(), e);
+    H2H_ASSERT(it != fused_offset_.begin() && it != fused_offset_.end());
+    const auto consumer = static_cast<std::uint32_t>(
+        it - fused_offset_.begin() - 1);
+    out.push_back(LayerId{consumer});
+    const std::size_t slot = e - fused_offset_[consumer];
+    out.push_back(model.graph().preds(LayerId{consumer})[slot]);
+  }
+}
+
+void LocalityPlan::rollback_journal() {
+  H2H_EXPECTS(journaling_);
+  for (const std::uint32_t i : journal_pins_) pinned_[i] = !pinned_[i];
+  for (const std::uint32_t e : journal_fused_) fused_[e] = !fused_[e];
+  for (auto it = journal_dram_.rbegin(); it != journal_dram_.rend(); ++it)
+    used_dram_[it->first] = it->second;
+  journal_pins_.clear();
+  journal_fused_.clear();
+  journal_dram_.clear();
+  journaling_ = false;
+}
+
+void LocalityPlan::commit_journal() {
+  H2H_EXPECTS(journaling_);
+  journal_pins_.clear();
+  journal_fused_.clear();
+  journal_dram_.clear();
+  journaling_ = false;
 }
 
 std::size_t LocalityPlan::pinned_count() const noexcept {
@@ -147,10 +257,8 @@ std::size_t LocalityPlan::pinned_count() const noexcept {
 }
 
 std::size_t LocalityPlan::fused_edge_count() const noexcept {
-  std::size_t n = 0;
-  for (const auto& flags : fused_in_)
-    n += static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
-  return n;
+  return static_cast<std::size_t>(
+      std::count(fused_.begin(), fused_.end(), true));
 }
 
 }  // namespace h2h

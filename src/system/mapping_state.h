@@ -7,9 +7,20 @@
 //
 // LocalityPlan: which layers' weights are pinned in local DRAM (step 2) and
 // which edges are activation-fused (step 3). Steps 2-4 recompute this plan;
-// the simulator consumes it.
+// the simulator consumes it. Fusion flags live in a flat CSR-indexed bitset
+// keyed by edge index (offset of the consumer + predecessor slot), so the
+// plan is two bitsets plus a byte-count array — cheap to probe and journal.
+//
+// Journals: the step-4 remapping loop probes hundreds of candidate moves per
+// pass. Instead of deep-copying the state per candidate, both classes record
+// touched entries while a journal is open (begin_journal) and roll them back
+// in O(touched) (rollback_journal). The journal buffers keep their capacity
+// across probes, so steady-state candidate evaluation performs no
+// allocations here.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "model/model_graph.h"
@@ -37,11 +48,22 @@ class Mapping {
     return seq_[id.value];
   }
 
-  /// First-time assignment with the next execution priority.
+  /// First-time assignment with the next execution priority. Not allowed
+  /// while a journal is open (it would also have to roll back the priority
+  /// counter; step 4 only ever reassigns).
   void assign(LayerId id, AccId acc);
 
-  /// Step-4 remapping: change the accelerator, keep the priority.
+  /// Step-4 remapping: change the accelerator, keep the priority. Journaled.
   void reassign(LayerId id, AccId acc);
+
+  /// Start recording reassignments. One journal at a time.
+  void begin_journal();
+  /// Undo every reassignment since begin_journal, newest first, and close
+  /// the journal. O(touched).
+  void rollback_journal();
+  /// Keep the changes and close the journal.
+  void commit_journal();
+  [[nodiscard]] bool journal_open() const noexcept { return journaling_; }
 
   [[nodiscard]] bool complete() const noexcept;
 
@@ -51,6 +73,9 @@ class Mapping {
 
   /// Layers mapped to `acc`, sorted by sequence.
   [[nodiscard]] std::vector<LayerId> layers_on(AccId acc) const;
+  /// Same, filling a caller-owned buffer (cleared first) so hot loops can
+  /// reuse its capacity instead of allocating per query.
+  void layers_on(AccId acc, std::vector<LayerId>& out) const;
 
   /// Distinct accelerators that have at least one layer, ascending.
   [[nodiscard]] std::vector<AccId> used_accelerators() const;
@@ -66,6 +91,8 @@ class Mapping {
   std::vector<AccId> assignment_;
   std::vector<std::uint32_t> seq_;
   std::uint32_t next_seq_ = 0;
+  bool journaling_ = false;
+  std::vector<std::pair<std::uint32_t, AccId>> journal_;  // (layer, old acc)
 };
 
 class LocalityPlan {
@@ -77,22 +104,13 @@ class LocalityPlan {
     H2H_EXPECTS(id.value < pinned_.size());
     return pinned_[id.value];
   }
-  void set_pinned(LayerId id, bool value) {
-    H2H_EXPECTS(id.value < pinned_.size());
-    pinned_[id.value] = value;
-  }
+  void set_pinned(LayerId id, bool value);
 
   /// Fusion flag of the in-edge `pred_index` (index into graph.preds(id)).
   [[nodiscard]] bool fused_in(LayerId id, std::size_t pred_index) const {
-    H2H_EXPECTS(id.value < fused_in_.size());
-    H2H_EXPECTS(pred_index < fused_in_[id.value].size());
-    return fused_in_[id.value][pred_index];
+    return fused_[edge_index(id, pred_index)];
   }
-  void set_fused_in(LayerId id, std::size_t pred_index, bool value) {
-    H2H_EXPECTS(id.value < fused_in_.size());
-    H2H_EXPECTS(pred_index < fused_in_[id.value].size());
-    fused_in_[id.value][pred_index] = value;
-  }
+  void set_fused_in(LayerId id, std::size_t pred_index, bool value);
 
   /// Fusion flag of the edge producer -> consumer (looked up by scanning the
   /// consumer's predecessor list).
@@ -110,13 +128,45 @@ class LocalityPlan {
   void set_used_dram(AccId acc, Bytes bytes);
   void ensure_acc_count(std::size_t count);
 
+  /// Start recording pin/fusion/DRAM changes. One journal at a time.
+  void begin_journal();
+  /// Layers whose transfer components may differ because of changes recorded
+  /// in the open journal: a pin flip touches the layer itself; a fusion flip
+  /// touches the consumer (its in-transfer) and the edge's producer (its
+  /// host write depends on all consumers' flags). Appends to `out`; may
+  /// contain duplicates — consumers dedup as needed. O(touched).
+  void journal_touched_layers(const ModelGraph& model,
+                              std::vector<LayerId>& out) const;
+  /// Undo every recorded change and close the journal. O(touched).
+  void rollback_journal();
+  /// Keep the changes and close the journal.
+  void commit_journal();
+  [[nodiscard]] bool journal_open() const noexcept { return journaling_; }
+
   [[nodiscard]] std::size_t pinned_count() const noexcept;
   [[nodiscard]] std::size_t fused_edge_count() const noexcept;
 
  private:
+  [[nodiscard]] std::size_t edge_index(LayerId id,
+                                       std::size_t pred_index) const {
+    H2H_EXPECTS(id.value + 1 < fused_offset_.size());
+    H2H_EXPECTS(fused_offset_[id.value] + pred_index <
+                fused_offset_[id.value + 1]);
+    return fused_offset_[id.value] + pred_index;
+  }
+
   std::vector<bool> pinned_;
-  std::vector<std::vector<bool>> fused_in_;
+  std::vector<std::uint32_t> fused_offset_;  // CSR: layer -> first edge index
+  std::vector<bool> fused_;                  // flat bitset keyed by edge index
   std::vector<Bytes> used_dram_;
+
+  // Journal: booleans only ever flip, so recording the flipped index is
+  // enough to undo (an index flipped twice undoes to its original value
+  // either way). DRAM totals record (accelerator, previous bytes).
+  bool journaling_ = false;
+  std::vector<std::uint32_t> journal_pins_;
+  std::vector<std::uint32_t> journal_fused_;
+  std::vector<std::pair<std::uint32_t, Bytes>> journal_dram_;
 };
 
 }  // namespace h2h

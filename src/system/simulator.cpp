@@ -81,6 +81,10 @@ double Simulator::unlocalized_duration(LayerId id, AccId acc) const {
   const Layer& layer = model_->layer(id);
   H2H_EXPECTS(layer.kind != LayerKind::Input);
   const double bw_host = sys_->bw_acc(acc);
+  // The output transfer is charged unconditionally: zero locality means no
+  // consumer is fused, so the producer always writes its output back to the
+  // host — exactly what layer_components computes under a default-constructed
+  // (all-unfused) LocalityPlan. test_simulator.cpp pins this equivalence.
   Bytes host_bytes = model_->weight_bytes(id) + model_->edge_bytes(id);
   for (const LayerId p : model_->graph().preds(id))
     host_bytes += model_->edge_bytes(p);
@@ -135,9 +139,7 @@ ScheduleResult Simulator::simulate(const Mapping& m,
     done[id.value] = true;
   }
 
-  r.energy.static_power = sys_->host().static_power_w *
-                          static_cast<double>(sys_->accelerator_count()) *
-                          r.latency;
+  r.energy.static_power = sys_->static_energy(r.latency);
   return r;
 }
 

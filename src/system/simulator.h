@@ -84,8 +84,10 @@ class Simulator {
                                              const LayerTiming& t) const;
 
   /// Duration of `id` if it ran on `acc` under step-1 semantics (zero local
-  /// DRAM: weights, IFM, and OFM all cross the host link). Used by the
-  /// computation-prioritized mapper's delta evaluation.
+  /// DRAM: weights, IFM, and OFM all cross the host link). The OFM host
+  /// write is unconditional because zero locality implies no fused
+  /// consumers — matching layer_components under an all-unfused plan. Used
+  /// by the computation-prioritized mapper's delta evaluation.
   [[nodiscard]] double unlocalized_duration(LayerId id, AccId acc) const;
 
  private:

@@ -76,6 +76,15 @@ class SystemConfig {
 
   [[nodiscard]] const HostParams& host() const noexcept { return host_; }
 
+  /// Idle energy over a makespan: static_power_w × accelerator count ×
+  /// latency. The single source of truth for the static-power term, shared
+  /// by Simulator::simulate and IncrementalSchedule so the two accountings
+  /// cannot drift.
+  [[nodiscard]] double static_energy(double latency_s) const noexcept {
+    return host_.static_power_w * static_cast<double>(accs_.size()) *
+           latency_s;
+  }
+
   /// Sweep helper: change the system-wide BW_acc in place.
   void set_bw_acc(double bw) {
     H2H_EXPECTS(bw > 0);

@@ -82,13 +82,95 @@ TEST(Incremental, RemapMatchesFullSimulation) {
   const std::array<AccId, 2> touched{src, dst};
   optimize_weight_locality(sim, mapping, plan, {}, touched);
   optimize_activation_fusion(sim, mapping, plan, {}, touched);
-  std::vector<LayerId> dirty = mapping.layers_on(src);
-  const auto on_dst = mapping.layers_on(dst);
-  dirty.insert(dirty.end(), on_dst.begin(), on_dst.end());
-  inc.apply_remap(mapping, plan, victim, src, dirty);
+  inc.apply_remap(mapping, plan, victim, src);
 
   expect_same_timings(inc, sim, mapping, plan);
   EXPECT_GT(inc.retime_count(), 0u);
+}
+
+// Regression for the static-power accounting drift: both simulators must
+// derive the static term from the one shared SystemConfig::static_energy
+// helper, so with a nonzero idle power the EnergyBreakdowns have to be
+// bit-identical field by field.
+TEST(Incremental, EnergyIdenticalToSimulatorUnderStaticPower) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  std::vector<AcceleratorPtr> accs;
+  accs.push_back(make_analytical(testing::simple_spec("U0", gib(1))));
+  accs.push_back(make_analytical(testing::simple_spec("U1", gib(1))));
+  HostParams host;
+  host.bw_acc = 1e9;
+  host.static_power_w = 1.5;
+  const SystemConfig sys(std::move(accs), host);
+  const Simulator sim(m, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+
+  const EnergyBreakdown full = sim.simulate(mapping, plan).energy;
+  const EnergyBreakdown agg = inc.result(mapping).energy;
+  const EnergyBreakdown fast = inc.energy(mapping);
+  EXPECT_GT(full.static_power, 0.0);
+  for (const EnergyBreakdown& e : {agg, fast}) {
+    EXPECT_DOUBLE_EQ(e.compute, full.compute);
+    EXPECT_DOUBLE_EQ(e.link, full.link);
+    EXPECT_DOUBLE_EQ(e.dram, full.dram);
+    EXPECT_DOUBLE_EQ(e.static_power, full.static_power);
+    EXPECT_DOUBLE_EQ(e.total(), full.total());
+  }
+}
+
+TEST(Incremental, JournalRollbackRestoresScheduleExactly) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+  const double latency_before = inc.latency();
+
+  // Probe a move under all three journals, then roll everything back.
+  LayerId victim{};
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind == LayerKind::FullyConnected) victim = id;
+  ASSERT_TRUE(victim.valid());
+  const AccId src = mapping.acc_of(victim);
+  const AccId dst = src == AccId{1} ? AccId{2} : AccId{1};
+
+  mapping.begin_journal();
+  plan.begin_journal();
+  inc.begin_journal();
+  mapping.reassign(victim, dst);
+  const std::array<AccId, 2> touched{src, dst};
+  optimize_weight_locality(sim, mapping, plan, {}, touched);
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  std::vector<LayerId> dirty;
+  plan.journal_touched_layers(m, dirty);
+  inc.apply_remap(mapping, plan, victim, src, dirty);
+  inc.rollback_journal();
+  plan.rollback_journal();
+  mapping.rollback_journal();
+
+  EXPECT_EQ(mapping.acc_of(victim), src);
+  EXPECT_DOUBLE_EQ(inc.latency(), latency_before);
+  expect_same_timings(inc, sim, mapping, plan);
+
+  // The rolled-back schedule must still accept further remaps correctly
+  // (queues and positions restored, not just timings).
+  mapping.reassign(victim, dst);
+  optimize_weight_locality(sim, mapping, plan, {}, touched);
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  inc.apply_remap(mapping, plan, victim, src);
+  expect_same_timings(inc, sim, mapping, plan);
 }
 
 // Property: a random sequence of remaps tracked incrementally stays
@@ -123,10 +205,7 @@ TEST_P(IncrementalProperty, RandomRemapSequenceStaysConsistent) {
     const std::array<AccId, 2> touched{src, dst};
     optimize_weight_locality(sim, mapping, plan, {}, touched);
     optimize_activation_fusion(sim, mapping, plan, {}, touched);
-    std::vector<LayerId> dirty = mapping.layers_on(src);
-    const auto on_dst = mapping.layers_on(dst);
-    dirty.insert(dirty.end(), on_dst.begin(), on_dst.end());
-    inc.apply_remap(mapping, plan, node, src, dirty);
+    inc.apply_remap(mapping, plan, node, src);
 
     const ScheduleResult full = sim.simulate(mapping, plan);
     ASSERT_DOUBLE_EQ(inc.latency(), full.latency) << "step " << step;

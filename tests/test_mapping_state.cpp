@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "system/mapping_state.h"
 #include "test_helpers.h"
 #include "util/error.h"
@@ -8,6 +10,7 @@ namespace h2h {
 namespace {
 
 using testing::make_chain_model;
+using testing::make_diamond_model;
 using testing::make_mini_hetero_system;
 
 TEST(Mapping, InputsStartOnHost) {
@@ -122,6 +125,81 @@ TEST(LocalityPlan, DramBookkeeping) {
   EXPECT_EQ(plan.used_dram(AccId{2}), 0u);
   plan.set_used_dram(AccId{2}, mib(7));
   EXPECT_EQ(plan.used_dram(AccId{2}), mib(7));
+}
+
+TEST(Mapping, JournalRollbackRestoresAssignments) {
+  const ModelGraph m = make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(3);
+  Mapping mapping(m);
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind != LayerKind::Input) mapping.assign(id, AccId{0});
+
+  mapping.begin_journal();
+  EXPECT_TRUE(mapping.journal_open());
+  mapping.reassign(LayerId{1}, AccId{1});
+  mapping.reassign(LayerId{2}, AccId{2});
+  mapping.reassign(LayerId{1}, AccId{2});  // same layer twice
+  mapping.rollback_journal();
+  EXPECT_FALSE(mapping.journal_open());
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{0});
+  EXPECT_EQ(mapping.acc_of(LayerId{2}), AccId{0});
+  EXPECT_NO_THROW(mapping.validate(m, sys));
+
+  mapping.begin_journal();
+  mapping.reassign(LayerId{1}, AccId{1});
+  mapping.commit_journal();
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{1});  // commit keeps changes
+  EXPECT_EQ(mapping.seq_of(LayerId{1}), 1u);        // priority untouched
+}
+
+TEST(LocalityPlan, JournalRollbackRestoresFlagsAndDram) {
+  const ModelGraph m = make_diamond_model();
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(2);
+  plan.set_pinned(LayerId{1}, true);
+  plan.set_used_dram(AccId{0}, mib(1));
+
+  plan.begin_journal();
+  plan.set_pinned(LayerId{1}, false);
+  plan.set_pinned(LayerId{2}, true);
+  plan.set_pinned(LayerId{2}, false);  // transient: net no change
+  plan.set_fused_in(LayerId{4}, 0, true);
+  plan.set_fused_in(LayerId{4}, 1, true);
+  plan.set_used_dram(AccId{0}, mib(5));
+  plan.set_used_dram(AccId{1}, mib(2));
+  plan.rollback_journal();
+
+  EXPECT_TRUE(plan.pinned(LayerId{1}));
+  EXPECT_FALSE(plan.pinned(LayerId{2}));
+  EXPECT_EQ(plan.fused_edge_count(), 0u);
+  EXPECT_EQ(plan.used_dram(AccId{0}), mib(1));
+  EXPECT_EQ(plan.used_dram(AccId{1}), 0u);
+
+  plan.begin_journal();
+  plan.set_fused_in(LayerId{4}, 0, true);
+  plan.commit_journal();
+  EXPECT_TRUE(plan.fused_in(LayerId{4}, 0));  // commit keeps changes
+}
+
+TEST(LocalityPlan, JournalTouchedLayersCoversPinsAndFusionEndpoints) {
+  // Diamond: input(0) -> a(1) -> {b(2), c(3)} -> add(4) -> fc(5).
+  const ModelGraph m = make_diamond_model();
+  LocalityPlan plan(m);
+  plan.begin_journal();
+  plan.set_pinned(LayerId{5}, true);
+  plan.set_fused_in(LayerId{4}, 1, true);  // edge c(3) -> add(4), slot 1
+  std::vector<LayerId> touched;
+  plan.journal_touched_layers(m, touched);
+  plan.rollback_journal();
+
+  // Pin flip -> the layer; fusion flip -> consumer and producer.
+  EXPECT_NE(std::find(touched.begin(), touched.end(), LayerId{5}),
+            touched.end());
+  EXPECT_NE(std::find(touched.begin(), touched.end(), LayerId{4}),
+            touched.end());
+  EXPECT_EQ(m.graph().preds(LayerId{4})[1], LayerId{3});
+  EXPECT_NE(std::find(touched.begin(), touched.end(), LayerId{3}),
+            touched.end());
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 // invariants for every seed.
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "system/incremental.h"
 #include "test_helpers.h"
 
 namespace h2h {
@@ -88,6 +91,111 @@ TEST_P(PipelineProperty, EnergyDecomposesAndTracksTraffic) {
   EXPECT_DOUBLE_EQ(fin.total(),
                    fin.compute + fin.link + fin.dram + fin.static_power);
   EXPECT_GE(base.total(), 0.0);
+}
+
+// Property for the journaled search core: an arbitrary interleaving of
+// remap / pin / fuse probes and undos, tracked through the apply/undo
+// journals, must agree with a from-scratch Simulator::simulate at every
+// step — and a rollback must restore the exact pre-probe state.
+TEST_P(PipelineProperty, JournaledProbesAgreeWithFullSimulationAtEveryStep) {
+  Rng rng(GetParam() + 2000);
+  const ModelGraph model = testing::make_random_model(rng);
+  const SystemConfig sys = testing::make_random_system(rng);
+  const Simulator sim(model, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(model);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+
+  const std::vector<LayerId> layers = model.all_layers();
+  for (int step = 0; step < 25; ++step) {
+    const double latency_before = inc.latency();
+    const std::size_t pins_before = plan.pinned_count();
+    const std::size_t fused_before = plan.fused_edge_count();
+
+    mapping.begin_journal();
+    plan.begin_journal();
+    inc.begin_journal();
+
+    bool probed = false;
+    switch (rng.index(3)) {
+      case 0: {  // remap probe with steps 2-3 re-run on the touched pair
+        const LayerId node = layers[rng.index(layers.size())];
+        if (model.layer(node).kind == LayerKind::Input) break;
+        const auto cands = sys.supporting(model.layer(node).kind);
+        const AccId dst = cands[rng.index(cands.size())];
+        const AccId src = mapping.acc_of(node);
+        if (dst == src) break;
+        mapping.reassign(node, dst);
+        const std::array<AccId, 2> touched{src, dst};
+        optimize_weight_locality(sim, mapping, plan, {}, touched);
+        optimize_activation_fusion(sim, mapping, plan, {}, touched);
+        std::vector<LayerId> dirty;
+        plan.journal_touched_layers(model, dirty);
+        inc.apply_remap(mapping, plan, node, src, dirty);
+        probed = true;
+        break;
+      }
+      case 1: {  // pin toggle
+        const LayerId node = layers[rng.index(layers.size())];
+        if (model.layer(node).kind == LayerKind::Input ||
+            model.weight_bytes(node) == 0)
+          break;
+        plan.set_pinned(node, !plan.pinned(node));
+        const std::array<LayerId, 1> dirty{node};
+        inc.refresh_components(mapping, plan, dirty);
+        probed = true;
+        break;
+      }
+      default: {  // fuse toggle (consumer in-transfer + producer host write)
+        const LayerId node = layers[rng.index(layers.size())];
+        const auto preds = model.graph().preds(node);
+        if (preds.empty() || model.layer(node).kind == LayerKind::Input) break;
+        const std::size_t slot = rng.index(preds.size());
+        // Only toggle co-located edges on: cross-accelerator fusion is
+        // not a state the passes produce.
+        const bool want = !plan.fused_in(node, slot);
+        if (want && mapping.acc_of(preds[slot]) != mapping.acc_of(node)) break;
+        plan.set_fused_in(node, slot, want);
+        const std::array<LayerId, 2> dirty{node, preds[slot]};
+        inc.refresh_components(mapping, plan, dirty);
+        probed = true;
+        break;
+      }
+    }
+
+    // Journaled state and a from-scratch simulation agree after the probe.
+    ASSERT_DOUBLE_EQ(inc.latency(), sim.simulate(mapping, plan).latency)
+        << "step " << step;
+
+    if (probed && rng.index(2) == 0) {
+      inc.rollback_journal();
+      plan.rollback_journal();
+      mapping.rollback_journal();
+      // Rollback restored the exact pre-probe state.
+      ASSERT_DOUBLE_EQ(inc.latency(), latency_before) << "step " << step;
+      ASSERT_EQ(plan.pinned_count(), pins_before) << "step " << step;
+      ASSERT_EQ(plan.fused_edge_count(), fused_before) << "step " << step;
+      ASSERT_DOUBLE_EQ(sim.simulate(mapping, plan).latency, latency_before)
+          << "step " << step;
+    } else {
+      inc.commit_journal();
+      plan.commit_journal();
+      mapping.commit_journal();
+    }
+  }
+
+  // Whatever mix of commits and rollbacks happened, the tracked schedule
+  // still matches a full re-simulation bit for bit.
+  const ScheduleResult full = sim.simulate(mapping, plan);
+  const ScheduleResult agg = inc.result(mapping);
+  EXPECT_DOUBLE_EQ(agg.latency, full.latency);
+  EXPECT_DOUBLE_EQ(agg.energy.total(), full.energy.total());
+  EXPECT_DOUBLE_EQ(agg.host_time, full.host_time);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,

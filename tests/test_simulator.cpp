@@ -249,6 +249,27 @@ TEST(Simulator, StaticPowerScalesWithMakespan) {
   EXPECT_DOUBLE_EQ(r.energy.static_power, 2.0 * 1 * r.latency);
 }
 
+TEST(Simulator, UnlocalizedDurationMatchesZeroLocalityComponents) {
+  // unlocalized_duration charges the output transfer unconditionally. That
+  // is the zero-locality semantics: no consumer can be fused, so the
+  // producer always writes its output back to the host — exactly what
+  // layer_components computes under a default (all-unfused) plan. This test
+  // pins the equivalence for both a linear chain and a diamond (multiple
+  // consumers, Eltwise join, model output).
+  for (const ModelGraph& m : {make_chain_model(), make_diamond_model()}) {
+    const SystemConfig sys = make_uniform_system(2);
+    const Simulator sim(m, sys);
+    const Mapping mapping = map_all_to(m, AccId{1});
+    const LocalityPlan zero(m);
+    for (const LayerId id : m.all_layers()) {
+      if (m.layer(id).kind == LayerKind::Input) continue;
+      const LayerTiming t = sim.layer_components(id, mapping, zero);
+      EXPECT_DOUBLE_EQ(sim.unlocalized_duration(id, AccId{1}), t.duration())
+          << m.name() << " layer " << id.value;
+    }
+  }
+}
+
 TEST(Simulator, CompRatioCountsLocalTrafficAsComputation) {
   const ModelGraph m = make_chain_model();
   const SystemConfig sys = make_uniform_system(1);
