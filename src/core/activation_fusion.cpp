@@ -5,17 +5,17 @@
 namespace h2h {
 namespace {
 
-FusionStats fuse_one(const Simulator& sim, const Mapping& mapping,
-                     LocalityPlan& plan, const FusionOptions& options,
-                     AccId acc, FusionScratch& scratch) {
-  const ModelGraph& model = sim.model();
-  const AcceleratorSpec& spec = sim.sys().spec(acc);
+FusionStats fuse_one(const CostTable& costs, const ModelGraph& model,
+                     const Mapping& mapping, LocalityPlan& plan,
+                     const FusionOptions& options, AccId acc,
+                     FusionScratch& scratch) {
+  const Bytes capacity = costs.dram_capacity(acc);
   mapping.layers_on(acc, scratch.layers);
 
   // Start from the DRAM committed to pinned weights on this accelerator.
   Bytes used = 0;
   for (const LayerId id : scratch.layers)
-    if (plan.pinned(id)) used += model.weight_bytes(id);
+    if (plan.pinned(id)) used += costs.weight_bytes(id);
 
   FusionStats stats;
   // Walk consumers in execution order; greedily fuse each same-accelerator
@@ -29,8 +29,8 @@ FusionStats fuse_one(const Simulator& sim, const Mapping& mapping,
       const AccId pa = mapping.acc_of(p);
       bool fuse = false;
       if (pa == acc) {  // producer co-located (not elsewhere / host input)
-        const Bytes bytes = model.edge_bytes(p);
-        if (options.enforce_capacity && used + bytes > spec.dram_capacity) {
+        const Bytes bytes = costs.out_bytes(p);
+        if (options.enforce_capacity && used + bytes > capacity) {
           ++stats.rejected_for_capacity;
         } else {
           fuse = true;
@@ -55,6 +55,8 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
                                        std::span<const AccId> only_accs,
                                        FusionScratch* scratch) {
   plan.ensure_acc_count(sim.sys().accelerator_count());
+  const CostTable& costs = sim.costs();
+  const ModelGraph& model = sim.model();
   FusionScratch local;
   FusionScratch& s = scratch != nullptr ? *scratch : local;
   FusionStats total;
@@ -65,10 +67,10 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
   };
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      accumulate(fuse_one(sim, mapping, plan, options, acc, s));
+      accumulate(fuse_one(costs, model, mapping, plan, options, acc, s));
   } else {
     for (const AccId acc : only_accs)
-      accumulate(fuse_one(sim, mapping, plan, options, acc, s));
+      accumulate(fuse_one(costs, model, mapping, plan, options, acc, s));
   }
   return total;
 }

@@ -33,6 +33,7 @@ H2HResult run_cluster_prioritized_baseline(const ModelGraph& model,
                                            const H2HOptions& options) {
   model.validate();
   Simulator sim(model, sys);
+  const CostTable& costs = sim.costs();
 
   // Cluster = modality tag (0 is the shared/fusion cluster).
   std::map<std::uint32_t, std::vector<LayerId>> clusters;
@@ -53,9 +54,9 @@ H2HResult run_cluster_prioritized_baseline(const ModelGraph& model,
       std::size_t cover = 0;
       double cost = 0;
       for (const LayerId id : members) {
-        if (sys.accelerator(acc).supports(model.layer(id).kind)) {
+        if (costs.supported(id, acc)) {
           ++cover;
-          cost += sim.unlocalized_duration(id, acc);
+          cost += costs.unlocalized_duration(id, acc);
         }
       }
       if (cover > best_cover || (cover == best_cover && cost < best_cost)) {
@@ -78,16 +79,16 @@ H2HResult run_cluster_prioritized_baseline(const ModelGraph& model,
     const Layer& l = model.layer(id);
     if (l.kind == LayerKind::Input) continue;
     AccId acc = cluster_acc.at(l.modality);
-    if (!sys.accelerator(acc).supports(l.kind)) {
+    if (!costs.supported(id, acc)) {
       double best_cost = std::numeric_limits<double>::infinity();
-      for (const AccId cand : sys.supporting(l.kind)) {
-        const double cost = sim.unlocalized_duration(id, cand);
+      for (const AccId cand : costs.supporting(l.kind)) {
+        const double cost = costs.unlocalized_duration(id, cand);
         if (cost < best_cost) {
           best_cost = cost;
           acc = cand;
         }
       }
-      if (!sys.accelerator(acc).supports(l.kind))
+      if (!costs.supported(id, acc))
         throw ConfigError(strformat(
             "no accelerator supports layer '%s'", l.name.c_str()));
     }

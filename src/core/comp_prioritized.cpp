@@ -8,107 +8,148 @@
 #include "util/str.h"
 
 namespace h2h {
-namespace {
-
-struct NodeCandidates {
-  LayerId node;
-  std::vector<AccId> accs;       // candidate accelerators
-  std::vector<double> durations; // unlocalized duration per candidate
-  double ready = 0;              // max predecessor finish
-};
-
-/// Candidate accelerators for a layer, honoring support and preference.
-std::vector<AccId> candidates_for(const Simulator& sim, LayerId id,
-                                  const CompPrioritizedOptions& options) {
-  const Layer& layer = sim.model().layer(id);
-  if (options.preferred) {
-    if (const std::optional<AccId> pref = options.preferred(id);
-        pref.has_value() && sim.sys().contains(*pref) &&
-        sim.sys().accelerator(*pref).supports(layer.kind)) {
-      return {*pref};
-    }
-  }
-  std::vector<AccId> accs = sim.sys().supporting(layer.kind);
-  if (accs.empty())
-    throw ConfigError(strformat(
-        "no accelerator in the system supports layer '%s' (%s)",
-        layer.name.c_str(), std::string(to_string(layer.kind)).c_str()));
-  return accs;
-}
-
-}  // namespace
 
 Mapping computation_prioritized_mapping(const Simulator& sim,
                                         const CompPrioritizedOptions& options) {
   const ModelGraph& model = sim.model();
   const SystemConfig& sys = sim.sys();
+  const CostTable& costs = sim.costs();
   H2H_EXPECTS(options.max_candidates > 0);
   if (!is_dag(model.graph()))
     throw ConfigError(strformat("model '%s' has a dependency cycle",
                                 model.name().c_str()));
 
   Mapping mapping(model);
-  std::vector<bool> done(model.layer_count(), false);
   std::vector<double> finish(model.layer_count(), 0.0);
+
+  // Indegree-counting worklist: completing a wave pushes exactly the nodes
+  // that become ready, so the traversal is O(V + E) total instead of an
+  // O(V + E) frontier() rescan per wave. Input layers are host-resident and
+  // complete immediately.
+  FrontierWorklist work(model.graph());
   for (const LayerId id : model.all_layers())
-    if (model.layer(id).kind == LayerKind::Input) done[id.value] = true;
+    if (model.layer(id).kind == LayerKind::Input) work.complete(id);
 
   std::vector<double> acc_tail(sys.accelerator_count(), 0.0);
   double makespan = 0.0;
 
-  while (true) {
-    const std::vector<LayerId> front = frontier(model.graph(), done);
-    if (front.empty()) break;
+  // Per-wave scratch, reused across waves. Candidate accelerators are spans
+  // into the cost table's per-kind lists (or into pref_storage for the
+  // dynamic-modality preference hook); durations are flat table reads.
+  std::vector<LayerId> front;
+  std::vector<AccId> pref_storage;
+  std::vector<std::span<const AccId>> cand;
+  std::vector<std::uint32_t> dur_offset;
+  std::vector<double> durations;
+  std::vector<double> node_ready;
+  std::vector<std::size_t> choice;
+  std::vector<std::size_t> best_choice;
+  std::vector<double> suffix_lb;
+  // Epoch-stamped accelerator tails: a stale stamp reads as the committed
+  // acc_tail value, so each enumerated assignment starts from the committed
+  // state without copying the whole tail array.
+  std::vector<double> tails(sys.accelerator_count(), 0.0);
+  std::vector<std::uint64_t> tail_stamp(sys.accelerator_count(), 0);
+  std::uint64_t epoch = 0;
 
-    // Gather per-node candidates and cache durations / readiness.
-    std::vector<NodeCandidates> nodes;
-    nodes.reserve(front.size());
+  while (work.take_wave(front)) {
+    cand.clear();
+    dur_offset.clear();
+    durations.clear();
+    node_ready.clear();
+    pref_storage.clear();
+    pref_storage.reserve(front.size());  // spans into it must stay valid
+
     for (const LayerId id : front) {
-      NodeCandidates nc;
-      nc.node = id;
-      nc.accs = candidates_for(sim, id, options);
-      nc.durations.reserve(nc.accs.size());
-      for (const AccId a : nc.accs)
-        nc.durations.push_back(sim.unlocalized_duration(id, a));
+      const Layer& layer = model.layer(id);
+      std::span<const AccId> accs;
+      // Placement preference (dynamic-modality extension §4.5): if it names
+      // an accelerator that supports the layer, that is the only candidate.
+      if (options.preferred) {
+        if (const std::optional<AccId> pref = options.preferred(id);
+            pref.has_value() && sys.contains(*pref) &&
+            costs.supported(id, *pref)) {
+          pref_storage.push_back(*pref);
+          accs = {&pref_storage.back(), 1};
+        }
+      }
+      if (accs.empty()) {
+        accs = costs.supporting(layer.kind);
+        if (accs.empty())
+          throw ConfigError(strformat(
+              "no accelerator in the system supports layer '%s' (%s)",
+              layer.name.c_str(), std::string(to_string(layer.kind)).c_str()));
+      }
+      cand.push_back(accs);
+      dur_offset.push_back(static_cast<std::uint32_t>(durations.size()));
+      for (const AccId a : accs)
+        durations.push_back(costs.unlocalized_duration(id, a));
+      double ready = 0.0;
       for (const LayerId p : model.graph().preds(id))
-        nc.ready = std::max(nc.ready, finish[p.value]);
-      nodes.push_back(std::move(nc));
+        ready = std::max(ready, finish[p.value]);
+      node_ready.push_back(ready);
     }
 
     // Split into chunks whose assignment product stays enumerable.
     std::size_t begin = 0;
-    while (begin < nodes.size()) {
+    while (begin < front.size()) {
       std::size_t end = begin;
       std::uint64_t product = 1;
-      while (end < nodes.size()) {
-        const std::uint64_t next = product * nodes[end].accs.size();
+      while (end < front.size()) {
+        const std::uint64_t next = product * cand[end].size();
         if (end > begin && next > options.max_candidates) break;
         product = next;
         ++end;
       }
       const std::size_t k = end - begin;
 
-      // Enumerate assignments in mixed radix; track the best by
-      // (makespan delta, sum of finishes, lexicographic choice index).
-      std::vector<std::size_t> choice(k, 0);
-      std::vector<std::size_t> best_choice;
+      // Enumerate assignments in mixed radix — the first chunk node's
+      // candidate varies fastest — and track the best by (makespan, sum of
+      // finishes). Remaining ties keep the assignment enumerated first,
+      // i.e. the colexicographically smallest choice vector (smallest
+      // candidate indices at the LAST chunk nodes win; pinned by
+      // test_comp_prioritized.cpp). A partial assignment is abandoned as
+      // soon as its running makespan strictly exceeds the incumbent: it can
+      // no longer win on the makespan criterion, and ties (which could
+      // still win on finish-sum) are not pruned.
+      // Placement-independent lower bound on the finish of nodes i..k-1:
+      // node j cannot finish before ready_j + its cheapest duration. Lets
+      // the prune below fire before the doomed tail nodes are even placed.
+      suffix_lb.assign(k + 1, 0.0);
+      for (std::size_t i = k; i-- > 0;) {
+        const std::size_t n = begin + i;
+        double min_dur = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < cand[n].size(); ++c)
+          min_dur = std::min(min_dur, durations[dur_offset[n] + c]);
+        suffix_lb[i] = std::max(suffix_lb[i + 1], node_ready[n] + min_dur);
+      }
+
+      choice.assign(k, 0);
+      best_choice.clear();
       double best_mk = std::numeric_limits<double>::infinity();
       double best_sum = std::numeric_limits<double>::infinity();
-      std::vector<double> tails(sys.accelerator_count());
       while (true) {
-        std::copy(acc_tail.begin(), acc_tail.end(), tails.begin());
+        ++epoch;
         double mk = makespan;
         double sum = 0.0;
+        bool viable = true;
         for (std::size_t i = 0; i < k; ++i) {
-          const NodeCandidates& nc = nodes[begin + i];
-          const AccId a = nc.accs[choice[i]];
-          const double start = std::max(nc.ready, tails[a.value]);
-          const double fin = start + nc.durations[choice[i]];
+          const std::size_t n = begin + i;
+          const AccId a = cand[n][choice[i]];
+          const double tail =
+              tail_stamp[a.value] == epoch ? tails[a.value] : acc_tail[a.value];
+          const double start = std::max(node_ready[n], tail);
+          const double fin = start + durations[dur_offset[n] + choice[i]];
           tails[a.value] = fin;
+          tail_stamp[a.value] = epoch;
           mk = std::max(mk, fin);
+          if (std::max(mk, suffix_lb[i + 1]) > best_mk) {
+            viable = false;
+            break;
+          }
           sum += fin;
         }
-        if (mk < best_mk || (mk == best_mk && sum < best_sum)) {
+        if (viable && (mk < best_mk || (mk == best_mk && sum < best_sum))) {
           best_mk = mk;
           best_sum = sum;
           best_choice = choice;
@@ -116,7 +157,7 @@ Mapping computation_prioritized_mapping(const Simulator& sim,
         // Next assignment (mixed radix increment).
         std::size_t d = 0;
         while (d < k) {
-          if (++choice[d] < nodes[begin + d].accs.size()) break;
+          if (++choice[d] < cand[begin + d].size()) break;
           choice[d] = 0;
           ++d;
         }
@@ -126,15 +167,16 @@ Mapping computation_prioritized_mapping(const Simulator& sim,
       // Commit the chunk in frontier order.
       H2H_ASSERT(best_choice.size() == k);
       for (std::size_t i = 0; i < k; ++i) {
-        const NodeCandidates& nc = nodes[begin + i];
-        const AccId a = nc.accs[best_choice[i]];
-        mapping.assign(nc.node, a);
-        const double start = std::max(nc.ready, acc_tail[a.value]);
-        const double fin = start + nc.durations[best_choice[i]];
+        const std::size_t n = begin + i;
+        const LayerId node = front[n];
+        const AccId a = cand[n][best_choice[i]];
+        mapping.assign(node, a);
+        const double start = std::max(node_ready[n], acc_tail[a.value]);
+        const double fin = start + durations[dur_offset[n] + best_choice[i]];
         acc_tail[a.value] = fin;
-        finish[nc.node.value] = fin;
+        finish[node.value] = fin;
         makespan = std::max(makespan, fin);
-        done[nc.node.value] = true;
+        work.complete(node);
       }
       begin = end;
     }

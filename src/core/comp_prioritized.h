@@ -5,11 +5,17 @@
 // commit the one with the smallest system-latency increment. Zero data
 // locality is assumed: every layer's weights and activations cross the host
 // link, so the choice is driven by compute affinity and queue serialization.
+// Waves come from an indegree-counting FrontierWorklist (O(V + E) total) and
+// per-candidate durations are cost-table reads — no per-query model
+// evaluation.
 //
 // Enumeration is exact while the candidate product stays within
 // `max_candidates`; larger frontiers are split into deterministic chunks
-// mapped greedily in sequence (DESIGN.md §6; swept by the frontier ablation
-// bench).
+// mapped greedily in sequence, and partial assignments are abandoned once
+// their running makespan exceeds the best found (DESIGN.md §6; swept by the
+// frontier ablation bench). Ties beyond (makespan, finish-sum) keep the
+// first enumerated assignment — the colexicographically smallest choice
+// vector (see comp_prioritized.cpp).
 #pragma once
 
 #include <functional>

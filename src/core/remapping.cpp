@@ -14,18 +14,19 @@ namespace {
 /// pinned-weight execution (compute + local weight read). The extra
 /// candidate un-strands layers whose step-1 placement turns memory-bound
 /// once weights are pinned but whose neighbours all share that placement
-/// (DESIGN.md §6). Fills the caller's scratch vector (sorted ascending for
-/// determinism) instead of allocating per call.
-void neighbour_accs(const Simulator& sim, const Mapping& mapping, LayerId node,
+/// (DESIGN.md §6). Support checks and affinity costs are cost-table reads —
+/// no virtual model calls in the loop. Fills the caller's scratch vector
+/// (sorted ascending for determinism) instead of allocating per call.
+void neighbour_accs(const CostTable& costs, const ModelGraph& model,
+                    const Mapping& mapping, LayerId node,
                     std::vector<AccId>& out) {
-  const ModelGraph& model = sim.model();
   const Layer& layer = model.layer(node);
   const AccId current = mapping.acc_of(node);
   out.clear();
   const auto consider = [&](AccId a) {
     if (a.is_host() || a == current) return;
     if (std::find(out.begin(), out.end(), a) != out.end()) return;
-    if (sim.sys().accelerator(a).supports(layer.kind)) out.push_back(a);
+    if (costs.supported(node, a)) out.push_back(a);
   };
   for (const LayerId p : model.graph().preds(node))
     consider(mapping.acc_of(p));
@@ -34,12 +35,10 @@ void neighbour_accs(const Simulator& sim, const Mapping& mapping, LayerId node,
 
   AccId best{};
   double best_time = std::numeric_limits<double>::infinity();
-  for (const AccId a : sim.sys().supporting(layer.kind)) {
-    const AcceleratorModel& acc = sim.sys().accelerator(a);
-    const double t =
-        acc.compute_latency(layer) * model.batch() +
-        static_cast<double>(model.weight_bytes(node)) /
-            acc.spec().dram_bandwidth;
+  for (const AccId a : costs.supporting(layer.kind)) {
+    const double t = costs.compute_latency(node, a) +
+                     static_cast<double>(costs.weight_bytes(node)) /
+                         costs.bw_local(a);
     if (t < best_time) {
       best_time = t;
       best = a;
@@ -55,6 +54,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
                                    LocalityPlan& plan,
                                    const RemapOptions& options) {
   const ModelGraph& model = sim.model();
+  const CostTable& costs = sim.costs();
   RemapStats stats;
 
   const auto metric_of = [&options](const ScheduleResult& r) {
@@ -115,7 +115,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
     for (const LayerId node : order) {
       if (model.layer(node).kind == LayerKind::Input) continue;
       const AccId src = mapping.acc_of(node);
-      neighbour_accs(sim, mapping, node, candidates);
+      neighbour_accs(costs, model, mapping, node, candidates);
 
       // Probe every neighbour destination under an apply/undo journal —
       // no per-candidate copies of the plan or the schedule — and remember

@@ -5,16 +5,13 @@
 namespace h2h {
 namespace {
 
-double optimize_one(const Simulator& sim, const Mapping& mapping,
+double optimize_one(const CostTable& costs, const Mapping& mapping,
                     LocalityPlan& plan, const WeightLocalityOptions& options,
                     AccId acc, WeightLocalityScratch& scratch) {
-  const ModelGraph& model = sim.model();
-  const SystemConfig& sys = sim.sys();
-  const AcceleratorSpec& spec = sys.spec(acc);
-  const double bw_host = sys.bw_acc(acc);
-  const double bw_local = spec.dram_bandwidth;
+  const double bw_host = costs.bw_host(acc);
+  const double bw_local = costs.bw_local(acc);
 
-  Bytes capacity = spec.dram_capacity;
+  Bytes capacity = costs.dram_capacity(acc);
   Bytes forced_bytes = 0;
   std::vector<KnapsackItem>& items = scratch.items;
   items.clear();
@@ -25,7 +22,7 @@ double optimize_one(const Simulator& sim, const Mapping& mapping,
   // no clear-then-reset — so an open plan journal records only real diffs
   // (the step-4 probe loop turns those diffs into its dirty set).
   for (const LayerId id : scratch.layers) {
-    const Bytes wb = model.weight_bytes(id);
+    const Bytes wb = costs.weight_bytes(id);
     if (wb == 0) {
       plan.set_pinned(id, false);
       continue;
@@ -61,15 +58,16 @@ double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
                                 std::span<const AccId> only_accs,
                                 WeightLocalityScratch* scratch) {
   plan.ensure_acc_count(sim.sys().accelerator_count());
+  const CostTable& costs = sim.costs();
   WeightLocalityScratch local;
   WeightLocalityScratch& s = scratch != nullptr ? *scratch : local;
   double saved = 0;
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      saved += optimize_one(sim, mapping, plan, options, acc, s);
+      saved += optimize_one(costs, mapping, plan, options, acc, s);
   } else {
     for (const AccId acc : only_accs)
-      saved += optimize_one(sim, mapping, plan, options, acc, s);
+      saved += optimize_one(costs, mapping, plan, options, acc, s);
   }
   return saved;
 }

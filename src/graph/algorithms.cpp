@@ -69,6 +69,36 @@ std::vector<NodeId> frontier(const Digraph& g, const std::vector<bool>& done) {
   return out;
 }
 
+FrontierWorklist::FrontierWorklist(const Digraph& g) : g_(&g) {
+  const std::size_t n = g.node_count();
+  remaining_.resize(n);
+  completed_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    remaining_[i] = static_cast<std::uint32_t>(g.in_degree(NodeId{i}));
+    if (remaining_[i] == 0) ready_.push_back(NodeId{i});
+  }
+}
+
+void FrontierWorklist::complete(NodeId n) {
+  H2H_EXPECTS(g_->contains(n));
+  H2H_EXPECTS(completed_[n.value] == 0);
+  completed_[n.value] = 1;
+  for (const NodeId s : g_->succs(n)) {
+    H2H_ASSERT(remaining_[s.value] > 0);
+    if (--remaining_[s.value] == 0) ready_.push_back(s);
+  }
+}
+
+bool FrontierWorklist::take_wave(std::vector<NodeId>& out) {
+  out.clear();
+  for (const NodeId n : ready_) {
+    if (completed_[n.value] == 0) out.push_back(n);
+  }
+  ready_.clear();
+  std::sort(out.begin(), out.end());
+  return !out.empty();
+}
+
 std::vector<std::uint32_t> order_ranks(const Digraph& g,
                                        std::span<const NodeId> order) {
   H2H_EXPECTS(order.size() == g.node_count());

@@ -22,9 +22,37 @@ namespace h2h {
                                                std::span<const NodeId> roots);
 
 /// The mapping frontier: nodes not yet `done` whose predecessors are all
-/// `done`. `done` is a dense bitmap indexed by NodeId::value.
+/// `done`. `done` is a dense bitmap indexed by NodeId::value. O(V + E) per
+/// call — the wave-by-wave mapper uses FrontierWorklist instead.
 [[nodiscard]] std::vector<NodeId> frontier(const Digraph& g,
                                            const std::vector<bool>& done);
+
+/// Incremental frontier maintenance for wave-by-wave traversals (the step-1
+/// mapper). Counts remaining predecessors per node; complete() pushes a
+/// node's newly-ready successors, and take_wave() hands back everything that
+/// became ready since the last call, sorted ascending. Completing every node
+/// of each wave before taking the next yields exactly the waves the O(V+E)
+/// frontier() rescan produces, at O(V + E) TOTAL across the traversal.
+class FrontierWorklist {
+ public:
+  explicit FrontierWorklist(const Digraph& g);
+
+  /// Mark `n` executed: successors whose last remaining predecessor this
+  /// was become ready for the next wave. Each node completes at most once.
+  void complete(NodeId n);
+
+  /// Move the accumulated ready-but-not-completed nodes into `out`
+  /// (cleared first), ascending. Returns false when none are pending —
+  /// traversal done, or (if completions never come) the rest of the graph
+  /// is unreachable / cyclic.
+  bool take_wave(std::vector<NodeId>& out);
+
+ private:
+  const Digraph* g_;
+  std::vector<std::uint32_t> remaining_;  // not-yet-completed predecessors
+  std::vector<std::uint8_t> completed_;
+  std::vector<NodeId> ready_;
+};
 
 /// Position of each node in `order`, as a dense array (node id -> rank).
 [[nodiscard]] std::vector<std::uint32_t> order_ranks(const Digraph& g,

@@ -1,0 +1,78 @@
+#include "system/cost_table.h"
+
+#include <limits>
+
+namespace h2h {
+
+CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
+    : layer_count_(model.layer_count()),
+      acc_count_(sys.accelerator_count()),
+      batch_(model.batch()),
+      host_bw_(sys.host().bw_acc) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t cells = layer_count_ * acc_count_;
+  compute_latency_.assign(cells, kInf);
+  compute_energy_.assign(cells, kInf);
+  unlocalized_.assign(cells, kInf);
+  supported_.assign(cells, 0);
+
+  bw_host_.resize(acc_count_);
+  bw_local_.resize(acc_count_);
+  link_power_.resize(acc_count_);
+  dram_byte_energy_.resize(acc_count_);
+  dram_capacity_.resize(acc_count_);
+  for (std::uint32_t a = 0; a < acc_count_; ++a) {
+    const AcceleratorSpec& spec = sys.spec(AccId{a});
+    bw_host_[a] = sys.bw_acc(AccId{a});
+    bw_local_[a] = spec.dram_bandwidth;
+    link_power_[a] = spec.link_power;
+    dram_byte_energy_[a] = spec.energy_per_dram_byte;
+    dram_capacity_[a] = spec.dram_capacity;
+  }
+
+  for (std::size_t k = 0; k < kKindCount; ++k)
+    supporting_[k] = sys.supporting(static_cast<LayerKind>(k));
+
+  is_input_.resize(layer_count_);
+  weight_bytes_.resize(layer_count_);
+  out_bytes_.resize(layer_count_);
+  pred_in_bytes_.resize(layer_count_);
+  in_offset_.assign(layer_count_ + 1, 0);
+  in_bytes_.reserve(model.graph().edge_count());
+
+  for (std::uint32_t l = 0; l < layer_count_; ++l) {
+    const LayerId id{l};
+    const Layer& layer = model.layer(id);
+    is_input_[l] = layer.kind == LayerKind::Input ? 1 : 0;
+    weight_bytes_[l] = model.weight_bytes(id);
+    out_bytes_[l] = model.edge_bytes(id);
+    Bytes pred_bytes = 0;
+    for (const LayerId p : model.graph().preds(id)) {
+      const Bytes b = model.edge_bytes(p);
+      in_bytes_.push_back(b);
+      pred_bytes += b;
+    }
+    pred_in_bytes_[l] = pred_bytes;
+    in_offset_[l + 1] = static_cast<std::uint32_t>(in_bytes_.size());
+
+    if (is_input_[l] != 0) continue;  // host-resident, never costed
+    // Zero-locality host traffic of the step-1 duration formula: weights,
+    // the output write-back, and every predecessor activation.
+    const Bytes host_bytes = weight_bytes_[l] + out_bytes_[l] + pred_bytes;
+    for (const AccId a : supporting_[static_cast<std::size_t>(layer.kind)]) {
+      const AcceleratorModel& acc = sys.accelerator(a);
+      const std::size_t cell = index(id, a);
+      supported_[cell] = 1;
+      // The one place the virtual P_Acc interface is queried; the stored
+      // products reproduce the old per-query expressions exactly.
+      compute_latency_[cell] =
+          acc.compute_latency(layer) * static_cast<double>(batch_);
+      compute_energy_[cell] =
+          acc.compute_energy(layer) * static_cast<double>(batch_);
+      unlocalized_[cell] = static_cast<double>(host_bytes) / bw_host_[a.value] +
+                           compute_latency_[cell];
+    }
+  }
+}
+
+}  // namespace h2h

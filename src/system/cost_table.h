@@ -1,0 +1,172 @@
+// Precomputed (layer x accelerator) cost matrices — the single cost source
+// for the search passes and the simulator (DESIGN.md §3).
+//
+// Every hot loop used to pay a virtual AcceleratorModel::compute_latency
+// call that re-ran the MAESTRO-style tiling roofline per query, and
+// unlocalized-duration evaluation re-walked predecessor edges per call. The
+// paper's plug-in performance-model design (P_Acc) evaluates each
+// (task, device) pair exactly once; this table materializes that: dense
+// layer x accelerator matrices of batch-scaled compute latency, compute
+// energy, and step-1 unlocalized duration, plus flattened per-layer byte
+// footprints and per-accelerator bandwidth/energy scalars. Unsupported
+// (layer, accelerator) pairs are skipped at build time and poisoned with
+// infinity; a support mask and per-kind candidate lists replace the virtual
+// supports() calls.
+//
+// Ownership/lifetime: built by (and owned by) the Simulator at
+// construction. The referenced ModelGraph and SystemConfig must outlive the
+// table; accelerator specs are immutable after SystemConfig construction,
+// so the only knobs that can invalidate a built table are
+// ModelGraph::set_batch, ModelGraph::add_layer, and
+// SystemConfig::set_bw_acc — fresh() detects all three and the Simulator
+// rebuilds lazily. After the build, no query path invokes the virtual
+// AcceleratorModel interface (regression-tested with counting models).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "model/model_graph.h"
+#include "system/system_config.h"
+
+namespace h2h {
+
+class CostTable {
+ public:
+  /// Evaluates every supported (layer, accelerator) pair once. Values are
+  /// bit-identical to the direct AcceleratorModel queries they replace
+  /// (pinned by test_cost_table.cpp).
+  CostTable(const ModelGraph& model, const SystemConfig& sys);
+
+  /// False when a snapshot knob moved since the build (batch size, layer
+  /// count, or the system-wide BW_acc): the owner must rebuild.
+  [[nodiscard]] bool fresh(const ModelGraph& model,
+                           const SystemConfig& sys) const noexcept {
+    return batch_ == model.batch() && layer_count_ == model.layer_count() &&
+           host_bw_ == sys.host().bw_acc;
+  }
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layer_count_;
+  }
+  [[nodiscard]] std::size_t acc_count() const noexcept { return acc_count_; }
+
+  [[nodiscard]] bool is_input(LayerId id) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    return is_input_[id.value] != 0;
+  }
+  /// True when `acc` can run `id` and the pair was costed. Always false for
+  /// Input layers: they are host-resident and never execute on an
+  /// accelerator, even though the kind is structurally "supported".
+  [[nodiscard]] bool supported(LayerId id, AccId acc) const {
+    return supported_[index(id, acc)] != 0;
+  }
+
+  /// Compute latency of the whole batch, seconds (excludes data movement).
+  [[nodiscard]] double compute_latency(LayerId id, AccId acc) const {
+    H2H_EXPECTS(supported(id, acc));
+    return compute_latency_[index(id, acc)];
+  }
+  /// Compute energy of the whole batch, joules.
+  [[nodiscard]] double compute_energy(LayerId id, AccId acc) const {
+    H2H_EXPECTS(supported(id, acc));
+    return compute_energy_[index(id, acc)];
+  }
+  /// Step-1 duration: all weights, IFMs, and the OFM cross the host link.
+  [[nodiscard]] double unlocalized_duration(LayerId id, AccId acc) const {
+    H2H_EXPECTS(!is_input(id));
+    H2H_EXPECTS(supported(id, acc));
+    return unlocalized_[index(id, acc)];
+  }
+
+  [[nodiscard]] Bytes weight_bytes(LayerId id) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    return weight_bytes_[id.value];
+  }
+  /// Bytes of `id`'s output tensor (== ModelGraph::edge_bytes(id)).
+  [[nodiscard]] Bytes out_bytes(LayerId id) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    return out_bytes_[id.value];
+  }
+  /// Per-in-edge bytes, one entry per graph().preds(id) slot.
+  [[nodiscard]] std::span<const Bytes> in_edge_bytes(LayerId id) const {
+    H2H_EXPECTS(id.value + 1 < in_offset_.size());
+    return {in_bytes_.data() + in_offset_[id.value],
+            in_offset_[id.value + 1] - in_offset_[id.value]};
+  }
+  /// Sum of in_edge_bytes (the aggregated predecessor-input traffic).
+  [[nodiscard]] Bytes pred_in_bytes(LayerId id) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    return pred_in_bytes_[id.value];
+  }
+
+  /// Per-accelerator scalars snapshotted from the specs (no virtual call).
+  [[nodiscard]] double bw_host(AccId acc) const {
+    H2H_EXPECTS(acc.value < acc_count_);
+    return bw_host_[acc.value];
+  }
+  [[nodiscard]] double bw_local(AccId acc) const {
+    H2H_EXPECTS(acc.value < acc_count_);
+    return bw_local_[acc.value];
+  }
+  [[nodiscard]] double link_power(AccId acc) const {
+    H2H_EXPECTS(acc.value < acc_count_);
+    return link_power_[acc.value];
+  }
+  [[nodiscard]] double dram_byte_energy(AccId acc) const {
+    H2H_EXPECTS(acc.value < acc_count_);
+    return dram_byte_energy_[acc.value];
+  }
+  [[nodiscard]] Bytes dram_capacity(AccId acc) const {
+    H2H_EXPECTS(acc.value < acc_count_);
+    return dram_capacity_[acc.value];
+  }
+
+  /// Accelerators able to run `kind`, ascending (== SystemConfig::supporting
+  /// without the per-call allocation and virtual dispatch).
+  [[nodiscard]] std::span<const AccId> supporting(LayerKind kind) const {
+    H2H_EXPECTS(static_cast<std::size_t>(kind) < kKindCount);
+    return supporting_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(LayerId id, AccId acc) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    H2H_EXPECTS(acc.value < acc_count_);
+    return static_cast<std::size_t>(id.value) * acc_count_ + acc.value;
+  }
+
+  static constexpr std::size_t kKindCount =
+      static_cast<std::size_t>(LayerKind::Concat) + 1;
+
+  std::size_t layer_count_ = 0;
+  std::size_t acc_count_ = 0;
+  std::uint32_t batch_ = 1;
+  double host_bw_ = 0;
+
+  // layer x acc, row-major by layer.
+  std::vector<double> compute_latency_;
+  std::vector<double> compute_energy_;
+  std::vector<double> unlocalized_;
+  std::vector<std::uint8_t> supported_;
+
+  // per layer.
+  std::vector<std::uint8_t> is_input_;
+  std::vector<Bytes> weight_bytes_;
+  std::vector<Bytes> out_bytes_;
+  std::vector<Bytes> pred_in_bytes_;
+  std::vector<std::uint32_t> in_offset_;  // CSR: layer -> first in-edge slot
+  std::vector<Bytes> in_bytes_;           // flat, keyed by in-edge slot
+
+  // per accelerator.
+  std::vector<double> bw_host_;
+  std::vector<double> bw_local_;
+  std::vector<double> link_power_;
+  std::vector<double> dram_byte_energy_;
+  std::vector<Bytes> dram_capacity_;
+
+  std::array<std::vector<AccId>, kKindCount> supporting_;
+};
+
+}  // namespace h2h

@@ -9,10 +9,12 @@ namespace h2h {
 
 Mapping::Mapping(const ModelGraph& model)
     : assignment_(model.layer_count()), seq_(model.layer_count(), 0) {
+  by_seq_.reserve(model.layer_count());
   for (const LayerId id : model.all_layers()) {
     if (model.layer(id).kind == LayerKind::Input) {
       assignment_[id.value] = AccId::host();
       seq_[id.value] = next_seq_++;
+      by_seq_.push_back(id);
     }
   }
 }
@@ -24,6 +26,7 @@ void Mapping::assign(LayerId id, AccId acc) {
   H2H_EXPECTS(acc.valid() && !acc.is_host());
   assignment_[id.value] = acc;
   seq_[id.value] = next_seq_++;
+  by_seq_.push_back(id);
 }
 
 void Mapping::reassign(LayerId id, AccId acc) {
@@ -61,18 +64,14 @@ bool Mapping::complete() const noexcept {
 
 std::vector<std::vector<LayerId>> Mapping::acc_queues(
     const SystemConfig& sys) const {
+  // Walking by_seq_ yields each queue already in execution order.
   std::vector<std::vector<LayerId>> queues(sys.accelerator_count());
-  for (std::uint32_t i = 0; i < assignment_.size(); ++i) {
-    const AccId a = assignment_[i];
+  for (const LayerId id : by_seq_) {
+    const AccId a = assignment_[id.value];
     if (a.valid() && !a.is_host()) {
       H2H_ASSERT(a.value < queues.size());
-      queues[a.value].push_back(LayerId{i});
+      queues[a.value].push_back(id);
     }
-  }
-  for (auto& q : queues) {
-    std::sort(q.begin(), q.end(), [this](LayerId lhs, LayerId rhs) {
-      return seq_[lhs.value] < seq_[rhs.value];
-    });
   }
   return queues;
 }
@@ -84,12 +83,11 @@ std::vector<LayerId> Mapping::layers_on(AccId acc) const {
 }
 
 void Mapping::layers_on(AccId acc, std::vector<LayerId>& out) const {
+  // Walking by_seq_ yields seq order without a per-call sort (this runs
+  // twice per step-4 probe).
   out.clear();
-  for (std::uint32_t i = 0; i < assignment_.size(); ++i)
-    if (assignment_[i] == acc) out.push_back(LayerId{i});
-  std::sort(out.begin(), out.end(), [this](LayerId lhs, LayerId rhs) {
-    return seq_[lhs.value] < seq_[rhs.value];
-  });
+  for (const LayerId id : by_seq_)
+    if (assignment_[id.value] == acc) out.push_back(id);
 }
 
 std::vector<AccId> Mapping::used_accelerators() const {

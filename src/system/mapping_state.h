@@ -90,6 +90,7 @@ class Mapping {
  private:
   std::vector<AccId> assignment_;
   std::vector<std::uint32_t> seq_;
+  std::vector<LayerId> by_seq_;  // inverse of seq_: execution order -> layer
   std::uint32_t next_seq_ = 0;
   bool journaling_ = false;
   std::vector<std::pair<std::uint32_t, AccId>> journal_;  // (layer, old acc)

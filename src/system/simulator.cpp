@@ -8,14 +8,12 @@ namespace h2h {
 LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
                                         const LocalityPlan& plan) const {
   LayerTiming t;
-  const Layer& layer = model_->layer(id);
-  if (layer.kind == LayerKind::Input) return t;  // host-resident source data
+  const CostTable& costs = this->costs();
+  if (costs.is_input(id)) return t;  // host-resident source data
 
   const AccId a = m.acc_of(id);
-  const AcceleratorModel& acc = sys_->accelerator(a);
-  const AcceleratorSpec& spec = acc.spec();
-  const double bw_host = sys_->bw_acc(a);
-  const double bw_local = spec.dram_bandwidth;
+  const double bw_host = costs.bw_host(a);
+  const double bw_local = costs.bw_local(a);
 
   const auto add_host = [&](double& bucket, Bytes bytes) {
     const double dt = static_cast<double>(bytes) / bw_host;
@@ -31,27 +29,26 @@ LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
   };
 
   // Activation in-transfers, one per in-edge.
-  const auto preds = model_->graph().preds(id);
-  for (std::size_t i = 0; i < preds.size(); ++i) {
-    const Bytes bytes = model_->edge_bytes(preds[i]);
-    if (plan.fused_in(id, i)) add_local(t.t_in, bytes);
-    else add_host(t.t_in, bytes);
+  const std::span<const Bytes> in_bytes = costs.in_edge_bytes(id);
+  for (std::size_t i = 0; i < in_bytes.size(); ++i) {
+    if (plan.fused_in(id, i)) add_local(t.t_in, in_bytes[i]);
+    else add_host(t.t_in, in_bytes[i]);
   }
 
   // Weights: from local DRAM when pinned, from the host otherwise.
-  if (const Bytes wb = model_->weight_bytes(id); wb != 0) {
+  if (const Bytes wb = costs.weight_bytes(id); wb != 0) {
     if (plan.pinned(id)) add_local(t.t_weight, wb);
     else add_host(t.t_weight, wb);
   }
 
-  t.t_compute = acc.compute_latency(layer) * model_->batch();
+  t.t_compute = costs.compute_latency(id, a);
 
   // Output: written to the host once if any consumer is remote/unfused or
   // this is a model output. Retention in local DRAM for fused consumers is
   // not charged separately — the output tensor materializes in the
   // accelerator's DRAM either way (the host DMA reads it from there), so
   // fusion can only remove the host leg, never add cost.
-  if (const Bytes ob = model_->edge_bytes(id); ob != 0) {
+  if (const Bytes ob = costs.out_bytes(id); ob != 0) {
     const auto succs = model_->graph().succs(id);
     bool host_write = succs.empty();  // model outputs return to the host
     for (const LayerId s : succs) {
@@ -65,31 +62,24 @@ LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
 EnergyBreakdown Simulator::layer_energy(LayerId id, const Mapping& m,
                                         const LayerTiming& t) const {
   EnergyBreakdown e;
-  const Layer& layer = model_->layer(id);
-  if (layer.kind == LayerKind::Input) return e;
+  const CostTable& costs = this->costs();
+  if (costs.is_input(id)) return e;
   const AccId a = m.acc_of(id);
-  const AcceleratorModel& acc = sys_->accelerator(a);
-  const AcceleratorSpec& spec = acc.spec();
-  e.compute = acc.compute_energy(layer) * model_->batch();
-  e.link = static_cast<double>(t.host_bytes) / sys_->bw_acc(a) * spec.link_power;
+  e.compute = costs.compute_energy(id, a);
+  e.link = static_cast<double>(t.host_bytes) / costs.bw_host(a) *
+           costs.link_power(a);
   e.dram = static_cast<double>(t.host_bytes + t.local_bytes) *
-           spec.energy_per_dram_byte;
+           costs.dram_byte_energy(a);
   return e;
 }
 
 double Simulator::unlocalized_duration(LayerId id, AccId acc) const {
-  const Layer& layer = model_->layer(id);
-  H2H_EXPECTS(layer.kind != LayerKind::Input);
-  const double bw_host = sys_->bw_acc(acc);
   // The output transfer is charged unconditionally: zero locality means no
   // consumer is fused, so the producer always writes its output back to the
   // host — exactly what layer_components computes under a default-constructed
-  // (all-unfused) LocalityPlan. test_simulator.cpp pins this equivalence.
-  Bytes host_bytes = model_->weight_bytes(id) + model_->edge_bytes(id);
-  for (const LayerId p : model_->graph().preds(id))
-    host_bytes += model_->edge_bytes(p);
-  return static_cast<double>(host_bytes) / bw_host +
-         sys_->accelerator(acc).compute_latency(layer) * model_->batch();
+  // (all-unfused) LocalityPlan. test_simulator.cpp pins this equivalence,
+  // and test_cost_table.cpp pins the table entry against the formula.
+  return costs().unlocalized_duration(id, acc);
 }
 
 ScheduleResult Simulator::simulate(const Mapping& m,

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "system/cost_table.h"
 #include "system/energy.h"
 #include "system/mapping_state.h"
 
@@ -62,11 +63,23 @@ struct ScheduleResult {
 
 class Simulator {
  public:
-  Simulator(const ModelGraph& model, const SystemConfig& sys) noexcept
-      : model_(&model), sys_(&sys) {}
+  /// Builds the (layer x accelerator) cost table up front: after this, no
+  /// query path invokes the virtual AcceleratorModel interface.
+  Simulator(const ModelGraph& model, const SystemConfig& sys)
+      : model_(&model), sys_(&sys), costs_(model, sys) {}
 
   [[nodiscard]] const ModelGraph& model() const noexcept { return *model_; }
   [[nodiscard]] const SystemConfig& sys() const noexcept { return *sys_; }
+
+  /// The precomputed cost matrices every query below reads from. Rebuilt
+  /// lazily if a snapshot knob moved since construction (batch size, layer
+  /// count, system-wide BW_acc — see CostTable::fresh). The reference (and
+  /// any span taken from it) is invalidated by such a rebuild, so holders
+  /// must not mutate those knobs while they keep it.
+  [[nodiscard]] const CostTable& costs() const {
+    if (!costs_.fresh(*model_, *sys_)) costs_ = CostTable(*model_, *sys_);
+    return costs_;
+  }
 
   /// Transfer/compute components of one layer under the plan (start/finish
   /// are left zero). Input layers have all-zero components.
@@ -93,6 +106,7 @@ class Simulator {
  private:
   const ModelGraph* model_;
   const SystemConfig* sys_;
+  mutable CostTable costs_;
 };
 
 }  // namespace h2h

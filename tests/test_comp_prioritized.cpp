@@ -140,6 +140,24 @@ TEST(CompPrioritized, ThrowsWhenNoAcceleratorSupportsKind) {
   EXPECT_THROW((void)computation_prioritized_mapping(sim), ConfigError);
 }
 
+TEST(CompPrioritized, TiesKeepTheFirstEnumeratedAssignment) {
+  // Two identical branch convs (b, c) on two identical accelerators after a
+  // shared predecessor a: assignments (b->1, c->0) and (b->0, c->1) tie
+  // exactly on (makespan, finish-sum). The documented rule keeps the FIRST
+  // enumerated assignment — enumeration varies b's candidate fastest, so
+  // (b->1, c->0) is reached before (b->0, c->1) and must win. (A plain
+  // lexicographic choice-index tie-break would pick b->0 instead; this test
+  // pins the actual colexicographic rule.)
+  const ModelGraph m = testing::make_diamond_model();
+  const SystemConfig sys = testing::make_uniform_system(2);
+  const Simulator sim(m, sys);
+  const Mapping mapping = computation_prioritized_mapping(sim);
+  // Layer ids: in=0, a=1, b=2, c=3, d=4, e=5.
+  EXPECT_EQ(mapping.acc_of(LayerId{1}), AccId{0});  // singleton wave: acc 0
+  EXPECT_EQ(mapping.acc_of(LayerId{2}), AccId{1});
+  EXPECT_EQ(mapping.acc_of(LayerId{3}), AccId{0});
+}
+
 TEST(CompPrioritized, BalancesIndependentBranchesAcrossAccelerators) {
   // Two identical independent conv branches and two identical conv-capable
   // accelerators: the delta-latency rule must parallelize them.

@@ -1,0 +1,181 @@
+// The cost table is a pure cache: every entry must be bit-identical to the
+// direct AcceleratorModel query (or derived formula) it replaces, across
+// the full model zoo x standard catalog grid, and no search or simulation
+// path may fall back to the virtual interface after the Simulator built it.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <utility>
+
+#include "core/comp_prioritized.h"
+#include "core/remapping.h"
+#include "h2h.h"
+#include "system/incremental.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+TEST(CostTable, BitIdenticalToDirectModelQueriesAcrossZooAndCatalog) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  for (const ZooInfo& info : zoo_catalog()) {
+    const ModelGraph model = make_model(info.id);
+    const Simulator sim(model, sys);
+    const CostTable& costs = sim.costs();
+    ASSERT_EQ(costs.layer_count(), model.layer_count());
+    ASSERT_EQ(costs.acc_count(), sys.accelerator_count());
+
+    for (const LayerId id : model.all_layers()) {
+      const Layer& layer = model.layer(id);
+      EXPECT_EQ(costs.is_input(id), layer.kind == LayerKind::Input);
+      EXPECT_EQ(costs.weight_bytes(id), model.weight_bytes(id));
+      EXPECT_EQ(costs.out_bytes(id), model.edge_bytes(id));
+
+      const auto preds = model.graph().preds(id);
+      const auto in_bytes = costs.in_edge_bytes(id);
+      ASSERT_EQ(in_bytes.size(), preds.size());
+      Bytes pred_total = 0;
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        EXPECT_EQ(in_bytes[i], model.edge_bytes(preds[i]));
+        pred_total += model.edge_bytes(preds[i]);
+      }
+      EXPECT_EQ(costs.pred_in_bytes(id), pred_total);
+
+      for (const AccId a : sys.all_accelerators()) {
+        const AcceleratorModel& acc = sys.accelerator(a);
+        if (layer.kind == LayerKind::Input) {
+          // Host-resident: never costed, reported unsupported by design.
+          EXPECT_FALSE(costs.supported(id, a));
+          continue;
+        }
+        ASSERT_EQ(costs.supported(id, a), acc.supports(layer.kind));
+        if (!costs.supported(id, a)) continue;
+        // Exact (bit-level) equality: the table stores the very products
+        // the hot paths used to recompute per query.
+        EXPECT_EQ(costs.compute_latency(id, a),
+                  acc.compute_latency(layer) * model.batch())
+            << info.key << " " << layer.name << " on " << acc.spec().name;
+        EXPECT_EQ(costs.compute_energy(id, a),
+                  acc.compute_energy(layer) * model.batch());
+        // The retired Simulator::unlocalized_duration formula, verbatim.
+        Bytes host_bytes = model.weight_bytes(id) + model.edge_bytes(id);
+        for (const LayerId p : preds) host_bytes += model.edge_bytes(p);
+        EXPECT_EQ(costs.unlocalized_duration(id, a),
+                  static_cast<double>(host_bytes) / sys.bw_acc(a) +
+                      acc.compute_latency(layer) * model.batch());
+        EXPECT_EQ(sim.unlocalized_duration(id, a),
+                  costs.unlocalized_duration(id, a));
+      }
+    }
+
+    for (const LayerKind kind :
+         {LayerKind::Conv, LayerKind::FullyConnected, LayerKind::Lstm,
+          LayerKind::Pool, LayerKind::Eltwise, LayerKind::Concat}) {
+      const std::vector<AccId> direct = sys.supporting(kind);
+      const std::span<const AccId> cached = costs.supporting(kind);
+      ASSERT_EQ(cached.size(), direct.size());
+      for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_EQ(cached[i], direct[i]);
+    }
+  }
+}
+
+TEST(CostTable, PerAcceleratorScalarsMatchSpecs) {
+  const ModelGraph model = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(model, sys);
+  const CostTable& costs = sim.costs();
+  for (const AccId a : sys.all_accelerators()) {
+    const AcceleratorSpec& spec = sys.spec(a);
+    EXPECT_EQ(costs.bw_host(a), sys.bw_acc(a));
+    EXPECT_EQ(costs.bw_local(a), spec.dram_bandwidth);
+    EXPECT_EQ(costs.link_power(a), spec.link_power);
+    EXPECT_EQ(costs.dram_byte_energy(a), spec.energy_per_dram_byte);
+    EXPECT_EQ(costs.dram_capacity(a), spec.dram_capacity);
+  }
+}
+
+TEST(CostTable, RebuildsWhenBatchChanges) {
+  ModelGraph model = testing::make_chain_model();
+  const SystemConfig sys = testing::make_uniform_system(1);
+  const Simulator sim(model, sys);
+  const double lat1 = sim.costs().compute_latency(LayerId{1}, AccId{0});
+  const Bytes out1 = sim.costs().out_bytes(LayerId{1});
+  model.set_batch(8);
+  // costs() detects the stale snapshot and rebuilds transparently.
+  EXPECT_EQ(sim.costs().compute_latency(LayerId{1}, AccId{0}), 8.0 * lat1);
+  EXPECT_EQ(sim.costs().out_bytes(LayerId{1}), 8 * out1);
+}
+
+TEST(CostTable, RebuildsWhenHostBandwidthChanges) {
+  const ModelGraph model = testing::make_chain_model();
+  SystemConfig sys = testing::make_uniform_system(1, 1e9);
+  const Simulator sim(model, sys);
+  const double d1 = sim.costs().unlocalized_duration(LayerId{1}, AccId{0});
+  const double c1 = sim.costs().compute_latency(LayerId{1}, AccId{0});
+  sys.set_bw_acc(2e9);
+  const double d2 = sim.costs().unlocalized_duration(LayerId{1}, AccId{0});
+  // Transfer half at double bandwidth; compute unchanged.
+  EXPECT_DOUBLE_EQ(d2 - c1, (d1 - c1) / 2.0);
+  EXPECT_EQ(sim.costs().bw_host(AccId{0}), 2e9);
+}
+
+/// A system of counting LambdaAccelerators: every virtual model evaluation
+/// bumps the shared counters, so the test can pin down that search and
+/// simulation run entirely off the table after Simulator construction.
+SystemConfig make_counting_system(int& latency_calls, int& energy_calls) {
+  std::vector<AcceleratorPtr> accs;
+  for (int i = 0; i < 3; ++i) {
+    AcceleratorSpec spec =
+        testing::simple_spec(strformat("count%d", i), gib(1));
+    // Distinct throughput so the mapper has real choices to make.
+    spec.peak_macs_per_cycle = 100u << i;
+    accs.push_back(std::make_unique<LambdaAccelerator>(
+        spec,
+        [&latency_calls, spec](const Layer& layer) {
+          ++latency_calls;
+          return static_cast<double>(layer.macs() + layer.light_ops() + 1) /
+                 (static_cast<double>(spec.peak_macs_per_cycle) * spec.freq_hz);
+        },
+        [&energy_calls](const Layer& layer) {
+          ++energy_calls;
+          return static_cast<double>(layer.macs()) * 1e-12;
+        }));
+  }
+  return SystemConfig(std::move(accs), HostParams{1e9, 0.0});
+}
+
+TEST(CostTable, NoVirtualModelCallsAfterSimulatorConstruction) {
+  int latency_calls = 0;
+  int energy_calls = 0;
+  const SystemConfig sys = make_counting_system(latency_calls, energy_calls);
+  const ModelGraph model = testing::make_mini_mmmt_model();
+
+  const Simulator sim(model, sys);
+  EXPECT_GT(latency_calls, 0);  // the build is the one evaluation pass
+  EXPECT_GT(energy_calls, 0);
+  const int lat_after_build = latency_calls;
+  const int energy_after_build = energy_calls;
+
+  // The full four-step pipeline plus direct simulation and incremental
+  // probing — none of it may re-enter the plug-in model.
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(model);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+  const RemapStats stats = data_locality_remapping(sim, mapping, plan, {});
+  EXPECT_GT(stats.attempts, 0u);
+  const ScheduleResult direct = sim.simulate(mapping, plan);
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+  EXPECT_DOUBLE_EQ(inc.latency(), direct.latency);
+  (void)inc.result(mapping);
+  (void)inc.energy(mapping);
+
+  EXPECT_EQ(latency_calls, lat_after_build);
+  EXPECT_EQ(energy_calls, energy_after_build);
+}
+
+}  // namespace
+}  // namespace h2h

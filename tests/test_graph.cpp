@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
 #include "graph/dot.h"
@@ -101,6 +103,61 @@ TEST(Frontier, PeelsLayerByLayer) {
   EXPECT_EQ(f, (std::vector<NodeId>{NodeId{3}}));
   done[3] = true;
   EXPECT_TRUE(frontier(g, done).empty());
+}
+
+TEST(FrontierWorklist, MatchesRescanWaves) {
+  const Digraph g = make_diamond();
+  FrontierWorklist work(g);
+  std::vector<bool> done(g.node_count(), false);
+  std::vector<NodeId> wave;
+  // Wave-by-wave, the worklist must hand back exactly what a frontier()
+  // rescan of the done-set sees (the step-1 mapper relies on this).
+  while (work.take_wave(wave)) {
+    EXPECT_EQ(wave, frontier(g, done));
+    for (const NodeId n : wave) {
+      work.complete(n);
+      done[n.value] = true;
+    }
+  }
+  EXPECT_TRUE(frontier(g, done).empty());
+  EXPECT_TRUE(std::all_of(done.begin(), done.end(), [](bool b) { return b; }));
+}
+
+TEST(FrontierWorklist, PreCompletedSourcesFoldIntoTheFirstWave) {
+  // Mirrors the mapper's setup: Input-like sources complete before the
+  // first take_wave, so wave 1 is their newly-ready successors.
+  const Digraph g = make_diamond();
+  FrontierWorklist work(g);
+  work.complete(NodeId{0});
+  std::vector<NodeId> wave;
+  ASSERT_TRUE(work.take_wave(wave));
+  EXPECT_EQ(wave, (std::vector<NodeId>{NodeId{1}, NodeId{2}}));
+}
+
+TEST(FrontierWorklist, RandomDagsMatchRescan) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Digraph g;
+    const std::size_t n = 4 + rng.index(30);
+    for (std::size_t i = 0; i < n; ++i) (void)g.add_node();
+    for (std::uint32_t to = 1; to < n; ++to)
+      for (std::uint32_t from = 0; from < to; ++from)
+        if (rng.index(3) == 0) g.add_edge(NodeId{from}, NodeId{to});
+
+    FrontierWorklist work(g);
+    std::vector<bool> done(g.node_count(), false);
+    std::vector<NodeId> wave;
+    std::size_t completed = 0;
+    while (work.take_wave(wave)) {
+      EXPECT_EQ(wave, frontier(g, done)) << "seed " << seed;
+      for (const NodeId v : wave) {
+        work.complete(v);
+        done[v.value] = true;
+        ++completed;
+      }
+    }
+    EXPECT_EQ(completed, g.node_count()) << "seed " << seed;
+  }
 }
 
 TEST(Components, CountsUndirectedIslands) {
