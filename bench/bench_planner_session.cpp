@@ -1,0 +1,90 @@
+// Session-cache benchmark: the repeated-request loop the Planner API exists
+// for. One "request sweep" = planning one model at all five bandwidth
+// settings. The legacy path constructs an H2HMapper per request, paying the
+// Simulator/CostTable build (every accelerator model queried for every
+// layer) each time; the Planner path builds each (model, bw) session once
+// and serves every later request warm — zero virtual AcceleratorModel
+// calls, only the search itself. Before/after numbers are recorded in
+// bench/README.md.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+void BM_SweepLegacyMapperPerRequest(benchmark::State& state) {
+  const auto model_id = static_cast<ZooModel>(state.range(0));
+  const ModelGraph model = make_model(model_id);
+  for (auto _ : state) {
+    double acc = 0;
+    for (const BandwidthSetting bw : all_bandwidth_settings()) {
+      const SystemConfig sys = SystemConfig::standard(bw);
+      acc += H2HMapper(model, sys).run().final_result().latency;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(std::string(zoo_info(model_id).key));
+}
+BENCHMARK(BM_SweepLegacyMapperPerRequest)
+    ->Arg(static_cast<int>(ZooModel::MoCap))
+    ->Arg(static_cast<int>(ZooModel::CasiaSurf))
+    ->Arg(static_cast<int>(ZooModel::VLocNet))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SweepPlannerWarmSession(benchmark::State& state) {
+  const auto model_id = static_cast<ZooModel>(state.range(0));
+  Planner planner;
+  for (const BandwidthSetting bw : all_bandwidth_settings())
+    (void)planner.plan(PlanRequest::zoo(model_id, bw));  // build sessions
+  for (auto _ : state) {
+    double acc = 0;
+    for (const BandwidthSetting bw : all_bandwidth_settings())
+      acc += planner.plan(PlanRequest::zoo(model_id, bw))
+                 .final_result()
+                 .latency;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(std::string(zoo_info(model_id).key));
+}
+BENCHMARK(BM_SweepPlannerWarmSession)
+    ->Arg(static_cast<int>(ZooModel::MoCap))
+    ->Arg(static_cast<int>(ZooModel::CasiaSurf))
+    ->Arg(static_cast<int>(ZooModel::VLocNet))
+    ->Unit(benchmark::kMillisecond);
+
+/// One-shot cold/warm breakdown: what a single request pays with and
+/// without a cached session.
+void print_breakdown(std::ostream& out) {
+  TextTable t({"model", "cold setup", "cold search", "warm setup",
+               "warm search"},
+              {TextTable::Align::Left});
+  for (const ZooModel id :
+       {ZooModel::MoCap, ZooModel::CasiaSurf, ZooModel::VLocNet}) {
+    Planner planner;
+    const PlanRequest request =
+        PlanRequest::zoo(id, BandwidthSetting::LowMinus);
+    const PlanResponse cold = planner.plan(request);
+    const PlanResponse warm = planner.plan(request);
+    t.add_row({std::string(zoo_info(id).key),
+               human_seconds(cold.setup_seconds),
+               human_seconds(cold.search_seconds),
+               human_seconds(warm.setup_seconds),
+               human_seconds(warm.search_seconds)});
+  }
+  out << "per-request cold vs warm breakdown @ Low-:\n";
+  t.print(out);
+  out << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_breakdown(std::cout);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

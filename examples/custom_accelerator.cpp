@@ -6,8 +6,10 @@
 //     configurable FPGA personality).
 //  2. A LambdaAccelerator wrapping arbitrary user cost functions (here: a
 //     hypothetical fixed-latency NPU with measured per-layer numbers).
-// Both join a SystemConfig next to catalog designs, and H2H maps onto them
-// with no further changes.
+// Both join a SystemConfig next to catalog designs. Accelerator models are
+// move-only, so the custom system cannot be copied per request — a Planner
+// borrowing it (shared-system mode) plans against it directly, and repeated
+// requests reuse the cached cost tables without re-querying the plug-ins.
 #include <iostream>
 
 #include "h2h.h"
@@ -43,8 +45,9 @@ int main() {
   const SystemConfig sys(std::move(accs), host);
 
   // Map a model containing conv, FC, and LSTM layers onto the hybrid system.
+  Planner planner(sys);  // borrows the custom system for every request
   const ModelGraph model = make_model(ZooModel::CnnLstm);
-  const H2HResult result = H2HMapper(model, sys).run();
+  const PlanResponse result = planner.plan(PlanRequest::for_graph(model, 0.0));
 
   std::cout << "custom system with " << sys.accelerator_count()
             << " accelerators (2 user-defined)\n";
@@ -60,5 +63,11 @@ int main() {
     if (spec.name == "EYE" || spec.name == "NPU")
       std::cout << "  " << layer.name << " -> " << spec.name << '\n';
   }
+
+  // A second request hits the session cache: the user-defined cost
+  // functions are not consulted again.
+  const PlanResponse warm = planner.plan(PlanRequest::for_graph(model, 0.0));
+  std::cout << "\nre-plan: " << (warm.warm ? "warm" : "cold")
+            << " (plug-in models queried once, at session build)\n";
   return 0;
 }

@@ -38,7 +38,9 @@ int main() {
     std::cout << "- " << phase.description << ":\n"
               << "    layers: " << variant.layer_count()
               << ", latency " << human_seconds(r.h2h.final_result().latency)
-              << ", search " << human_seconds(r.h2h.search_seconds) << '\n'
+              << ", search " << human_seconds(r.h2h.search_seconds)
+              << (r.h2h.warm ? " (warm: cached cost tables)" : " (cold)")
+              << '\n'
               << "    weights: " << human_bytes(r.weights_reused)
               << " reused / " << human_bytes(r.weights_loaded)
               << " loaded (reuse " << format_percent(r.reuse_ratio(), 1)
@@ -46,6 +48,11 @@ int main() {
   }
   std::cout << "\nacross the scenario, dynamic H2H loaded "
             << format_percent(total_reloaded / total_cold, 1)
-            << " of the weight bytes a cold remap would load each time.\n";
+            << " of the weight bytes a cold remap would load each time, and "
+            << "the planner served "
+            << mapper.planner().cache_hits() << "/"
+            << (mapper.planner().cache_hits() +
+                mapper.planner().cache_misses())
+            << " rounds from cached sessions.\n";
   return 0;
 }

@@ -1,5 +1,7 @@
 // Quickstart: map one MMMT model onto the standard 12-accelerator system
-// and walk through what each H2H step bought.
+// through the session-style Planner, walk through what each H2H step
+// bought, then re-plan warm — the repeated-search scenario the paper's
+// sub-second Fig. 5b numbers are for.
 //
 //   ./quickstart [model-key] [bandwidth-gbps]
 //   e.g. ./quickstart mocap 0.125
@@ -21,16 +23,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 1. Build the heterogeneous model (G_model) and system (G_sys).
+  // 1. Build the heterogeneous model (G_model) and system (G_sys) for
+  //    inspection; the planner keeps its own copies next to the cost tables.
   const ModelGraph model = make_model(*model_id);
   const SystemConfig sys = SystemConfig::standard(gbps(bw));
   print_model_summary(model, std::cout);
   std::cout << "system: " << sys.accelerator_count()
             << " accelerators, BW_acc = " << bw << " GB/s\n\n";
 
-  // 2. Run the four-step H2H pipeline.
-  const H2HMapper mapper(model, sys);
-  const H2HResult result = mapper.run();
+  // 2. Run the four-step H2H pipeline through a Planner session.
+  Planner planner;
+  const PlanRequest request = PlanRequest::zoo(*model_id, gbps(bw));
+  const PlanResponse result = planner.plan(request);
 
   // 3. Inspect the per-step trajectory (the paper's Fig. 3 walkthrough).
   std::cout << "step trajectory:\n";
@@ -46,10 +50,17 @@ int main(int argc, char** argv) {
             << format_percent(1.0 - result.latency_vs_baseline(), 1)
             << " lower, energy "
             << format_percent(1.0 - result.energy_vs_baseline(), 1)
-            << " lower (search took "
-            << human_seconds(result.search_seconds) << ")\n\n";
+            << " lower (setup " << human_seconds(result.setup_seconds)
+            << " + search " << human_seconds(result.search_seconds) << ")\n";
 
-  // 4. Show where each layer ended up.
+  // 4. Re-plan the same scenario: the session cache serves it warm — no
+  //    cost-table rebuild, no accelerator-model queries, just the search.
+  const PlanResponse again = planner.plan(request);
+  std::cout << "warm re-plan: " << (again.warm ? "cache hit" : "cache MISS")
+            << ", setup " << human_seconds(again.setup_seconds)
+            << " + search " << human_seconds(again.search_seconds) << "\n\n";
+
+  // 5. Show where each layer ended up.
   std::cout << "final placement (layer -> accelerator):\n";
   for (const LayerId id : model.all_layers()) {
     const Layer& layer = model.layer(id);

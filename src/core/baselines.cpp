@@ -1,9 +1,5 @@
 #include "core/baselines.h"
 
-#include <algorithm>
-#include <limits>
-#include <map>
-
 #include "graph/algorithms.h"
 #include "util/error.h"
 #include "util/str.h"
@@ -14,99 +10,25 @@ H2HResult run_computation_prioritized_baseline(const ModelGraph& model,
                                                const SystemConfig& sys,
                                                const H2HOptions& options) {
   model.validate();
-  Simulator sim(model, sys);
-  Mapping mapping = computation_prioritized_mapping(sim, options.step1);
-  LocalityPlan plan(model);
-  plan.ensure_acc_count(sys.accelerator_count());
-
-  H2HResult result{std::move(mapping), std::move(plan), {}, {}, 0.0};
-  result.steps.push_back(
-      {"1: computation-prioritized", sim.simulate(result.mapping, result.plan)});
-  optimize_weight_locality(sim, result.mapping, result.plan, options.weight);
-  result.steps.push_back(
-      {"2: weight locality", sim.simulate(result.mapping, result.plan)});
-  return result;
+  const Simulator sim(model, sys);
+  PassPipeline pipeline;
+  pipeline.push_back(make_comp_prioritized_pass(options.step1));
+  pipeline.push_back(make_weight_locality_pass(options.weight));
+  return run_passes(sim, pipeline);
 }
 
 H2HResult run_cluster_prioritized_baseline(const ModelGraph& model,
                                            const SystemConfig& sys,
                                            const H2HOptions& options) {
   model.validate();
-  Simulator sim(model, sys);
-  const CostTable& costs = sim.costs();
-
-  // Cluster = modality tag (0 is the shared/fusion cluster).
-  std::map<std::uint32_t, std::vector<LayerId>> clusters;
-  for (const LayerId id : model.all_layers()) {
-    const Layer& l = model.layer(id);
-    if (l.kind == LayerKind::Input) continue;
-    clusters[l.modality].push_back(id);
-  }
-
-  // Pick one accelerator per cluster: maximize supported layers, then
-  // minimize the summed zero-locality duration of the supported layers.
-  std::map<std::uint32_t, AccId> cluster_acc;
-  for (const auto& [tag, members] : clusters) {
-    AccId best{};
-    std::size_t best_cover = 0;
-    double best_cost = std::numeric_limits<double>::infinity();
-    for (const AccId acc : sys.all_accelerators()) {
-      std::size_t cover = 0;
-      double cost = 0;
-      for (const LayerId id : members) {
-        if (costs.supported(id, acc)) {
-          ++cover;
-          cost += costs.unlocalized_duration(id, acc);
-        }
-      }
-      if (cover > best_cover || (cover == best_cover && cost < best_cost)) {
-        best = acc;
-        best_cover = cover;
-        best_cost = cost;
-      }
-    }
-    if (!best.valid())
-      throw ConfigError(strformat("cluster %u has no usable accelerator", tag));
-    cluster_acc[tag] = best;
-  }
-
-  // Spill layers the cluster accelerator cannot run to their individually
-  // fastest supporting accelerator. Assign in topological order.
-  const auto topo = topological_order(model.graph());
-  H2H_ASSERT(topo.has_value());
-  Mapping mapping(model);
-  for (const LayerId id : *topo) {
-    const Layer& l = model.layer(id);
-    if (l.kind == LayerKind::Input) continue;
-    AccId acc = cluster_acc.at(l.modality);
-    if (!costs.supported(id, acc)) {
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (const AccId cand : costs.supporting(l.kind)) {
-        const double cost = costs.unlocalized_duration(id, cand);
-        if (cost < best_cost) {
-          best_cost = cost;
-          acc = cand;
-        }
-      }
-      if (!costs.supported(id, acc))
-        throw ConfigError(strformat(
-            "no accelerator supports layer '%s'", l.name.c_str()));
-    }
-    mapping.assign(id, acc);
-  }
-
-  LocalityPlan plan(model);
-  plan.ensure_acc_count(sys.accelerator_count());
-  H2HResult result{std::move(mapping), std::move(plan), {}, {}, 0.0};
-  result.steps.push_back(
-      {"cluster mapping", sim.simulate(result.mapping, result.plan)});
-  optimize_weight_locality(sim, result.mapping, result.plan, options.weight);
-  result.steps.push_back(
-      {"cluster + weight locality", sim.simulate(result.mapping, result.plan)});
-  optimize_activation_fusion(sim, result.mapping, result.plan, options.fusion);
-  result.steps.push_back(
-      {"cluster + fusion", sim.simulate(result.mapping, result.plan)});
-  return result;
+  const Simulator sim(model, sys);
+  PassPipeline pipeline;
+  pipeline.push_back(make_cluster_mapping_pass("cluster mapping"));
+  pipeline.push_back(
+      make_weight_locality_pass(options.weight, "cluster + weight locality"));
+  pipeline.push_back(
+      make_activation_fusion_pass(options.fusion, "cluster + fusion"));
+  return run_passes(sim, pipeline);
 }
 
 Mapping random_valid_mapping(const ModelGraph& model, const SystemConfig& sys,

@@ -46,7 +46,7 @@ ModelGraph subset_model(const ModelGraph& full,
 
 DynamicModalityMapper::DynamicModalityMapper(const SystemConfig& sys,
                                              H2HOptions options)
-    : sys_(&sys), options_(std::move(options)) {}
+    : options_(std::move(options)), planner_(sys) {}
 
 DynamicRemapResult DynamicModalityMapper::remap(const ModelGraph& variant) {
   H2HOptions opts = options_;
@@ -64,32 +64,27 @@ DynamicRemapResult DynamicModalityMapper::remap(const ModelGraph& variant) {
     force[id.value] = resident_.contains(variant.layer(id).name);
   opts.weight.force_pin = &force;
 
-  // The subset variants keep single-input Concats, so skip full validation
-  // by mapping directly rather than through H2HMapper's validate().
-  Simulator sim(variant, *sys_);
-  Mapping mapping = computation_prioritized_mapping(sim, opts.step1);
-  LocalityPlan plan(variant);
-  plan.ensure_acc_count(sys_->accelerator_count());
+  // The round is the standard pipeline with the two hooks threaded through
+  // and the historical step labels kept.
+  PassPipeline pipeline;
+  pipeline.push_back(make_comp_prioritized_pass(
+      opts.step1, "1: computation-prioritized (resident-preferred)"));
+  if (opts.run_weight_locality)
+    pipeline.push_back(make_weight_locality_pass(
+        opts.weight, "2: weight locality (modified knapsack)"));
+  if (opts.run_fusion)
+    pipeline.push_back(make_activation_fusion_pass(opts.fusion));
+  if (opts.run_remapping)
+    pipeline.push_back(make_remapping_pass(opts.remap));
 
-  DynamicRemapResult out{
-      H2HResult{std::move(mapping), std::move(plan), {}, {}, 0.0}, 0, 0};
+  // The subset variants keep single-input Concats, so skip full validation.
+  // The session cache keys on the variant's structural fingerprint: a
+  // revisited modality set re-plans warm on its cached cost table.
+  PlanRequest request = PlanRequest::for_graph(variant, /*bw_acc=*/0.0);
+  request.validate_model = false;
+
+  DynamicRemapResult out{planner_.plan(request, pipeline), 0, 0};
   H2HResult& r = out.h2h;
-  const auto t0 = std::chrono::steady_clock::now();
-  r.steps.push_back({"1: computation-prioritized (resident-preferred)",
-                     sim.simulate(r.mapping, r.plan)});
-  optimize_weight_locality(sim, r.mapping, r.plan, opts.weight);
-  r.steps.push_back({"2: weight locality (modified knapsack)",
-                     sim.simulate(r.mapping, r.plan)});
-  optimize_activation_fusion(sim, r.mapping, r.plan, opts.fusion);
-  r.steps.push_back({"3: activation fusion", sim.simulate(r.mapping, r.plan)});
-  if (opts.run_remapping) {
-    r.remap_stats = data_locality_remapping(sim, r.mapping, r.plan, opts.remap);
-    r.steps.push_back({"4: locality-aware remapping",
-                       sim.simulate(r.mapping, r.plan)});
-  }
-  r.search_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
 
   // Weight-reload accounting and residency update.
   std::map<std::string, AccId, std::less<>> next_resident;

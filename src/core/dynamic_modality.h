@@ -9,6 +9,12 @@
 //  2. the knapsack is modified so that resident weights are pinned first
 //     ("part of the weight allocation is determined").
 //
+// Both hooks are plain pass options, so a round is just a pipeline
+// configuration (mapping_pass.h) run through a Planner: the per-variant
+// Simulator/CostTable state is cached in the session cache, and revisited
+// modality sets re-plan warm — no cost-table rebuild, no virtual
+// AcceleratorModel calls (the Fig. 5b repeated-replanning scenario).
+//
 // Model variants are derived with subset_model(): inactive branches are
 // removed, kept layers keep their shapes (dropped inputs are semantically
 // zero-filled), so layer names/weights stay identical across rounds and
@@ -49,19 +55,24 @@ class DynamicModalityMapper {
                                  H2HOptions options = {});
 
   /// Map a model variant, preferring residency from earlier rounds, and
-  /// update residency to the new pinned set.
+  /// update residency to the new pinned set. Revisited variants are served
+  /// from the planner's session cache (h2h.warm is set on the result).
   [[nodiscard]] DynamicRemapResult remap(const ModelGraph& variant);
 
-  /// Forget all resident weights (cold start).
+  /// Forget all resident weights (cold start). The session cache is kept:
+  /// residency is a solution property, not cost state.
   void reset_residency() noexcept { resident_.clear(); }
 
   [[nodiscard]] std::size_t resident_layer_count() const noexcept {
     return resident_.size();
   }
 
+  /// The session cache backing the rounds (hit/miss introspection).
+  [[nodiscard]] const Planner& planner() const noexcept { return planner_; }
+
  private:
-  const SystemConfig* sys_;
   H2HOptions options_;
+  Planner planner_;
   std::map<std::string, AccId, std::less<>> resident_;  // layer name -> acc
 };
 

@@ -1,8 +1,5 @@
 #include "core/h2h_mapper.h"
 
-#include "util/log.h"
-#include "util/str.h"
-
 namespace h2h {
 
 H2HMapper::H2HMapper(const ModelGraph& model, const SystemConfig& sys,
@@ -12,47 +9,7 @@ H2HMapper::H2HMapper(const ModelGraph& model, const SystemConfig& sys,
 }
 
 H2HResult H2HMapper::run() const {
-  using Clock = std::chrono::steady_clock;
-  const auto t0 = Clock::now();
-
-  // Step 1: computation-prioritized mapping (zero locality).
-  Mapping mapping = computation_prioritized_mapping(sim_, options_.step1);
-  LocalityPlan plan(sim_.model());
-  plan.ensure_acc_count(sim_.sys().accelerator_count());
-
-  H2HResult result{std::move(mapping), std::move(plan), {}, {}, 0.0};
-  result.steps.push_back(
-      {"1: computation-prioritized", sim_.simulate(result.mapping, result.plan)});
-
-  // Step 2: weight locality (knapsack per accelerator).
-  optimize_weight_locality(sim_, result.mapping, result.plan, options_.weight);
-  result.steps.push_back(
-      {"2: weight locality", sim_.simulate(result.mapping, result.plan)});
-
-  // Step 3: activation transfer optimization (fusion).
-  optimize_activation_fusion(sim_, result.mapping, result.plan,
-                             options_.fusion);
-  result.steps.push_back(
-      {"3: activation fusion", sim_.simulate(result.mapping, result.plan)});
-
-  // Step 4: data-locality-aware remapping.
-  if (options_.run_remapping) {
-    result.remap_stats = data_locality_remapping(sim_, result.mapping,
-                                                 result.plan, options_.remap);
-    result.steps.push_back(
-        {"4: locality-aware remapping",
-         sim_.simulate(result.mapping, result.plan)});
-  }
-
-  result.search_seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-
-  log_debug(strformat(
-      "H2H(%s): steps=%zu latency %.6fs -> %.6fs (%.1f%%), search %.3fs",
-      sim_.model().name().c_str(), result.steps.size(),
-      result.baseline_result().latency, result.final_result().latency,
-      result.latency_vs_baseline() * 100.0, result.search_seconds));
-  return result;
+  return run_passes(sim_, make_default_pipeline(options_));
 }
 
 }  // namespace h2h

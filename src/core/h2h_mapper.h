@@ -1,57 +1,26 @@
-// The H2H mapping pipeline (paper Algorithm 1): the library's primary entry
-// point. Runs the four steps in order and records a schedule snapshot after
-// each, so callers (benches, EXPERIMENTS.md) can reproduce the per-step
-// series of Fig. 4 / Table 4. The paper's comparison baseline is the
-// pipeline after step 2 (computation-prioritized mapping + weight locality).
+// DEPRECATED one-shot facade, kept for source compatibility.
+//
+// H2HMapper was the library's original entry point: construct (paying the
+// full Simulator/CostTable build) and run() the four-step pipeline once.
+// It is now a thin shim over the pass pipeline in planner.h — new code
+// should use h2h::Planner, which caches the constructed cost state across
+// requests (warm re-plans skip the cold start entirely) and accepts
+// composable pass pipelines, time budgets, and warm-start mappings.
+//
+// H2HResult/H2HOptions are aliases of PlanResponse/PlanOptions; run() is
+// bit-identical to Planner::plan() with the default pipeline (pinned by
+// test_planner.cpp).
 #pragma once
 
-#include <chrono>
-#include <string>
-#include <vector>
-
-#include "core/comp_prioritized.h"
-#include "core/remapping.h"
+#include "core/planner.h"
 
 namespace h2h {
 
-struct H2HOptions {
-  CompPrioritizedOptions step1;
-  WeightLocalityOptions weight;
-  FusionOptions fusion;
-  RemapOptions remap;
-  /// Disable step 4 (used to study the post-optimizations alone).
-  bool run_remapping = true;
-};
+using H2HOptions = PlanOptions;
+using H2HResult = PlanResponse;
 
-struct StepSnapshot {
-  std::string name;        // "1: computation-prioritized", ...
-  ScheduleResult result;   // full schedule + energy after this step
-};
-
-struct H2HResult {
-  Mapping mapping;
-  LocalityPlan plan;
-  std::vector<StepSnapshot> steps;  // one per executed step, in order
-  RemapStats remap_stats;
-  double search_seconds = 0;  // wall-clock of the whole pipeline (Fig. 5b)
-
-  [[nodiscard]] const ScheduleResult& final_result() const {
-    return steps.back().result;
-  }
-  /// The paper's baseline: after step 2.
-  [[nodiscard]] const ScheduleResult& baseline_result() const {
-    H2H_EXPECTS(steps.size() >= 2);
-    return steps[1].result;
-  }
-  /// final latency / baseline latency (Table 4 column 4 semantics).
-  [[nodiscard]] double latency_vs_baseline() const {
-    return final_result().latency / baseline_result().latency;
-  }
-  [[nodiscard]] double energy_vs_baseline() const {
-    return final_result().energy.total() / baseline_result().energy.total();
-  }
-};
-
+/// DEPRECATED: use Planner. One Simulator build per instance, one pipeline
+/// run per run() call — every call pays what a warm Planner::plan() skips.
 class H2HMapper {
  public:
   H2HMapper(const ModelGraph& model, const SystemConfig& sys,

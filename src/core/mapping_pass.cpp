@@ -1,0 +1,193 @@
+#include "core/mapping_pass.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "graph/algorithms.h"
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+class CompPrioritizedPass final : public MappingPass {
+ public:
+  CompPrioritizedPass(CompPrioritizedOptions options, std::string name)
+      : MappingPass(std::move(name)), options_(std::move(options)) {}
+
+  void run(PassContext& ctx) const override {
+    ctx.mapping = computation_prioritized_mapping(ctx.sim, options_);
+  }
+
+ private:
+  CompPrioritizedOptions options_;
+};
+
+class WarmStartPass final : public MappingPass {
+ public:
+  WarmStartPass(Mapping warm_start, std::string name)
+      : MappingPass(std::move(name)), warm_start_(std::move(warm_start)) {}
+
+  void run(PassContext& ctx) const override {
+    H2H_EXPECTS(warm_start_.size() == ctx.sim.model().layer_count());
+    H2H_EXPECTS(warm_start_.complete());
+    warm_start_.validate(ctx.sim.model(), ctx.sim.sys());
+    ctx.mapping = warm_start_;
+  }
+
+ private:
+  Mapping warm_start_;
+};
+
+class ClusterMappingPass final : public MappingPass {
+ public:
+  explicit ClusterMappingPass(std::string name)
+      : MappingPass(std::move(name)) {}
+
+  void run(PassContext& ctx) const override {
+    const ModelGraph& model = ctx.sim.model();
+    const SystemConfig& sys = ctx.sim.sys();
+    const CostTable& costs = ctx.sim.costs();
+
+    // Cluster = modality tag (0 is the shared/fusion cluster).
+    std::map<std::uint32_t, std::vector<LayerId>> clusters;
+    for (const LayerId id : model.all_layers()) {
+      const Layer& l = model.layer(id);
+      if (l.kind == LayerKind::Input) continue;
+      clusters[l.modality].push_back(id);
+    }
+
+    // Pick one accelerator per cluster: maximize supported layers, then
+    // minimize the summed zero-locality duration of the supported layers.
+    std::map<std::uint32_t, AccId> cluster_acc;
+    for (const auto& [tag, members] : clusters) {
+      AccId best{};
+      std::size_t best_cover = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (const AccId acc : sys.all_accelerators()) {
+        std::size_t cover = 0;
+        double cost = 0;
+        for (const LayerId id : members) {
+          if (costs.supported(id, acc)) {
+            ++cover;
+            cost += costs.unlocalized_duration(id, acc);
+          }
+        }
+        if (cover > best_cover || (cover == best_cover && cost < best_cost)) {
+          best = acc;
+          best_cover = cover;
+          best_cost = cost;
+        }
+      }
+      if (!best.valid())
+        throw ConfigError(
+            strformat("cluster %u has no usable accelerator", tag));
+      cluster_acc[tag] = best;
+    }
+
+    // Spill layers the cluster accelerator cannot run to their individually
+    // fastest supporting accelerator. Assign in topological order.
+    const auto topo = topological_order(model.graph());
+    H2H_ASSERT(topo.has_value());
+    for (const LayerId id : *topo) {
+      const Layer& l = model.layer(id);
+      if (l.kind == LayerKind::Input) continue;
+      AccId acc = cluster_acc.at(l.modality);
+      if (!costs.supported(id, acc)) {
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (const AccId cand : costs.supporting(l.kind)) {
+          const double cost = costs.unlocalized_duration(id, cand);
+          if (cost < best_cost) {
+            best_cost = cost;
+            acc = cand;
+          }
+        }
+        if (!costs.supported(id, acc))
+          throw ConfigError(
+              strformat("no accelerator supports layer '%s'", l.name.c_str()));
+      }
+      ctx.mapping.assign(id, acc);
+    }
+  }
+};
+
+class WeightLocalityPass final : public MappingPass {
+ public:
+  WeightLocalityPass(WeightLocalityOptions options, std::string name)
+      : MappingPass(std::move(name)), options_(std::move(options)) {}
+
+  void run(PassContext& ctx) const override {
+    optimize_weight_locality(ctx.sim, ctx.mapping, ctx.plan, options_);
+  }
+
+ private:
+  WeightLocalityOptions options_;
+};
+
+class ActivationFusionPass final : public MappingPass {
+ public:
+  ActivationFusionPass(FusionOptions options, std::string name)
+      : MappingPass(std::move(name)), options_(options) {}
+
+  void run(PassContext& ctx) const override {
+    optimize_activation_fusion(ctx.sim, ctx.mapping, ctx.plan, options_);
+  }
+
+ private:
+  FusionOptions options_;
+};
+
+class RemappingPass final : public MappingPass {
+ public:
+  RemappingPass(RemapOptions options, std::string name)
+      : MappingPass(std::move(name)), options_(std::move(options)) {}
+
+  void run(PassContext& ctx) const override {
+    RemapOptions options = options_;
+    options.deadline = ctx.deadline;
+    ctx.remap_stats =
+        data_locality_remapping(ctx.sim, ctx.mapping, ctx.plan, options);
+    if (ctx.remap_stats.stopped_on_budget) ctx.stopped_on_budget = true;
+  }
+
+ private:
+  RemapOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<MappingPass> make_comp_prioritized_pass(
+    CompPrioritizedOptions options, std::string name) {
+  return std::make_unique<CompPrioritizedPass>(std::move(options),
+                                               std::move(name));
+}
+
+std::unique_ptr<MappingPass> make_warm_start_pass(Mapping warm_start,
+                                                  std::string name) {
+  return std::make_unique<WarmStartPass>(std::move(warm_start),
+                                         std::move(name));
+}
+
+std::unique_ptr<MappingPass> make_cluster_mapping_pass(std::string name) {
+  return std::make_unique<ClusterMappingPass>(std::move(name));
+}
+
+std::unique_ptr<MappingPass> make_weight_locality_pass(
+    WeightLocalityOptions options, std::string name) {
+  return std::make_unique<WeightLocalityPass>(std::move(options),
+                                              std::move(name));
+}
+
+std::unique_ptr<MappingPass> make_activation_fusion_pass(FusionOptions options,
+                                                         std::string name) {
+  return std::make_unique<ActivationFusionPass>(options, std::move(name));
+}
+
+std::unique_ptr<MappingPass> make_remapping_pass(RemapOptions options,
+                                                 std::string name) {
+  return std::make_unique<RemappingPass>(std::move(options), std::move(name));
+}
+
+}  // namespace h2h

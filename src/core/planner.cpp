@@ -1,0 +1,274 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string_view>
+#include <utility>
+
+#include "util/log.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+[[nodiscard]] std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v (deterministic across runs, unlike
+  // std::hash, so fingerprints are stable diagnostics).
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fnv_mix(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Session key of a zoo model: tagged so it can never collide with a graph
+/// fingerprint of the same model (the two are distinct sessions by design —
+/// a zoo hit must not depend on having fingerprinted a caller's graph).
+[[nodiscard]] std::uint64_t zoo_session_key(ZooModel id) {
+  return fnv_mix(fnv_mix(1469598103934665603ULL, std::string_view("zoo")),
+                 static_cast<std::uint64_t>(id));
+}
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const ModelGraph& model) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv_mix(h, model.name());
+  h = fnv_mix(h, model.dtype_bytes());
+  h = fnv_mix(h, model.layer_count());
+  for (const LayerId id : model.all_layers()) {
+    const Layer& l = model.layer(id);
+    h = fnv_mix(h, l.name);
+    h = fnv_mix(h, static_cast<std::uint64_t>(l.kind));
+    h = fnv_mix(h, l.modality);
+    h = fnv_mix(h, l.param_count());
+    h = fnv_mix(h, l.out_elems());
+    h = fnv_mix(h, l.macs());
+    h = fnv_mix(h, l.light_ops());
+    for (const LayerId p : model.graph().preds(id)) h = fnv_mix(h, p.value);
+  }
+  return h;
+}
+
+PlanRequest PlanRequest::zoo(ZooModel id, double bw_acc, std::uint32_t batch) {
+  PlanRequest r;
+  r.model = id;
+  r.bw_acc = bw_acc;
+  r.batch = batch;
+  return r;
+}
+
+PlanRequest PlanRequest::zoo(ZooModel id, BandwidthSetting bw,
+                             std::uint32_t batch) {
+  return zoo(id, bandwidth_value(bw), batch);
+}
+
+PlanRequest PlanRequest::for_graph(const ModelGraph& graph, double bw_acc,
+                                   std::uint32_t batch) {
+  PlanRequest r;
+  r.graph = &graph;
+  r.bw_acc = bw_acc;
+  r.batch = batch;
+  return r;
+}
+
+const ScheduleResult* PlanResponse::find_baseline() const {
+  for (const StepSnapshot& step : steps) {
+    if (step.name.find("weight locality") != std::string::npos)
+      return &step.result;
+  }
+  return nullptr;
+}
+
+const ScheduleResult& PlanResponse::baseline_result() const {
+  if (const ScheduleResult* baseline = find_baseline()) return *baseline;
+  contract_failure("precondition",
+                   "baseline_result(): no \"weight locality\" snapshot among "
+                   "the executed steps",
+                   __FILE__, __LINE__);
+}
+
+PassPipeline make_default_pipeline(const PlanOptions& options,
+                                   const Mapping* warm_start) {
+  PassPipeline pipeline;
+  if (warm_start != nullptr) {
+    pipeline.push_back(make_warm_start_pass(*warm_start));
+  } else {
+    pipeline.push_back(make_comp_prioritized_pass(options.step1));
+  }
+  if (options.run_weight_locality)
+    pipeline.push_back(make_weight_locality_pass(options.weight));
+  if (options.run_fusion)
+    pipeline.push_back(make_activation_fusion_pass(options.fusion));
+  if (options.run_remapping)
+    pipeline.push_back(make_remapping_pass(options.remap));
+  return pipeline;
+}
+
+PlanResponse run_passes(const Simulator& sim, const PassPipeline& pipeline,
+                        std::optional<double> time_budget_s) {
+  H2H_EXPECTS(!pipeline.empty());
+  const auto t0 = Clock::now();
+  const ModelGraph& model = sim.model();
+
+  PlanResponse r{
+      Mapping(model), LocalityPlan(model), {}, {}, 0.0, 0.0, false, false};
+  r.plan.ensure_acc_count(sim.sys().accelerator_count());
+
+  PassContext ctx{sim, r.mapping, r.plan, r.remap_stats, std::nullopt, false};
+  if (time_budget_s) {
+    ctx.deadline = t0 + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(*time_budget_s));
+  }
+
+  for (const std::unique_ptr<MappingPass>& pass : pipeline) {
+    pass->run(ctx);
+    r.steps.push_back({pass->name(), sim.simulate(r.mapping, r.plan)});
+  }
+
+  r.stopped_on_budget = ctx.stopped_on_budget;
+  r.search_seconds = seconds_since(t0);
+
+  if (r.find_baseline() != nullptr) {
+    log_debug(strformat(
+        "H2H(%s): steps=%zu latency %.6fs -> %.6fs (%.1f%%), search %.3fs",
+        model.name().c_str(), r.steps.size(), r.baseline_result().latency,
+        r.final_result().latency, r.latency_vs_baseline() * 100.0,
+        r.search_seconds));
+  } else {
+    log_debug(strformat("H2H(%s): steps=%zu latency %.6fs, search %.3fs",
+                        model.name().c_str(), r.steps.size(),
+                        r.final_result().latency, r.search_seconds));
+  }
+  return r;
+}
+
+/// One cached scenario: an owned model copy (at the request batch), the
+/// system it runs on (owned at the request BW_acc, or the Planner-wide
+/// shared one), and the Simulator whose CostTable is the reusable state.
+/// Heap-allocated so the Simulator's internal pointers survive cache
+/// reordering/eviction of *other* sessions.
+struct Planner::Session {
+  std::uint64_t model_key = 0;
+  double bw_acc = 0;  // key component; 0 in shared-system mode
+  std::uint32_t batch = 1;
+  std::optional<ModelGraph> model;
+  std::optional<SystemConfig> owned_sys;
+  const SystemConfig* sys = nullptr;
+  std::optional<Simulator> sim;
+};
+
+Planner::Planner() = default;
+Planner::Planner(PlannerOptions options) : options_(std::move(options)) {}
+Planner::Planner(const SystemConfig& shared_system) {
+  options_.shared_system = &shared_system;
+}
+Planner::~Planner() = default;
+Planner::Planner(Planner&&) noexcept = default;
+Planner& Planner::operator=(Planner&&) noexcept = default;
+
+void Planner::clear_sessions() noexcept { sessions_.clear(); }
+
+Planner::Session& Planner::session_for(const PlanRequest& request,
+                                       double& setup_seconds, bool& warm) {
+  H2H_EXPECTS(request.model.has_value() != (request.graph != nullptr));
+
+  const std::uint64_t model_key = request.model
+                                      ? zoo_session_key(*request.model)
+                                      : model_fingerprint(*request.graph);
+  std::uint32_t batch = request.batch;
+  if (batch == 0) batch = request.graph != nullptr ? request.graph->batch() : 1;
+  // In shared-system mode the bandwidth is the shared system's business:
+  // sessions key on the model alone and follow the system's lazy
+  // CostTable-rebuild semantics if its BW_acc moves.
+  const double bw_key =
+      options_.shared_system != nullptr ? 0.0 : request.bw_acc;
+
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    Session& s = **it;
+    if (s.model_key == model_key && s.batch == batch && s.bw_acc == bw_key) {
+      std::rotate(sessions_.begin(), it, it + 1);  // most recently used first
+      ++hits_;
+      Session& front = *sessions_.front();
+      if (front.sim->costs_fresh()) {
+        warm = true;
+        setup_seconds = 0;
+      } else {
+        // Shared-system mode and the borrowed system's knobs moved
+        // (set_bw_acc): rebuild now so the cost lands in setup_seconds,
+        // not in the search-time window, and the response is not
+        // misreported as warm.
+        const auto t0 = Clock::now();
+        (void)front.sim->costs();
+        setup_seconds = seconds_since(t0);
+        warm = false;
+      }
+      return front;
+    }
+  }
+
+  ++misses_;
+  warm = false;
+  const auto t0 = Clock::now();
+  auto s = std::make_unique<Session>();
+  s->model_key = model_key;
+  s->batch = batch;
+  s->bw_acc = bw_key;
+  s->model.emplace(request.model ? make_model(*request.model)
+                                 : *request.graph);
+  s->model->set_batch(batch);
+  if (request.validate_model) s->model->validate();
+  if (options_.shared_system != nullptr) {
+    s->sys = options_.shared_system;
+  } else {
+    H2H_EXPECTS(request.bw_acc > 0);
+    s->owned_sys.emplace(options_.system_factory
+                             ? options_.system_factory(request.bw_acc)
+                             : SystemConfig::standard(request.bw_acc));
+    s->sys = &*s->owned_sys;
+  }
+  s->sim.emplace(*s->model, *s->sys);  // builds the CostTable eagerly
+  setup_seconds = seconds_since(t0);
+
+  sessions_.insert(sessions_.begin(), std::move(s));
+  const std::size_t cap = std::max<std::size_t>(1, options_.max_sessions);
+  if (sessions_.size() > cap) sessions_.resize(cap);  // LRU eviction
+  log_debug(strformat("Planner: built session for '%s' (bw=%.3g batch=%u) "
+                      "in %.3fs, %zu cached",
+                      sessions_.front()->model->name().c_str(),
+                      sessions_.front()->sys->host().bw_acc, batch,
+                      setup_seconds, sessions_.size()));
+  return *sessions_.front();
+}
+
+PlanResponse Planner::plan(const PlanRequest& request) {
+  return plan(request, make_default_pipeline(request.options,
+                                             request.warm_start));
+}
+
+PlanResponse Planner::plan(const PlanRequest& request,
+                           const PassPipeline& pipeline) {
+  double setup_seconds = 0;
+  bool warm = false;
+  Session& session = session_for(request, setup_seconds, warm);
+  PlanResponse r = run_passes(*session.sim, pipeline, request.time_budget_s);
+  r.setup_seconds = setup_seconds;
+  r.warm = warm;
+  return r;
+}
+
+}  // namespace h2h

@@ -113,6 +113,15 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
     bool improved = false;
 
     for (const LayerId node : order) {
+      // Budgeted search: one clock read per layer (not per probe) keeps the
+      // check off the candidate hot path; no clock read at all when no
+      // deadline is set, so unbudgeted runs are bit-identical to before.
+      if (options.deadline &&
+          std::chrono::steady_clock::now() >= *options.deadline) {
+        stats.stopped_on_budget = true;
+        if (options.use_incremental) stats.retimes = inc.retime_count();
+        return stats;
+      }
       if (model.layer(node).kind == LayerKind::Input) continue;
       const AccId src = mapping.acc_of(node);
       neighbour_accs(costs, model, mapping, node, candidates);

@@ -13,6 +13,9 @@
 // on this; see bench_ablation_incremental).
 #pragma once
 
+#include <chrono>
+#include <optional>
+
 #include "core/activation_fusion.h"
 #include "core/weight_locality.h"
 #include "system/incremental.h"
@@ -36,6 +39,12 @@ struct RemapOptions {
   RemapObjective objective = RemapObjective::Latency;
   WeightLocalityOptions weight;
   FusionOptions fusion;
+  /// Optional wall-clock deadline (PlanRequest::time_budget_s): the loop
+  /// stops cleanly — current state kept, stopped_on_budget reported — at the
+  /// first per-layer check past the deadline. nullopt runs to convergence;
+  /// the check is skipped entirely then, so the unbudgeted hot path is
+  /// unchanged.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 struct RemapStats {
@@ -45,6 +54,9 @@ struct RemapStats {
   /// Node re-timings the incremental schedule performed across all probes
   /// (0 when use_incremental is off) — the bench's work accounting.
   std::uint64_t retimes = 0;
+  /// True when the loop stopped on RemapOptions::deadline before reaching a
+  /// fixed point (Fig. 5b budgeted-search reporting).
+  bool stopped_on_budget = false;
 };
 
 /// Runs the remapping loop in place on `mapping`/`plan` (which must already

@@ -1,12 +1,25 @@
 // Umbrella header: the full public API of the H2H library.
 //
-// Typical usage (see examples/quickstart.cpp):
+// Typical usage (see examples/quickstart.cpp): create one long-lived
+// Planner and send it PlanRequests. The Planner caches the constructed
+// Simulator/CostTable state per (model, bandwidth, batch), so re-planning
+// the same scenario — a bandwidth sweep revisiting a setting, a modality
+// toggling back on — is warm: zero accelerator-model queries, only the
+// sub-second search itself (Fig. 5b).
 //
 //   #include "h2h.h"
-//   auto model = h2h::make_model(h2h::ZooModel::MoCap);
-//   auto sys = h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
-//   h2h::H2HMapper mapper(model, sys);
-//   h2h::H2HResult result = mapper.run();
+//   h2h::Planner planner;  // the standard 12-accelerator system
+//   h2h::PlanResponse r = planner.plan(h2h::PlanRequest::zoo(
+//       h2h::ZooModel::MoCap, h2h::BandwidthSetting::LowMinus));
+//   // bandwidth changed at runtime? plan again — warm requests skip setup:
+//   h2h::PlanResponse r2 = planner.plan(h2h::PlanRequest::zoo(
+//       h2h::ZooModel::MoCap, h2h::BandwidthSetting::Mid));
+//
+// PlanRequest also carries batch size, per-step toggles/options, the remap
+// objective, an optional wall-clock time budget, and an optional warm-start
+// mapping from a prior response; custom pass pipelines (mapping_pass.h) can
+// replace the default four steps. The legacy one-shot H2HMapper remains as
+// a deprecated shim over the same pipeline.
 #pragma once
 
 #include "accel/analytical_models.h"
@@ -16,6 +29,8 @@
 #include "core/baselines.h"
 #include "core/dynamic_modality.h"
 #include "core/h2h_mapper.h"
+#include "core/mapping_pass.h"
+#include "core/planner.h"
 #include "model/blocks.h"
 #include "model/summary.h"
 #include "model/synthetic.h"

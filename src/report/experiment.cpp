@@ -1,12 +1,9 @@
 #include "report/experiment.h"
 
 namespace h2h {
+namespace {
 
-StepSeries run_experiment_on(const ModelGraph& model, const SystemConfig& sys,
-                             const H2HOptions& options) {
-  const H2HMapper mapper(model, sys, options);
-  const H2HResult r = mapper.run();
-
+StepSeries series_from(const PlanResponse& r) {
   StepSeries s;
   for (const StepSnapshot& step : r.steps) {
     s.latency.push_back(step.result.latency);
@@ -19,24 +16,49 @@ StepSeries run_experiment_on(const ModelGraph& model, const SystemConfig& sys,
   return s;
 }
 
-StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
-                          const H2HOptions& options) {
-  const ModelGraph graph = make_model(model);
-  const SystemConfig sys = SystemConfig::standard(bw);
-  StepSeries s = run_experiment_on(graph, sys, options);
+}  // namespace
+
+StepSeries run_experiment_on(const ModelGraph& model, const SystemConfig& sys,
+                             const H2HOptions& options) {
+  model.validate();
+  const Simulator sim(model, sys);
+  return series_from(run_passes(sim, make_default_pipeline(options)));
+}
+
+StepSeries run_experiment(Planner& planner, ZooModel model,
+                          BandwidthSetting bw, const H2HOptions& options,
+                          std::optional<double> time_budget_s) {
+  PlanRequest request = PlanRequest::zoo(model, bw);
+  request.options = options;
+  request.time_budget_s = time_budget_s;
+  StepSeries s = series_from(planner.plan(request));
   s.model = model;
   s.bw = bw;
   return s;
 }
 
-std::vector<StepSeries> run_full_sweep(const H2HOptions& options) {
+StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
+                          const H2HOptions& options) {
+  Planner planner;
+  return run_experiment(planner, model, bw, options);
+}
+
+std::vector<StepSeries> run_full_sweep(Planner& planner,
+                                       const H2HOptions& options,
+                                       std::optional<double> time_budget_s) {
   std::vector<StepSeries> out;
   for (const ZooInfo& info : zoo_catalog()) {
     for (const BandwidthSetting bw : all_bandwidth_settings()) {
-      out.push_back(run_experiment(info.id, bw, options));
+      out.push_back(
+          run_experiment(planner, info.id, bw, options, time_budget_s));
     }
   }
   return out;
+}
+
+std::vector<StepSeries> run_full_sweep(const H2HOptions& options) {
+  Planner planner;
+  return run_full_sweep(planner, options);
 }
 
 }  // namespace h2h

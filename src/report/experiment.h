@@ -2,8 +2,14 @@
 // a bandwidth setting and collects exactly the series the paper's evaluation
 // reports (per-step latency/energy, comm/comp ratios, search time). Used by
 // every bench binary and by EXPERIMENTS.md.
+//
+// The Planner-taking overloads share one session cache across cells, so
+// repeated grids (CLI `sweep`, the report benches, EXPERIMENTS.md reruns)
+// pay the Simulator/CostTable build once per (model, bandwidth) and re-plan
+// warm afterwards. The Planner-less overloads are one-shot conveniences.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "core/baselines.h"
@@ -20,7 +26,7 @@ struct StepSeries {
   double baseline_comp_ratio = 0;  // after step 2 (Fig. 5a "Baseline")
   double h2h_comp_ratio = 0;       // after step 4 (Fig. 5a "H2H")
   double search_seconds = 0;       // Fig. 5b
-  RemapStats remap;
+  RemapStats remap;                // includes stopped_on_budget (Fig. 5b)
 
   /// Step-4 latency as a fraction of step-2 (Table 4 column-4 semantics).
   [[nodiscard]] double latency_vs_baseline() const {
@@ -33,7 +39,14 @@ struct StepSeries {
   }
 };
 
-/// Run the full H2H pipeline for one (model, bandwidth) cell.
+/// Run the full H2H pipeline for one (model, bandwidth) cell through the
+/// caller's session cache. `time_budget_s` bounds each cell's search.
+[[nodiscard]] StepSeries run_experiment(
+    Planner& planner, ZooModel model, BandwidthSetting bw,
+    const H2HOptions& options = {},
+    std::optional<double> time_budget_s = std::nullopt);
+
+/// One-shot convenience (cold every call; prefer the Planner overload).
 [[nodiscard]] StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
                                         const H2HOptions& options = {});
 
@@ -42,7 +55,13 @@ struct StepSeries {
                                            const SystemConfig& sys,
                                            const H2HOptions& options = {});
 
-/// The paper's full sweep: 6 models x 5 bandwidth settings, paper order.
+/// The paper's full sweep: 6 models x 5 bandwidth settings, paper order,
+/// through the caller's session cache.
+[[nodiscard]] std::vector<StepSeries> run_full_sweep(
+    Planner& planner, const H2HOptions& options = {},
+    std::optional<double> time_budget_s = std::nullopt);
+
+/// One-shot convenience: runs the sweep on a private Planner.
 [[nodiscard]] std::vector<StepSeries> run_full_sweep(
     const H2HOptions& options = {});
 

@@ -102,22 +102,34 @@ void print_fig5b(std::span<const StepSeries> sweep, std::ostream& out) {
   out << "Figure 5(b): H2H mapping search time (seconds)\n\n";
   TextTable t({"model", "Low-", "Low", "Mid-", "Mid", "High"},
               {TextTable::Align::Left});
+  bool any_budget_stop = false;
   for (const ZooInfo& info : zoo_catalog()) {
     std::vector<std::string> row{std::string(info.key)};
     for (const BandwidthSetting bw : all_bandwidth_settings()) {
       const StepSeries* s = find_cell(sweep, info.id, bw);
-      row.push_back(s != nullptr ? format_fixed(s->search_seconds, 4) : "-");
+      if (s == nullptr) {
+        row.push_back("-");
+        continue;
+      }
+      std::string cell = format_fixed(s->search_seconds, 4);
+      if (s->remap.stopped_on_budget) {
+        cell += '*';
+        any_budget_stop = true;
+      }
+      row.push_back(std::move(cell));
     }
     t.add_row(std::move(row));
   }
   t.print(out);
+  if (any_budget_stop)
+    out << "(* remapping stopped on the request time budget)\n";
 }
 
 void write_sweep_csv(std::span<const StepSeries> sweep, std::ostream& out) {
   CsvWriter csv(out);
   csv.header({"model", "bandwidth", "bw_gbps", "step", "latency_s", "energy_j",
               "baseline_comp_ratio", "h2h_comp_ratio", "search_s",
-              "remap_accepted"});
+              "remap_accepted", "stopped_on_budget"});
   for (const StepSeries& s : sweep) {
     for (std::size_t step = 0; step < s.latency.size(); ++step) {
       csv.row({std::string(zoo_info(s.model).key),
@@ -128,7 +140,8 @@ void write_sweep_csv(std::span<const StepSeries> sweep, std::ostream& out) {
                strformat("%.6f", s.baseline_comp_ratio),
                strformat("%.6f", s.h2h_comp_ratio),
                strformat("%.6f", s.search_seconds),
-               strformat("%u", s.remap.accepted)});
+               strformat("%u", s.remap.accepted),
+               s.remap.stopped_on_budget ? "1" : "0"});
     }
   }
 }

@@ -81,6 +81,13 @@ class Simulator {
     return costs_;
   }
 
+  /// True when the built table still matches the model/system snapshot
+  /// knobs; false means the next costs() call pays a full rebuild (the
+  /// Planner uses this to bill that rebuild as setup, not search).
+  [[nodiscard]] bool costs_fresh() const noexcept {
+    return costs_.fresh(*model_, *sys_);
+  }
+
   /// Transfer/compute components of one layer under the plan (start/finish
   /// are left zero). Input layers have all-zero components.
   [[nodiscard]] LayerTiming layer_components(LayerId id, const Mapping& m,

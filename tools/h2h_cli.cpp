@@ -1,14 +1,15 @@
-// h2h — command-line driver for the H2H mapper.
+// h2h — command-line driver for the H2H planner.
 //
 //   h2h list-models
 //   h2h list-accelerators
 //   h2h map --model <key> [--bw <GB/s>] [--batch <n>] [--no-remap]
 //               [--knapsack exact|greedy] [--objective latency|edp]
-//               [--save <file>] [--gantt] [--per-layer]
+//               [--time-budget <s>] [--save <file>] [--gantt] [--per-layer]
 //   h2h replay --model <key> --load <file> [--bw <GB/s>]
-//   h2h sweep [--csv <file>]
+//   h2h sweep [--csv <file>] [--time-budget <s>]
 //
 // Exit codes: 0 success, 1 usage error, 2 configuration error.
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -58,16 +59,33 @@ std::optional<Args> parse_args(int argc, char** argv) {
   return args;
 }
 
+/// Parse a strictly positive, finite seconds value; nullopt (with a
+/// diagnostic) on anything else — std::stod alone would abort the CLI on
+/// junk and its `<= 0` check waves NaN through.
+std::optional<double> parse_time_budget(const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double seconds = std::stod(value, &pos);
+    if (pos == value.size() && std::isfinite(seconds) && seconds > 0)
+      return seconds;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: --time-budget expects a positive number of seconds, "
+               "got '"
+            << value << "'\n";
+  return std::nullopt;
+}
+
 void usage(std::ostream& out) {
   out << "usage:\n"
          "  h2h list-models\n"
          "  h2h list-accelerators\n"
          "  h2h map --model <key> [--bw <GB/s>] [--batch <n>]\n"
          "              [--no-remap] [--knapsack exact|greedy]\n"
-         "              [--objective latency|edp] [--save <file>]\n"
-         "              [--gantt] [--per-layer]\n"
+         "              [--objective latency|edp] [--time-budget <s>]\n"
+         "              [--save <file>] [--gantt] [--per-layer]\n"
          "  h2h replay --model <key> --load <file> [--bw <GB/s>]\n"
-         "  h2h sweep [--csv <file>]\n";
+         "  h2h sweep [--csv <file>] [--time-budget <s>]\n";
 }
 
 int cmd_list_models() {
@@ -105,7 +123,9 @@ int cmd_list_accelerators() {
 }
 
 struct Common {
-  ModelGraph model;
+  ZooModel id;
+  double bw_acc = 0;
+  ModelGraph model;  // for report printing; the planner keeps its own copy
   SystemConfig sys;
 };
 
@@ -125,10 +145,11 @@ std::optional<Common> load_common(const Args& args) {
   if (const auto batch = args.get("batch")) {
     model.set_batch(static_cast<std::uint32_t>(std::stoul(*batch)));
   }
-  return Common{std::move(model), SystemConfig::standard(gbps(bw_gbps))};
+  return Common{*id, gbps(bw_gbps), std::move(model),
+                SystemConfig::standard(gbps(bw_gbps))};
 }
 
-void print_result(const Common& c, const H2HResult& r, const Args& args) {
+void print_result(const Common& c, const PlanResponse& r, const Args& args) {
   MappingReportOptions opts;
   opts.gantt = args.has("gantt");
   opts.per_layer = args.has("per-layer");
@@ -139,18 +160,41 @@ int cmd_map(const Args& args) {
   auto common = load_common(args);
   if (!common) return 1;
 
-  H2HOptions options;
-  options.run_remapping = !args.has("no-remap");
+  // The planner borrows the one system load_common built (shared-system
+  // mode), so the report below is printed against exactly the system the
+  // mapping was planned on.
+  PlanRequest request = PlanRequest::for_graph(common->model, common->bw_acc);
+  request.options.run_remapping = !args.has("no-remap");
   if (args.get("knapsack").value_or("exact") == "greedy") {
-    options.weight.algo = KnapsackAlgo::GreedyDensity;
-    options.remap.weight.algo = KnapsackAlgo::GreedyDensity;
+    request.options.weight.algo = KnapsackAlgo::GreedyDensity;
+    request.options.remap.weight.algo = KnapsackAlgo::GreedyDensity;
   }
   if (args.get("objective").value_or("latency") == "edp") {
-    options.remap.objective = RemapObjective::EnergyDelayProduct;
+    request.options.remap.objective = RemapObjective::EnergyDelayProduct;
+  }
+  if (const auto budget = args.get("time-budget")) {
+    const auto seconds = parse_time_budget(*budget);
+    if (!seconds) return 1;
+    request.time_budget_s = *seconds;
   }
 
-  const H2HResult r = H2HMapper(common->model, common->sys, options).run();
+  Planner planner(common->sys);
+  const PlanResponse r = planner.plan(request);
   print_result(*common, r, args);
+  if (request.time_budget_s) {
+    if (r.stopped_on_budget) {
+      std::cout << "time budget: remapping stopped on the "
+                << strformat("%g s", *request.time_budget_s) << " budget\n";
+    } else if (request.options.run_remapping) {
+      std::cout << "time budget: search converged within the "
+                << strformat("%g s", *request.time_budget_s) << " budget\n";
+    } else {
+      // Only the remapping pass is budget-aware; with --no-remap the
+      // budget had nothing to enforce, so don't claim convergence.
+      std::cout << "time budget: not enforced (--no-remap disables the only "
+                   "budget-aware pass)\n";
+    }
+  }
 
   if (const auto path = args.get("save")) {
     std::ofstream out(*path);
@@ -189,7 +233,14 @@ int cmd_replay(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  const std::vector<StepSeries> sweep = run_full_sweep();
+  std::optional<double> time_budget_s;
+  if (const auto budget = args.get("time-budget")) {
+    time_budget_s = parse_time_budget(*budget);
+    if (!time_budget_s) return 1;
+  }
+  Planner planner;  // one session cache across all 30 grid cells
+  const std::vector<StepSeries> sweep =
+      run_full_sweep(planner, {}, time_budget_s);
   print_fig4(sweep, std::cout);
   std::cout << '\n';
   print_table4(sweep, std::cout);
