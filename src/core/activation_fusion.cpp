@@ -1,20 +1,19 @@
 #include "core/activation_fusion.h"
 
-#include <algorithm>
-
 namespace h2h {
-namespace {
 
-FusionStats fuse_one(const CostTable& costs, const ModelGraph& model,
-                     const Mapping& mapping, LocalityPlan& plan,
-                     const FusionOptions& options, AccId acc,
-                     FusionScratch& scratch) {
+FusionStats optimize_activation_fusion_acc(const CostTable& costs,
+                                           const ModelGraph& model,
+                                           const Mapping& mapping,
+                                           std::span<const LayerId> members,
+                                           LocalityPlan& plan,
+                                           const FusionOptions& options,
+                                           AccId acc) {
   const Bytes capacity = costs.dram_capacity(acc);
-  mapping.layers_on(acc, scratch.layers);
 
   // Start from the DRAM committed to pinned weights on this accelerator.
   Bytes used = 0;
-  for (const LayerId id : scratch.layers)
+  for (const LayerId id : members)
     if (plan.pinned(id)) used += costs.weight_bytes(id);
 
   FusionStats stats;
@@ -22,7 +21,7 @@ FusionStats fuse_one(const CostTable& costs, const ModelGraph& model,
   // in-edge while capacity lasts. Deterministic. Each flag is written
   // exactly once with its final value so an open plan journal records only
   // real diffs (the step-4 probe loop turns those into its dirty set).
-  for (const LayerId id : scratch.layers) {
+  for (const LayerId id : members) {
     const auto preds = model.graph().preds(id);
     for (std::size_t i = 0; i < preds.size(); ++i) {
       const LayerId p = preds[i];
@@ -46,19 +45,14 @@ FusionStats fuse_one(const CostTable& costs, const ModelGraph& model,
   return stats;
 }
 
-}  // namespace
-
 FusionStats optimize_activation_fusion(const Simulator& sim,
                                        const Mapping& mapping,
                                        LocalityPlan& plan,
                                        const FusionOptions& options,
-                                       std::span<const AccId> only_accs,
-                                       FusionScratch* scratch) {
+                                       std::span<const AccId> only_accs) {
   plan.ensure_acc_count(sim.sys().accelerator_count());
   const CostTable& costs = sim.costs();
   const ModelGraph& model = sim.model();
-  FusionScratch local;
-  FusionScratch& s = scratch != nullptr ? *scratch : local;
   FusionStats total;
   const auto accumulate = [&](const FusionStats& st) {
     total.fused_edges += st.fused_edges;
@@ -67,10 +61,12 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
   };
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      accumulate(fuse_one(costs, model, mapping, plan, options, acc, s));
+      accumulate(optimize_activation_fusion_acc(
+          costs, model, mapping, mapping.members(acc), plan, options, acc));
   } else {
     for (const AccId acc : only_accs)
-      accumulate(fuse_one(costs, model, mapping, plan, options, acc, s));
+      accumulate(optimize_activation_fusion_acc(
+          costs, model, mapping, mapping.members(acc), plan, options, acc));
   }
   return total;
 }

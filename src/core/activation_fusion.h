@@ -26,11 +26,6 @@ struct FusionStats {
   std::size_t rejected_for_capacity = 0;
 };
 
-/// Reusable buffer for the pass (see WeightLocalityScratch).
-struct FusionScratch {
-  std::vector<LayerId> layers;
-};
-
 /// Recompute fusion flags. If `only_accs` is empty all accelerators are
 /// re-optimized; otherwise only edges both of whose endpoints are on a
 /// listed accelerator are reconsidered (step-4 inner loop).
@@ -38,7 +33,18 @@ FusionStats optimize_activation_fusion(const Simulator& sim,
                                        const Mapping& mapping,
                                        LocalityPlan& plan,
                                        const FusionOptions& options = {},
-                                       std::span<const AccId> only_accs = {},
-                                       FusionScratch* scratch = nullptr);
+                                       std::span<const AccId> only_accs = {});
+
+/// Single-accelerator pass over an explicit member list (`members` must be
+/// Mapping::members(acc)) — the unit the full pass iterates and the step-4
+/// delta evaluation falls back to when fused buffers contend for capacity
+/// (DESIGN.md §6).
+FusionStats optimize_activation_fusion_acc(const CostTable& costs,
+                                           const ModelGraph& model,
+                                           const Mapping& mapping,
+                                           std::span<const LayerId> members,
+                                           LocalityPlan& plan,
+                                           const FusionOptions& options,
+                                           AccId acc);
 
 }  // namespace h2h

@@ -1,6 +1,7 @@
 #include "core/knapsack.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -124,6 +125,76 @@ KnapsackSolution solve_brute(std::span<const KnapsackItem> items, Bytes capacity
 }
 
 }  // namespace
+
+const KnapsackSolution& KnapsackCache::solve(
+    std::span<const KnapsackItem> items, Bytes capacity, KnapsackAlgo algo,
+    std::uint32_t max_dp_units) {
+  // Everything-fits fast path: cheaper than hashing, skip the table and
+  // build the all-items solution straight into the reusable scratch (same
+  // selection solve_knapsack's own fast path returns; the value sum runs in
+  // item order, fine for the remap loop, which discards the value).
+  Bytes total = 0;
+  double value = 0;
+  bool all_valuable = true;
+  for (const KnapsackItem& i : items) {
+    total += i.weight;
+    value += i.value;
+    all_valuable = all_valuable && i.value >= 0;
+  }
+  if (total <= capacity && all_valuable) {
+    scratch_.selected.clear();
+    for (const KnapsackItem& i : items) scratch_.selected.push_back(i.id);
+    std::sort(scratch_.selected.begin(), scratch_.selected.end());
+    scratch_.used = total;
+    scratch_.value = value;
+    return scratch_;
+  }
+
+  // FNV-1a over the instance; the bucket chain verifies exact equality.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const KnapsackItem& i : items) {
+    mix(i.id);
+    mix(i.weight);
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(i.value));
+    std::memcpy(&bits, &i.value, sizeof(bits));
+    mix(bits);
+  }
+  mix(capacity);
+  mix(static_cast<std::uint64_t>(algo));
+  mix(max_dp_units);
+
+  if (buckets_.empty()) buckets_.resize(1024);
+  auto& chain = buckets_[h & (buckets_.size() - 1)];
+  for (const Entry& e : chain) {
+    if (e.capacity == capacity && e.algo == algo &&
+        e.max_dp_units == max_dp_units && std::ranges::equal(e.items, items)) {
+      ++hits_;
+      return e.solution;
+    }
+  }
+
+  ++misses_;
+  if (entries_ >= kMaxEntries) clear();
+  if (buckets_.empty()) buckets_.resize(1024);
+  auto& target = buckets_[h & (buckets_.size() - 1)];
+  target.push_back(Entry{{items.begin(), items.end()},
+                         capacity,
+                         algo,
+                         max_dp_units,
+                         solve_knapsack(items, capacity, algo, max_dp_units)});
+  ++entries_;
+  return target.back().solution;
+}
+
+void KnapsackCache::clear() {
+  buckets_.clear();
+  entries_ = 0;
+}
 
 KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
                                 Bytes capacity, KnapsackAlgo algo,

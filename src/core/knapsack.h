@@ -23,6 +23,8 @@ struct KnapsackItem {
   std::uint32_t id = 0;    // caller-defined (layer id value)
   Bytes weight = 0;        // bytes
   double value = 0;        // seconds of transfer time saved
+
+  [[nodiscard]] bool operator==(const KnapsackItem&) const = default;
 };
 
 enum class KnapsackAlgo { ExactDp, GreedyDensity, BruteForce };
@@ -38,5 +40,52 @@ struct KnapsackSolution {
 [[nodiscard]] KnapsackSolution solve_knapsack(std::span<const KnapsackItem> items,
                                               Bytes capacity, KnapsackAlgo algo,
                                               std::uint32_t max_dp_units = 4096);
+
+/// Memoizing wrapper around solve_knapsack for the step-4 remap loop
+/// (DESIGN.md §6): the source-accelerator instance of one node's candidate
+/// probes is identical across every candidate, so its solve is paid once per
+/// node instead of once per probe. solve_knapsack is a pure function of
+/// (items, capacity, algo, max_dp_units); a hit requires an exact match on
+/// all four (the hash only selects the bucket), so cached results are
+/// bit-identical to a fresh solve and entries never go stale.
+///
+/// The everything-fits fast path (total weight <= capacity, no negative
+/// values) bypasses the table entirely — it is already O(items) — and counts
+/// toward neither hits nor misses.
+class KnapsackCache {
+ public:
+  /// Solve, consulting the memo table. The returned reference is valid until
+  /// the next solve()/clear() call.
+  [[nodiscard]] const KnapsackSolution& solve(
+      std::span<const KnapsackItem> items, Bytes capacity, KnapsackAlgo algo,
+      std::uint32_t max_dp_units = 4096);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_; }
+
+  /// Drop all entries (counters are kept).
+  void clear();
+
+ private:
+  struct Entry {
+    std::vector<KnapsackItem> items;
+    Bytes capacity = 0;
+    KnapsackAlgo algo = KnapsackAlgo::ExactDp;
+    std::uint32_t max_dp_units = 0;
+    KnapsackSolution solution;
+  };
+
+  /// Runaway guard: a remap run inserts O(nodes x accelerators) distinct
+  /// instances at most; past this the table is dropped wholesale (the next
+  /// probes repopulate the hot keys immediately).
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  std::vector<std::vector<Entry>> buckets_;  // hash -> collision chain
+  std::size_t entries_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  KnapsackSolution scratch_;  // fast-path result storage
+};
 
 }  // namespace h2h

@@ -2,50 +2,52 @@
 
 #include <algorithm>
 #include <array>
-#include <limits>
 
 namespace h2h {
 namespace {
 
+/// Reusable candidate-generation state: the destination list plus an
+/// epoch-stamped per-accelerator dedup array (no O(n²) membership scans, no
+/// O(accs) clear per node).
+struct CandidateScratch {
+  std::vector<AccId> out;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+};
+
 /// Candidate destination accelerators: the accelerators of the layer's graph
 /// neighbours (paper: "re-allocates a layer ... to a new destination
 /// accelerator, on which its predecessors and/or successors are mapped"),
-/// plus the layer's compute-affinity accelerator — the one minimizing
-/// pinned-weight execution (compute + local weight read). The extra
-/// candidate un-strands layers whose step-1 placement turns memory-bound
-/// once weights are pinned but whose neighbours all share that placement
-/// (DESIGN.md §6). Support checks and affinity costs are cost-table reads —
-/// no virtual model calls in the loop. Fills the caller's scratch vector
-/// (sorted ascending for determinism) instead of allocating per call.
+/// plus the layer's compute-affinity accelerator — precomputed in the cost
+/// table, it depends only on costs, not the mapping. The extra candidate
+/// un-strands layers whose step-1 placement turns memory-bound once weights
+/// are pinned but whose neighbours all share that placement (DESIGN.md §6).
+/// Support checks are cost-table reads — no virtual model calls in the loop.
+/// Fills the scratch's out vector (sorted ascending for determinism).
 void neighbour_accs(const CostTable& costs, const ModelGraph& model,
                     const Mapping& mapping, LayerId node,
-                    std::vector<AccId>& out) {
-  const Layer& layer = model.layer(node);
+                    CandidateScratch& scratch) {
   const AccId current = mapping.acc_of(node);
-  out.clear();
+  scratch.out.clear();
+  if (scratch.stamp.size() < costs.acc_count())
+    scratch.stamp.resize(costs.acc_count(), 0);
+  if (++scratch.epoch == 0) {  // epoch wrapped: invalidate all stale stamps
+    std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+    scratch.epoch = 1;
+  }
   const auto consider = [&](AccId a) {
     if (a.is_host() || a == current) return;
-    if (std::find(out.begin(), out.end(), a) != out.end()) return;
-    if (costs.supported(node, a)) out.push_back(a);
+    if (scratch.stamp[a.value] == scratch.epoch) return;
+    scratch.stamp[a.value] = scratch.epoch;
+    if (costs.supported(node, a)) scratch.out.push_back(a);
   };
   for (const LayerId p : model.graph().preds(node))
     consider(mapping.acc_of(p));
   for (const LayerId s : model.graph().succs(node))
     consider(mapping.acc_of(s));
-
-  AccId best{};
-  double best_time = std::numeric_limits<double>::infinity();
-  for (const AccId a : costs.supporting(layer.kind)) {
-    const double t = costs.compute_latency(node, a) +
-                     static_cast<double>(costs.weight_bytes(node)) /
-                         costs.bw_local(a);
-    if (t < best_time) {
-      best_time = t;
-      best = a;
-    }
-  }
-  if (best.valid()) consider(best);
-  std::sort(out.begin(), out.end());
+  if (const AccId best = costs.affinity_acc(node); best.valid())
+    consider(best);
+  std::sort(scratch.out.begin(), scratch.out.end());
 }
 
 }  // namespace
@@ -66,6 +68,11 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
   IncrementalSchedule inc(sim);
   if (options.use_incremental) inc.reset(mapping, plan);
 
+  RemapDeltaState delta(sim, options.weight, options.fusion,
+                        options.use_knapsack_cache);
+  const bool use_delta = options.use_delta_locality;
+  if (use_delta) delta.init(mapping, plan);
+
   // Objective value of the current journaled state. The Latency objective
   // reads the maintained makespan directly; the energy-aware objective
   // aggregates energy without materializing a full ScheduleResult.
@@ -77,24 +84,46 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
   };
 
   // Apply one candidate move with steps 2-3 re-run on the two affected
-  // accelerators, and the schedule updated incrementally. Requires open
-  // journals: the plan journal doubles as the exact dirty set for the
-  // schedule update (only layers whose pins or fusion flags flipped get
-  // their components re-read).
+  // accelerators — as a delta over the moved layer and its neighbours when
+  // use_delta_locality, full passes on the touched pair otherwise — and the
+  // schedule updated incrementally. Requires open journals: the plan
+  // journal doubles as the exact dirty set for the schedule update (only
+  // layers whose pins or fusion flags flipped get their components
+  // re-read). Both steps-2/3 strategies land on bit-identical plan state,
+  // so the dirty set and the metric do not depend on the strategy.
   std::vector<LayerId> dirty;  // scratch, reused across probes
   WeightLocalityScratch weight_scratch;
-  FusionScratch fusion_scratch;
-  const auto apply_move = [&](LayerId node, AccId src, AccId dst) {
+  // One steps-2/3 implementation for probes and accepted applies: the
+  // acceptance path must reproduce the probed state exactly, so the two
+  // call sites may not drift apart.
+  const auto run_steps23 = [&](LayerId node, AccId src, AccId dst) {
     mapping.reassign(node, dst);
-    const std::array<AccId, 2> touched{src, dst};
-    optimize_weight_locality(sim, mapping, plan, options.weight, touched,
-                             &weight_scratch);
-    optimize_activation_fusion(sim, mapping, plan, options.fusion, touched,
-                               &fusion_scratch);
+    if (use_delta) {
+      delta.apply_move(mapping, plan, node, src, dst);
+    } else {
+      const std::array<AccId, 2> touched{src, dst};
+      optimize_weight_locality(sim, mapping, plan, options.weight, touched,
+                               &weight_scratch);
+      optimize_activation_fusion(sim, mapping, plan, options.fusion, touched);
+    }
     if (options.use_incremental) {
       dirty.clear();
       plan.journal_touched_layers(model, dirty);
+    }
+  };
+  const auto apply_move = [&](LayerId node, AccId src, AccId dst) {
+    run_steps23(node, src, dst);
+    if (options.use_incremental)
       inc.apply_remap(mapping, plan, node, src, dirty);
+  };
+
+  const auto export_work_stats = [&]() {
+    if (options.use_incremental) stats.retimes = inc.retime_count();
+    if (use_delta) {
+      stats.knapsack_hits = delta.knapsack_hits();
+      stats.knapsack_misses = delta.knapsack_misses();
+      stats.delta_full_passes =
+          delta.stats().full_weight + delta.stats().full_fusion;
     }
   };
 
@@ -106,7 +135,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
     return mapping.seq_of(l) < mapping.seq_of(r);
   });
 
-  std::vector<AccId> candidates;  // scratch, reused across nodes
+  CandidateScratch candidates;  // reused across nodes
 
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
     ++stats.passes;
@@ -119,46 +148,59 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
       if (options.deadline &&
           std::chrono::steady_clock::now() >= *options.deadline) {
         stats.stopped_on_budget = true;
-        if (options.use_incremental) stats.retimes = inc.retime_count();
+        export_work_stats();
         return stats;
       }
       if (model.layer(node).kind == LayerKind::Input) continue;
       const AccId src = mapping.acc_of(node);
       neighbour_accs(costs, model, mapping, node, candidates);
 
-      // Probe every neighbour destination under an apply/undo journal —
-      // no per-candidate copies of the plan or the schedule — and remember
-      // only the best improving destination.
+      // Probe every neighbour destination under the mapping/plan journals —
+      // no per-candidate copies — and remember only the best improving
+      // destination. The schedule itself is never touched by a probe: the
+      // incremental path evaluates the candidate makespan into
+      // IncrementalSchedule's overlay (probe_remap), so a rejected
+      // candidate needs no schedule journal or rollback at all.
       AccId best_dst{};
       double best_candidate = best_metric;
 
-      for (const AccId dst : candidates) {
+      for (const AccId dst : candidates.out) {
         ++stats.attempts;
         mapping.begin_journal();
         plan.begin_journal();
-        if (options.use_incremental) inc.begin_journal();
+        if (use_delta) delta.begin_probe(src, dst);
 
-        apply_move(node, src, dst);
-        const double metric = current_metric();
+        run_steps23(node, src, dst);
+        double metric;
+        if (options.use_incremental) {
+          const double lat = inc.probe_remap(mapping, plan, node, src, dirty);
+          metric = options.objective == RemapObjective::Latency
+                       ? lat
+                       : lat * inc.probe_energy(mapping).total();
+        } else {
+          metric = metric_of(sim.simulate(mapping, plan));
+        }
         if (metric < best_candidate - options.epsilon) {
           best_candidate = metric;
           best_dst = dst;
         }
 
-        if (options.use_incremental) inc.rollback_journal();
+        if (use_delta) delta.rollback_probe();
         plan.rollback_journal();
         mapping.rollback_journal();
       }
 
       if (best_dst.valid()) {
-        // Re-apply the winning move for keeps (journaled for the dirty-set
-        // bookkeeping, then committed). Steps 2-3 are deterministic, so
-        // this reproduces the probed state exactly.
+        // Apply the winning move for keeps (journaled for the dirty-set
+        // bookkeeping, then committed; the schedule applies directly — its
+        // journal is not needed when nothing rolls back). Steps 2-3 are
+        // deterministic, so this reproduces the probed state exactly (the
+        // knapsack cache hands the re-apply its solves for free).
         mapping.begin_journal();
         plan.begin_journal();
-        if (options.use_incremental) inc.begin_journal();
+        if (use_delta) delta.begin_probe(src, best_dst);
         apply_move(node, src, best_dst);
-        if (options.use_incremental) inc.commit_journal();
+        if (use_delta) delta.commit_probe();
         plan.commit_journal();
         mapping.commit_journal();
         best_metric = best_candidate;
@@ -169,7 +211,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
 
     if (!improved) break;
   }
-  if (options.use_incremental) stats.retimes = inc.retime_count();
+  export_work_stats();
   return stats;
 }
 

@@ -6,18 +6,22 @@
 // objective strictly decreases. Passes repeat until a fixed point (or
 // max_passes). Termination is guaranteed by the strict-decrease acceptance.
 //
-// Candidate evaluation is probe -> journal-undo: each probe applies the move
-// against the live Mapping/LocalityPlan/IncrementalSchedule under their
-// apply/undo journals and rolls back in O(touched), so the hot loop performs
-// no per-candidate deep copies (the paper's sub-second search times depend
-// on this; see bench_ablation_incremental).
+// Candidate evaluation is delta-first (DESIGN.md §6): each probe applies the
+// move against the live Mapping/LocalityPlan under their apply/undo journals
+// — with the steps-2/3 re-run computed as a delta over the moved layer and
+// its neighbours (RemapDeltaState), falling back to the full touched-pair
+// pass only under capacity pressure — and reads the candidate makespan from
+// IncrementalSchedule's overlay probe, which leaves the committed schedule
+// untouched. A rejected candidate therefore costs no deep copies, no
+// schedule journal, and no queue surgery (the paper's sub-second search
+// times depend on this; see bench_ablation_incremental and
+// bench_ablation_remap_probe).
 #pragma once
 
 #include <chrono>
 #include <optional>
 
-#include "core/activation_fusion.h"
-#include "core/weight_locality.h"
+#include "core/remap_delta.h"
 #include "system/incremental.h"
 
 namespace h2h {
@@ -36,6 +40,18 @@ struct RemapOptions {
   /// successor-only updates); false falls back to full re-simulation.
   /// Results are identical (asserted in tests); speed differs.
   bool use_incremental = true;
+  /// Evaluate each probe's steps-2/3 re-run as a delta pass over the moved
+  /// layer and its neighbours (RemapDeltaState), falling back to the full
+  /// per-accelerator pass only under capacity pressure; false re-runs both
+  /// full passes on the touched pair. Results are bit-identical (asserted in
+  /// tests); speed differs (bench_ablation_remap_probe).
+  bool use_delta_locality = true;
+  /// Memoize knapsack solves on the delta path's full-pass fallbacks: the
+  /// src-accelerator instance repeats across all candidates of one node, so
+  /// it is solved once per node instead of once per probe. Exact-match
+  /// memoization — results stay bit-identical. Only read when
+  /// use_delta_locality is on.
+  bool use_knapsack_cache = true;
   RemapObjective objective = RemapObjective::Latency;
   WeightLocalityOptions weight;
   FusionOptions fusion;
@@ -54,6 +70,14 @@ struct RemapStats {
   /// Node re-timings the incremental schedule performed across all probes
   /// (0 when use_incremental is off) — the bench's work accounting.
   std::uint64_t retimes = 0;
+  /// Knapsack-cache accounting (0 when use_delta_locality or
+  /// use_knapsack_cache is off): solver runs avoided / paid on the delta
+  /// path's full-pass fallbacks.
+  std::uint64_t knapsack_hits = 0;
+  std::uint64_t knapsack_misses = 0;
+  /// Per-accelerator full-pass fallbacks taken by the delta evaluation
+  /// (steps 2 and 3 counted separately; see RemapDeltaStats).
+  std::uint64_t delta_full_passes = 0;
   /// True when the loop stopped on RemapOptions::deadline before reaching a
   /// fixed point (Fig. 5b budgeted-search reporting).
   bool stopped_on_budget = false;

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 namespace h2h {
-namespace {
 
-double optimize_one(const CostTable& costs, const Mapping& mapping,
-                    LocalityPlan& plan, const WeightLocalityOptions& options,
-                    AccId acc, WeightLocalityScratch& scratch) {
+double optimize_weight_locality_acc(const CostTable& costs,
+                                    std::span<const LayerId> members,
+                                    LocalityPlan& plan,
+                                    const WeightLocalityOptions& options,
+                                    AccId acc, WeightLocalityScratch& scratch,
+                                    KnapsackCache* cache) {
   const double bw_host = costs.bw_host(acc);
   const double bw_local = costs.bw_local(acc);
 
@@ -15,13 +17,12 @@ double optimize_one(const CostTable& costs, const Mapping& mapping,
   Bytes forced_bytes = 0;
   std::vector<KnapsackItem>& items = scratch.items;
   items.clear();
-  mapping.layers_on(acc, scratch.layers);
 
   // Force-pin resident weights first; everything else competes in the
   // knapsack. Each pin flag is written exactly once with its final value —
   // no clear-then-reset — so an open plan journal records only real diffs
   // (the step-4 probe loop turns those diffs into its dirty set).
-  for (const LayerId id : scratch.layers) {
+  for (const LayerId id : members) {
     const Bytes wb = costs.weight_bytes(id);
     if (wb == 0) {
       plan.set_pinned(id, false);
@@ -38,9 +39,13 @@ double optimize_one(const CostTable& costs, const Mapping& mapping,
     items.push_back(KnapsackItem{id.value, wb, saved});
   }
 
-  const KnapsackSolution sol =
-      solve_knapsack(items, capacity - forced_bytes, options.algo,
-                     options.max_dp_units);
+  const KnapsackSolution& sol =
+      cache != nullptr
+          ? cache->solve(items, capacity - forced_bytes, options.algo,
+                         options.max_dp_units)
+          : (scratch.solution = solve_knapsack(items, capacity - forced_bytes,
+                                               options.algo,
+                                               options.max_dp_units));
   for (const KnapsackItem& item : items)  // sol.selected is sorted
     plan.set_pinned(LayerId{item.id},
                     std::binary_search(sol.selected.begin(),
@@ -49,8 +54,6 @@ double optimize_one(const CostTable& costs, const Mapping& mapping,
   plan.set_used_dram(acc, forced_bytes + sol.used);
   return sol.value;
 }
-
-}  // namespace
 
 double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
                                 LocalityPlan& plan,
@@ -64,10 +67,12 @@ double optimize_weight_locality(const Simulator& sim, const Mapping& mapping,
   double saved = 0;
   if (only_accs.empty()) {
     for (const AccId acc : sim.sys().all_accelerators())
-      saved += optimize_one(costs, mapping, plan, options, acc, s);
+      saved += optimize_weight_locality_acc(costs, mapping.members(acc), plan,
+                                            options, acc, s);
   } else {
     for (const AccId acc : only_accs)
-      saved += optimize_one(costs, mapping, plan, options, acc, s);
+      saved += optimize_weight_locality_acc(costs, mapping.members(acc), plan,
+                                            options, acc, s);
   }
   return saved;
 }

@@ -49,7 +49,7 @@ void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
   const auto loads = accelerator_loads(model, sys, result.mapping, sched);
   for (const AcceleratorLoad& load : loads) {
     Bytes acc_pinned = 0;
-    for (const LayerId id : result.mapping.layers_on(load.acc))
+    for (const LayerId id : result.mapping.members(load.acc))
       if (result.plan.pinned(id)) acc_pinned += model.weight_bytes(id);
     loads_table.add_row(
         {sys.spec(load.acc).name,

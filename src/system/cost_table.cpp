@@ -34,6 +34,7 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
     supporting_[k] = sys.supporting(static_cast<LayerKind>(k));
 
   is_input_.resize(layer_count_);
+  affinity_.resize(layer_count_);
   weight_bytes_.resize(layer_count_);
   out_bytes_.resize(layer_count_);
   pred_in_bytes_.resize(layer_count_);
@@ -72,6 +73,21 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
       unlocalized_[cell] = static_cast<double>(host_bytes) / bw_host_[a.value] +
                            compute_latency_[cell];
     }
+
+    // Compute-affinity accelerator (reproduces the expression the step-4
+    // candidate generator used to evaluate per probe; first minimum wins).
+    AccId best{};
+    double best_time = kInf;
+    for (const AccId a : supporting_[static_cast<std::size_t>(layer.kind)]) {
+      const double t = compute_latency_[index(id, a)] +
+                       static_cast<double>(weight_bytes_[l]) /
+                           bw_local_[a.value];
+      if (t < best_time) {
+        best_time = t;
+        best = a;
+      }
+    }
+    affinity_[l] = best;
   }
 }
 

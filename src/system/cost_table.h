@@ -130,6 +130,17 @@ class CostTable {
     return supporting_[static_cast<std::size_t>(kind)];
   }
 
+  /// The layer's compute-affinity accelerator: the supporting accelerator
+  /// minimizing pinned-weight execution (compute latency + weight bytes over
+  /// local DRAM bandwidth), first minimum winning. Depends only on the cost
+  /// table, not on any mapping, so it is evaluated once at build time — the
+  /// step-4 candidate generator reads it per probe (DESIGN.md §6). Invalid
+  /// for Input layers.
+  [[nodiscard]] AccId affinity_acc(LayerId id) const {
+    H2H_EXPECTS(id.value < layer_count_);
+    return affinity_[id.value];
+  }
+
  private:
   [[nodiscard]] std::size_t index(LayerId id, AccId acc) const {
     H2H_EXPECTS(id.value < layer_count_);
@@ -153,6 +164,7 @@ class CostTable {
 
   // per layer.
   std::vector<std::uint8_t> is_input_;
+  std::vector<AccId> affinity_;
   std::vector<Bytes> weight_bytes_;
   std::vector<Bytes> out_bytes_;
   std::vector<Bytes> pred_in_bytes_;

@@ -6,6 +6,8 @@ namespace h2h {
 
 namespace {
 constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+// Overlay stamp value no probe epoch ever takes (see reset/probe_remap).
+constexpr std::uint32_t kOverlaySentinel = 0xFFFFFFFFu;
 }  // namespace
 
 void IncrementalSchedule::reset(const Mapping& m, const LocalityPlan& plan) {
@@ -27,20 +29,34 @@ void IncrementalSchedule::reset(const Mapping& m, const LocalityPlan& plan) {
   for (const LayerId id : model.all_layers()) {
     if (model.layer(id).kind == LayerKind::Input) acc_[id.value] = AccId::host();
   }
-  queued_stamp_.assign(model.layer_count(), 0);
+  pending_stamp_.assign(model.layer_count(), 0);
   refreshed_stamp_.assign(model.layer_count(), 0);
   stamp_ = 0;
   saved_stamp_.assign(model.layer_count(), 0);
   save_epoch_ = 0;
-  heap_.clear();
+  ov_timings_.assign(model.layer_count(), LayerTiming{});
+  // Sentinel stamp: until the first probe_remap bumps probe_epoch_ past 0,
+  // no entry may match, so cur() reads committed timings only (the epoch
+  // counter skips the sentinel on wrap-around for the same reason).
+  ov_stamp_.assign(model.layer_count(), kOverlaySentinel);
+  probe_epoch_ = 0;
+
+  // Sequence numbers of a complete mapping are dense in [0, V) and never
+  // change after assignment (reassign keeps them); cache them flat and
+  // invert them once so the retime sweep can walk nodes in execution order
+  // by index without per-access contract checks.
+  seq_.assign(model.layer_count(), 0);
+  by_seq_.assign(model.layer_count(), LayerId{});
+  for (const LayerId id : model.all_layers()) {
+    seq_[id.value] = m.seq_of(id);
+    H2H_ASSERT(seq_[id.value] < by_seq_.size() &&
+               !by_seq_[seq_[id.value]].valid());
+    by_seq_[seq_[id.value]] = id;
+  }
 
   // Initial full timing in sequence order.
-  std::vector<LayerId> order = model.all_layers();
-  std::sort(order.begin(), order.end(), [&m](LayerId lhs, LayerId rhs) {
-    return m.seq_of(lhs) < m.seq_of(rhs);
-  });
   std::vector<double> acc_free(sys.accelerator_count(), 0.0);
-  for (const LayerId id : order) {
+  for (const LayerId id : by_seq_) {
     LayerTiming t = sim_->layer_components(id, m, plan);
     if (!acc_[id.value].is_host()) {
       double ready = 0.0;
@@ -76,37 +92,35 @@ void IncrementalSchedule::save_timing(LayerId id) {
 }
 
 void IncrementalSchedule::begin_retime() {
-  heap_.clear();
+  sweep_min_ = 0xFFFFFFFFu;
+  sweep_max_ = 0;
   if (++stamp_ == 0) {  // stamp wrapped: invalidate all stale marks
-    std::fill(queued_stamp_.begin(), queued_stamp_.end(), 0u);
+    std::fill(pending_stamp_.begin(), pending_stamp_.end(), 0u);
     std::fill(refreshed_stamp_.begin(), refreshed_stamp_.end(), 0u);
     stamp_ = 1;
   }
 }
 
-void IncrementalSchedule::enqueue(const Mapping& m, LayerId id) {
-  if (!id.valid() || queued_stamp_[id.value] == stamp_ ||
-      sim_->model().layer(id).kind == LayerKind::Input)
-    return;
-  queued_stamp_[id.value] = stamp_;
-  heap_.push_back(id);
-  std::push_heap(heap_.begin(), heap_.end(), [&m](LayerId lhs, LayerId rhs) {
-    return m.seq_of(lhs) > m.seq_of(rhs);
-  });
+void IncrementalSchedule::enqueue(LayerId id) {
+  // Host-resident layers (the Inputs) never re-time; acc_ is the cached
+  // placement, so no model or mapping dereference on this path.
+  if (!id.valid() || acc_[id.value].is_host()) return;
+  const std::uint32_t seq = seq_[id.value];
+  if (pending_stamp_[seq] == stamp_) return;
+  pending_stamp_[seq] = stamp_;
+  sweep_min_ = std::min(sweep_min_, seq);
+  sweep_max_ = std::max(sweep_max_, seq);
 }
 
-void IncrementalSchedule::retime(const Mapping& m) {
+void IncrementalSchedule::retime() {
   const ModelGraph& model = sim_->model();
-  // Min-heap on sequence number: nodes are re-timed in execution order so
-  // each node is processed at most a handful of times.
-  const auto seq_greater = [&m](LayerId lhs, LayerId rhs) {
-    return m.seq_of(lhs) > m.seq_of(rhs);
-  };
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), seq_greater);
-    const LayerId id = heap_.back();
-    heap_.pop_back();
-    queued_stamp_[id.value] = 0;
+  // Monotone sweep in execution order (see the member comment): everything a
+  // visited node enqueues lies ahead of the cursor, so one forward walk over
+  // the pending range visits each node at most once, in exactly the
+  // ascending-seq order the old min-heap produced.
+  for (std::uint32_t s = sweep_min_; s <= sweep_max_; ++s) {
+    if (pending_stamp_[s] != stamp_) continue;
+    const LayerId id = by_seq_[s];
     ++retimes_;
 
     LayerTiming& t = timings_[id.value];
@@ -121,8 +135,8 @@ void IncrementalSchedule::retime(const Mapping& m) {
     save_timing(id);
     t.start = start;
     t.finish = finish;
-    for (const LayerId s : model.graph().succs(id)) enqueue(m, s);
-    enqueue(m, queue_next(id));
+    for (const LayerId p : model.graph().succs(id)) enqueue(p);
+    enqueue(queue_next(id));
   }
 }
 
@@ -141,15 +155,16 @@ void IncrementalSchedule::refresh_one(const Mapping& m,
   t.t_local = fresh.t_local;
   t.host_bytes = fresh.host_bytes;
   t.local_bytes = fresh.local_bytes;
-  enqueue(m, id);
+  enqueue(id);
 }
 
 void IncrementalSchedule::refresh_components(const Mapping& m,
                                              const LocalityPlan& plan,
                                              std::span<const LayerId> dirty) {
+  if (dirty.empty()) return;  // nothing changed: skip the retime setup too
   begin_retime();
   for (const LayerId id : dirty) refresh_one(m, plan, id);
-  retime(m);
+  retime();
 }
 
 LayerId IncrementalSchedule::relocate(const Mapping& m, LayerId node,
@@ -170,8 +185,8 @@ LayerId IncrementalSchedule::relocate(const Mapping& m, LayerId node,
   // Insert into the new queue by sequence.
   auto& nq = queues_[new_acc.value];
   const auto it = std::lower_bound(
-      nq.begin(), nq.end(), node, [&m](LayerId lhs, LayerId rhs) {
-        return m.seq_of(lhs) < m.seq_of(rhs);
+      nq.begin(), nq.end(), node, [this](LayerId lhs, LayerId rhs) {
+        return seq_[lhs.value] < seq_[rhs.value];
       });
   const auto new_pos = static_cast<std::uint32_t>(it - nq.begin());
   nq.insert(it, node);
@@ -193,7 +208,7 @@ void IncrementalSchedule::apply_remap(const Mapping& m,
   begin_retime();
   for (const LayerId id : queues_[old_acc.value]) refresh_one(m, plan, id);
   for (const LayerId id : queues_[new_acc.value]) refresh_one(m, plan, id);
-  retime(m);
+  retime();
 }
 
 void IncrementalSchedule::apply_remap(const Mapping& m,
@@ -206,9 +221,162 @@ void IncrementalSchedule::apply_remap(const Mapping& m,
   refresh_one(m, plan, node);
   for (const LayerId id : dirty) refresh_one(m, plan, id);
   // The displaced FIFO slots: components unchanged, start times may not be.
-  enqueue(m, old_follower);
-  enqueue(m, queue_next(node));
-  retime(m);
+  enqueue(old_follower);
+  enqueue(queue_next(node));
+  retime();
+}
+
+LayerTiming& IncrementalSchedule::overlay(LayerId id) {
+  if (ov_stamp_[id.value] != probe_epoch_) {  // copy-on-first-touch
+    ov_timings_[id.value] = timings_[id.value];
+    ov_stamp_[id.value] = probe_epoch_;
+  }
+  return ov_timings_[id.value];
+}
+
+LayerId IncrementalSchedule::eff_queue_prev(LayerId id) const {
+  if (id == probe_node_) {
+    const auto& q = queues_[probe_new_acc_.value];
+    return probe_ins_ == 0 ? LayerId{} : q[probe_ins_ - 1];
+  }
+  const AccId a = acc_[id.value];
+  if (a.is_host()) return LayerId{};
+  const std::uint32_t p = pos_[id.value];
+  LayerId prev = p == 0 ? LayerId{} : queues_[a.value][p - 1];
+  if (prev == probe_node_) {
+    // The node left this (its old) queue; its own predecessor takes over.
+    const std::uint32_t np = pos_[probe_node_.value];
+    prev = np == 0 ? LayerId{} : queues_[a.value][np - 1];
+  } else if (a == probe_new_acc_ && probe_ins_ == p) {
+    prev = probe_node_;  // the node lands directly before id
+  }
+  return prev;
+}
+
+LayerId IncrementalSchedule::eff_queue_next(LayerId id) const {
+  if (id == probe_node_) {
+    const auto& q = queues_[probe_new_acc_.value];
+    return probe_ins_ < q.size() ? q[probe_ins_] : LayerId{};
+  }
+  const AccId a = acc_[id.value];
+  if (a.is_host()) return LayerId{};
+  const std::uint32_t p = pos_[id.value];
+  const auto& q = queues_[a.value];
+  LayerId next = p + 1 < q.size() ? q[p + 1] : LayerId{};
+  if (next == probe_node_) {
+    const std::uint32_t np = pos_[probe_node_.value];
+    next = np + 1 < q.size() ? q[np + 1] : LayerId{};
+  } else if (a == probe_new_acc_ && probe_ins_ == p + 1) {
+    next = probe_node_;  // the node lands directly after id
+  }
+  return next;
+}
+
+void IncrementalSchedule::probe_refresh(const Mapping& m,
+                                        const LocalityPlan& plan, LayerId id) {
+  // Mirrors refresh_one, writing the overlay instead of the journaled state.
+  if (refreshed_stamp_[id.value] == stamp_) return;  // already this batch
+  refreshed_stamp_[id.value] = stamp_;
+  LayerTiming& t = overlay(id);
+  const LayerTiming fresh = sim_->layer_components(id, m, plan);
+  t.t_in = fresh.t_in;
+  t.t_weight = fresh.t_weight;
+  t.t_compute = fresh.t_compute;
+  t.t_out = fresh.t_out;
+  t.t_host = fresh.t_host;
+  t.t_local = fresh.t_local;
+  t.host_bytes = fresh.host_bytes;
+  t.local_bytes = fresh.local_bytes;
+  enqueue(id);
+}
+
+void IncrementalSchedule::probe_retime() {
+  const ModelGraph& model = sim_->model();
+  // Mirrors retime() — same sweep, same seeds, same comparisons — against
+  // the overlay view, so the probe's arithmetic is bit-identical to
+  // applying the move (pinned by the property tests).
+  for (std::uint32_t s = sweep_min_; s <= sweep_max_; ++s) {
+    if (pending_stamp_[s] != stamp_) continue;
+    const LayerId id = by_seq_[s];
+    ++retimes_;
+
+    const LayerTiming& base = cur(id);
+    double ready = 0.0;
+    for (const LayerId p : model.graph().preds(id))
+      ready = std::max(ready, cur(p).finish);
+    const LayerId prev = eff_queue_prev(id);
+    const double free_at = prev.valid() ? cur(prev).finish : 0.0;
+    const double start = std::max(ready, free_at);
+    const double finish = start + base.duration();
+    if (start == base.start && finish == base.finish) continue;
+    LayerTiming& t = overlay(id);
+    t.start = start;
+    t.finish = finish;
+    for (const LayerId p : model.graph().succs(id)) enqueue(p);
+    enqueue(eff_queue_next(id));
+  }
+}
+
+double IncrementalSchedule::probe_remap(const Mapping& m,
+                                        const LocalityPlan& plan, LayerId node,
+                                        AccId old_acc,
+                                        std::span<const LayerId> dirty) {
+  const AccId new_acc = m.acc_of(node);
+  H2H_EXPECTS(!old_acc.is_host() && old_acc.value < queues_.size());
+  H2H_EXPECTS(new_acc != old_acc && !new_acc.is_host());
+  H2H_EXPECTS(acc_[node.value] == old_acc);  // schedule still holds old state
+
+  if (++probe_epoch_ == kOverlaySentinel) {  // wrap: invalidate stale marks
+    std::fill(ov_stamp_.begin(), ov_stamp_.end(), kOverlaySentinel);
+    probe_epoch_ = 1;
+  }
+  probe_node_ = node;
+  probe_new_acc_ = new_acc;
+  const auto& nq = queues_[new_acc.value];
+  probe_ins_ = static_cast<std::uint32_t>(
+      std::lower_bound(nq.begin(), nq.end(), node,
+                       [this](LayerId lhs, LayerId rhs) {
+                         return seq_[lhs.value] < seq_[rhs.value];
+                       }) -
+      nq.begin());
+
+  // Same seeds as apply_remap: the node, the explicit dirty set, and the
+  // two displaced FIFO followers.
+  begin_retime();
+  probe_refresh(m, plan, node);
+  for (const LayerId id : dirty) probe_refresh(m, plan, id);
+  enqueue(queue_next(node));      // old queue's follower (node still listed)
+  enqueue(eff_queue_next(node));  // new queue's follower
+  probe_retime();
+
+  // Makespan: per-queue finishes stay monotone, so only the last effective
+  // element of each queue matters; the moved node shifts at most which
+  // element that is on its two queues.
+  double out = 0.0;
+  for (std::uint32_t a = 0; a < queues_.size(); ++a) {
+    const auto& q = queues_[a];
+    LayerId last = q.empty() ? LayerId{} : q.back();
+    if (AccId{a} == old_acc && last == node)
+      last = q.size() >= 2 ? q[q.size() - 2] : LayerId{};
+    else if (AccId{a} == new_acc && probe_ins_ == q.size())
+      last = node;
+    if (last.valid()) out = std::max(out, cur(last).finish);
+  }
+  return out;
+}
+
+EnergyBreakdown IncrementalSchedule::probe_energy(const Mapping& m) const {
+  const ModelGraph& model = sim_->model();
+  EnergyBreakdown e;
+  double latency = 0.0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    const LayerTiming& t = cur(id);
+    e += sim_->layer_energy(id, m, t);
+    latency = std::max(latency, t.finish);
+  }
+  e.static_power = sim_->sys().static_energy(latency);
+  return e;
 }
 
 void IncrementalSchedule::begin_journal() {
@@ -253,8 +421,12 @@ void IncrementalSchedule::commit_journal() {
 }
 
 double IncrementalSchedule::latency() const noexcept {
+  // Along one FIFO queue each layer starts no earlier than its predecessor's
+  // finish, so finishes are monotone and the queue's last element carries
+  // the accelerator's makespan; host-resident inputs finish at 0.
   double out = 0.0;
-  for (const LayerTiming& t : timings_) out = std::max(out, t.finish);
+  for (const auto& q : queues_)
+    if (!q.empty()) out = std::max(out, timings_[q.back().value].finish);
   return out;
 }
 

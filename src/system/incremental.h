@@ -56,6 +56,25 @@ class IncrementalSchedule {
   void apply_remap(const Mapping& m, const LocalityPlan& plan, LayerId node,
                    AccId old_acc, std::span<const LayerId> dirty);
 
+  /// Candidate evaluation without mutating the schedule: returns the
+  /// makespan apply_remap(m, plan, node, old_acc, dirty) would produce.
+  /// `m`/`plan` already hold the probed move (their own journals handle the
+  /// rollback); the committed timings and queues here stay untouched — new
+  /// times go to an epoch-stamped overlay, and the moved node's queue
+  /// placement is resolved by O(1) effective-neighbour adjustments instead
+  /// of list surgery. The sweep mirrors retime() visit for visit, so the
+  /// returned makespan is bit-identical to applying and reading latency();
+  /// a rejected candidate then costs no schedule journal, no queue moves,
+  /// and no rollback (the step-4 loop's common case).
+  [[nodiscard]] double probe_remap(const Mapping& m, const LocalityPlan& plan,
+                                   LayerId node, AccId old_acc,
+                                   std::span<const LayerId> dirty);
+
+  /// Energy of the overlay state left by the last probe_remap (same
+  /// accumulation order as energy(), overlay-patched timings). Valid until
+  /// the next probe_remap/apply/reset.
+  [[nodiscard]] EnergyBreakdown probe_energy(const Mapping& m) const;
+
   /// Start recording timing and queue changes. One journal at a time.
   void begin_journal();
   /// Undo every change since begin_journal — saved timings restored, queue
@@ -66,6 +85,9 @@ class IncrementalSchedule {
   void commit_journal();
   [[nodiscard]] bool journal_open() const noexcept { return journaling_; }
 
+  /// Current makespan. Finish times are monotone along each FIFO queue, so
+  /// this reads each queue's last element: O(accelerators), which keeps the
+  /// per-probe metric read off the O(V) path.
   [[nodiscard]] double latency() const noexcept;
   [[nodiscard]] const LayerTiming& timing(LayerId id) const {
     H2H_EXPECTS(id.value < timings_.size());
@@ -90,25 +112,57 @@ class IncrementalSchedule {
   LayerId relocate(const Mapping& m, LayerId node, AccId old_acc);
   void refresh_one(const Mapping& m, const LocalityPlan& plan, LayerId id);
   void begin_retime();
-  void enqueue(const Mapping& m, LayerId id);
-  void retime(const Mapping& m);
+  void enqueue(LayerId id);
+  void retime();
   [[nodiscard]] LayerId queue_prev(LayerId id) const;
   [[nodiscard]] LayerId queue_next(LayerId id) const;
+
+  // Overlay-probe internals (see probe_remap). cur() is the probe's view of
+  // a timing: the overlay entry when this epoch touched it, the committed
+  // one otherwise. eff_queue_prev/next resolve FIFO neighbours as if the
+  // probed node had been moved, without editing the queues.
+  [[nodiscard]] const LayerTiming& cur(LayerId id) const {
+    return ov_stamp_[id.value] == probe_epoch_ ? ov_timings_[id.value]
+                                               : timings_[id.value];
+  }
+  [[nodiscard]] LayerTiming& overlay(LayerId id);
+  [[nodiscard]] LayerId eff_queue_prev(LayerId id) const;
+  [[nodiscard]] LayerId eff_queue_next(LayerId id) const;
+  void probe_refresh(const Mapping& m, const LocalityPlan& plan, LayerId id);
+  void probe_retime();
 
   const Simulator* sim_;
   std::vector<LayerTiming> timings_;
   std::vector<std::vector<LayerId>> queues_;  // per accelerator, seq-sorted
   std::vector<std::uint32_t> pos_;            // node -> index in its queue
   std::vector<AccId> acc_;                    // node -> accelerator (cache)
+  std::vector<std::uint32_t> seq_;            // node -> seq (cache; immutable)
+  std::vector<LayerId> by_seq_;               // seq -> node (seqs are dense)
   std::uint64_t retimes_ = 0;
 
-  // Reusable retime worklist: a manual binary heap plus stamp arrays that
-  // dedup heap membership and per-batch component refreshes without an O(V)
+  // Reusable retime worklist. Processing is a monotone forward sweep over
+  // execution sequence: a node only ever enqueues graph successors and its
+  // queue follower, both with strictly larger seq, so pending membership is
+  // a seq-indexed stamp array walked from the smallest seeded seq — a store
+  // per enqueue and a load per visit, no heap. Visit order (ascending seq)
+  // is exactly what the min-heap produced, so results are bit-identical.
+  // The stamps also dedup per-batch component refreshes without an O(V)
   // clear per probe.
-  std::vector<LayerId> heap_;
-  std::vector<std::uint32_t> queued_stamp_;
+  std::vector<std::uint32_t> pending_stamp_;  // keyed by seq
   std::vector<std::uint32_t> refreshed_stamp_;
   std::uint32_t stamp_ = 0;
+  std::uint32_t sweep_min_ = 0;  // seq range holding pending work
+  std::uint32_t sweep_max_ = 0;
+
+  // Probe overlay (see probe_remap): shadow timings activated per node by an
+  // epoch stamp, plus the probed move's parameters. probe_ins_ is the index
+  // the node would take in the destination queue.
+  std::vector<LayerTiming> ov_timings_;
+  std::vector<std::uint32_t> ov_stamp_;
+  std::uint32_t probe_epoch_ = 0;
+  LayerId probe_node_;
+  AccId probe_new_acc_;
+  std::uint32_t probe_ins_ = 0;
 
   // Journal. Timings are saved once per (journal, node) via an epoch stamp;
   // queue moves record enough to reverse the surgery exactly.

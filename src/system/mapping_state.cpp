@@ -9,12 +9,11 @@ namespace h2h {
 
 Mapping::Mapping(const ModelGraph& model)
     : assignment_(model.layer_count()), seq_(model.layer_count(), 0) {
-  by_seq_.reserve(model.layer_count());
   for (const LayerId id : model.all_layers()) {
     if (model.layer(id).kind == LayerKind::Input) {
       assignment_[id.value] = AccId::host();
       seq_[id.value] = next_seq_++;
-      by_seq_.push_back(id);
+      host_members_.push_back(id);
     }
   }
 }
@@ -26,7 +25,23 @@ void Mapping::assign(LayerId id, AccId acc) {
   H2H_EXPECTS(acc.valid() && !acc.is_host());
   assignment_[id.value] = acc;
   seq_[id.value] = next_seq_++;
-  by_seq_.push_back(id);
+  if (acc.value >= members_.size()) members_.resize(acc.value + 1);
+  members_[acc.value].push_back(id);  // next_seq_ grows, so stays seq-sorted
+}
+
+void Mapping::relocate_member(LayerId id, AccId dst) {
+  const AccId src = assignment_[id.value];
+  H2H_ASSERT(src.valid() && !src.is_host() && src.value < members_.size());
+  auto& sq = members_[src.value];
+  const auto seq_less = [this](LayerId lhs, LayerId rhs) {
+    return seq_[lhs.value] < seq_[rhs.value];
+  };
+  const auto sit = std::lower_bound(sq.begin(), sq.end(), id, seq_less);
+  H2H_ASSERT(sit != sq.end() && *sit == id);
+  sq.erase(sit);
+  if (dst.value >= members_.size()) members_.resize(dst.value + 1);
+  auto& dq = members_[dst.value];
+  dq.insert(std::lower_bound(dq.begin(), dq.end(), id, seq_less), id);
 }
 
 void Mapping::reassign(LayerId id, AccId acc) {
@@ -34,6 +49,7 @@ void Mapping::reassign(LayerId id, AccId acc) {
   H2H_EXPECTS(!assignment_[id.value].is_host());
   H2H_EXPECTS(acc.valid() && !acc.is_host());
   if (journaling_) journal_.emplace_back(id.value, assignment_[id.value]);
+  relocate_member(id, acc);
   assignment_[id.value] = acc;
 }
 
@@ -45,8 +61,10 @@ void Mapping::begin_journal() {
 
 void Mapping::rollback_journal() {
   H2H_EXPECTS(journaling_);
-  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it)
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    relocate_member(LayerId{it->first}, it->second);
     assignment_[it->first] = it->second;
+  }
   journal_.clear();
   journaling_ = false;
 }
@@ -64,39 +82,35 @@ bool Mapping::complete() const noexcept {
 
 std::vector<std::vector<LayerId>> Mapping::acc_queues(
     const SystemConfig& sys) const {
-  // Walking by_seq_ yields each queue already in execution order.
+  // The member lists are the queues already; copy them out. The lists may
+  // have grown past the system (a rolled-back probe to a high accelerator
+  // id leaves an empty tail), but no layer may sit outside it.
   std::vector<std::vector<LayerId>> queues(sys.accelerator_count());
-  for (const LayerId id : by_seq_) {
-    const AccId a = assignment_[id.value];
-    if (a.valid() && !a.is_host()) {
-      H2H_ASSERT(a.value < queues.size());
-      queues[a.value].push_back(id);
+  for (std::size_t a = 0; a < members_.size(); ++a) {
+    if (a >= queues.size()) {
+      H2H_ASSERT(members_[a].empty());
+      continue;
     }
+    queues[a] = members_[a];
   }
   return queues;
 }
 
 std::vector<LayerId> Mapping::layers_on(AccId acc) const {
-  std::vector<LayerId> out;
-  layers_on(acc, out);
-  return out;
+  const auto m = members(acc);
+  return {m.begin(), m.end()};
 }
 
 void Mapping::layers_on(AccId acc, std::vector<LayerId>& out) const {
-  // Walking by_seq_ yields seq order without a per-call sort (this runs
-  // twice per step-4 probe).
-  out.clear();
-  for (const LayerId id : by_seq_)
-    if (assignment_[id.value] == acc) out.push_back(id);
+  const auto m = members(acc);
+  out.assign(m.begin(), m.end());
 }
 
 std::vector<AccId> Mapping::used_accelerators() const {
   std::vector<AccId> out;
-  for (const AccId a : assignment_)
-    if (a.valid() && !a.is_host()) out.push_back(a);
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  for (std::uint32_t a = 0; a < members_.size(); ++a)
+    if (!members_[a].empty()) out.push_back(AccId{a});
+  return out;  // ascending by construction
 }
 
 void Mapping::validate(const ModelGraph& model, const SystemConfig& sys) const {
@@ -129,10 +143,12 @@ LocalityPlan::LocalityPlan(const ModelGraph& model)
     : pinned_(model.layer_count(), false) {
   fused_offset_.reserve(model.layer_count() + 1);
   fused_offset_.push_back(0);
-  for (const LayerId id : model.all_layers())
-    fused_offset_.push_back(
-        fused_offset_.back() +
-        static_cast<std::uint32_t>(model.graph().in_degree(id)));
+  for (const LayerId id : model.all_layers()) {
+    const auto in_degree =
+        static_cast<std::uint32_t>(model.graph().in_degree(id));
+    fused_offset_.push_back(fused_offset_.back() + in_degree);
+    fused_consumer_.insert(fused_consumer_.end(), in_degree, id.value);
+  }
   fused_.assign(fused_offset_.back(), false);
 }
 
@@ -217,12 +233,8 @@ void LocalityPlan::journal_touched_layers(const ModelGraph& model,
   H2H_EXPECTS(journaling_);
   for (const std::uint32_t i : journal_pins_) out.push_back(LayerId{i});
   for (const std::uint32_t e : journal_fused_) {
-    // Edge index -> consumer: the CSR row containing e.
-    const auto it = std::upper_bound(fused_offset_.begin(),
-                                     fused_offset_.end(), e);
-    H2H_ASSERT(it != fused_offset_.begin() && it != fused_offset_.end());
-    const auto consumer = static_cast<std::uint32_t>(
-        it - fused_offset_.begin() - 1);
+    // Edge index -> consumer via the precomputed CSR inverse.
+    const std::uint32_t consumer = fused_consumer_[e];
     out.push_back(LayerId{consumer});
     const std::size_t slot = e - fused_offset_[consumer];
     out.push_back(model.graph().preds(LayerId{consumer})[slot]);

@@ -3,7 +3,10 @@
 // Mapping: layer -> accelerator assignment plus a global execution-priority
 // sequence (the order step 1 mapped the layers in, which is topological).
 // Each accelerator executes its layers FIFO in sequence order — the paper's
-// per-accelerator computation graphs G_Acc_i.
+// per-accelerator computation graphs G_Acc_i. Alongside the flat assignment,
+// the mapping maintains one seq-sorted member list per accelerator
+// (members()), kept incrementally by assign/reassign and restored by the
+// journal, so per-accelerator queries cost O(|queue|), not O(V).
 //
 // LocalityPlan: which layers' weights are pinned in local DRAM (step 2) and
 // which edges are activation-fused (step 3). Steps 2-4 recompute this plan;
@@ -20,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -71,7 +75,19 @@ class Mapping {
   [[nodiscard]] std::vector<std::vector<LayerId>> acc_queues(
       const SystemConfig& sys) const;
 
-  /// Layers mapped to `acc`, sorted by sequence.
+  /// Layers mapped to `acc`, sorted by sequence — a view of the maintained
+  /// member list (valid until the next assign/reassign/rollback). The lists
+  /// are updated in O(|src list| + |dst list|) per reassign and rolled back
+  /// by the journal, so the step-4 probe internals read per-accelerator
+  /// membership without any O(V) scan (DESIGN.md §6).
+  [[nodiscard]] std::span<const LayerId> members(AccId acc) const {
+    H2H_EXPECTS(acc.valid());
+    if (acc.is_host()) return host_members_;
+    if (acc.value >= members_.size()) return {};
+    return members_[acc.value];
+  }
+
+  /// Layers mapped to `acc`, sorted by sequence (a copy of members()).
   [[nodiscard]] std::vector<LayerId> layers_on(AccId acc) const;
   /// Same, filling a caller-owned buffer (cleared first) so hot loops can
   /// reuse its capacity instead of allocating per query.
@@ -88,9 +104,14 @@ class Mapping {
   void validate(const ModelGraph& model, const SystemConfig& sys) const;
 
  private:
+  /// Move `id` from the member list it currently sits in (per assignment_)
+  /// into `dst`'s list, keeping both seq-sorted.
+  void relocate_member(LayerId id, AccId dst);
+
   std::vector<AccId> assignment_;
   std::vector<std::uint32_t> seq_;
-  std::vector<LayerId> by_seq_;  // inverse of seq_: execution order -> layer
+  std::vector<std::vector<LayerId>> members_;  // per acc, seq-sorted
+  std::vector<LayerId> host_members_;          // Input layers, seq-sorted
   std::uint32_t next_seq_ = 0;
   bool journaling_ = false;
   std::vector<std::pair<std::uint32_t, AccId>> journal_;  // (layer, old acc)
@@ -158,6 +179,7 @@ class LocalityPlan {
 
   std::vector<bool> pinned_;
   std::vector<std::uint32_t> fused_offset_;  // CSR: layer -> first edge index
+  std::vector<std::uint32_t> fused_consumer_;  // CSR inverse: edge -> layer
   std::vector<bool> fused_;                  // flat bitset keyed by edge index
   std::vector<Bytes> used_dram_;
 

@@ -36,7 +36,7 @@ std::vector<CriticalHop> critical_path(const ModelGraph& model,
   // Pre-compute queue predecessors (previous layer on the same accelerator).
   std::vector<LayerId> queue_prev(model.layer_count());
   for (const AccId acc : mapping.used_accelerators()) {
-    const std::vector<LayerId> q = mapping.layers_on(acc);
+    const std::span<const LayerId> q = mapping.members(acc);
     for (std::size_t i = 1; i < q.size(); ++i) queue_prev[q[i].value] = q[i - 1];
   }
 
@@ -81,7 +81,7 @@ std::vector<AcceleratorLoad> accelerator_loads(const ModelGraph& /*model*/,
   for (const AccId acc : sys.all_accelerators()) {
     AcceleratorLoad load;
     load.acc = acc;
-    const std::vector<LayerId> q = mapping.layers_on(acc);
+    const std::span<const LayerId> q = mapping.members(acc);
     load.layer_count = q.size();
     if (q.empty()) {
       load.idle_time = r.latency;
@@ -131,7 +131,7 @@ void print_gantt(const ModelGraph& /*model*/, const SystemConfig& sys,
                    human_seconds(bucket).c_str());
   for (const AccId acc : sys.all_accelerators()) {
     std::string row(width, '.');
-    for (const LayerId id : mapping.layers_on(acc)) {
+    for (const LayerId id : mapping.members(acc)) {
       const LayerTiming& t = r.timings[id.value];
       auto lo = static_cast<std::size_t>(std::floor(t.start / bucket));
       auto hi = static_cast<std::size_t>(std::ceil(t.finish / bucket));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 #include <utility>
 
 #include "core/comp_prioritized.h"
@@ -76,6 +77,36 @@ TEST(CostTable, BitIdenticalToDirectModelQueriesAcrossZooAndCatalog) {
       ASSERT_EQ(cached.size(), direct.size());
       for (std::size_t i = 0; i < direct.size(); ++i)
         EXPECT_EQ(cached[i], direct[i]);
+    }
+  }
+}
+
+TEST(CostTable, AffinityAccMatchesDirectMinimization) {
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  for (const ZooInfo& info : zoo_catalog()) {
+    const ModelGraph model = make_model(info.id);
+    const Simulator sim(model, sys);
+    const CostTable& costs = sim.costs();
+    for (const LayerId id : model.all_layers()) {
+      if (model.layer(id).kind == LayerKind::Input) {
+        EXPECT_FALSE(costs.affinity_acc(id).valid());
+        continue;
+      }
+      // The expression the step-4 candidate generator used to evaluate per
+      // probe, verbatim (first minimum wins).
+      AccId best{};
+      double best_time = std::numeric_limits<double>::infinity();
+      for (const AccId a : costs.supporting(model.layer(id).kind)) {
+        const double t = costs.compute_latency(id, a) +
+                         static_cast<double>(costs.weight_bytes(id)) /
+                             costs.bw_local(a);
+        if (t < best_time) {
+          best_time = t;
+          best = a;
+        }
+      }
+      EXPECT_EQ(costs.affinity_acc(id), best)
+          << info.key << " " << model.layer(id).name;
     }
   }
 }

@@ -173,6 +173,59 @@ TEST(Incremental, JournalRollbackRestoresScheduleExactly) {
   expect_same_timings(inc, sim, mapping, plan);
 }
 
+// The overlay probe must return exactly the makespan applying the move
+// would produce — bit for bit — while leaving the committed schedule, its
+// queues, and its timings untouched (no journal involved at all).
+TEST(Incremental, ProbeRemapMatchesApplyAndLeavesStateUntouched) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const Simulator sim(m, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(m);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+  const double latency_before = inc.latency();
+
+  LayerId victim{};
+  for (const LayerId id : m.all_layers())
+    if (m.layer(id).kind == LayerKind::FullyConnected) victim = id;
+  ASSERT_TRUE(victim.valid());
+  const AccId src = mapping.acc_of(victim);
+  const AccId dst = src == AccId{1} ? AccId{2} : AccId{1};
+  const std::array<AccId, 2> touched{src, dst};
+
+  // Probe under the mapping/plan journals only — the schedule needs none.
+  mapping.begin_journal();
+  plan.begin_journal();
+  mapping.reassign(victim, dst);
+  optimize_weight_locality(sim, mapping, plan, {}, touched);
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  std::vector<LayerId> dirty;
+  plan.journal_touched_layers(m, dirty);
+  const double probed = inc.probe_remap(mapping, plan, victim, src, dirty);
+  const double probed_energy = inc.probe_energy(mapping).total();
+  EXPECT_DOUBLE_EQ(probed, sim.simulate(mapping, plan).latency);
+
+  // Committed schedule untouched by the probe.
+  EXPECT_DOUBLE_EQ(inc.latency(), latency_before);
+  plan.rollback_journal();
+  mapping.rollback_journal();
+  expect_same_timings(inc, sim, mapping, plan);
+
+  // Apply for real: the probed numbers were exact.
+  mapping.reassign(victim, dst);
+  optimize_weight_locality(sim, mapping, plan, {}, touched);
+  optimize_activation_fusion(sim, mapping, plan, {}, touched);
+  inc.apply_remap(mapping, plan, victim, src);
+  EXPECT_DOUBLE_EQ(inc.latency(), probed);
+  EXPECT_DOUBLE_EQ(inc.energy(mapping).total(), probed_energy);
+  expect_same_timings(inc, sim, mapping, plan);
+}
+
 // Property: a random sequence of remaps tracked incrementally stays
 // bit-identical to full re-simulation.
 class IncrementalProperty : public ::testing::TestWithParam<std::uint64_t> {};

@@ -127,6 +127,53 @@ TEST(LocalityPlan, DramBookkeeping) {
   EXPECT_EQ(plan.used_dram(AccId{2}), mib(7));
 }
 
+std::vector<LayerId> member_vec(const Mapping& mapping, AccId acc) {
+  const auto m = mapping.members(acc);
+  return {m.begin(), m.end()};
+}
+
+TEST(Mapping, MemberListsTrackAssignmentsInSeqOrder) {
+  const ModelGraph m = make_chain_model();
+  Mapping mapping(m);
+  EXPECT_EQ(member_vec(mapping, AccId::host()),
+            std::vector<LayerId>{LayerId{0}});
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{0});
+  EXPECT_EQ(member_vec(mapping, AccId{0}),
+            (std::vector<LayerId>{LayerId{1}, LayerId{3}}));
+  EXPECT_TRUE(mapping.members(AccId{7}).empty());  // never-used accelerator
+
+  // Reassign keeps both lists seq-sorted.
+  mapping.reassign(LayerId{3}, AccId{1});
+  EXPECT_EQ(member_vec(mapping, AccId{1}),
+            (std::vector<LayerId>{LayerId{2}, LayerId{3}}));
+  mapping.reassign(LayerId{1}, AccId{1});
+  EXPECT_EQ(member_vec(mapping, AccId{1}),
+            (std::vector<LayerId>{LayerId{1}, LayerId{2}, LayerId{3}}));
+  EXPECT_TRUE(mapping.members(AccId{0}).empty());
+  EXPECT_EQ(mapping.used_accelerators(), std::vector<AccId>{AccId{1}});
+}
+
+TEST(Mapping, MemberListsRollBackWithTheJournal) {
+  const ModelGraph m = make_chain_model();
+  Mapping mapping(m);
+  mapping.assign(LayerId{1}, AccId{0});
+  mapping.assign(LayerId{2}, AccId{1});
+  mapping.assign(LayerId{3}, AccId{0});
+
+  mapping.begin_journal();
+  mapping.reassign(LayerId{1}, AccId{2});
+  mapping.reassign(LayerId{3}, AccId{1});
+  mapping.reassign(LayerId{1}, AccId{1});  // same layer twice
+  mapping.rollback_journal();
+
+  EXPECT_EQ(member_vec(mapping, AccId{0}),
+            (std::vector<LayerId>{LayerId{1}, LayerId{3}}));
+  EXPECT_EQ(member_vec(mapping, AccId{1}), std::vector<LayerId>{LayerId{2}});
+  EXPECT_TRUE(mapping.members(AccId{2}).empty());
+}
+
 TEST(Mapping, JournalRollbackRestoresAssignments) {
   const ModelGraph m = make_chain_model();
   const SystemConfig sys = testing::make_uniform_system(3);

@@ -3,8 +3,10 @@
 // invariants for every seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 
+#include "core/remap_delta.h"
 #include "system/incremental.h"
 #include "test_helpers.h"
 
@@ -196,6 +198,156 @@ TEST_P(PipelineProperty, JournaledProbesAgreeWithFullSimulationAtEveryStep) {
   EXPECT_DOUBLE_EQ(agg.latency, full.latency);
   EXPECT_DOUBLE_EQ(agg.energy.total(), full.energy.total());
   EXPECT_DOUBLE_EQ(agg.host_time, full.host_time);
+}
+
+// Tentpole property (delta-evaluated remap probes): an arbitrary
+// interleaving of delta-evaluated remap probes — per-acc member lists,
+// delta steps-2/3, overlay schedule probe — with rollbacks, commits, and
+// out-of-band pin/fuse toggles must stay bit-identical to the from-scratch
+// full passes, and the delta aggregates must always equal a fresh
+// re-derivation from the live state.
+TEST_P(PipelineProperty, DeltaProbesMatchFullPassesAndMemberLists) {
+  Rng rng(GetParam() + 3000);
+  const ModelGraph model = testing::make_random_model(rng);
+  const SystemConfig sys = testing::make_random_system(rng);
+  const Simulator sim(model, sys);
+  Mapping mapping = computation_prioritized_mapping(sim);
+  LocalityPlan plan(model);
+  plan.ensure_acc_count(sys.accelerator_count());
+  optimize_weight_locality(sim, mapping, plan);
+  optimize_activation_fusion(sim, mapping, plan);
+
+  IncrementalSchedule inc(sim);
+  inc.reset(mapping, plan);
+  RemapDeltaState delta(sim, {}, {}, /*use_knapsack_cache=*/true);
+  delta.init(mapping, plan);
+
+  const std::vector<LayerId> layers = model.all_layers();
+
+  // Per-acc member lists must always equal a brute-force scan.
+  const auto check_members = [&] {
+    for (const AccId acc : sys.all_accelerators()) {
+      std::vector<LayerId> expected;
+      for (const LayerId id : layers)
+        if (mapping.is_assigned(id) && mapping.acc_of(id) == acc)
+          expected.push_back(id);
+      std::sort(expected.begin(), expected.end(),
+                [&mapping](LayerId l, LayerId r) {
+                  return mapping.seq_of(l) < mapping.seq_of(r);
+                });
+      const auto got = mapping.members(acc);
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), expected.begin(),
+                             expected.end()))
+          << "acc " << acc.value;
+    }
+  };
+
+  // The maintained aggregates must equal a from-scratch re-derivation.
+  const auto check_aggregates = [&] {
+    RemapDeltaState fresh(sim, {}, {}, false);
+    fresh.init(mapping, plan);
+    for (const AccId acc : sys.all_accelerators())
+      ASSERT_TRUE(delta.aggregates(acc) == fresh.aggregates(acc))
+          << "acc " << acc.value;
+  };
+
+  std::vector<LayerId> dirty;
+  for (int step = 0; step < 25; ++step) {
+    switch (rng.index(4)) {
+      case 0:
+      case 1: {  // delta-evaluated remap probe vs full-pass reference
+        const LayerId node = layers[rng.index(layers.size())];
+        if (model.layer(node).kind == LayerKind::Input) break;
+        const auto cands = sys.supporting(model.layer(node).kind);
+        const AccId dst = cands[rng.index(cands.size())];
+        const AccId src = mapping.acc_of(node);
+        if (dst == src) break;
+
+        // Reference: the full touched-pair re-run on a copied state.
+        Mapping ref_mapping = mapping;
+        LocalityPlan ref_plan = plan;
+        ref_mapping.reassign(node, dst);
+        const std::array<AccId, 2> touched{src, dst};
+        optimize_weight_locality(sim, ref_mapping, ref_plan, {}, touched);
+        optimize_activation_fusion(sim, ref_mapping, ref_plan, {}, touched);
+
+        // Delta path on the live state, journaled.
+        mapping.begin_journal();
+        plan.begin_journal();
+        delta.begin_probe(src, dst);
+        mapping.reassign(node, dst);
+        delta.apply_move(mapping, plan, node, src, dst);
+
+        // Bit-identical plan state vs the reference.
+        for (const LayerId id : layers) {
+          ASSERT_EQ(plan.pinned(id), ref_plan.pinned(id))
+              << "step " << step << " layer " << id.value;
+          const auto preds = model.graph().preds(id);
+          for (std::size_t i = 0; i < preds.size(); ++i)
+            ASSERT_EQ(plan.fused_in(id, i), ref_plan.fused_in(id, i))
+                << "step " << step << " layer " << id.value << " slot " << i;
+        }
+        for (const AccId acc : sys.all_accelerators())
+          ASSERT_EQ(plan.used_dram(acc), ref_plan.used_dram(acc))
+              << "step " << step << " acc " << acc.value;
+        check_members();
+
+        // The overlay probe returns the applied makespan bit for bit and
+        // leaves the committed schedule untouched.
+        const double latency_before = inc.latency();
+        dirty.clear();
+        plan.journal_touched_layers(model, dirty);
+        const double probed = inc.probe_remap(mapping, plan, node, src, dirty);
+        ASSERT_DOUBLE_EQ(probed, sim.simulate(mapping, plan).latency)
+            << "step " << step;
+        ASSERT_DOUBLE_EQ(inc.latency(), latency_before) << "step " << step;
+
+        if (rng.index(2) == 0) {  // keep: apply the probed move for real
+          inc.apply_remap(mapping, plan, node, src, dirty);
+          ASSERT_DOUBLE_EQ(inc.latency(), probed) << "step " << step;
+          delta.commit_probe();
+          plan.commit_journal();
+          mapping.commit_journal();
+        } else {  // reject: roll everything back
+          delta.rollback_probe();
+          plan.rollback_journal();
+          mapping.rollback_journal();
+          ASSERT_DOUBLE_EQ(inc.latency(), latency_before) << "step " << step;
+          check_members();
+        }
+        break;
+      }
+      case 2: {  // out-of-band pin toggle: delta state must be re-derived
+        const LayerId node = layers[rng.index(layers.size())];
+        if (model.layer(node).kind == LayerKind::Input ||
+            model.weight_bytes(node) == 0)
+          break;
+        plan.set_pinned(node, !plan.pinned(node));
+        const std::array<LayerId, 1> d{node};
+        inc.refresh_components(mapping, plan, d);
+        delta.init(mapping, plan);
+        break;
+      }
+      default: {  // out-of-band fuse toggle (co-located edges only)
+        const LayerId node = layers[rng.index(layers.size())];
+        const auto preds = model.graph().preds(node);
+        if (preds.empty() || model.layer(node).kind == LayerKind::Input) break;
+        const std::size_t slot = rng.index(preds.size());
+        const bool want = !plan.fused_in(node, slot);
+        if (want && mapping.acc_of(preds[slot]) != mapping.acc_of(node)) break;
+        plan.set_fused_in(node, slot, want);
+        const std::array<LayerId, 2> d{node, preds[slot]};
+        inc.refresh_components(mapping, plan, d);
+        delta.init(mapping, plan);
+        break;
+      }
+    }
+    check_aggregates();
+  }
+
+  // Whatever mix happened, the tracked schedule still matches a full
+  // re-simulation bit for bit.
+  ASSERT_DOUBLE_EQ(inc.latency(), sim.simulate(mapping, plan).latency);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,

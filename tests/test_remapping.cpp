@@ -1,9 +1,10 @@
 #include <gtest/gtest.h>
 
-#include "core/activation_fusion.h"
+#include <tuple>
+#include <utility>
+
 #include "core/comp_prioritized.h"
 #include "core/remapping.h"
-#include "core/weight_locality.h"
 #include "test_helpers.h"
 
 namespace h2h {
@@ -60,6 +61,79 @@ TEST(Remapping, IncrementalAndFullResimAgree) {
   const double full = run(false);
   const double incremental = run(true);
   EXPECT_NEAR(incremental, full, full * 1e-9);
+}
+
+// The delta-evaluated probe path (member lists + delta steps-2/3 + overlay
+// schedule probe + knapsack cache) must land on exactly the state the full
+// touched-pair re-runs produce: same moves, same pins/fusion, same latency
+// bit for bit, across the zoo at both a low and a mid bandwidth point.
+TEST(Remapping, DeltaAndFullLocalityPassesAgreeBitExactly) {
+  for (const ZooInfo& info : zoo_catalog()) {
+    for (const BandwidthSetting bw :
+         {BandwidthSetting::LowMinus, BandwidthSetting::Mid}) {
+      const auto run = [&](bool use_delta) {
+        Prepared p = prepare(make_model(info.id), SystemConfig::standard(bw));
+        const Simulator sim(p.model, p.sys);
+        RemapOptions opts;
+        opts.use_delta_locality = use_delta;
+        const RemapStats stats =
+            data_locality_remapping(sim, p.mapping, p.plan, opts);
+        const double latency = sim.simulate(p.mapping, p.plan).latency;
+        return std::tuple{std::move(p), stats, latency};
+      };
+      const auto [full, full_stats, full_lat] = run(false);
+      const auto [delta, delta_stats, delta_lat] = run(true);
+
+      EXPECT_EQ(delta_lat, full_lat) << info.key;  // exact, not approximate
+      EXPECT_EQ(delta_stats.attempts, full_stats.attempts) << info.key;
+      EXPECT_EQ(delta_stats.accepted, full_stats.accepted) << info.key;
+      EXPECT_EQ(delta_stats.passes, full_stats.passes) << info.key;
+      for (const LayerId id : full.model.all_layers()) {
+        ASSERT_EQ(delta.mapping.acc_of(id), full.mapping.acc_of(id))
+            << info.key << " layer " << id.value;
+        ASSERT_EQ(delta.plan.pinned(id), full.plan.pinned(id))
+            << info.key << " layer " << id.value;
+        const auto preds = full.model.graph().preds(id);
+        for (std::size_t i = 0; i < preds.size(); ++i)
+          ASSERT_EQ(delta.plan.fused_in(id, i), full.plan.fused_in(id, i))
+              << info.key << " layer " << id.value << " slot " << i;
+      }
+      for (const AccId acc : full.sys.all_accelerators())
+        ASSERT_EQ(delta.plan.used_dram(acc), full.plan.used_dram(acc))
+            << info.key << " acc " << acc.value;
+    }
+  }
+}
+
+// Under DRAM pressure the delta path falls back to real knapsack solves;
+// the cache must then serve the repeated source-accelerator instances and
+// stay bit-identical to uncached solving.
+TEST(Remapping, KnapsackCacheReusesSourceSolvesUnderPressure) {
+  // Capacity far below the total weight footprint forces the solver on
+  // nearly every probe (the mini MMMT model carries ~25 KiB of weights).
+  const auto run = [&](bool use_cache) {
+    Prepared p = prepare(testing::make_mini_mmmt_model(),
+                         testing::make_uniform_system(3, 0.125e9, kib(8)));
+    const Simulator sim(p.model, p.sys);
+    RemapOptions opts;
+    opts.use_knapsack_cache = use_cache;
+    const RemapStats stats =
+        data_locality_remapping(sim, p.mapping, p.plan, opts);
+    return std::pair{stats, sim.simulate(p.mapping, p.plan).latency};
+  };
+  const auto [cached, cached_lat] = run(true);
+  const auto [uncached, uncached_lat] = run(false);
+
+  EXPECT_GT(cached.delta_full_passes, 0u);  // pressure reached the fallback
+  EXPECT_GT(cached.knapsack_misses, 0u);
+  EXPECT_GT(cached.knapsack_hits, 0u);  // src solves repeat across probes
+  EXPECT_EQ(uncached.knapsack_hits, 0u);
+  EXPECT_EQ(uncached.knapsack_misses, 0u);
+
+  // Memoization must not change anything observable.
+  EXPECT_EQ(cached_lat, uncached_lat);
+  EXPECT_EQ(cached.attempts, uncached.attempts);
+  EXPECT_EQ(cached.accepted, uncached.accepted);
 }
 
 TEST(Remapping, ReducesHostTrafficAtLowBandwidth) {
