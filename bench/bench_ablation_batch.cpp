@@ -17,7 +17,7 @@ void BM_PipelineUnderBatch(benchmark::State& state) {
   model.set_batch(static_cast<std::uint32_t>(state.range(0)));
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
   for (auto _ : state) {
-    const H2HResult r = H2HMapper(model, sys).run();
+    const PlanResponse r = plan_once(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
 }
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
       model.set_batch(batch);
       const SystemConfig sys =
           SystemConfig::standard(BandwidthSetting::LowMinus);
-      const H2HResult r = H2HMapper(model, sys).run();
+      const PlanResponse r = plan_once(model, sys);
       const auto gain = [&](std::size_t from, std::size_t to) {
         return format_percent(
             1.0 - r.steps[to].result.latency / r.steps[from].result.latency, 1);

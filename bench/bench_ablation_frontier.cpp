@@ -41,9 +41,9 @@ int main(int argc, char** argv) {
     const ModelGraph model = make_model(id);
     const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
     for (const std::uint64_t budget : budgets) {
-      H2HOptions opts;
+      PlanOptions opts;
       opts.step1.max_candidates = budget;
-      const H2HResult r = H2HMapper(model, sys, opts).run();
+      const PlanResponse r = plan_once(model, sys, opts);
       table.add_row({std::string(zoo_info(id).key),
                      strformat("%llu", static_cast<unsigned long long>(budget)),
                      strformat("%.6f", r.steps[0].result.latency),

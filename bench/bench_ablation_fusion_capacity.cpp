@@ -38,13 +38,13 @@ int main(int argc, char** argv) {
     const ModelGraph model = make_model(info.id);
     const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
 
-    H2HOptions strict;
-    H2HOptions loose;
+    PlanOptions strict;
+    PlanOptions loose;
     loose.fusion.enforce_capacity = false;
     loose.remap.fusion.enforce_capacity = false;
 
-    const H2HResult rs = H2HMapper(model, sys, strict).run();
-    const H2HResult rl = H2HMapper(model, sys, loose).run();
+    const PlanResponse rs = plan_once(model, sys, strict);
+    const PlanResponse rl = plan_once(model, sys, loose);
     table.add_row(
         {std::string(info.key), strformat("%.6f", rs.final_result().latency),
          strformat("%.6f", rl.final_result().latency),

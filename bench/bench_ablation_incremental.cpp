@@ -64,10 +64,10 @@ void BM_FullPipeline(benchmark::State& state) {
   const bool incremental = state.range(0) != 0;
   const ModelGraph model = make_vlocnet();
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  H2HOptions opts;
+  PlanOptions opts;
   opts.remap.use_incremental = incremental;
   for (auto _ : state) {
-    const H2HResult r = H2HMapper(model, sys, opts).run();
+    const PlanResponse r = plan_once(model, sys, opts);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
   state.SetLabel(incremental ? "journaled-incremental" : "full-resim");

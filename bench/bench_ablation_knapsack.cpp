@@ -41,17 +41,17 @@ int main(int argc, char** argv) {
     const ModelGraph model = make_model(info.id);
     const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
 
-    H2HOptions exact;
+    PlanOptions exact;
     exact.weight.algo = KnapsackAlgo::ExactDp;
     exact.remap.weight.algo = KnapsackAlgo::ExactDp;
-    H2HOptions greedy;
+    PlanOptions greedy;
     greedy.weight.algo = KnapsackAlgo::GreedyDensity;
     greedy.remap.weight.algo = KnapsackAlgo::GreedyDensity;
 
     const double lat_dp =
-        H2HMapper(model, sys, exact).run().final_result().latency;
+        plan_once(model, sys, exact).final_result().latency;
     const double lat_greedy =
-        H2HMapper(model, sys, greedy).run().final_result().latency;
+        plan_once(model, sys, greedy).final_result().latency;
     table.add_row({std::string(info.key), strformat("%.6f", lat_dp),
                    strformat("%.6f", lat_greedy),
                    format_percent(lat_greedy / lat_dp - 1.0, 2)});

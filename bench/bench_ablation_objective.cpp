@@ -14,10 +14,10 @@ using namespace h2h;
 void BM_EdpRemap_MoCap(benchmark::State& state) {
   const ModelGraph model = make_mocap();
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  H2HOptions opts;
+  PlanOptions opts;
   opts.remap.objective = RemapObjective::EnergyDelayProduct;
   for (auto _ : state) {
-    const H2HResult r = H2HMapper(model, sys, opts).run();
+    const PlanResponse r = plan_once(model, sys, opts);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
 }
@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
   for (const ZooInfo& info : zoo_catalog()) {
     const ModelGraph model = make_model(info.id);
     const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-    H2HOptions lat_opts;
-    H2HOptions edp_opts;
+    PlanOptions lat_opts;
+    PlanOptions edp_opts;
     edp_opts.remap.objective = RemapObjective::EnergyDelayProduct;
     const ScheduleResult& rl =
-        H2HMapper(model, sys, lat_opts).run().final_result();
+        plan_once(model, sys, lat_opts).final_result();
     const ScheduleResult& re =
-        H2HMapper(model, sys, edp_opts).run().final_result();
+        plan_once(model, sys, edp_opts).final_result();
     table.add_row(
         {std::string(info.key),
          strformat("%.6f / %.4f", rl.latency, rl.energy.total()),

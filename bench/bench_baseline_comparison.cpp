@@ -25,7 +25,7 @@ void compare_at(BandwidthSetting bw, std::ostream& out) {
         run_computation_prioritized_baseline(model, sys).final_result().latency;
     const double cluster =
         run_cluster_prioritized_baseline(model, sys).final_result().latency;
-    const double ours = H2HMapper(model, sys).run().final_result().latency;
+    const double ours = plan_once(model, sys).final_result().latency;
     table.add_row({std::string(info.key), strformat("%.6f", comp),
                    strformat("%.6f", cluster), strformat("%.6f", ours),
                    format_percent(1.0 - ours / comp, 1),
@@ -39,7 +39,7 @@ void BM_ClusterBaseline_CasiaSurf(benchmark::State& state) {
   const ModelGraph model = make_casia_surf();
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
   for (auto _ : state) {
-    const H2HResult r = run_cluster_prioritized_baseline(model, sys);
+    const PlanResponse r = run_cluster_prioritized_baseline(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
 }

@@ -17,7 +17,7 @@ void BM_FullPipeline_VLocNet_LowMinus(benchmark::State& state) {
   const h2h::SystemConfig sys =
       h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
   for (auto _ : state) {
-    const h2h::H2HResult r = h2h::H2HMapper(model, sys).run();
+    const h2h::PlanResponse r = h2h::plan_once(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
 }

@@ -13,7 +13,7 @@ void BM_CommCompDecomposition(benchmark::State& state) {
   const h2h::ModelGraph model = h2h::make_mocap();
   const h2h::SystemConfig sys =
       h2h::SystemConfig::standard(h2h::BandwidthSetting::LowMinus);
-  const h2h::H2HResult r = h2h::H2HMapper(model, sys).run();
+  const h2h::PlanResponse r = h2h::plan_once(model, sys);
   const h2h::Simulator sim(model, sys);
   for (auto _ : state) {
     const h2h::ScheduleResult res = sim.simulate(r.mapping, r.plan);

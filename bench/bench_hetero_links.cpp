@@ -31,7 +31,7 @@ void BM_MixedLinks_CasiaSurf(benchmark::State& state) {
   const ModelGraph model = make_casia_surf();
   const SystemConfig sys = mixed_link_system();
   for (auto _ : state) {
-    const H2HResult r = H2HMapper(model, sys).run();
+    const PlanResponse r = plan_once(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
 }
@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
     const SystemConfig fast = SystemConfig::standard(BandwidthSetting::High);
     const SystemConfig mixed = mixed_link_system();
 
-    const double lat_slow = H2HMapper(model, slow).run().final_result().latency;
-    const double lat_fast = H2HMapper(model, fast).run().final_result().latency;
-    const H2HResult r_mixed = H2HMapper(model, mixed).run();
+    const double lat_slow = plan_once(model, slow).final_result().latency;
+    const double lat_fast = plan_once(model, fast).final_result().latency;
+    const PlanResponse r_mixed = plan_once(model, mixed);
 
     // How many layers ended up on fast-linked accelerators?
     std::size_t on_fast = 0, total = 0;

@@ -1,6 +1,6 @@
 // Session-cache benchmark: the repeated-request loop the Planner API exists
 // for. One "request sweep" = planning one model at all five bandwidth
-// settings. The legacy path constructs an H2HMapper per request, paying the
+// settings. The one-shot path pays the full cold start per request: the
 // Simulator/CostTable build (every accelerator model queried for every
 // layer) each time; the Planner path builds each (model, bw) session once
 // and serves every later request warm — zero virtual AcceleratorModel
@@ -16,20 +16,20 @@ namespace {
 
 using namespace h2h;
 
-void BM_SweepLegacyMapperPerRequest(benchmark::State& state) {
+void BM_SweepOneShotPerRequest(benchmark::State& state) {
   const auto model_id = static_cast<ZooModel>(state.range(0));
   const ModelGraph model = make_model(model_id);
   for (auto _ : state) {
     double acc = 0;
     for (const BandwidthSetting bw : all_bandwidth_settings()) {
       const SystemConfig sys = SystemConfig::standard(bw);
-      acc += H2HMapper(model, sys).run().final_result().latency;
+      acc += plan_once(model, sys).final_result().latency;
     }
     benchmark::DoNotOptimize(acc);
   }
   state.SetLabel(std::string(zoo_info(model_id).key));
 }
-BENCHMARK(BM_SweepLegacyMapperPerRequest)
+BENCHMARK(BM_SweepOneShotPerRequest)
     ->Arg(static_cast<int>(ZooModel::MoCap))
     ->Arg(static_cast<int>(ZooModel::CasiaSurf))
     ->Arg(static_cast<int>(ZooModel::VLocNet))

@@ -28,7 +28,7 @@ void BM_SearchVsModelSize(benchmark::State& state) {
   const ModelGraph model = make_synthetic_mmmt(spec_for(modalities, depth));
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
   for (auto _ : state) {
-    const H2HResult r = H2HMapper(model, sys).run();
+    const PlanResponse r = plan_once(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
   }
   state.SetLabel(strformat("%zu layers",
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
     const ModelGraph model = make_synthetic_mmmt(spec_for(modalities, depth));
     const SystemConfig sys =
         SystemConfig::standard(BandwidthSetting::LowMinus);
-    const H2HResult r = H2HMapper(model, sys).run();
+    const PlanResponse r = plan_once(model, sys);
     const ModelStats s = model.stats();
     // The probe rate is the journaled search core's figure of merit: it
     // should stay roughly flat as the model grows (each probe touches only

@@ -6,9 +6,9 @@
 
 namespace h2h {
 
-H2HResult run_computation_prioritized_baseline(const ModelGraph& model,
+PlanResponse run_computation_prioritized_baseline(const ModelGraph& model,
                                                const SystemConfig& sys,
-                                               const H2HOptions& options) {
+                                               const PlanOptions& options) {
   model.validate();
   const Simulator sim(model, sys);
   PassPipeline pipeline;
@@ -17,9 +17,9 @@ H2HResult run_computation_prioritized_baseline(const ModelGraph& model,
   return run_passes(sim, pipeline);
 }
 
-H2HResult run_cluster_prioritized_baseline(const ModelGraph& model,
+PlanResponse run_cluster_prioritized_baseline(const ModelGraph& model,
                                            const SystemConfig& sys,
-                                           const H2HOptions& options) {
+                                           const PlanOptions& options) {
   model.validate();
   const Simulator sim(model, sys);
   PassPipeline pipeline;

@@ -10,23 +10,23 @@
 //  - Random valid mapping: property-test fodder and a sanity lower bound.
 #pragma once
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "util/rng.h"
 
 namespace h2h {
 
 /// Steps 1-2 only. The returned result has two step snapshots; its
 /// final_result() is the paper's baseline configuration.
-[[nodiscard]] H2HResult run_computation_prioritized_baseline(
+[[nodiscard]] PlanResponse run_computation_prioritized_baseline(
     const ModelGraph& model, const SystemConfig& sys,
-    const H2HOptions& options = {});
+    const PlanOptions& options = {});
 
 /// Modality-cluster mapping + locality post-passes (steps 2-3 applied, no
 /// remapping). Clusters with layer kinds an accelerator cannot serve spill
 /// those layers to their best supporting accelerator.
-[[nodiscard]] H2HResult run_cluster_prioritized_baseline(
+[[nodiscard]] PlanResponse run_cluster_prioritized_baseline(
     const ModelGraph& model, const SystemConfig& sys,
-    const H2HOptions& options = {});
+    const PlanOptions& options = {});
 
 /// Uniform random valid assignment in topological order.
 [[nodiscard]] Mapping random_valid_mapping(const ModelGraph& model,

@@ -45,11 +45,11 @@ ModelGraph subset_model(const ModelGraph& full,
 }
 
 DynamicModalityMapper::DynamicModalityMapper(const SystemConfig& sys,
-                                             H2HOptions options)
+                                             PlanOptions options)
     : options_(std::move(options)), planner_(sys) {}
 
 DynamicRemapResult DynamicModalityMapper::remap(const ModelGraph& variant) {
-  H2HOptions opts = options_;
+  PlanOptions opts = options_;
 
   // Preference hook: map a layer where its weights already live.
   opts.step1.preferred = [this, &variant](LayerId id) -> std::optional<AccId> {
@@ -84,7 +84,7 @@ DynamicRemapResult DynamicModalityMapper::remap(const ModelGraph& variant) {
   request.validate_model = false;
 
   DynamicRemapResult out{planner_.plan(request, pipeline), 0, 0};
-  H2HResult& r = out.h2h;
+  PlanResponse& r = out.h2h;
 
   // Weight-reload accounting and residency update.
   std::map<std::string, AccId, std::less<>> next_resident;

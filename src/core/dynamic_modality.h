@@ -25,7 +25,7 @@
 #include <span>
 #include <string>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 
 namespace h2h {
 
@@ -37,7 +37,7 @@ namespace h2h {
                                       std::span<const std::uint32_t> active);
 
 struct DynamicRemapResult {
-  H2HResult h2h;
+  PlanResponse h2h;
   Bytes weights_reused = 0;  // pinned bytes already resident on that accelerator
   Bytes weights_loaded = 0;  // pinned bytes that must be (re)loaded
   /// Fraction of pinned weight bytes served from residency.
@@ -52,7 +52,7 @@ struct DynamicRemapResult {
 class DynamicModalityMapper {
  public:
   explicit DynamicModalityMapper(const SystemConfig& sys,
-                                 H2HOptions options = {});
+                                 PlanOptions options = {});
 
   /// Map a model variant, preferring residency from earlier rounds, and
   /// update residency to the new pinned set. Revisited variants are served
@@ -71,7 +71,7 @@ class DynamicModalityMapper {
   [[nodiscard]] const Planner& planner() const noexcept { return planner_; }
 
  private:
-  H2HOptions options_;
+  PlanOptions options_;
   Planner planner_;
   std::map<std::string, AccId, std::less<>> resident_;  // layer name -> acc
 };

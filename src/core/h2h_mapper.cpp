@@ -1,3 +1,9 @@
+// This file defines the deprecated shim itself; referencing the class here
+// is the point.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include "core/h2h_mapper.h"
 
 namespace h2h {

@@ -12,6 +12,11 @@
 // test_planner.cpp).
 #pragma once
 
+#if !defined(H2H_ENABLE_DEPRECATED)
+#error \
+    "H2HMapper is deprecated and this build disabled it (H2H_ENABLE_DEPRECATED=OFF). Use h2h::Planner or h2h::plan_once (core/planner.h)."
+#endif
+
 #include "core/planner.h"
 
 namespace h2h {
@@ -21,7 +26,9 @@ using H2HResult = PlanResponse;
 
 /// DEPRECATED: use Planner. One Simulator build per instance, one pipeline
 /// run per run() call — every call pays what a warm Planner::plan() skips.
-class H2HMapper {
+class [[deprecated(
+    "use h2h::Planner or h2h::plan_once (core/planner.h); one-shot "
+    "equivalence is pinned in test_h2h_mapper.cpp")]] H2HMapper {
  public:
   H2HMapper(const ModelGraph& model, const SystemConfig& sys,
             H2HOptions options = {});

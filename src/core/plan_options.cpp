@@ -1,0 +1,150 @@
+#include "core/plan_options.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+using SetResult = std::optional<std::string>;
+
+[[nodiscard]] SetResult parse_bool(std::string_view value, bool& out) {
+  if (value == "true") {
+    out = true;
+    return std::nullopt;
+  }
+  if (value == "false") {
+    out = false;
+    return std::nullopt;
+  }
+  return strformat("expected 'true' or 'false', got '%.*s'",
+                   static_cast<int>(value.size()), value.data());
+}
+
+[[nodiscard]] std::string bool_value(bool v) { return v ? "true" : "false"; }
+
+/// Canonical double spelling: shortest round-trip form (std::to_chars), so
+/// serialize -> parse -> re-serialize is byte-stable.
+[[nodiscard]] std::string double_value(double v) {
+  std::array<char, 32> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  H2H_ASSERT(ec == std::errc());
+  return std::string(buf.data(), end);
+}
+
+const std::array<PlanOptionSpec, 6> kSpecs = {{
+    {"remap", "remap", PlanOptionSpec::Kind::Bool, "",
+     "run step 4, locality-aware remapping",
+     [](PlanOptions& o, std::string_view v) {
+       return parse_bool(v, o.run_remapping);
+     },
+     [](const PlanOptions& o) { return bool_value(o.run_remapping); }},
+    {"weight-locality", "weight_locality", PlanOptionSpec::Kind::Bool, "",
+     "run step 2, the weight-locality knapsack",
+     [](PlanOptions& o, std::string_view v) {
+       return parse_bool(v, o.run_weight_locality);
+     },
+     [](const PlanOptions& o) { return bool_value(o.run_weight_locality); }},
+    {"fusion", "fusion", PlanOptionSpec::Kind::Bool, "",
+     "run step 3, activation-transfer fusion",
+     [](PlanOptions& o, std::string_view v) {
+       return parse_bool(v, o.run_fusion);
+     },
+     [](const PlanOptions& o) { return bool_value(o.run_fusion); }},
+    {"knapsack", "knapsack", PlanOptionSpec::Kind::Enum, "exact|greedy",
+     "weight-locality solver, in steps 2 and 4",
+     [](PlanOptions& o, std::string_view v) -> SetResult {
+       KnapsackAlgo algo;
+       if (v == "exact") {
+         algo = KnapsackAlgo::ExactDp;
+       } else if (v == "greedy") {
+         algo = KnapsackAlgo::GreedyDensity;
+       } else {
+         return strformat("expected 'exact' or 'greedy', got '%.*s'",
+                          static_cast<int>(v.size()), v.data());
+       }
+       o.weight.algo = algo;
+       o.remap.weight.algo = algo;
+       return std::nullopt;
+     },
+     [](const PlanOptions& o) {
+       return std::string(o.weight.algo == KnapsackAlgo::GreedyDensity
+                              ? "greedy"
+                              : "exact");
+     }},
+    {"objective", "objective", PlanOptionSpec::Kind::Enum, "latency|edp",
+     "what remapping minimizes",
+     [](PlanOptions& o, std::string_view v) -> SetResult {
+       if (v == "latency") {
+         o.remap.objective = RemapObjective::Latency;
+       } else if (v == "edp") {
+         o.remap.objective = RemapObjective::EnergyDelayProduct;
+       } else {
+         return strformat("expected 'latency' or 'edp', got '%.*s'",
+                          static_cast<int>(v.size()), v.data());
+       }
+       return std::nullopt;
+     },
+     [](const PlanOptions& o) {
+       return std::string(
+           o.remap.objective == RemapObjective::EnergyDelayProduct
+               ? "edp"
+               : "latency");
+     }},
+    {"time-budget", "time_budget_s", PlanOptionSpec::Kind::Double, "",
+     "wall-clock search budget in seconds",
+     [](PlanOptions& o, std::string_view v) -> SetResult {
+       double seconds = 0;
+       const auto [ptr, ec] =
+           std::from_chars(v.data(), v.data() + v.size(), seconds);
+       if (ec != std::errc() || ptr != v.data() + v.size() ||
+           !std::isfinite(seconds) || seconds <= 0) {
+         return strformat("expected a positive number of seconds, got '%.*s'",
+                          static_cast<int>(v.size()), v.data());
+       }
+       o.time_budget_s = seconds;
+       return std::nullopt;
+     },
+     [](const PlanOptions& o) {
+       return o.time_budget_s ? double_value(*o.time_budget_s)
+                              : std::string();
+     }},
+}};
+
+}  // namespace
+
+std::span<const PlanOptionSpec> plan_option_specs() { return kSpecs; }
+
+const PlanOptionSpec* find_plan_option(std::string_view key) {
+  for (const PlanOptionSpec& spec : kSpecs) {
+    if (key == spec.cli_key || key == spec.json_key) return &spec;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> apply_plan_option(PlanOptions& options,
+                                             std::string_view key,
+                                             std::string_view value) {
+  const PlanOptionSpec* spec = find_plan_option(key);
+  if (spec == nullptr) {
+    std::string known;
+    for (const PlanOptionSpec& s : kSpecs) {
+      if (!known.empty()) known += ", ";
+      known += s.json_key;
+    }
+    return strformat("unknown plan option '%.*s' (valid: %s)",
+                     static_cast<int>(key.size()), key.data(), known.c_str());
+  }
+  if (std::optional<std::string> err = spec->set(options, value)) {
+    return strformat("%.*s: %s", static_cast<int>(key.size()), key.data(),
+                     err->c_str());
+  }
+  return std::nullopt;
+}
+
+}  // namespace h2h

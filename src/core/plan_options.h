@@ -1,0 +1,56 @@
+// The single string surface of PlanOptions (DESIGN.md §8).
+//
+// Every user-tunable plan knob is one row of a declarative table: a CLI
+// spelling (kebab-case flag shared verbatim by `h2h map`, `h2h sweep`, and
+// `h2h serve`), a JSON spelling (snake_case key of the serve wire schema's
+// "options" object, mirroring the PlanOptions field 1:1), the value kind,
+// and the accessors that read/write the PlanOptions field. The CLI flag
+// parser, the usage text, and the wire codec are all generated from this
+// table, so the three commands cannot drift apart and a knob added here is
+// automatically spelled identically everywhere.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/planner.h"
+
+namespace h2h {
+
+struct PlanOptionSpec {
+  enum class Kind {
+    Bool,    // CLI: --<key> / --no-<key>; JSON: true/false
+    Double,  // CLI: --<key> <seconds>; JSON: number
+    Enum,    // CLI: --<key> <value>; JSON: string; `values` lists spellings
+  };
+
+  std::string_view cli_key;   // e.g. "time-budget"
+  std::string_view json_key;  // e.g. "time_budget_s"
+  Kind kind;
+  /// Accepted spellings for Enum entries ("exact|greedy"), empty otherwise.
+  std::string_view values;
+  std::string_view help;
+
+  /// Parse + validate `value` (string spelling: "true", "0.25", "greedy")
+  /// into the PlanOptions field. Returns std::nullopt on success, or a
+  /// diagnostic suitable for CLI and wire error messages.
+  std::optional<std::string> (*set)(PlanOptions&, std::string_view value);
+  /// Canonical string spelling of the current value (inverse of set).
+  /// Unset optional values render as "" — serializers omit the field.
+  std::string (*get)(const PlanOptions&);
+};
+
+/// The full table, in stable documentation order.
+[[nodiscard]] std::span<const PlanOptionSpec> plan_option_specs();
+
+/// Row lookup by either spelling (CLI or JSON key); nullptr when unknown.
+[[nodiscard]] const PlanOptionSpec* find_plan_option(std::string_view key);
+
+/// Convenience: find + set. Unknown keys report a diagnostic listing the
+/// valid spellings.
+[[nodiscard]] std::optional<std::string> apply_plan_option(
+    PlanOptions& options, std::string_view key, std::string_view value);
+
+}  // namespace h2h

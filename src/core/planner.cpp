@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <string_view>
 #include <utility>
 
@@ -41,6 +42,25 @@ using Clock = std::chrono::steady_clock;
 [[nodiscard]] std::uint64_t zoo_session_key(ZooModel id) {
   return fnv_mix(fnv_mix(1469598103934665603ULL, std::string_view("zoo")),
                  static_cast<std::uint64_t>(id));
+}
+
+/// Shard selector over the full session key (model, batch, bw).
+[[nodiscard]] std::uint64_t session_shard_hash(std::uint64_t model_key,
+                                               std::uint32_t batch,
+                                               double bw) noexcept {
+  std::uint64_t h = fnv_mix(1469598103934665603ULL, model_key);
+  h = fnv_mix(h, batch);
+  std::uint64_t bw_bits = 0;
+  static_assert(sizeof(bw_bits) == sizeof(bw));
+  std::memcpy(&bw_bits, &bw, sizeof(bw_bits));
+  return fnv_mix(h, bw_bits);
+}
+
+[[nodiscard]] std::size_t per_shard_capacity(
+    const PlannerOptions& options) noexcept {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  const std::size_t cap = std::max<std::size_t>(1, options.max_sessions);
+  return std::max<std::size_t>(1, (cap + shards - 1) / shards);
 }
 
 }  // namespace
@@ -160,8 +180,11 @@ PlanResponse run_passes(const Simulator& sim, const PassPipeline& pipeline,
 /// One cached scenario: an owned model copy (at the request batch), the
 /// system it runs on (owned at the request BW_acc, or the Planner-wide
 /// shared one), and the Simulator whose CostTable is the reusable state.
-/// Heap-allocated so the Simulator's internal pointers survive cache
-/// reordering/eviction of *other* sessions.
+/// Shared ownership: the cache holds one reference and every in-flight
+/// request holds another, so evicting a session another thread is planning
+/// on only drops the cache's reference. Once built, a session is read-only
+/// (the one exception — the shared-system lazy CostTable rebuild — happens
+/// under the shard lock in checkout(), before the session is handed out).
 struct Planner::Session {
   std::uint64_t model_key = 0;
   double bw_acc = 0;  // key component; 0 in shared-system mode
@@ -170,21 +193,79 @@ struct Planner::Session {
   std::optional<SystemConfig> owned_sys;
   const SystemConfig* sys = nullptr;
   std::optional<Simulator> sim;
+
+  [[nodiscard]] bool matches(std::uint64_t key, std::uint32_t b,
+                             double bw) const noexcept {
+    return model_key == key && batch == b && bw_acc == bw;
+  }
 };
 
-Planner::Planner() = default;
-Planner::Planner(PlannerOptions options) : options_(std::move(options)) {}
-Planner::Planner(const SystemConfig& shared_system) {
-  options_.shared_system = &shared_system;
+/// One lock shard of the session cache: an independent LRU list under its
+/// own mutex. Sessions hash to a shard by key, so requests for different
+/// shards never contend, and the per-shard mutex is held only for the
+/// list scan / insert / evict — never across a pipeline run or a cold
+/// session build.
+struct Planner::Shard {
+  mutable std::mutex mu;
+  std::vector<std::shared_ptr<Session>> lru;  // most recently used first
+};
+
+Planner::Planner() : Planner(PlannerOptions{}) {}
+Planner::Planner(PlannerOptions options) : options_(std::move(options)) {
+  const std::size_t n = std::max<std::size_t>(1, options_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
 }
+Planner::Planner(const SystemConfig& shared_system) : Planner([&] {
+  PlannerOptions options;
+  options.shared_system = &shared_system;
+  return options;
+}()) {}
 Planner::~Planner() = default;
-Planner::Planner(Planner&&) noexcept = default;
-Planner& Planner::operator=(Planner&&) noexcept = default;
 
-void Planner::clear_sessions() noexcept { sessions_.clear(); }
+// Manual moves: the hit/miss counters are atomics (not movable); shards move
+// by pointer. A moved-from Planner may only be destroyed or assigned to.
+Planner::Planner(Planner&& other) noexcept
+    : options_(std::move(other.options_)),
+      shards_(std::move(other.shards_)),
+      hits_(other.hits_.load(std::memory_order_relaxed)),
+      misses_(other.misses_.load(std::memory_order_relaxed)) {}
 
-Planner::Session& Planner::session_for(const PlanRequest& request,
-                                       double& setup_seconds, bool& warm) {
+Planner& Planner::operator=(Planner&& other) noexcept {
+  if (this != &other) {
+    options_ = std::move(other.options_);
+    shards_ = std::move(other.shards_);
+    hits_.store(other.hits_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    misses_.store(other.misses_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+std::size_t Planner::session_count() const noexcept {
+  std::size_t n = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+void Planner::clear_sessions() noexcept {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+  }
+}
+
+Planner::Shard& Planner::shard_for(std::uint64_t key_hash) const noexcept {
+  return *shards_[key_hash % shards_.size()];
+}
+
+std::shared_ptr<Planner::Session> Planner::session_for(
+    const PlanRequest& request, double& setup_seconds, bool& warm) {
   H2H_EXPECTS(request.model.has_value() != (request.graph != nullptr));
 
   const std::uint64_t model_key = request.model
@@ -198,33 +279,47 @@ Planner::Session& Planner::session_for(const PlanRequest& request,
   const double bw_key =
       options_.shared_system != nullptr ? 0.0 : request.bw_acc;
 
-  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
-    Session& s = **it;
-    if (s.model_key == model_key && s.batch == batch && s.bw_acc == bw_key) {
-      std::rotate(sessions_.begin(), it, it + 1);  // most recently used first
-      ++hits_;
-      Session& front = *sessions_.front();
-      if (front.sim->costs_fresh()) {
+  const auto checkout = [&](Shard& shard) -> std::shared_ptr<Session> {
+    // Caller holds shard.mu.
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      if (!(*it)->matches(model_key, batch, bw_key)) continue;
+      std::rotate(shard.lru.begin(), it, it + 1);  // most recent first
+      const std::shared_ptr<Session>& front = shard.lru.front();
+      if (front->sim->costs_fresh()) {
         warm = true;
         setup_seconds = 0;
       } else {
         // Shared-system mode and the borrowed system's knobs moved
-        // (set_bw_acc): rebuild now so the cost lands in setup_seconds,
-        // not in the search-time window, and the response is not
-        // misreported as warm.
+        // (set_bw_acc): rebuild now — under the shard lock, so the handed-
+        // out Simulator is always fresh and read-only — billing the cost to
+        // setup_seconds, not the search-time window, and the response is
+        // not misreported as warm.
         const auto t0 = Clock::now();
-        (void)front.sim->costs();
+        (void)front->sim->costs();
         setup_seconds = seconds_since(t0);
         warm = false;
       }
       return front;
     }
+    return nullptr;
+  };
+
+  Shard& shard = shard_for(session_shard_hash(model_key, batch, bw_key));
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    if (std::shared_ptr<Session> hit = checkout(shard)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return hit;
+    }
   }
 
-  ++misses_;
+  // Cold miss: build the session entirely outside the lock (concurrent
+  // misses for different keys construct in parallel) and insert only the
+  // finished product — a build that throws leaves the cache untouched.
+  misses_.fetch_add(1, std::memory_order_relaxed);
   warm = false;
   const auto t0 = Clock::now();
-  auto s = std::make_unique<Session>();
+  auto s = std::make_shared<Session>();
   s->model_key = model_key;
   s->batch = batch;
   s->bw_acc = bw_key;
@@ -244,15 +339,31 @@ Planner::Session& Planner::session_for(const PlanRequest& request,
   s->sim.emplace(*s->model, *s->sys);  // builds the CostTable eagerly
   setup_seconds = seconds_since(t0);
 
-  sessions_.insert(sessions_.begin(), std::move(s));
-  const std::size_t cap = std::max<std::size_t>(1, options_.max_sessions);
-  if (sessions_.size() > cap) sessions_.resize(cap);  // LRU eviction
+  const double paid_setup = setup_seconds;
+  std::size_t cached = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    // Another thread may have built the same key while we did: keep the
+    // first insert as the canonical session and discard ours (this request
+    // still reports the cold build it actually paid).
+    if (std::shared_ptr<Session> raced = checkout(shard)) {
+      warm = false;
+      setup_seconds = paid_setup;
+      return raced;
+    }
+    shard.lru.insert(shard.lru.begin(), s);
+    // Explicit LRU eviction, after the finished session went in: pop
+    // expired entries off the cold end. In-flight requests keep evicted
+    // sessions alive through their own shared_ptr reference.
+    const std::size_t cap = per_shard_capacity(options_);
+    while (shard.lru.size() > cap) shard.lru.pop_back();
+    cached = shard.lru.size();
+  }
   log_debug(strformat("Planner: built session for '%s' (bw=%.3g batch=%u) "
-                      "in %.3fs, %zu cached",
-                      sessions_.front()->model->name().c_str(),
-                      sessions_.front()->sys->host().bw_acc, batch,
-                      setup_seconds, sessions_.size()));
-  return *sessions_.front();
+                      "in %.3fs, %zu cached in shard",
+                      s->model->name().c_str(), s->sys->host().bw_acc, batch,
+                      setup_seconds, cached));
+  return s;
 }
 
 PlanResponse Planner::plan(const PlanRequest& request) {
@@ -264,11 +375,21 @@ PlanResponse Planner::plan(const PlanRequest& request,
                            const PassPipeline& pipeline) {
   double setup_seconds = 0;
   bool warm = false;
-  Session& session = session_for(request, setup_seconds, warm);
-  PlanResponse r = run_passes(*session.sim, pipeline, request.time_budget_s);
+  const std::shared_ptr<Session> session =
+      session_for(request, setup_seconds, warm);
+  PlanResponse r =
+      run_passes(*session->sim, pipeline, request.options.time_budget_s);
   r.setup_seconds = setup_seconds;
   r.warm = warm;
   return r;
+}
+
+PlanResponse plan_once(const ModelGraph& model, const SystemConfig& sys,
+                       PlanOptions options) {
+  model.validate();
+  const Simulator sim(model, sys);
+  return run_passes(sim, make_default_pipeline(options),
+                    options.time_budget_s);
 }
 
 }  // namespace h2h

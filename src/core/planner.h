@@ -24,13 +24,24 @@
 //
 // Behind the facade every request runs a pass pipeline (mapping_pass.h);
 // plan() without an explicit pipeline assembles the paper's four steps from
-// the request's toggles. Planner is not thread-safe — shard one instance per
-// worker thread.
+// the request's toggles.
+//
+// Thread safety (DESIGN.md §8): concurrent plan() calls on one Planner are
+// safe. The session cache is sharded by session key (one mutex per shard);
+// each in-flight request gets its own mutable Mapping/LocalityPlan/
+// PassContext, and a session's Simulator/CostTable are read-only once built,
+// so N threads can answer from the same warm session without contention.
+// Sessions are reference-counted: evicting one that another thread is still
+// planning on only drops the cache's reference. The one sharing caveat is
+// shared-system mode: mutating the borrowed SystemConfig (set_bw_acc) while
+// requests are in flight is a data race and is forbidden — quiesce first.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +67,9 @@ struct PlanOptions {
   bool run_weight_locality = true;
   /// Disable step 3 (same caveat as run_weight_locality).
   bool run_fusion = true;
+  /// Wall-clock budget for the whole search; the remapping pass stops
+  /// cleanly when it is exhausted (PlanResponse::stopped_on_budget).
+  std::optional<double> time_budget_s;
 };
 
 struct StepSnapshot {
@@ -77,11 +91,11 @@ struct PlanRequest {
   /// batch (or 1 for zoo models).
   std::uint32_t batch = 0;
   /// Per-step toggles/options, including the remap objective
-  /// (options.remap.objective).
+  /// (options.remap.objective) and the search time budget
+  /// (options.time_budget_s). Every knob here has a string spelling in
+  /// core/plan_options.h — the same table drives the CLI flags and the
+  /// serve wire schema.
   PlanOptions options;
-  /// Wall-clock budget for the whole search; the remapping pass stops
-  /// cleanly when it is exhausted (PlanResponse::stopped_on_budget).
-  std::optional<double> time_budget_s;
   /// Seed the pipeline from a prior response's mapping instead of running
   /// step 1 (must belong to the same model). Caller-owned.
   const Mapping* warm_start = nullptr;
@@ -112,7 +126,7 @@ struct PlanResponse {
   double setup_seconds = 0;
   /// True when the session cache served this request without rebuilding.
   bool warm = false;
-  /// True when remapping stopped on PlanRequest::time_budget_s before
+  /// True when remapping stopped on PlanOptions::time_budget_s before
   /// converging.
   bool stopped_on_budget = false;
 
@@ -166,7 +180,13 @@ struct PlannerOptions {
   const SystemConfig* shared_system = nullptr;
   /// Session-cache capacity (least-recently-used eviction). The default
   /// holds the full paper sweep (6 models x 5 bandwidths) twice over.
+  /// Capacity is enforced per shard at ceil(max_sessions / shards), so a
+  /// skewed key distribution evicts earlier than a global LRU would.
   std::size_t max_sessions = 64;
+  /// Lock shards of the session cache: sessions hash to a shard by key and
+  /// concurrent requests for different shards never contend. 1 reproduces
+  /// the exact global-LRU semantics (tests pin eviction order with it).
+  std::size_t shards = 4;
 };
 
 class Planner {
@@ -179,35 +199,53 @@ class Planner {
   /// pointer, so a temporary would dangle.
   explicit Planner(SystemConfig&&) = delete;
   ~Planner();  // out of line: Session is incomplete here
+  /// Moving a Planner with requests in flight is a data race; move only
+  /// while quiescent (construction/teardown paths).
   Planner(Planner&&) noexcept;
   Planner& operator=(Planner&&) noexcept;
 
-  /// Plan with the default pipeline assembled from the request.
+  /// Plan with the default pipeline assembled from the request. Safe to
+  /// call from multiple threads concurrently.
   [[nodiscard]] PlanResponse plan(const PlanRequest& request);
   /// Plan with a caller-assembled pipeline (baseline variants, dynamic
   /// modality) over the same session cache.
   [[nodiscard]] PlanResponse plan(const PlanRequest& request,
                                   const PassPipeline& pipeline);
 
-  [[nodiscard]] std::size_t session_count() const noexcept {
-    return sessions_.size();
+  /// Cached sessions across all shards (exact while quiescent; a snapshot
+  /// under concurrent traffic).
+  [[nodiscard]] std::size_t session_count() const noexcept;
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t cache_misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
   /// Drop all cached sessions (the next request of each key is cold).
+  /// Sessions still in use by in-flight requests stay alive until those
+  /// requests return.
   void clear_sessions() noexcept;
 
  private:
   struct Session;
+  struct Shard;
 
-  [[nodiscard]] Session& session_for(const PlanRequest& request,
-                                     double& setup_seconds, bool& warm);
+  [[nodiscard]] Shard& shard_for(std::uint64_t key_hash) const noexcept;
+  [[nodiscard]] std::shared_ptr<Session> session_for(
+      const PlanRequest& request, double& setup_seconds, bool& warm);
 
   PlannerOptions options_;
-  std::vector<std::unique_ptr<Session>> sessions_;  // most recent first
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
+
+/// One-shot convenience: build the cost state for (model, sys), run the
+/// default pipeline once, and throw the state away. Exactly what the
+/// deprecated H2HMapper did — prefer a Planner anywhere a scenario repeats.
+[[nodiscard]] PlanResponse plan_once(const ModelGraph& model,
+                                     const SystemConfig& sys,
+                                     PlanOptions options = {});
 
 /// Structural fingerprint of a model (name, dtype, layer shapes/params,
 /// edges; batch excluded — it is a separate cache-key component). Two graphs

@@ -28,8 +28,11 @@
 #include "accel/tiling.h"
 #include "core/baselines.h"
 #include "core/dynamic_modality.h"
-#include "core/h2h_mapper.h"
+#if defined(H2H_ENABLE_DEPRECATED)
+#include "core/h2h_mapper.h"  // legacy one-shot facade, deprecated
+#endif
 #include "core/mapping_pass.h"
+#include "core/plan_options.h"
 #include "core/planner.h"
 #include "model/blocks.h"
 #include "model/summary.h"

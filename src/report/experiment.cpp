@@ -19,18 +19,18 @@ StepSeries series_from(const PlanResponse& r) {
 }  // namespace
 
 StepSeries run_experiment_on(const ModelGraph& model, const SystemConfig& sys,
-                             const H2HOptions& options) {
+                             const PlanOptions& options) {
   model.validate();
   const Simulator sim(model, sys);
   return series_from(run_passes(sim, make_default_pipeline(options)));
 }
 
 StepSeries run_experiment(Planner& planner, ZooModel model,
-                          BandwidthSetting bw, const H2HOptions& options,
+                          BandwidthSetting bw, const PlanOptions& options,
                           std::optional<double> time_budget_s) {
   PlanRequest request = PlanRequest::zoo(model, bw);
   request.options = options;
-  request.time_budget_s = time_budget_s;
+  if (time_budget_s) request.options.time_budget_s = time_budget_s;
   StepSeries s = series_from(planner.plan(request));
   s.model = model;
   s.bw = bw;
@@ -38,13 +38,13 @@ StepSeries run_experiment(Planner& planner, ZooModel model,
 }
 
 StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
-                          const H2HOptions& options) {
+                          const PlanOptions& options) {
   Planner planner;
   return run_experiment(planner, model, bw, options);
 }
 
 std::vector<StepSeries> run_full_sweep(Planner& planner,
-                                       const H2HOptions& options,
+                                       const PlanOptions& options,
                                        std::optional<double> time_budget_s) {
   std::vector<StepSeries> out;
   for (const ZooInfo& info : zoo_catalog()) {
@@ -56,7 +56,7 @@ std::vector<StepSeries> run_full_sweep(Planner& planner,
   return out;
 }
 
-std::vector<StepSeries> run_full_sweep(const H2HOptions& options) {
+std::vector<StepSeries> run_full_sweep(const PlanOptions& options) {
   Planner planner;
   return run_full_sweep(planner, options);
 }

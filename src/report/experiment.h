@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/baselines.h"
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "model/zoo.h"
 
 namespace h2h {
@@ -43,26 +43,26 @@ struct StepSeries {
 /// caller's session cache. `time_budget_s` bounds each cell's search.
 [[nodiscard]] StepSeries run_experiment(
     Planner& planner, ZooModel model, BandwidthSetting bw,
-    const H2HOptions& options = {},
+    const PlanOptions& options = {},
     std::optional<double> time_budget_s = std::nullopt);
 
 /// One-shot convenience (cold every call; prefer the Planner overload).
 [[nodiscard]] StepSeries run_experiment(ZooModel model, BandwidthSetting bw,
-                                        const H2HOptions& options = {});
+                                        const PlanOptions& options = {});
 
 /// As run_experiment but on a caller-provided model/system (ablations).
 [[nodiscard]] StepSeries run_experiment_on(const ModelGraph& model,
                                            const SystemConfig& sys,
-                                           const H2HOptions& options = {});
+                                           const PlanOptions& options = {});
 
 /// The paper's full sweep: 6 models x 5 bandwidth settings, paper order,
 /// through the caller's session cache.
 [[nodiscard]] std::vector<StepSeries> run_full_sweep(
-    Planner& planner, const H2HOptions& options = {},
+    Planner& planner, const PlanOptions& options = {},
     std::optional<double> time_budget_s = std::nullopt);
 
 /// One-shot convenience: runs the sweep on a private Planner.
 [[nodiscard]] std::vector<StepSeries> run_full_sweep(
-    const H2HOptions& options = {});
+    const PlanOptions& options = {});
 
 }  // namespace h2h

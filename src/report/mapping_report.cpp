@@ -7,7 +7,7 @@
 namespace h2h {
 
 void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
-                          const H2HResult& result, std::ostream& out,
+                          const PlanResponse& result, std::ostream& out,
                           const MappingReportOptions& options) {
   const ScheduleResult& sched = result.final_result();
 

@@ -5,7 +5,7 @@
 
 #include <ostream>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "system/schedule_analysis.h"
 
 namespace h2h {
@@ -18,7 +18,7 @@ struct MappingReportOptions {
 
 /// Render a complete report of `result` for `model` on `sys`.
 void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
-                          const H2HResult& result, std::ostream& out,
+                          const PlanResponse& result, std::ostream& out,
                           const MappingReportOptions& options = {});
 
 }  // namespace h2h

@@ -1,0 +1,447 @@
+#include "serve/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+#include "util/str.h"
+
+namespace h2h::json {
+
+std::span<const Object::Member> Object::members() const noexcept {
+  return members_;
+}
+
+std::size_t Object::size() const noexcept { return members_.size(); }
+
+const Value* Object::find(std::string_view key) const noexcept {
+  for (const Member& m : members_) {
+    if (m.key == key) return &m.value;
+  }
+  return nullptr;
+}
+
+void Object::set(std::string key, Value value) {
+  for (Member& m : members_) {
+    if (m.key == key) {
+      m.value = std::move(value);
+      return;
+    }
+  }
+  members_.push_back(Member{std::move(key), std::move(value)});
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[byte >> 4];
+          out += kHex[byte & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  // The wire schema never carries non-finite values; the parser rejects
+  // them too, so round-trip stability holds.
+  H2H_EXPECTS(std::isfinite(d));
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  H2H_ASSERT(ec == std::errc());
+  out.append(buf, end);
+}
+
+void dump_value(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    dump_number(v.as_number(), out);
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      dump_value(e, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const Object::Member& m : v.as_object().members()) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(m.key, out);
+      out += ':';
+      dump_value(m.value, out);
+    }
+    out += '}';
+  }
+}
+
+/// Recursive-descent parser over a string_view. Errors are reported via a
+/// sticky (message, offset) pair; once set, parsing unwinds.
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  [[nodiscard]] ParseResult run() {
+    Value v = parse_value(0);
+    if (failed_) return {std::nullopt, error_, error_offset_};
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return {std::nullopt, "trailing characters after JSON document", pos_};
+    }
+    return {std::move(v), {}, 0};
+  }
+
+ private:
+  [[nodiscard]] Value fail(std::string message) {
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(message);
+      error_offset_ = pos_;
+    }
+    return Value();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  [[nodiscard]] Value parse_value(std::size_t depth) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return parse_string_value();
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        return fail(strformat("unexpected character '%c'", c));
+    }
+  }
+
+  [[nodiscard]] Value parse_object(std::size_t depth) {
+    if (depth >= max_depth_) return fail("nesting too deep");
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return Value();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      Value v = parse_value(depth + 1);
+      if (failed_) return Value();
+      if (obj.find(key) != nullptr) {
+        return fail(strformat("duplicate object key '%s'", key.c_str()));
+      }
+      obj.set(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  [[nodiscard]] Value parse_array(std::size_t depth) {
+    if (depth >= max_depth_) return fail("nesting too deep");
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      Value v = parse_value(depth + 1);
+      if (failed_) return Value();
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value(std::move(arr));
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  [[nodiscard]] Value parse_string_value() {
+    std::string s;
+    if (!parse_string(s)) return Value();
+    return Value(std::move(s));
+  }
+
+  /// Parses a quoted string starting at pos_. Returns false (with the error
+  /// recorded) on malformed input.
+  [[nodiscard]] bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        (void)fail("unescaped control character in string");
+        return false;
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) {
+        (void)fail("unterminated escape");
+        return false;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              (void)fail("unpaired surrogate");
+              return false;
+            }
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xdc00 || lo > 0xdfff) {
+              (void)fail("invalid low surrogate");
+              return false;
+            }
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            (void)fail("unpaired surrogate");
+            return false;
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default:
+          (void)fail("invalid escape");
+          return false;
+      }
+    }
+    (void)fail("unterminated string");
+    return false;
+  }
+
+  [[nodiscard]] bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      (void)fail("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        (void)fail("invalid \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xc0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xe0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  [[nodiscard]] Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    // Grammar check before from_chars: strict JSON forbids leading zeros,
+    // bare '.', and '1.'-style numbers that from_chars would accept.
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    const std::size_t int_len = pos_ - int_start;
+    if (int_len == 0) return fail("invalid number");
+    if (int_len > 1 && text_[int_start] == '0') {
+      return fail("leading zeros are not allowed");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) return fail("digits required after '.'");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return fail("digits required in exponent");
+    }
+    double d = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_ ||
+        !std::isfinite(d)) {
+      return fail("number out of range");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  std::size_t max_depth_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t error_offset_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_value(value, out);
+  return out;
+}
+
+ParseResult parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace h2h::json

@@ -1,0 +1,130 @@
+// Minimal strict JSON for the serve wire protocol (DESIGN.md §8). No
+// third-party dependency: the container ships nothing, so the protocol
+// carries its own codec.
+//
+// Determinism is the design center — the serve smoke tests diff responses
+// byte-for-byte against pinned fixtures and against `h2h map --json`:
+//  - Objects preserve insertion order (no sorting, no hashing), so a
+//    document serializes the way it was built.
+//  - Numbers serialize via std::to_chars shortest round-trip form; for any
+//    document this codec produced, serialize -> parse -> re-serialize is
+//    byte-stable (property-tested in test_serve_json.cpp).
+//  - dump() emits no insignificant whitespace.
+//
+// The parser is strict JSON (RFC 8259): no comments, no trailing commas, no
+// NaN/Infinity literals. Numbers land in doubles (integers beyond 2^53
+// round — the wire schema has none). Nesting depth is capped so hostile
+// input cannot exhaust the stack.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace h2h::json {
+
+class Value;
+using Array = std::vector<Value>;
+
+/// An insertion-ordered string -> Value map. Lookup is a linear scan: wire
+/// objects have a handful of members.
+class Object {
+ public:
+  struct Member;
+
+  [[nodiscard]] std::span<const Member> members() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+  /// The member's value, or nullptr when absent.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+  /// Append (or overwrite) a member, keeping first-insertion order.
+  void set(std::string key, Value value);
+
+ private:
+  std::vector<Member> members_;
+};
+
+class Value {
+ public:
+  Value() noexcept : v_(nullptr) {}
+  Value(std::nullptr_t) noexcept : v_(nullptr) {}
+  Value(bool b) noexcept : v_(b) {}
+  Value(double d) noexcept : v_(d) {}
+  Value(int i) noexcept : v_(static_cast<double>(i)) {}
+  Value(unsigned i) noexcept : v_(static_cast<double>(i)) {}
+  Value(std::string s) noexcept : v_(std::move(s)) {}
+  Value(std::string_view s) : v_(std::string(s)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(Array a) noexcept : v_(std::move(a)) {}
+  Value(Object o) noexcept : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  [[nodiscard]] bool as_bool() const {
+    H2H_EXPECTS(is_bool());
+    return std::get<bool>(v_);
+  }
+  [[nodiscard]] double as_number() const {
+    H2H_EXPECTS(is_number());
+    return std::get<double>(v_);
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    H2H_EXPECTS(is_string());
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const {
+    H2H_EXPECTS(is_array());
+    return std::get<Array>(v_);
+  }
+  [[nodiscard]] const Object& as_object() const {
+    H2H_EXPECTS(is_object());
+    return std::get<Object>(v_);
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+struct Object::Member {
+  std::string key;
+  Value value;
+};
+
+/// Serialize with the deterministic formatting documented above.
+[[nodiscard]] std::string dump(const Value& value);
+
+struct ParseResult {
+  std::optional<Value> value;  // set on success
+  std::string error;           // set on failure
+  std::size_t offset = 0;      // byte offset of the failure
+};
+
+/// Strict parse of exactly one JSON document (trailing garbage is an
+/// error). `max_depth` caps array/object nesting.
+[[nodiscard]] ParseResult parse(std::string_view text,
+                                std::size_t max_depth = 64);
+
+}  // namespace h2h::json

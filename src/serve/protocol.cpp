@@ -1,0 +1,336 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "serve/json.h"
+#include "util/str.h"
+
+namespace h2h::serve {
+namespace {
+
+constexpr std::uint32_t kMaxBatch = 4096;
+
+[[nodiscard]] std::string known_zoo_keys() {
+  std::string keys;
+  for (const ZooInfo& info : zoo_catalog()) {
+    if (!keys.empty()) keys += ", ";
+    keys += info.key;
+  }
+  return keys;
+}
+
+/// Canonical-string -> JSON value for one option row (inverse of the string
+/// conversion parse_options does). Unset options return null.
+[[nodiscard]] json::Value option_value(const PlanOptionSpec& spec,
+                                       const PlanOptions& options) {
+  const std::string v = spec.get(options);
+  if (v.empty()) return json::Value(nullptr);
+  switch (spec.kind) {
+    case PlanOptionSpec::Kind::Bool:
+      return json::Value(v == "true");
+    case PlanOptionSpec::Kind::Double: {
+      double d = 0;
+      const auto [ptr, ec] =
+          std::from_chars(v.data(), v.data() + v.size(), d);
+      H2H_ASSERT(ec == std::errc() && ptr == v.data() + v.size());
+      return json::Value(d);
+    }
+    case PlanOptionSpec::Kind::Enum:
+      return json::Value(v);
+  }
+  H2H_ASSERT(false);
+  return json::Value(nullptr);
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::ParseError:
+      return "parse_error";
+    case ErrorCode::SchemaVersion:
+      return "schema_version";
+    case ErrorCode::UnknownField:
+      return "unknown_field";
+    case ErrorCode::BadField:
+      return "bad_field";
+    case ErrorCode::UnknownModel:
+      return "unknown_model";
+    case ErrorCode::PlanFailed:
+      return "plan_failed";
+  }
+  return "unknown";
+}
+
+std::variant<WireRequest, WireError> parse_request(std::string_view line) {
+  const json::ParseResult parsed = json::parse(line);
+  if (!parsed.value) {
+    return WireError{ErrorCode::ParseError,
+                     strformat("byte %zu: %s", parsed.offset,
+                               parsed.error.c_str()),
+                     {}};
+  }
+  if (!parsed.value->is_object()) {
+    return WireError{ErrorCode::ParseError, "request must be a JSON object",
+                     {}};
+  }
+  const json::Object& root = parsed.value->as_object();
+
+  WireRequest req;
+  // id first, so every later error can echo it.
+  if (const json::Value* id = root.find("id")) {
+    if (!id->is_string()) {
+      return WireError{ErrorCode::BadField, "id: expected a string", {}};
+    }
+    req.id = id->as_string();
+  }
+  const auto fail = [&req](ErrorCode code, std::string message) {
+    return WireError{code, std::move(message), req.id};
+  };
+
+  const json::Value* version = root.find("schema_version");
+  if (version == nullptr) {
+    return fail(ErrorCode::SchemaVersion,
+                strformat("missing schema_version (this server speaks %d)",
+                          kSchemaVersion));
+  }
+  if (!version->is_number() ||
+      version->as_number() != static_cast<double>(kSchemaVersion)) {
+    return fail(ErrorCode::SchemaVersion,
+                strformat("unsupported schema_version (this server speaks %d)",
+                          kSchemaVersion));
+  }
+
+  const json::Value* model = root.find("model");
+  if (model == nullptr || !model->is_string()) {
+    return fail(ErrorCode::BadField,
+                "model: expected a string zoo key (required)");
+  }
+  const std::optional<ZooModel> zoo = zoo_model_by_key(model->as_string());
+  if (!zoo) {
+    return fail(ErrorCode::UnknownModel,
+                strformat("unknown model '%s' (known: %s)",
+                          model->as_string().c_str(),
+                          known_zoo_keys().c_str()));
+  }
+  req.model = *zoo;
+
+  if (const json::Value* bw = root.find("bw_gbps")) {
+    if (!bw->is_number() || !(bw->as_number() > 0)) {
+      return fail(ErrorCode::BadField, "bw_gbps: expected a positive number");
+    }
+    req.bw_gbps = bw->as_number();
+  }
+
+  if (const json::Value* batch = root.find("batch")) {
+    const double b = batch->is_number() ? batch->as_number() : -1;
+    if (b < 1 || b > kMaxBatch || b != std::floor(b)) {
+      return fail(ErrorCode::BadField,
+                  strformat("batch: expected an integer in [1, %u]",
+                            kMaxBatch));
+    }
+    req.batch = static_cast<std::uint32_t>(b);
+  }
+
+  if (const json::Value* options = root.find("options")) {
+    if (!options->is_object()) {
+      return fail(ErrorCode::BadField, "options: expected an object");
+    }
+    for (const json::Object::Member& m : options->as_object().members()) {
+      // The wire spelling is the table's json_key, exactly — the kebab-case
+      // CLI spelling is rejected here so the schema has one name per knob.
+      const PlanOptionSpec* spec = nullptr;
+      for (const PlanOptionSpec& s : plan_option_specs()) {
+        if (m.key == s.json_key) {
+          spec = &s;
+          break;
+        }
+      }
+      if (spec == nullptr) {
+        return fail(ErrorCode::UnknownField,
+                    strformat("options.%s: unknown option", m.key.c_str()));
+      }
+      std::string spelled;
+      switch (spec->kind) {
+        case PlanOptionSpec::Kind::Bool:
+          if (!m.value.is_bool()) {
+            return fail(ErrorCode::BadField,
+                        strformat("options.%s: expected a boolean",
+                                  m.key.c_str()));
+          }
+          spelled = m.value.as_bool() ? "true" : "false";
+          break;
+        case PlanOptionSpec::Kind::Double: {
+          if (!m.value.is_number()) {
+            return fail(ErrorCode::BadField,
+                        strformat("options.%s: expected a number",
+                                  m.key.c_str()));
+          }
+          char buf[32];
+          const auto [end, ec] =
+              std::to_chars(buf, buf + sizeof(buf), m.value.as_number());
+          H2H_ASSERT(ec == std::errc());
+          spelled.assign(buf, end);
+          break;
+        }
+        case PlanOptionSpec::Kind::Enum:
+          if (!m.value.is_string()) {
+            return fail(ErrorCode::BadField,
+                        strformat("options.%s: expected one of %.*s",
+                                  m.key.c_str(),
+                                  static_cast<int>(spec->values.size()),
+                                  spec->values.data()));
+          }
+          spelled = m.value.as_string();
+          break;
+      }
+      if (std::optional<std::string> err = spec->set(req.options, spelled)) {
+        return fail(ErrorCode::BadField,
+                    strformat("options.%s: %s", m.key.c_str(), err->c_str()));
+      }
+    }
+  }
+
+  if (const json::Value* emit = root.find("emit")) {
+    if (!emit->is_object()) {
+      return fail(ErrorCode::BadField, "emit: expected an object");
+    }
+    for (const json::Object::Member& m : emit->as_object().members()) {
+      bool* target = nullptr;
+      if (m.key == "mapping") {
+        target = &req.emit_mapping;
+      } else if (m.key == "steps") {
+        target = &req.emit_steps;
+      } else if (m.key == "timing") {
+        target = &req.emit_timing;
+      } else {
+        return fail(ErrorCode::UnknownField,
+                    strformat("emit.%s: unknown field (valid: mapping, "
+                              "steps, timing)",
+                              m.key.c_str()));
+      }
+      if (!m.value.is_bool()) {
+        return fail(ErrorCode::BadField,
+                    strformat("emit.%s: expected a boolean", m.key.c_str()));
+      }
+      *target = m.value.as_bool();
+    }
+  }
+
+  for (const json::Object::Member& m : root.members()) {
+    if (m.key != "schema_version" && m.key != "id" && m.key != "model" &&
+        m.key != "bw_gbps" && m.key != "batch" && m.key != "options" &&
+        m.key != "emit") {
+      return fail(ErrorCode::UnknownField,
+                  strformat("%s: unknown field", m.key.c_str()));
+    }
+  }
+  return req;
+}
+
+PlanRequest to_plan_request(const WireRequest& request) {
+  PlanRequest plan = PlanRequest::zoo(request.model, request.bw_gbps * 1e9,
+                                      request.batch);
+  plan.options = request.options;
+  return plan;
+}
+
+std::string write_response(const WireRequest& request,
+                           const PlanResponse& response,
+                           const ModelGraph& model, const SystemConfig& sys) {
+  json::Object root;
+  root.set("schema_version", kSchemaVersion);
+  if (!request.id.empty()) root.set("id", request.id);
+  root.set("ok", true);
+  root.set("model", zoo_info(request.model).key);
+  root.set("bw_gbps", request.bw_gbps);
+  root.set("batch", request.batch == 0 ? 1u : request.batch);
+
+  // Echo every knob at its canonical value so a response is a complete
+  // record of what was planned, defaults included.
+  json::Object options;
+  for (const PlanOptionSpec& spec : plan_option_specs()) {
+    json::Value v = option_value(spec, request.options);
+    if (v.is_null()) continue;  // unset optional (time_budget_s)
+    options.set(std::string(spec.json_key), std::move(v));
+  }
+  root.set("options", std::move(options));
+
+  const ScheduleResult& fin = response.final_result();
+  root.set("latency_s", fin.latency);
+  root.set("energy_j", fin.energy.total());
+  root.set("comp_ratio", fin.comp_ratio());
+  root.set("stopped_on_budget", response.stopped_on_budget);
+
+  if (request.emit_steps) {
+    json::Array steps;
+    for (const StepSnapshot& step : response.steps) {
+      json::Object s;
+      s.set("name", step.name);
+      s.set("latency_s", step.result.latency);
+      s.set("energy_j", step.result.energy.total());
+      steps.push_back(json::Value(std::move(s)));
+    }
+    root.set("steps", std::move(steps));
+  }
+
+  if (request.emit_mapping) {
+    std::vector<LayerId> order = model.all_layers();
+    std::sort(order.begin(), order.end(),
+              [&response](LayerId l, LayerId r) {
+                return response.mapping.seq_of(l) <
+                       response.mapping.seq_of(r);
+              });
+    json::Array layers;
+    for (const LayerId id : order) {
+      if (model.layer(id).kind == LayerKind::Input) continue;
+      json::Object entry;
+      entry.set("layer", model.layer(id).name);
+      entry.set("acc", sys.spec(response.mapping.acc_of(id)).name);
+      if (response.plan.pinned(id)) entry.set("pinned", true);
+      layers.push_back(json::Value(std::move(entry)));
+    }
+    json::Array fused;
+    for (const LayerId id : order) {
+      const auto preds = model.graph().preds(id);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (!response.plan.fused_in(id, i)) continue;
+        json::Object edge;
+        edge.set("from", model.layer(preds[i]).name);
+        edge.set("to", model.layer(id).name);
+        fused.push_back(json::Value(std::move(edge)));
+      }
+    }
+    json::Object mapping;
+    mapping.set("layers", std::move(layers));
+    mapping.set("fused", std::move(fused));
+    root.set("mapping", std::move(mapping));
+  }
+
+  if (request.emit_timing) {
+    json::Object timing;
+    timing.set("warm", response.warm);
+    timing.set("setup_s", response.setup_seconds);
+    timing.set("search_s", response.search_seconds);
+    root.set("timing", std::move(timing));
+  }
+  return json::dump(json::Value(std::move(root)));
+}
+
+std::string write_error(const WireError& error) {
+  json::Object root;
+  root.set("schema_version", kSchemaVersion);
+  if (!error.id.empty()) root.set("id", error.id);
+  root.set("ok", false);
+  json::Object detail;
+  detail.set("code", to_string(error.code));
+  detail.set("message", error.message);
+  root.set("error", std::move(detail));
+  return json::dump(json::Value(std::move(root)));
+}
+
+}  // namespace h2h::serve

@@ -1,0 +1,92 @@
+// The serve wire protocol, version 1 (DESIGN.md §8).
+//
+// Framing is JSON lines: one request object per input line, one response
+// object per output line, responses in request order. Every message carries
+// `schema_version`; a request whose version this build does not speak is
+// answered with an error response, never dropped. All failures — malformed
+// JSON, unknown fields, bad values, planning exceptions — become `ok:false`
+// responses with a machine-readable error code; exceptions never cross the
+// wire and never kill the loop.
+//
+// Request schema (only `schema_version` and `model` are required):
+//
+//   {"schema_version":1,            // must equal kSchemaVersion
+//    "id":"r1",                     // optional, echoed verbatim
+//    "model":"mocap",               // zoo key (model/zoo.h)
+//    "bw_gbps":0.5,                 // BW_acc in GB/s, default 0.5
+//    "batch":1,                     // default 1
+//    "options":{...},               // plan_option_specs() json_key -> value
+//    "emit":{"mapping":true,"steps":true,"timing":true}}
+//
+// The "options" object mirrors PlanOptions 1:1 via the table in
+// core/plan_options.h — the same table generates the CLI flags, so
+// `h2h serve` and `h2h map` accept identical spellings. Unknown fields
+// anywhere are rejected (code "unknown_field"), so typos fail loudly
+// instead of silently planning with defaults.
+//
+// Responses are deterministic byte-for-byte for a given request and library
+// version when "timing" is not emitted (timing carries wall-clock and
+// cache-warmth, the only nondeterministic fields). `h2h map --json` emits
+// exactly write_response(), which is what lets CI diff serve output
+// hex-exact against the CLI.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "core/plan_options.h"
+#include "core/planner.h"
+
+namespace h2h::serve {
+
+inline constexpr int kSchemaVersion = 1;
+
+enum class ErrorCode {
+  ParseError,     // line is not valid JSON / not an object
+  SchemaVersion,  // missing or unsupported schema_version
+  UnknownField,   // a field the schema does not define
+  BadField,       // defined field, invalid type or value
+  UnknownModel,   // "model" is not a zoo key
+  PlanFailed,     // planning itself threw (e.g. infeasible config)
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
+
+/// A validated request, ready to hand to a Planner.
+struct WireRequest {
+  std::string id;  // empty = omitted
+  ZooModel model = ZooModel::MoCap;
+  double bw_gbps = 0.5;
+  std::uint32_t batch = 0;  // 0 = model default (1 for zoo models)
+  PlanOptions options;
+  bool emit_mapping = true;
+  bool emit_steps = true;
+  bool emit_timing = true;
+};
+
+struct WireError {
+  ErrorCode code = ErrorCode::ParseError;
+  std::string message;
+  std::string id;  // echoed when the request's id was parseable
+};
+
+/// Parse + validate one request line.
+[[nodiscard]] std::variant<WireRequest, WireError> parse_request(
+    std::string_view line);
+
+/// The PlanRequest this wire request describes.
+[[nodiscard]] PlanRequest to_plan_request(const WireRequest& request);
+
+/// One response line (no trailing newline). `model`/`sys` provide layer and
+/// accelerator names; any SystemConfig with the standard catalog works —
+/// only spec names are read.
+[[nodiscard]] std::string write_response(const WireRequest& request,
+                                         const PlanResponse& response,
+                                         const ModelGraph& model,
+                                         const SystemConfig& sys);
+
+/// One error-response line (no trailing newline).
+[[nodiscard]] std::string write_error(const WireError& error);
+
+}  // namespace h2h::serve

@@ -1,0 +1,341 @@
+#include "serve/server.h"
+
+#include <condition_variable>
+#include <deque>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/str.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define H2H_SERVE_HAS_TCP 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define H2H_SERVE_HAS_TCP 0
+#endif
+
+namespace h2h::serve {
+namespace {
+
+/// Everything one request needs besides the line itself: the shared Planner
+/// and the name sources write_response reads. Lives across connections so a
+/// reconnecting client still hits warm sessions.
+class RequestProcessor {
+ public:
+  explicit RequestProcessor(const PlannerOptions& planner_options)
+      : planner_(planner_options),
+        name_sys_(SystemConfig::standard(0.5e9)) {}
+
+  struct Outcome {
+    std::string line;
+    bool ok = false;
+  };
+
+  [[nodiscard]] Outcome process(const std::string& line) {
+    std::variant<WireRequest, WireError> parsed = parse_request(line);
+    if (const WireError* err = std::get_if<WireError>(&parsed)) {
+      return {write_error(*err), false};
+    }
+    const WireRequest& req = std::get<WireRequest>(parsed);
+    try {
+      const PlanResponse response = planner_.plan(to_plan_request(req));
+      return {write_response(req, response, model_for(req.model), name_sys_),
+              true};
+    } catch (const std::exception& e) {
+      // Explicit error responses instead of exceptions crossing the wire:
+      // an infeasible request must not take the loop down.
+      return {write_error({ErrorCode::PlanFailed, e.what(), req.id}), false};
+    }
+  }
+
+ private:
+  /// Graphs are only needed for layer names in responses; one cached copy
+  /// per zoo model serves every request (read-only once built).
+  [[nodiscard]] const ModelGraph& model_for(ZooModel id) {
+    const std::scoped_lock lock(models_mu_);
+    std::unique_ptr<const ModelGraph>& slot = models_[id];
+    if (slot == nullptr) {
+      slot = std::make_unique<const ModelGraph>(make_model(id));
+    }
+    return *slot;
+  }
+
+  Planner planner_;
+  SystemConfig name_sys_;  // accelerator names only; BW value irrelevant
+  std::mutex models_mu_;
+  std::map<ZooModel, std::unique_ptr<const ModelGraph>> models_;
+};
+
+/// Reorders completed responses back into request order. Whichever thread
+/// completes the next-expected sequence number drains everything
+/// consecutive, so output needs no dedicated writer thread.
+class OrderedEmitter {
+ public:
+  explicit OrderedEmitter(std::ostream& out) : out_(out) {}
+
+  void emit(std::uint64_t seq, std::string line, bool ok) {
+    const std::scoped_lock lock(mu_);
+    (ok ? stats_.ok : stats_.errors) += 1;
+    ready_.emplace(seq, std::move(line));
+    while (!ready_.empty() && ready_.begin()->first == next_) {
+      out_ << ready_.begin()->second << '\n';
+      out_.flush();
+      ready_.erase(ready_.begin());
+      ++next_;
+    }
+  }
+
+  [[nodiscard]] ServeStats stats() const {
+    const std::scoped_lock lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::ostream& out_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::string> ready_;
+  std::uint64_t next_ = 0;
+  ServeStats stats_;
+};
+
+enum class LineStatus { Ok, Oversized, Eof };
+
+/// getline with a byte cap: oversized lines are consumed to their newline
+/// but truncated in `line`, and reported so the caller can answer with a
+/// proper error instead of parsing the truncation.
+[[nodiscard]] LineStatus read_line(std::istream& in, std::string& line,
+                                   std::size_t cap) {
+  line.clear();
+  bool over = false;
+  bool any = false;
+  for (int c = in.get(); c != std::istream::traits_type::eof();
+       c = in.get()) {
+    any = true;
+    if (c == '\n') return over ? LineStatus::Oversized : LineStatus::Ok;
+    if (line.size() < cap) {
+      line += static_cast<char>(c);
+    } else {
+      over = true;
+    }
+  }
+  if (!any) return LineStatus::Eof;
+  return over ? LineStatus::Oversized : LineStatus::Ok;
+}
+
+[[nodiscard]] std::string oversized_error(std::size_t cap) {
+  return write_error({ErrorCode::ParseError,
+                      strformat("request line exceeds %zu bytes", cap),
+                      {}});
+}
+
+ServeStats run_loop(RequestProcessor& processor, std::istream& in,
+                    std::ostream& out, const ServeOptions& options) {
+  OrderedEmitter emitter(out);
+  ServeStats totals;
+  std::string line;
+  std::uint64_t seq = 0;
+
+  if (options.threads <= 1) {
+    for (;;) {
+      const LineStatus status = read_line(in, line, options.max_line_bytes);
+      if (status == LineStatus::Eof) break;
+      if (status == LineStatus::Ok && line.empty()) continue;
+      ++totals.requests;
+      if (status == LineStatus::Oversized) {
+        emitter.emit(seq++, oversized_error(options.max_line_bytes), false);
+        continue;
+      }
+      RequestProcessor::Outcome o = processor.process(line);
+      emitter.emit(seq++, std::move(o.line), o.ok);
+    }
+    const ServeStats s = emitter.stats();
+    totals.ok = s.ok;
+    totals.errors = s.errors;
+    return totals;
+  }
+
+  std::mutex mu;
+  std::condition_variable work_cv;   // workers wait for lines
+  std::condition_variable space_cv;  // reader waits for inbox room
+  std::deque<std::pair<std::uint64_t, std::string>> inbox;
+  bool done = false;
+  const std::size_t inbox_cap = options.threads * 8;
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (std::size_t i = 0; i < options.threads; ++i) {
+    workers.emplace_back([&] {
+      for (;;) {
+        std::unique_lock lock(mu);
+        work_cv.wait(lock, [&] { return done || !inbox.empty(); });
+        if (inbox.empty()) return;
+        const std::uint64_t my_seq = inbox.front().first;
+        const std::string my_line = std::move(inbox.front().second);
+        inbox.pop_front();
+        space_cv.notify_one();
+        lock.unlock();
+        RequestProcessor::Outcome o = processor.process(my_line);
+        emitter.emit(my_seq, std::move(o.line), o.ok);
+      }
+    });
+  }
+
+  for (;;) {
+    const LineStatus status = read_line(in, line, options.max_line_bytes);
+    if (status == LineStatus::Eof) break;
+    if (status == LineStatus::Ok && line.empty()) continue;
+    ++totals.requests;
+    if (status == LineStatus::Oversized) {
+      emitter.emit(seq++, oversized_error(options.max_line_bytes), false);
+      continue;
+    }
+    std::unique_lock lock(mu);
+    space_cv.wait(lock, [&] { return inbox.size() < inbox_cap; });
+    inbox.emplace_back(seq++, line);
+    work_cv.notify_one();
+  }
+  {
+    const std::scoped_lock lock(mu);
+    done = true;
+  }
+  work_cv.notify_all();
+  for (std::thread& t : workers) t.join();
+
+  const ServeStats s = emitter.stats();
+  totals.ok = s.ok;
+  totals.errors = s.errors;
+  return totals;
+}
+
+#if H2H_SERVE_HAS_TCP
+
+/// Buffered std::streambuf over a connected socket; serves as both the get
+/// and put area so one buffer backs the connection's istream and ostream.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setp(out_, out_ + sizeof(out_) - 1);
+  }
+  ~FdStreamBuf() override { sync(); }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof(in_));
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return flush_out() == 0 ? traits_type::not_eof(ch) : traits_type::eof();
+  }
+
+  int sync() override { return flush_out(); }
+
+ private:
+  int flush_out() {
+    const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd_, pbase() + off, n - off);
+      if (w <= 0) return -1;
+      off += static_cast<std::size_t>(w);
+    }
+    pbump(-static_cast<int>(n));
+    return 0;
+  }
+
+  int fd_;
+  char in_[4096] = {};
+  char out_[4096] = {};
+};
+
+#endif  // H2H_SERVE_HAS_TCP
+
+}  // namespace
+
+ServeStats serve_jsonl(std::istream& in, std::ostream& out,
+                       const ServeOptions& options) {
+  RequestProcessor processor(options.planner);
+  return run_loop(processor, in, out, options);
+}
+
+int serve_tcp(const TcpOptions& options, std::ostream& diag) {
+#if H2H_SERVE_HAS_TCP
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    diag << "h2h-serve: socket: " << std::strerror(errno) << '\n';
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    diag << "h2h-serve: bind/listen: " << std::strerror(errno) << '\n';
+    ::close(listen_fd);
+    return 1;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  diag << "h2h-serve listening on 127.0.0.1:" << ntohs(bound.sin_port)
+       << std::endl;
+
+  // One processor across connections: a client that reconnects keeps its
+  // warm sessions.
+  RequestProcessor processor(options.serve.planner);
+  for (std::uint64_t served = 0;
+       options.max_connections == 0 || served < options.max_connections;
+       ++served) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) {
+        --served;
+        continue;
+      }
+      diag << "h2h-serve: accept: " << std::strerror(errno) << '\n';
+      ::close(listen_fd);
+      return 1;
+    }
+    FdStreamBuf buf(conn);
+    std::istream conn_in(&buf);
+    std::ostream conn_out(&buf);
+    const ServeStats stats =
+        run_loop(processor, conn_in, conn_out, options.serve);
+    conn_out.flush();
+    ::close(conn);
+    diag << "h2h-serve: connection done (" << stats.requests << " requests, "
+         << stats.errors << " errors)" << std::endl;
+  }
+  ::close(listen_fd);
+  return 0;
+#else
+  (void)options;
+  diag << "h2h-serve: TCP serving is not supported on this platform\n";
+  return 1;
+#endif
+}
+
+}  // namespace h2h::serve

@@ -1,0 +1,66 @@
+// Planning-as-a-service: the request pipeline behind `h2h serve`
+// (DESIGN.md §8).
+//
+// serve_jsonl reads one request per line, plans it, and writes one response
+// per line, *in request order* regardless of worker count — a reader thread
+// stamps each line with a sequence number, a small worker pool plans
+// concurrently on one shared (thread-safe) Planner, and completed responses
+// are held until all predecessors have been written. With emit.timing off,
+// multi-threaded output is byte-identical to single-threaded output
+// (pinned in test_serve_pipeline.cpp).
+//
+// Every failure mode becomes an `ok:false` response line: malformed JSON,
+// schema violations, and planning exceptions are answered and the loop
+// keeps going. Nothing short of losing stdin/stdout stops a serving loop.
+//
+// serve_tcp accepts loopback TCP connections and runs the same jsonl loop
+// over each socket, one connection at a time (requests within a connection
+// still fan out across the worker pool). POSIX-only; on other platforms it
+// returns an error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/planner.h"
+
+namespace h2h::serve {
+
+struct ServeOptions {
+  /// Worker threads planning concurrently. 1 = plan inline on the reader
+  /// thread (no pool, fully deterministic scheduling).
+  std::size_t threads = 1;
+  /// Session-cache configuration of the shared Planner.
+  PlannerOptions planner;
+  /// Requests longer than this are answered with parse_error (guards the
+  /// line buffer against unbounded input).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;  // non-empty lines consumed
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Blocking jsonl request loop: reads `in` to EOF, writes responses to
+/// `out`. Empty lines are skipped.
+ServeStats serve_jsonl(std::istream& in, std::ostream& out,
+                       const ServeOptions& options = {});
+
+struct TcpOptions {
+  ServeOptions serve;
+  /// Port to bind on 127.0.0.1; 0 asks the kernel for a free port (the
+  /// chosen port is announced on `diag`).
+  std::uint16_t port = 0;
+  /// Stop after serving this many connections; 0 = serve forever.
+  std::uint64_t max_connections = 0;
+};
+
+/// Listen and serve. Announces "h2h-serve listening on 127.0.0.1:<port>" on
+/// `diag` once ready. Returns 0 on clean shutdown, 1 on socket errors
+/// (reported on `diag`).
+int serve_tcp(const TcpOptions& options, std::ostream& diag);
+
+}  // namespace h2h::serve

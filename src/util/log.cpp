@@ -1,11 +1,14 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace h2h {
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+// Atomic so serve worker threads can log while another thread adjusts the
+// level (relaxed: the level is a filter, not a synchronization point).
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 [[nodiscard]] const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -20,12 +23,16 @@ LogLevel g_level = LogLevel::Warn;
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, std::string_view msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[h2h %s] %.*s\n", level_tag(level),
                static_cast<int>(msg.size()), msg.data());
 }

@@ -9,8 +9,8 @@ namespace {
 TEST(Baselines, CompPrioritizedEqualsFirstTwoH2HSteps) {
   const ModelGraph m = make_model(ZooModel::MoCap);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  const H2HResult baseline = run_computation_prioritized_baseline(m, sys);
-  const H2HResult h2h = H2HMapper(m, sys).run();
+  const PlanResponse baseline = run_computation_prioritized_baseline(m, sys);
+  const PlanResponse h2h = plan_once(m, sys);
   ASSERT_EQ(baseline.steps.size(), 2u);
   // Identical pipeline prefix => identical numbers.
   EXPECT_DOUBLE_EQ(baseline.steps[0].result.latency,
@@ -22,7 +22,7 @@ TEST(Baselines, CompPrioritizedEqualsFirstTwoH2HSteps) {
 TEST(Baselines, ClusterMappingIsValidAndCoLocatesModalities) {
   const ModelGraph m = testing::make_mini_mmmt_model();
   const SystemConfig sys = testing::make_mini_hetero_system();
-  const H2HResult r = run_cluster_prioritized_baseline(m, sys);
+  const PlanResponse r = run_cluster_prioritized_baseline(m, sys);
   EXPECT_NO_THROW(r.mapping.validate(m, sys));
   ASSERT_EQ(r.steps.size(), 3u);
 
@@ -42,7 +42,7 @@ TEST(Baselines, ClusterSpillsUnsupportedLayers) {
   // home cannot run it, it must be spilled to a supporting accelerator.
   const ModelGraph m = testing::make_mini_mmmt_model();
   const SystemConfig sys = testing::make_mini_hetero_system();
-  const H2HResult r = run_cluster_prioritized_baseline(m, sys);
+  const PlanResponse r = run_cluster_prioritized_baseline(m, sys);
   for (const LayerId id : m.all_layers()) {
     const Layer& l = m.layer(id);
     if (l.kind == LayerKind::Input) continue;
@@ -56,7 +56,7 @@ TEST(Baselines, H2HBeatsClusteringOnComputeEfficiency) {
   // bandwidth-generous system the computation-aware H2H must win.
   const ModelGraph m = make_model(ZooModel::CasiaSurf);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::High);
-  const double h2h = H2HMapper(m, sys).run().final_result().latency;
+  const double h2h = plan_once(m, sys).final_result().latency;
   const double cluster =
       run_cluster_prioritized_baseline(m, sys).final_result().latency;
   EXPECT_LT(h2h, cluster);
@@ -83,7 +83,7 @@ TEST(Baselines, H2HNoWorseThanRandomMappings) {
   const ModelGraph m = testing::make_mini_mmmt_model();
   const SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
   const Simulator sim(m, sys);
-  const double h2h = H2HMapper(m, sys).run().final_result().latency;
+  const double h2h = plan_once(m, sys).final_result().latency;
   Rng rng(7);
   for (int i = 0; i < 10; ++i) {
     const Mapping random = random_valid_mapping(m, sys, rng);

@@ -2,7 +2,7 @@
 // energy-delay-product remapping objective.
 #include <gtest/gtest.h>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "test_helpers.h"
 
 namespace h2h {
@@ -49,8 +49,8 @@ TEST(Batch, AmortizesWeightTrafficShare) {
   ModelGraph m64 = make_model(ZooModel::CasiaSurf);
   m64.set_batch(64);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  const H2HResult r1 = H2HMapper(m1, sys).run();
-  const H2HResult r64 = H2HMapper(m64, sys).run();
+  const PlanResponse r1 = plan_once(m1, sys);
+  const PlanResponse r64 = plan_once(m64, sys);
   const double step2_gain_b1 =
       1.0 - r1.steps[1].result.latency / r1.steps[0].result.latency;
   const double step2_gain_b64 =
@@ -64,14 +64,14 @@ TEST(Batch, AmortizesWeightTrafficShare) {
 TEST(Objective, EdpNeverWorseOnEnergyDelayProduct) {
   const ModelGraph m = make_model(ZooModel::MoCap);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  H2HOptions lat_opts;
-  H2HOptions edp_opts;
+  PlanOptions lat_opts;
+  PlanOptions edp_opts;
   edp_opts.remap.objective = RemapObjective::EnergyDelayProduct;
   const auto edp = [](const ScheduleResult& r) {
     return r.latency * r.energy.total();
   };
-  const H2HResult r_lat = H2HMapper(m, sys, lat_opts).run();
-  const H2HResult r_edp = H2HMapper(m, sys, edp_opts).run();
+  const PlanResponse r_lat = plan_once(m, sys, lat_opts);
+  const PlanResponse r_edp = plan_once(m, sys, edp_opts);
   // Each greedy run must improve its own objective monotonically from the
   // shared step-3 state (hill climbing gives local, not global, optima, so
   // cross-objective dominance is not asserted).
@@ -86,9 +86,9 @@ TEST(Objective, EdpNeverWorseOnEnergyDelayProduct) {
 TEST(Objective, EdpAcceptsOnlyImprovingMoves) {
   const ModelGraph m = make_model(ZooModel::CnnLstm);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Low);
-  H2HOptions opts;
+  PlanOptions opts;
   opts.remap.objective = RemapObjective::EnergyDelayProduct;
-  const H2HResult r = H2HMapper(m, sys, opts).run();
+  const PlanResponse r = plan_once(m, sys, opts);
   const auto edp = [](const ScheduleResult& s) {
     return s.latency * s.energy.total();
   };

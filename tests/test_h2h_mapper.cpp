@@ -1,3 +1,10 @@
+// Legacy-facade pins. This file is the one sanctioned user of the
+// deprecated H2HMapper (compiled only when H2H_ENABLE_DEPRECATED is ON);
+// it keeps the shim honest until the facade is removed.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <gtest/gtest.h>
 
 #include "core/h2h_mapper.h"
@@ -7,6 +14,26 @@
 
 namespace h2h {
 namespace {
+
+TEST(H2HMapper, MatchesPlanOnceBitForBit) {
+  const ModelGraph m = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
+  const H2HResult legacy = H2HMapper(m, sys).run();
+  const PlanResponse once = plan_once(m, sys);
+  ASSERT_EQ(legacy.steps.size(), once.steps.size());
+  for (std::size_t i = 0; i < legacy.steps.size(); ++i) {
+    EXPECT_EQ(legacy.steps[i].name, once.steps[i].name);
+    // Deliberate EXPECT_EQ on doubles: the two paths must run the exact
+    // same computation, not merely agree approximately.
+    EXPECT_EQ(legacy.steps[i].result.latency, once.steps[i].result.latency);
+    EXPECT_EQ(legacy.steps[i].result.energy.total(),
+              once.steps[i].result.energy.total());
+  }
+  for (const LayerId id : m.all_layers()) {
+    EXPECT_EQ(legacy.mapping.acc_of(id), once.mapping.acc_of(id));
+    EXPECT_EQ(legacy.plan.pinned(id), once.plan.pinned(id));
+  }
+}
 
 TEST(H2HMapper, PipelineProducesFourMonotoneSteps) {
   const ModelGraph m = testing::make_mini_mmmt_model();

@@ -78,7 +78,7 @@ TEST(ZooStructure, SummaryPerLayerListsEveryNode) {
 TEST(ZooStructure, DotExportCoversMappedModel) {
   const ModelGraph m = make_cnn_lstm();
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
-  const H2HResult r = H2HMapper(m, sys).run();
+  const PlanResponse r = plan_once(m, sys);
   const std::string dot = to_dot(
       m.graph(), [&](NodeId n) { return m.layer(n).name; },
       [&](NodeId n) {
@@ -100,7 +100,7 @@ TEST(ZooStructure, StandardMappingUsesHeterogeneity) {
   // conv-capable AND lstm-capable designs (computation awareness).
   const ModelGraph m = make_cnn_lstm();
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::Mid);
-  const H2HResult r = H2HMapper(m, sys).run();
+  const PlanResponse r = plan_once(m, sys);
   bool conv_on_conv_design = false;
   bool lstm_on_lstm_design = false;
   for (const LayerId id : m.all_layers()) {

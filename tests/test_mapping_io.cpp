@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "system/mapping_io.h"
 #include "test_helpers.h"
 #include "util/error.h"
@@ -13,7 +13,7 @@ namespace {
 TEST(MappingIo, RoundTripPreservesScheduleExactly) {
   const ModelGraph model = make_model(ZooModel::MoCap);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
   const Simulator sim(model, sys);
   const ScheduleResult before = sim.simulate(r.mapping, r.plan);
 
@@ -34,7 +34,7 @@ TEST(MappingIo, RoundTripPreservesScheduleExactly) {
 TEST(MappingIo, FormatIsHumanReadable) {
   const ModelGraph model = testing::make_chain_model();
   const SystemConfig sys = testing::make_mini_hetero_system();
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
   std::ostringstream out;
   write_mapping(out, model, sys, r.mapping, r.plan);
   const std::string text = out.str();

@@ -11,7 +11,7 @@ namespace {
 TEST(MappingReport, ContainsEverySection) {
   const ModelGraph model = testing::make_mini_mmmt_model();
   const SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
 
   std::ostringstream out;
   MappingReportOptions opts;
@@ -37,7 +37,7 @@ TEST(MappingReport, ContainsEverySection) {
 TEST(MappingReport, GanttAndPerLayerAreOptional) {
   const ModelGraph model = testing::make_chain_model();
   const SystemConfig sys = testing::make_mini_hetero_system();
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
 
   std::ostringstream out;
   MappingReportOptions opts;
@@ -52,7 +52,7 @@ TEST(MappingReport, GanttAndPerLayerAreOptional) {
 TEST(MappingReport, LocalityNumbersMatchPlan) {
   const ModelGraph model = make_model(ZooModel::MoCap);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
   std::ostringstream out;
   print_mapping_report(model, sys, r, out);
   const std::string text = out.str();

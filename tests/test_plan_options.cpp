@@ -1,0 +1,94 @@
+// The declarative plan-option table (core/plan_options.h): both spellings
+// resolve, set/get round-trip at canonical values, and diagnostics carry
+// enough context to be wire and CLI error messages verbatim.
+#include <gtest/gtest.h>
+
+#include "core/plan_options.h"
+
+namespace h2h {
+namespace {
+
+TEST(PlanOptionTable, EveryRowHasBothSpellingsAndAccessors) {
+  ASSERT_FALSE(plan_option_specs().empty());
+  for (const PlanOptionSpec& spec : plan_option_specs()) {
+    EXPECT_FALSE(spec.cli_key.empty());
+    EXPECT_FALSE(spec.json_key.empty());
+    EXPECT_NE(spec.set, nullptr);
+    EXPECT_NE(spec.get, nullptr);
+    EXPECT_EQ(find_plan_option(spec.cli_key), &spec);
+    EXPECT_EQ(find_plan_option(spec.json_key), &spec);
+    if (spec.kind == PlanOptionSpec::Kind::Enum) {
+      EXPECT_FALSE(spec.values.empty());
+    }
+  }
+}
+
+TEST(PlanOptionTable, SetGetRoundTripsAtCanonicalValues) {
+  PlanOptions options;
+  for (const PlanOptionSpec& spec : plan_option_specs()) {
+    const std::string current = spec.get(options);
+    if (current.empty()) continue;  // unset optional — nothing to re-apply
+    EXPECT_EQ(spec.set(options, current), std::nullopt) << spec.json_key;
+    EXPECT_EQ(spec.get(options), current) << spec.json_key;
+  }
+}
+
+TEST(PlanOptionTable, BoolKnobsToggleTheirField) {
+  PlanOptions options;
+  ASSERT_TRUE(options.run_remapping);
+  EXPECT_EQ(apply_plan_option(options, "remap", "false"), std::nullopt);
+  EXPECT_FALSE(options.run_remapping);
+  EXPECT_EQ(apply_plan_option(options, "remap", "true"), std::nullopt);
+  EXPECT_TRUE(options.run_remapping);
+}
+
+TEST(PlanOptionTable, KnapsackSetsBothStepTwoAndRemapSolvers) {
+  PlanOptions options;
+  EXPECT_EQ(apply_plan_option(options, "knapsack", "greedy"), std::nullopt);
+  EXPECT_EQ(options.weight.algo, KnapsackAlgo::GreedyDensity);
+  EXPECT_EQ(options.remap.weight.algo, KnapsackAlgo::GreedyDensity);
+  EXPECT_EQ(apply_plan_option(options, "knapsack", "exact"), std::nullopt);
+  EXPECT_EQ(options.weight.algo, KnapsackAlgo::ExactDp);
+  EXPECT_EQ(options.remap.weight.algo, KnapsackAlgo::ExactDp);
+}
+
+TEST(PlanOptionTable, ObjectiveAcceptsBothSpellings) {
+  PlanOptions options;
+  EXPECT_EQ(apply_plan_option(options, "objective", "edp"), std::nullopt);
+  EXPECT_EQ(options.remap.objective, RemapObjective::EnergyDelayProduct);
+  EXPECT_EQ(apply_plan_option(options, "objective", "latency"),
+            std::nullopt);
+  EXPECT_EQ(options.remap.objective, RemapObjective::Latency);
+}
+
+TEST(PlanOptionTable, TimeBudgetParsesByEitherKey) {
+  PlanOptions options;
+  EXPECT_EQ(apply_plan_option(options, "time-budget", "0.25"), std::nullopt);
+  ASSERT_TRUE(options.time_budget_s.has_value());
+  EXPECT_DOUBLE_EQ(*options.time_budget_s, 0.25);
+  EXPECT_EQ(apply_plan_option(options, "time_budget_s", "2"), std::nullopt);
+  EXPECT_DOUBLE_EQ(*options.time_budget_s, 2.0);
+}
+
+TEST(PlanOptionTable, RejectsBadValuesWithDiagnostics) {
+  PlanOptions options;
+  const auto unknown = apply_plan_option(options, "warp-speed", "9");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_NE(unknown->find("unknown plan option"), std::string::npos);
+  // The diagnostic lists valid spellings so wire/CLI users can self-serve.
+  EXPECT_NE(unknown->find("time_budget_s"), std::string::npos);
+
+  EXPECT_TRUE(apply_plan_option(options, "remap", "yes").has_value());
+  EXPECT_TRUE(apply_plan_option(options, "knapsack", "fast").has_value());
+  EXPECT_TRUE(apply_plan_option(options, "objective", "edp2").has_value());
+  EXPECT_TRUE(apply_plan_option(options, "time-budget", "-1").has_value());
+  EXPECT_TRUE(apply_plan_option(options, "time-budget", "nan").has_value());
+  EXPECT_TRUE(apply_plan_option(options, "time-budget", "1x").has_value());
+  // Failed sets leave the options untouched.
+  EXPECT_TRUE(options.run_remapping);
+  EXPECT_EQ(options.weight.algo, KnapsackAlgo::ExactDp);
+  EXPECT_FALSE(options.time_budget_s.has_value());
+}
+
+}  // namespace
+}  // namespace h2h

@@ -163,6 +163,9 @@ TEST(PlannerCache, SharedSystemFollowsLazyRebuildWhenBandwidthMoves) {
 TEST(PlannerCache, EvictsLeastRecentlyUsedSession) {
   PlannerOptions options;
   options.max_sessions = 2;
+  // One lock shard reproduces the exact global-LRU order this test pins;
+  // the default sharded cache enforces capacity per shard instead.
+  options.shards = 1;
   Planner planner(std::move(options));
   const ModelGraph model = testing::make_mini_mmmt_model();
 
@@ -191,17 +194,19 @@ TEST(PlannerRequest, ExactlyOneModelSourceRequired) {
 }
 
 // The acceptance pin: the default pipeline through Planner reproduces the
-// legacy one-shot H2HMapper bit-for-bit across the zoo grid.
+// one-shot plan_once() bit-for-bit across the zoo grid (plan_once is the
+// exact computation the deprecated H2HMapper performed; their equivalence
+// is pinned in test_h2h_mapper.cpp).
 class PlannerBitIdentityTest
     : public ::testing::TestWithParam<std::tuple<ZooModel, BandwidthSetting>> {
 };
 
-TEST_P(PlannerBitIdentityTest, MatchesLegacyMapperBitForBit) {
+TEST_P(PlannerBitIdentityTest, MatchesPlanOnceBitForBit) {
   const auto [model_id, bw] = GetParam();
   const ModelGraph model = make_model(model_id);
   const SystemConfig sys = SystemConfig::standard(bw);
 
-  const H2HResult legacy = H2HMapper(model, sys).run();
+  const PlanResponse legacy = plan_once(model, sys);
 
   Planner planner;
   const PlanResponse cold = planner.plan(PlanRequest::zoo(model_id, bw));
@@ -277,7 +282,7 @@ TEST(PlannerTimeBudget, ExhaustedBudgetStopsRemappingCleanly) {
   const PlanResponse unbounded = planner.plan(request);
   EXPECT_FALSE(unbounded.stopped_on_budget);
 
-  request.time_budget_s = 1e-9;  // exhausted before the first move probe
+  request.options.time_budget_s = 1e-9;  // exhausted before first move probe
   const PlanResponse budgeted = planner.plan(request);
   EXPECT_TRUE(budgeted.stopped_on_budget);
   EXPECT_TRUE(budgeted.remap_stats.stopped_on_budget);
@@ -289,7 +294,7 @@ TEST(PlannerTimeBudget, ExhaustedBudgetStopsRemappingCleanly) {
             unbounded.final_result().latency);
 
   // A generous budget changes nothing: bit-identical to the unbounded run.
-  request.time_budget_s = 1e6;
+  request.options.time_budget_s = 1e6;
   const PlanResponse generous = planner.plan(request);
   EXPECT_FALSE(generous.stopped_on_budget);
   expect_same_response(unbounded, generous, model);

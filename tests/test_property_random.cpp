@@ -19,8 +19,7 @@ TEST_P(PipelineProperty, InvariantsHoldOnRandomInstances) {
   Rng rng(GetParam());
   const ModelGraph model = testing::make_random_model(rng);
   const SystemConfig sys = testing::make_random_system(rng);
-  const H2HMapper mapper(model, sys);
-  const H2HResult r = mapper.run();
+  const PlanResponse r = plan_once(model, sys);
 
   // 1. All four steps ran, latencies positive and monotone from step 2 on.
   ASSERT_EQ(r.steps.size(), 4u);
@@ -82,7 +81,7 @@ TEST_P(PipelineProperty, EnergyDecomposesAndTracksTraffic) {
   Rng rng(GetParam() + 1000);
   const ModelGraph model = testing::make_random_model(rng);
   const SystemConfig sys = testing::make_random_system(rng);
-  const H2HResult r = H2HMapper(model, sys).run();
+  const PlanResponse r = plan_once(model, sys);
 
   const EnergyBreakdown& base = r.baseline_result().energy;
   const EnergyBreakdown& fin = r.final_result().energy;

@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "system/schedule_analysis.h"
 #include "test_helpers.h"
 
@@ -12,13 +12,13 @@ namespace {
 struct Scheduled {
   ModelGraph model;
   SystemConfig sys;
-  H2HResult result;
+  PlanResponse result;
 };
 
 Scheduled schedule_mini() {
   ModelGraph model = testing::make_mini_mmmt_model();
   SystemConfig sys = testing::make_mini_hetero_system(0.125e9);
-  H2HResult r = H2HMapper(model, sys).run();
+  PlanResponse r = plan_once(model, sys);
   return Scheduled{std::move(model), std::move(sys), std::move(r)};
 }
 

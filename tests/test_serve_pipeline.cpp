@@ -1,0 +1,120 @@
+// End-to-end serve loop (serve/server.h): jsonl in, jsonl out, errors
+// answered in-band, and multi-threaded output identical to single-threaded.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "test_helpers.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+/// A request line for `model` with the suite's search budget applied, so
+/// sanitizer runs stay inside the tier-1 time budget.
+[[nodiscard]] std::string request_line(const std::string& model,
+                                       double bw_gbps,
+                                       const std::string& id = {}) {
+  std::string line = R"({"schema_version":1,)";
+  if (!id.empty()) line += strformat(R"("id":"%s",)", id.c_str());
+  line += strformat(
+      R"("model":"%s","bw_gbps":%g,)"
+      R"("options":{"time_budget_s":%g},"emit":{"timing":false}})",
+      model.c_str(), bw_gbps, testing::search_time_budget());
+  return line;
+}
+
+[[nodiscard]] std::vector<std::string> run_serve(
+    const std::string& input, const serve::ServeOptions& options,
+    serve::ServeStats* stats_out = nullptr) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  const serve::ServeStats stats = serve::serve_jsonl(in, out, options);
+  if (stats_out != nullptr) *stats_out = stats;
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  for (std::string line; std::getline(split, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServePipeline, AnswersEveryLineInOrderAndSurvivesErrors) {
+  const std::string input = request_line("mocap", 0.5, "a") + "\n" +
+                            "{not json\n" +
+                            R"({"schema_version":1,"model":"nope"})" + "\n" +
+                            "\n" +  // empty line: skipped, not answered
+                            request_line("mocap", 0.5, "b") + "\n";
+  serve::ServeStats stats;
+  const std::vector<std::string> lines = run_serve(input, {}, &stats);
+
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 2u);
+
+  EXPECT_NE(lines[0].find(R"("id":"a")"), std::string::npos);
+  EXPECT_NE(lines[0].find(R"("ok":true)"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("ok":false)"), std::string::npos);
+  EXPECT_NE(lines[1].find("parse_error"), std::string::npos);
+  EXPECT_NE(lines[2].find("unknown_model"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("id":"b")"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("ok":true)"), std::string::npos);
+
+  // Same scenario planned twice: the warm response's payload is identical
+  // to the cold one's apart from the echoed id (timing suppressed).
+  std::string a = lines[0], b = lines[3];
+  const auto strip_id = [](std::string& s, const std::string& id) {
+    const std::string needle = strformat(R"("id":"%s",)", id.c_str());
+    const std::size_t at = s.find(needle);
+    ASSERT_NE(at, std::string::npos) << s;
+    s.erase(at, needle.size());
+  };
+  strip_id(a, "a");
+  strip_id(b, "b");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ServePipeline, MultiThreadOutputIsByteIdenticalToSingleThread) {
+  // A mixed batch: cold and warm requests over two bandwidths, plus error
+  // lines wedged between them. With timing suppressed the response payloads
+  // are deterministic, so worker scheduling must not be observable.
+  std::string input;
+  input += request_line("mocap", 0.5, "r0") + "\n";
+  input += request_line("mocap", 0.125, "r1") + "\n";
+  input += "{broken\n";
+  input += request_line("mocap", 0.5, "r3") + "\n";
+  input += R"({"schema_version":9,"model":"mocap"})" + std::string("\n");
+  input += request_line("mocap", 0.125, "r5") + "\n";
+  input += request_line("mocap", 0.5, "r6") + "\n";
+
+  serve::ServeOptions serial;
+  serial.threads = 1;
+  serve::ServeOptions pooled;
+  pooled.threads = 4;
+
+  const std::vector<std::string> want = run_serve(input, serial);
+  const std::vector<std::string> got = run_serve(input, pooled);
+  ASSERT_EQ(want.size(), 7u);
+  EXPECT_EQ(want, got);
+}
+
+TEST(ServePipeline, OversizedLinesAreAnsweredNotParsed) {
+  serve::ServeOptions options;
+  options.max_line_bytes = 128;
+  const std::string big(4096, 'x');
+  const std::string input =
+      big + "\n" + request_line("mocap", 0.5, "after") + "\n";
+  serve::ServeStats stats;
+  const std::vector<std::string> lines = run_serve(input, options, &stats);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("parse_error"), std::string::npos);
+  EXPECT_NE(lines[0].find("128 bytes"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("ok":true)"), std::string::npos);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+}  // namespace
+}  // namespace h2h

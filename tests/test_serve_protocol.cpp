@@ -1,0 +1,202 @@
+// The serve wire protocol (serve/protocol.h): schema validation, versioned
+// error responses, and the response serialization contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "test_helpers.h"
+
+namespace h2h {
+namespace {
+
+using serve::ErrorCode;
+using serve::WireError;
+using serve::WireRequest;
+
+[[nodiscard]] WireRequest parse_ok(const std::string& line) {
+  auto parsed = serve::parse_request(line);
+  EXPECT_TRUE(std::holds_alternative<WireRequest>(parsed)) << line;
+  if (const WireError* err = std::get_if<WireError>(&parsed)) {
+    ADD_FAILURE() << serve::to_string(err->code) << ": " << err->message;
+    return {};
+  }
+  return std::get<WireRequest>(std::move(parsed));
+}
+
+[[nodiscard]] WireError parse_err(const std::string& line) {
+  auto parsed = serve::parse_request(line);
+  EXPECT_TRUE(std::holds_alternative<WireError>(parsed)) << line;
+  if (std::holds_alternative<WireRequest>(parsed)) return {};
+  return std::get<WireError>(std::move(parsed));
+}
+
+TEST(ServeProtocol, ParsesMinimalRequestWithDefaults) {
+  const WireRequest req =
+      parse_ok(R"({"schema_version":1,"model":"mocap"})");
+  EXPECT_EQ(req.model, ZooModel::MoCap);
+  EXPECT_TRUE(req.id.empty());
+  EXPECT_DOUBLE_EQ(req.bw_gbps, 0.5);
+  EXPECT_EQ(req.batch, 0u);
+  EXPECT_TRUE(req.options.run_remapping);
+  EXPECT_TRUE(req.emit_mapping);
+  EXPECT_TRUE(req.emit_steps);
+  EXPECT_TRUE(req.emit_timing);
+}
+
+TEST(ServeProtocol, ParsesFullRequest) {
+  const WireRequest req = parse_ok(
+      R"({"schema_version":1,"id":"r-7","model":"vlocnet","bw_gbps":0.125,)"
+      R"("batch":4,"options":{"remap":false,"knapsack":"greedy",)"
+      R"("objective":"edp","time_budget_s":0.25},)"
+      R"("emit":{"mapping":false,"timing":false}})");
+  EXPECT_EQ(req.id, "r-7");
+  EXPECT_EQ(req.model, ZooModel::VLocNet);
+  EXPECT_DOUBLE_EQ(req.bw_gbps, 0.125);
+  EXPECT_EQ(req.batch, 4u);
+  EXPECT_FALSE(req.options.run_remapping);
+  EXPECT_EQ(req.options.weight.algo, KnapsackAlgo::GreedyDensity);
+  EXPECT_EQ(req.options.remap.objective,
+            RemapObjective::EnergyDelayProduct);
+  ASSERT_TRUE(req.options.time_budget_s.has_value());
+  EXPECT_DOUBLE_EQ(*req.options.time_budget_s, 0.25);
+  EXPECT_FALSE(req.emit_mapping);
+  EXPECT_TRUE(req.emit_steps);
+  EXPECT_FALSE(req.emit_timing);
+}
+
+TEST(ServeProtocol, RejectsMalformedJson) {
+  EXPECT_EQ(parse_err("not json").code, ErrorCode::ParseError);
+  EXPECT_EQ(parse_err("[1,2,3]").code, ErrorCode::ParseError);
+  EXPECT_EQ(parse_err("").code, ErrorCode::ParseError);
+}
+
+TEST(ServeProtocol, RejectsMissingOrWrongSchemaVersion) {
+  EXPECT_EQ(parse_err(R"({"model":"mocap"})").code,
+            ErrorCode::SchemaVersion);
+  EXPECT_EQ(parse_err(R"({"schema_version":2,"model":"mocap"})").code,
+            ErrorCode::SchemaVersion);
+  EXPECT_EQ(parse_err(R"({"schema_version":"1","model":"mocap"})").code,
+            ErrorCode::SchemaVersion);
+}
+
+TEST(ServeProtocol, RejectsUnknownFieldsEverywhere) {
+  const WireError top =
+      parse_err(R"({"schema_version":1,"model":"mocap","modle":"x"})");
+  EXPECT_EQ(top.code, ErrorCode::UnknownField);
+  EXPECT_NE(top.message.find("modle"), std::string::npos);
+
+  const WireError opt = parse_err(
+      R"({"schema_version":1,"model":"mocap","options":{"remapp":true}})");
+  EXPECT_EQ(opt.code, ErrorCode::UnknownField);
+
+  // The CLI kebab-case spelling is not the wire spelling.
+  const WireError cli_spelling = parse_err(
+      R"({"schema_version":1,"model":"mocap",)"
+      R"("options":{"time-budget":1}})");
+  EXPECT_EQ(cli_spelling.code, ErrorCode::UnknownField);
+
+  const WireError emit = parse_err(
+      R"({"schema_version":1,"model":"mocap","emit":{"gantt":true}})");
+  EXPECT_EQ(emit.code, ErrorCode::UnknownField);
+}
+
+TEST(ServeProtocol, RejectsBadFieldValuesAndEchoesId) {
+  const WireError bw = parse_err(
+      R"({"schema_version":1,"id":"q","model":"mocap","bw_gbps":-1})");
+  EXPECT_EQ(bw.code, ErrorCode::BadField);
+  EXPECT_EQ(bw.id, "q");
+
+  EXPECT_EQ(parse_err(
+                R"({"schema_version":1,"model":"mocap","batch":1.5})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(
+                R"({"schema_version":1,"model":"mocap","batch":0})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("options":{"remap":"yes"}})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("options":{"time_budget_s":-2}})")
+                .code,
+            ErrorCode::BadField);
+}
+
+TEST(ServeProtocol, RejectsUnknownModelListingKnownKeys) {
+  const WireError err =
+      parse_err(R"({"schema_version":1,"model":"resnet"})");
+  EXPECT_EQ(err.code, ErrorCode::UnknownModel);
+  EXPECT_NE(err.message.find("mocap"), std::string::npos);
+  EXPECT_NE(err.message.find("vlocnet"), std::string::npos);
+}
+
+TEST(ServeProtocol, ErrorResponsesAreVersionedJson) {
+  const std::string line = serve::write_error(
+      {ErrorCode::UnknownField, "bogus: unknown field", "r1"});
+  json::ParseResult parsed = json::parse(line);
+  ASSERT_TRUE(parsed.value.has_value()) << line;
+  const json::Object& obj = parsed.value->as_object();
+  EXPECT_DOUBLE_EQ(obj.find("schema_version")->as_number(), 1.0);
+  EXPECT_EQ(obj.find("id")->as_string(), "r1");
+  EXPECT_FALSE(obj.find("ok")->as_bool());
+  const json::Object& error = obj.find("error")->as_object();
+  EXPECT_EQ(error.find("code")->as_string(), "unknown_field");
+  EXPECT_EQ(error.find("message")->as_string(), "bogus: unknown field");
+}
+
+TEST(ServeProtocol, ResponseRoundTripsThroughTheCodec) {
+  const ModelGraph model = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const PlanResponse plan = plan_once(model, sys);
+
+  WireRequest req;
+  req.id = "resp-1";
+  req.model = ZooModel::MoCap;  // names come from `model`, key is echoed
+  req.bw_gbps = 1.0;
+  const std::string line = serve::write_response(req, plan, model, sys);
+
+  json::ParseResult parsed = json::parse(line);
+  ASSERT_TRUE(parsed.value.has_value()) << line;
+  const json::Object& obj = parsed.value->as_object();
+  EXPECT_DOUBLE_EQ(obj.find("schema_version")->as_number(), 1.0);
+  EXPECT_EQ(obj.find("id")->as_string(), "resp-1");
+  EXPECT_TRUE(obj.find("ok")->as_bool());
+  EXPECT_EQ(obj.find("model")->as_string(), "mocap");
+  EXPECT_EQ(obj.find("batch")->as_number(), 1.0);
+  EXPECT_GT(obj.find("latency_s")->as_number(), 0.0);
+  EXPECT_GT(obj.find("energy_j")->as_number(), 0.0);
+
+  // Defaults are echoed at canonical values.
+  const json::Object& options = obj.find("options")->as_object();
+  EXPECT_TRUE(options.find("remap")->as_bool());
+  EXPECT_EQ(options.find("knapsack")->as_string(), "exact");
+  EXPECT_EQ(options.find("time_budget_s"), nullptr);  // unset -> omitted
+
+  // Four default pipeline steps, mapping covers every non-input layer.
+  EXPECT_EQ(obj.find("steps")->as_array().size(), plan.steps.size());
+  const json::Object& mapping = obj.find("mapping")->as_object();
+  std::size_t non_input = 0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind != LayerKind::Input) ++non_input;
+  }
+  EXPECT_EQ(mapping.find("layers")->as_array().size(), non_input);
+
+  // Timing present by default, absent when not requested.
+  EXPECT_NE(obj.find("timing"), nullptr);
+  req.emit_timing = false;
+  const std::string quiet = serve::write_response(req, plan, model, sys);
+  json::ParseResult quiet_parsed = json::parse(quiet);
+  ASSERT_TRUE(quiet_parsed.value.has_value());
+  EXPECT_EQ(quiet_parsed.value->as_object().find("timing"), nullptr);
+
+  // And the line itself re-serializes byte-stably.
+  EXPECT_EQ(json::dump(*parsed.value), line);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/h2h_mapper.h"
+#include "core/planner.h"
 #include "model/synthetic.h"
 #include "test_helpers.h"
 #include "util/error.h"
@@ -94,7 +94,7 @@ TEST_P(SyntheticScale, PipelineScalesAndStaysMonotone) {
   spec.backbone_depth = 10;
   const ModelGraph m = make_synthetic_mmmt(spec);
   const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
-  const H2HResult r = H2HMapper(m, sys).run();
+  const PlanResponse r = plan_once(m, sys);
   EXPECT_LE(r.final_result().latency, r.baseline_result().latency);
   EXPECT_LT(r.search_seconds, testing::search_time_budget());
 }

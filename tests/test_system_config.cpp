@@ -84,7 +84,7 @@ TEST(SystemConfig, LinkOverrideSteersThePipeline) {
   const SystemConfig sys(std::move(accs), HostParams{0.125e9, 0.0});
 
   const ModelGraph m = testing::make_chain_model();
-  const H2HResult r = H2HMapper(m, sys).run();
+  const PlanResponse r = plan_once(m, sys);
   // Every layer lands on the fast-linked accelerator (identical compute,
   // strictly cheaper transfers).
   for (const LayerId id : m.all_layers()) {

@@ -2,11 +2,20 @@
 //
 //   h2h list-models
 //   h2h list-accelerators
-//   h2h map --model <key> [--bw <GB/s>] [--batch <n>] [--no-remap]
-//               [--knapsack exact|greedy] [--objective latency|edp]
-//               [--time-budget <s>] [--save <file>] [--gantt] [--per-layer]
+//   h2h map --model <key> [--bw <GB/s>] [--batch <n>] [plan options]
+//               [--save <file>] [--gantt] [--per-layer]
+//               [--json] [--no-timing]
 //   h2h replay --model <key> --load <file> [--bw <GB/s>]
-//   h2h sweep [--csv <file>] [--time-budget <s>]
+//   h2h sweep [--csv <file>] [plan options]
+//   h2h serve [--threads <n>] [--tcp <port>] [--max-connections <n>]
+//
+// Plan options (--remap/--no-remap, --knapsack, --objective, --time-budget,
+// ...) are generated from the declarative table in core/plan_options.h; the
+// same table defines the serve wire schema's "options" object, so `h2h map`,
+// `h2h sweep`, and `h2h serve` accept identical spellings by construction.
+//
+// `h2h map --json` prints exactly the serve-protocol response line for the
+// equivalent request — CI diffs the two byte-for-byte.
 //
 // Exit codes: 0 success, 1 usage error, 2 configuration error.
 #include <cmath>
@@ -20,6 +29,8 @@
 
 #include "h2h.h"
 #include "model/summary.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "system/mapping_io.h"
 #include "system/schedule_analysis.h"
 
@@ -40,6 +51,19 @@ struct Args {
   }
 };
 
+/// Flags that never take a value. Plan-option Bool knobs contribute both
+/// their affirmative (--remap) and negated (--no-remap) spellings.
+bool is_boolean_flag(std::string_view flag) {
+  if (flag == "gantt" || flag == "per-layer" || flag == "json" ||
+      flag == "no-timing") {
+    return true;
+  }
+  std::string_view key = flag;
+  if (key.starts_with("no-")) key.remove_prefix(3);
+  const PlanOptionSpec* spec = find_plan_option(key);
+  return spec != nullptr && spec->kind == PlanOptionSpec::Kind::Bool;
+}
+
 std::optional<Args> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
@@ -48,8 +72,7 @@ std::optional<Args> parse_args(int argc, char** argv) {
     const std::string_view raw = argv[i];
     if (raw.rfind("--", 0) != 0) return std::nullopt;
     const std::string flag(raw.substr(2));
-    // Boolean flags take no value.
-    if (flag == "no-remap" || flag == "gantt" || flag == "per-layer") {
+    if (is_boolean_flag(flag)) {
       args.flags.emplace(flag, std::string("1"));
     } else {
       if (i + 1 >= argc) return std::nullopt;
@@ -59,21 +82,55 @@ std::optional<Args> parse_args(int argc, char** argv) {
   return args;
 }
 
-/// Parse a strictly positive, finite seconds value; nullopt (with a
-/// diagnostic) on anything else — std::stod alone would abort the CLI on
-/// junk and its `<= 0` check waves NaN through.
-std::optional<double> parse_time_budget(const std::string& value) {
-  try {
-    std::size_t pos = 0;
-    const double seconds = std::stod(value, &pos);
-    if (pos == value.size() && std::isfinite(seconds) && seconds > 0)
-      return seconds;
-  } catch (const std::exception&) {
+/// Apply every flag that names a plan-option table row to `options`.
+/// Unmatched flags (--model, --save, ...) are left for the command itself.
+bool apply_plan_flags(const Args& args, PlanOptions& options) {
+  for (const auto& [flag, value] : args.flags) {
+    std::string_view key = flag;
+    bool negated = false;
+    const PlanOptionSpec* spec = find_plan_option(key);
+    if (spec == nullptr && key.starts_with("no-")) {
+      key.remove_prefix(3);
+      spec = find_plan_option(key);
+      if (spec != nullptr && spec->kind != PlanOptionSpec::Kind::Bool) {
+        spec = nullptr;  // only Bool knobs negate
+      }
+      negated = spec != nullptr;
+    }
+    if (spec == nullptr) continue;
+    const std::string_view spelled =
+        spec->kind == PlanOptionSpec::Kind::Bool
+            ? std::string_view(negated ? "false" : "true")
+            : std::string_view(value);
+    if (const auto err = spec->set(options, spelled)) {
+      std::cerr << "error: --" << flag << ": " << *err << '\n';
+      return false;
+    }
   }
-  std::cerr << "error: --time-budget expects a positive number of seconds, "
-               "got '"
-            << value << "'\n";
-  return std::nullopt;
+  return true;
+}
+
+void print_plan_option_usage(std::ostream& out) {
+  out << "plan options (same spellings in `map`, `sweep`, and the serve "
+         "wire schema):\n";
+  for (const PlanOptionSpec& spec : plan_option_specs()) {
+    const std::string key(spec.cli_key);
+    std::string left;
+    switch (spec.kind) {
+      case PlanOptionSpec::Kind::Bool:
+        left = strformat("--%s | --no-%s", key.c_str(), key.c_str());
+        break;
+      case PlanOptionSpec::Kind::Double:
+        left = strformat("--%s <s>", key.c_str());
+        break;
+      case PlanOptionSpec::Kind::Enum:
+        left = strformat("--%s %s", key.c_str(),
+                         std::string(spec.values).c_str());
+        break;
+    }
+    out << strformat("  %-32s %.*s\n", left.c_str(),
+                     static_cast<int>(spec.help.size()), spec.help.data());
+  }
 }
 
 void usage(std::ostream& out) {
@@ -81,11 +138,13 @@ void usage(std::ostream& out) {
          "  h2h list-models\n"
          "  h2h list-accelerators\n"
          "  h2h map --model <key> [--bw <GB/s>] [--batch <n>]\n"
-         "              [--no-remap] [--knapsack exact|greedy]\n"
-         "              [--objective latency|edp] [--time-budget <s>]\n"
-         "              [--save <file>] [--gantt] [--per-layer]\n"
+         "              [plan options] [--save <file>] [--gantt]\n"
+         "              [--per-layer] [--json] [--no-timing]\n"
          "  h2h replay --model <key> --load <file> [--bw <GB/s>]\n"
-         "  h2h sweep [--csv <file>] [--time-budget <s>]\n";
+         "  h2h sweep [--csv <file>] [plan options]\n"
+         "  h2h serve [--threads <n>] [--tcp <port>]"
+         " [--max-connections <n>]\n";
+  print_plan_option_usage(out);
 }
 
 int cmd_list_models() {
@@ -124,7 +183,8 @@ int cmd_list_accelerators() {
 
 struct Common {
   ZooModel id;
-  double bw_acc = 0;
+  double bw_gbps = 0;
+  std::uint32_t batch = 0;
   ModelGraph model;  // for report printing; the planner keeps its own copy
   SystemConfig sys;
 };
@@ -142,10 +202,12 @@ std::optional<Common> load_common(const Args& args) {
     return std::nullopt;
   }
   ModelGraph model = make_model(*id);
-  if (const auto batch = args.get("batch")) {
-    model.set_batch(static_cast<std::uint32_t>(std::stoul(*batch)));
+  std::uint32_t batch = 0;
+  if (const auto b = args.get("batch")) {
+    batch = static_cast<std::uint32_t>(std::stoul(*b));
+    model.set_batch(batch);
   }
-  return Common{*id, gbps(bw_gbps), std::move(model),
+  return Common{*id, bw_gbps, batch, std::move(model),
                 SystemConfig::standard(gbps(bw_gbps))};
 }
 
@@ -163,31 +225,36 @@ int cmd_map(const Args& args) {
   // The planner borrows the one system load_common built (shared-system
   // mode), so the report below is printed against exactly the system the
   // mapping was planned on.
-  PlanRequest request = PlanRequest::for_graph(common->model, common->bw_acc);
-  request.options.run_remapping = !args.has("no-remap");
-  if (args.get("knapsack").value_or("exact") == "greedy") {
-    request.options.weight.algo = KnapsackAlgo::GreedyDensity;
-    request.options.remap.weight.algo = KnapsackAlgo::GreedyDensity;
-  }
-  if (args.get("objective").value_or("latency") == "edp") {
-    request.options.remap.objective = RemapObjective::EnergyDelayProduct;
-  }
-  if (const auto budget = args.get("time-budget")) {
-    const auto seconds = parse_time_budget(*budget);
-    if (!seconds) return 1;
-    request.time_budget_s = *seconds;
-  }
+  PlanRequest request = PlanRequest::for_graph(common->model, gbps(common->bw_gbps));
+  if (!apply_plan_flags(args, request.options)) return 1;
 
   Planner planner(common->sys);
   const PlanResponse r = planner.plan(request);
+
+  if (args.has("json")) {
+    // Emit exactly the serve-protocol response line for this request, so
+    // CLI and server output can be diffed byte-for-byte.
+    serve::WireRequest wire;
+    wire.model = common->id;
+    wire.bw_gbps = common->bw_gbps;
+    wire.batch = common->batch;
+    wire.options = request.options;
+    wire.emit_timing = !args.has("no-timing");
+    std::cout << serve::write_response(wire, r, common->model, common->sys)
+              << '\n';
+    return 0;
+  }
+
   print_result(*common, r, args);
-  if (request.time_budget_s) {
+  if (request.options.time_budget_s) {
     if (r.stopped_on_budget) {
       std::cout << "time budget: remapping stopped on the "
-                << strformat("%g s", *request.time_budget_s) << " budget\n";
+                << strformat("%g s", *request.options.time_budget_s)
+                << " budget\n";
     } else if (request.options.run_remapping) {
       std::cout << "time budget: search converged within the "
-                << strformat("%g s", *request.time_budget_s) << " budget\n";
+                << strformat("%g s", *request.options.time_budget_s)
+                << " budget\n";
     } else {
       // Only the remapping pass is budget-aware; with --no-remap the
       // budget had nothing to enforce, so don't claim convergence.
@@ -233,14 +300,12 @@ int cmd_replay(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  std::optional<double> time_budget_s;
-  if (const auto budget = args.get("time-budget")) {
-    time_budget_s = parse_time_budget(*budget);
-    if (!time_budget_s) return 1;
-  }
+  PlanOptions options;
+  if (!apply_plan_flags(args, options)) return 1;
+  const std::optional<double> time_budget_s = options.time_budget_s;
   Planner planner;  // one session cache across all 30 grid cells
   const std::vector<StepSeries> sweep =
-      run_full_sweep(planner, {}, time_budget_s);
+      run_full_sweep(planner, options, time_budget_s);
   print_fig4(sweep, std::cout);
   std::cout << '\n';
   print_table4(sweep, std::cout);
@@ -260,6 +325,55 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+std::optional<std::uint64_t> parse_count(const Args& args,
+                                         const std::string& flag,
+                                         std::uint64_t fallback) {
+  const auto raw = args.get(flag);
+  if (!raw) return fallback;
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(*raw, &pos);
+    if (pos == raw->size()) return v;
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: --" << flag << " expects a non-negative integer, got '"
+            << *raw << "'\n";
+  return std::nullopt;
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions options;
+  const auto threads = parse_count(args, "threads", 1);
+  if (!threads) return 1;
+  if (*threads < 1) {
+    std::cerr << "error: --threads must be at least 1\n";
+    return 1;
+  }
+  options.threads = static_cast<std::size_t>(*threads);
+
+  if (args.has("tcp")) {
+    serve::TcpOptions tcp;
+    tcp.serve = options;
+    const auto port = parse_count(args, "tcp", 0);
+    if (!port) return 1;
+    if (*port > 65535) {
+      std::cerr << "error: --tcp expects a port in [0, 65535]\n";
+      return 1;
+    }
+    tcp.port = static_cast<std::uint16_t>(*port);
+    const auto max_conn = parse_count(args, "max-connections", 0);
+    if (!max_conn) return 1;
+    tcp.max_connections = *max_conn;
+    return serve::serve_tcp(tcp, std::cerr);
+  }
+
+  const serve::ServeStats stats =
+      serve::serve_jsonl(std::cin, std::cout, options);
+  std::cerr << "h2h-serve: " << stats.requests << " requests ("
+            << stats.ok << " ok, " << stats.errors << " errors)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -274,6 +388,7 @@ int main(int argc, char** argv) {
     if (args->command == "map") return cmd_map(*args);
     if (args->command == "replay") return cmd_replay(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "serve") return cmd_serve(*args);
     usage(std::cerr);
     return 1;
   } catch (const h2h::ConfigError& e) {
