@@ -1,35 +1,46 @@
 // System-heterogeneity experiment: the paper's §3 notes cloud-FPGA Ethernet
 // spans 1G to 10G (0.125-1.25 GB/s). The evaluation uses one BW_acc for the
-// whole system; here half the accelerators keep slow 1G links while the
-// other half get 10G (via per-accelerator bw_acc_override), and H2H must
-// steer traffic-heavy layers toward the fast-linked devices.
+// whole system; here the link topology is non-uniform — half the
+// accelerators keep slow 1G links while the other half get 10G
+// (Interconnect::mixed), plus a switch-fabric variant where accelerators in
+// a rack group share fast intra-group links behind a slow uplink
+// (Interconnect::hierarchical) — and H2H must steer traffic-heavy layers
+// toward the well-connected devices.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
-#include "accel/analytical_models.h"
 #include "h2h.h"
 
 namespace {
 
 using namespace h2h;
 
-/// Standard catalog with 10G links on every even-indexed accelerator; the
-/// system-wide BW_acc stays at 1G for the rest.
-SystemConfig mixed_link_system() {
-  auto specs = standard_catalog();
-  for (std::size_t i = 0; i < specs.size(); i += 2)
-    specs[i].bw_acc_override = bandwidth_value(BandwidthSetting::High);
-  std::vector<AcceleratorPtr> accs;
-  for (auto& s : specs) accs.push_back(make_analytical(std::move(s)));
-  HostParams host;
-  host.bw_acc = bandwidth_value(BandwidthSetting::LowMinus);
-  return SystemConfig(std::move(accs), host);
+/// 10G links on every even-indexed accelerator; the system-wide BW_acc
+/// stays at 1G for the rest.
+Interconnect mixed_links() {
+  std::vector<Interconnect::Override> fast;
+  for (std::uint32_t i = 0; i < 12; i += 2)
+    fast.emplace_back(i, bandwidth_value(BandwidthSetting::High));
+  return Interconnect::mixed(bandwidth_value(BandwidthSetting::LowMinus),
+                             std::move(fast));
+}
+
+/// Rack-style fabric: groups of four share 10G intra-group links behind a
+/// 1G uplink; host traffic rides a 0.5 GB/s link with 2 us per-hop latency.
+Interconnect fabric_links() {
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 4;
+  spec.intra_bw = bandwidth_value(BandwidthSetting::High);
+  spec.uplink_bw = bandwidth_value(BandwidthSetting::LowMinus);
+  spec.host_bw = bandwidth_value(BandwidthSetting::Mid);
+  spec.hop_latency_s = 2e-6;
+  return Interconnect::hierarchical(spec);
 }
 
 void BM_MixedLinks_CasiaSurf(benchmark::State& state) {
   const ModelGraph model = make_casia_surf();
-  const SystemConfig sys = mixed_link_system();
+  const SystemConfig sys = SystemConfig::standard(mixed_links());
   for (auto _ : state) {
     const PlanResponse r = plan_once(model, sys);
     benchmark::DoNotOptimize(r.final_result().latency);
@@ -37,42 +48,59 @@ void BM_MixedLinks_CasiaSurf(benchmark::State& state) {
 }
 BENCHMARK(BM_MixedLinks_CasiaSurf)->Unit(benchmark::kMillisecond);
 
+void BM_FabricLinks_CasiaSurf(benchmark::State& state) {
+  const ModelGraph model = make_casia_surf();
+  const SystemConfig sys = SystemConfig::standard(fabric_links());
+  for (auto _ : state) {
+    const PlanResponse r = plan_once(model, sys);
+    benchmark::DoNotOptimize(r.final_result().latency);
+  }
+}
+BENCHMARK(BM_FabricLinks_CasiaSurf)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   TextTable table({"model", "uniform 1G (s)", "mixed 1G/10G (s)",
-                   "uniform 10G (s)", "mixed vs slow", "fast-link layers"},
+                   "hier fabric (s)", "uniform 10G (s)", "mixed vs slow",
+                   "fast-link layers"},
                   {TextTable::Align::Left});
   for (const ZooInfo& info : zoo_catalog()) {
     const ModelGraph model = make_model(info.id);
     const SystemConfig slow =
         SystemConfig::standard(BandwidthSetting::LowMinus);
     const SystemConfig fast = SystemConfig::standard(BandwidthSetting::High);
-    const SystemConfig mixed = mixed_link_system();
+    const SystemConfig mixed = SystemConfig::standard(mixed_links());
+    const SystemConfig fabric = SystemConfig::standard(fabric_links());
 
     const double lat_slow = plan_once(model, slow).final_result().latency;
     const double lat_fast = plan_once(model, fast).final_result().latency;
     const PlanResponse r_mixed = plan_once(model, mixed);
+    const PlanResponse r_fabric = plan_once(model, fabric);
 
-    // How many layers ended up on fast-linked accelerators?
+    // How many layers ended up on accelerators with a fast host link?
     std::size_t on_fast = 0, total = 0;
     for (const LayerId id : model.all_layers()) {
       if (model.layer(id).kind == LayerKind::Input) continue;
       ++total;
-      if (mixed.spec(r_mixed.mapping.acc_of(id)).bw_acc_override > 0) ++on_fast;
+      const AccId a = r_mixed.mapping.acc_of(id);
+      if (mixed.bw_acc(a) > mixed.links().base_bw()) ++on_fast;
     }
 
     table.add_row({std::string(info.key), strformat("%.6f", lat_slow),
                    strformat("%.6f", r_mixed.final_result().latency),
+                   strformat("%.6f", r_fabric.final_result().latency),
                    strformat("%.6f", lat_fast),
                    format_percent(
                        1.0 - r_mixed.final_result().latency / lat_slow, 1),
                    strformat("%zu/%zu", on_fast, total)});
   }
-  std::cout << "heterogeneous host-link experiment (1G vs mixed vs 10G):\n";
+  std::cout << "heterogeneous link-topology experiment "
+               "(1G vs mixed vs fabric vs 10G):\n";
   table.print(std::cout);
-  std::cout << "\n(mixed systems recover part of the fast-uniform latency by\n"
-               "steering traffic-heavy layers onto 10G-linked devices)\n\n";
+  std::cout << "\n(non-uniform topologies recover part of the fast-uniform\n"
+               "latency by steering traffic-heavy layers onto well-connected\n"
+               "devices)\n\n";
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

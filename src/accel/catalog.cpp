@@ -1,6 +1,7 @@
 #include "accel/catalog.h"
 
 #include "accel/analytical_models.h"
+#include "util/str.h"
 
 namespace h2h {
 namespace {
@@ -132,6 +133,26 @@ std::vector<AcceleratorSpec> standard_catalog() {
 std::vector<AcceleratorPtr> build_standard_accelerators() {
   std::vector<AcceleratorPtr> out;
   for (AcceleratorSpec& s : standard_catalog())
+    out.push_back(make_analytical(std::move(s)));
+  return out;
+}
+
+std::vector<AcceleratorSpec> scaled_catalog(std::size_t count) {
+  const std::vector<AcceleratorSpec> base = standard_catalog();
+  std::vector<AcceleratorSpec> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    AcceleratorSpec s = base[i % base.size()];
+    if (i >= base.size())
+      s.name = strformat("%s#%zu", s.name.c_str(), i / base.size() + 1);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<AcceleratorPtr> build_scaled_accelerators(std::size_t count) {
+  std::vector<AcceleratorPtr> out;
+  for (AcceleratorSpec& s : scaled_catalog(count))
     out.push_back(make_analytical(std::move(s)));
   return out;
 }

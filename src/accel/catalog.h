@@ -8,6 +8,7 @@
 // DRAM range — is preserved.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "accel/accelerator_model.h"
@@ -20,6 +21,15 @@ namespace h2h {
 
 /// Analytical models for the full standard catalog.
 [[nodiscard]] std::vector<AcceleratorPtr> build_standard_accelerators();
+
+/// `count` specs, cycling Table 3 in order. Entries past the first dozen get
+/// a "#k" name suffix (J.Z#2, …) so every accelerator name stays unique —
+/// the 16/32-accelerator scaling systems of the interconnect experiments.
+[[nodiscard]] std::vector<AcceleratorSpec> scaled_catalog(std::size_t count);
+
+/// Analytical models for scaled_catalog(count).
+[[nodiscard]] std::vector<AcceleratorPtr> build_scaled_accelerators(
+    std::size_t count);
 
 /// A row-stationary (Eyeriss-like) spec. Not part of Table 3; used by tests
 /// and the custom_accelerator example to demonstrate the plug-in interface.

@@ -44,16 +44,17 @@ using Clock = std::chrono::steady_clock;
                  static_cast<std::uint64_t>(id));
 }
 
-/// Shard selector over the full session key (model, batch, bw).
-[[nodiscard]] std::uint64_t session_shard_hash(std::uint64_t model_key,
-                                               std::uint32_t batch,
-                                               double bw) noexcept {
+/// Shard selector over the full session key (model, batch, bw, links).
+[[nodiscard]] std::uint64_t session_shard_hash(
+    std::uint64_t model_key, std::uint32_t batch, double bw,
+    std::uint64_t links_fp) noexcept {
   std::uint64_t h = fnv_mix(1469598103934665603ULL, model_key);
   h = fnv_mix(h, batch);
   std::uint64_t bw_bits = 0;
   static_assert(sizeof(bw_bits) == sizeof(bw));
   std::memcpy(&bw_bits, &bw, sizeof(bw_bits));
-  return fnv_mix(h, bw_bits);
+  h = fnv_mix(h, bw_bits);
+  return fnv_mix(h, links_fp);
 }
 
 [[nodiscard]] std::size_t per_shard_capacity(
@@ -95,6 +96,13 @@ PlanRequest PlanRequest::zoo(ZooModel id, double bw_acc, std::uint32_t batch) {
 PlanRequest PlanRequest::zoo(ZooModel id, BandwidthSetting bw,
                              std::uint32_t batch) {
   return zoo(id, bandwidth_value(bw), batch);
+}
+
+PlanRequest PlanRequest::zoo(ZooModel id, Interconnect links,
+                             std::uint32_t batch) {
+  PlanRequest r = zoo(id, links.base_bw(), batch);
+  r.links = std::move(links);
+  return r;
 }
 
 PlanRequest PlanRequest::for_graph(const ModelGraph& graph, double bw_acc,
@@ -189,14 +197,15 @@ struct Planner::Session {
   std::uint64_t model_key = 0;
   double bw_acc = 0;  // key component; 0 in shared-system mode
   std::uint32_t batch = 1;
+  std::uint64_t links_fp = 0;  // key component; 0 = scalar/shared request
   std::optional<ModelGraph> model;
   std::optional<SystemConfig> owned_sys;
   const SystemConfig* sys = nullptr;
   std::optional<Simulator> sim;
 
-  [[nodiscard]] bool matches(std::uint64_t key, std::uint32_t b,
-                             double bw) const noexcept {
-    return model_key == key && batch == b && bw_acc == bw;
+  [[nodiscard]] bool matches(std::uint64_t key, std::uint32_t b, double bw,
+                             std::uint64_t lfp) const noexcept {
+    return model_key == key && batch == b && bw_acc == bw && links_fp == lfp;
   }
 };
 
@@ -273,16 +282,20 @@ std::shared_ptr<Planner::Session> Planner::session_for(
                                       : model_fingerprint(*request.graph);
   std::uint32_t batch = request.batch;
   if (batch == 0) batch = request.graph != nullptr ? request.graph->batch() : 1;
-  // In shared-system mode the bandwidth is the shared system's business:
-  // sessions key on the model alone and follow the system's lazy
+  // In shared-system mode the bandwidth/topology are the shared system's
+  // business: sessions key on the model alone and follow the system's lazy
   // CostTable-rebuild semantics if its BW_acc moves.
   const double bw_key =
       options_.shared_system != nullptr ? 0.0 : request.bw_acc;
+  const std::uint64_t links_key =
+      options_.shared_system == nullptr && request.links
+          ? request.links->params_fingerprint()
+          : 0;
 
   const auto checkout = [&](Shard& shard) -> std::shared_ptr<Session> {
     // Caller holds shard.mu.
     for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
-      if (!(*it)->matches(model_key, batch, bw_key)) continue;
+      if (!(*it)->matches(model_key, batch, bw_key, links_key)) continue;
       std::rotate(shard.lru.begin(), it, it + 1);  // most recent first
       const std::shared_ptr<Session>& front = shard.lru.front();
       if (front->sim->costs_fresh()) {
@@ -304,7 +317,8 @@ std::shared_ptr<Planner::Session> Planner::session_for(
     return nullptr;
   };
 
-  Shard& shard = shard_for(session_shard_hash(model_key, batch, bw_key));
+  Shard& shard =
+      shard_for(session_shard_hash(model_key, batch, bw_key, links_key));
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     if (std::shared_ptr<Session> hit = checkout(shard)) {
@@ -323,12 +337,16 @@ std::shared_ptr<Planner::Session> Planner::session_for(
   s->model_key = model_key;
   s->batch = batch;
   s->bw_acc = bw_key;
+  s->links_fp = links_key;
   s->model.emplace(request.model ? make_model(*request.model)
                                  : *request.graph);
   s->model->set_batch(batch);
   if (request.validate_model) s->model->validate();
   if (options_.shared_system != nullptr) {
     s->sys = options_.shared_system;
+  } else if (request.links) {
+    s->owned_sys.emplace(SystemConfig::standard(*request.links));
+    s->sys = &*s->owned_sys;
   } else {
     H2H_EXPECTS(request.bw_acc > 0);
     s->owned_sys.emplace(options_.system_factory

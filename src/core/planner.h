@@ -5,8 +5,8 @@
 // sub-second remapping lets a multi-sensor system re-plan whenever bandwidth
 // or modality changes. A Planner makes that cheap in practice: it owns a
 // cache of constructed Simulator/CostTable state keyed by (model, BW_acc,
-// batch), so consecutive PlanRequests for the same scenario skip the
-// cold-start cost-table build entirely. A warm plan() performs zero virtual
+// batch, link topology), so consecutive PlanRequests for the same scenario
+// skip the cold-start cost-table build entirely. A warm plan() performs zero virtual
 // AcceleratorModel calls and no CostTable rebuild (regression-tested with
 // counting models in test_planner.cpp).
 //
@@ -87,6 +87,12 @@ struct PlanRequest {
   /// session cache key. Ignored by Planners borrowing a shared system (the
   /// shared system's own BW_acc applies).
   double bw_acc = 0.5e9;
+  /// Optional explicit link topology. When set, the session's system is
+  /// SystemConfig::standard(*links) — the custom system_factory does not
+  /// apply — and the topology parameters join the session cache key
+  /// (distinct topologies never share a CostTable). Ignored in
+  /// shared-system mode, where the borrowed system's own topology rules.
+  std::optional<Interconnect> links;
   /// Inference batch size; part of the cache key. 0 inherits the graph's
   /// batch (or 1 for zoo models).
   std::uint32_t batch = 0;
@@ -106,6 +112,9 @@ struct PlanRequest {
   [[nodiscard]] static PlanRequest zoo(ZooModel id, double bw_acc,
                                        std::uint32_t batch = 0);
   [[nodiscard]] static PlanRequest zoo(ZooModel id, BandwidthSetting bw,
+                                       std::uint32_t batch = 0);
+  /// Zoo model on an explicit topology (bw_acc follows its base bandwidth).
+  [[nodiscard]] static PlanRequest zoo(ZooModel id, Interconnect links,
                                        std::uint32_t batch = 0);
   [[nodiscard]] static PlanRequest for_graph(const ModelGraph& graph,
                                              double bw_acc,

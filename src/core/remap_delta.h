@@ -27,6 +27,10 @@
 // the full touched-pair re-run (asserted by the randomized property tests
 // and the delta-on/off zoo equivalence test), so the probe's dirty set,
 // retimes, and metric are unchanged — only the work to get there shrinks.
+// This holds under any link topology: both strategies run the same step-2/3
+// pass code, whose benefit formulas read the per-accelerator host-link
+// speeds — the actual src->dst link charges live in the simulator, which
+// both strategies consult identically (DESIGN.md §9).
 //
 // Probe protocol: the state is valid only while every pin/fusion/placement
 // mutation goes through it. begin_probe snapshots the two touched

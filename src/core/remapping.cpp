@@ -109,6 +109,15 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
     if (options.use_incremental) {
       dirty.clear();
       plan.journal_touched_layers(model, dirty);
+      // Non-uniform topology: the node's unfused successors read their
+      // in-edge over a different link after the move, even when their own
+      // plan state did not flip — include them in the dirty set (the
+      // refresh dedups by stamp, so overlap with journal-touched layers is
+      // free). Gated so the uniform path keeps the legacy dirty set and
+      // retime counts bit-identical.
+      if (!costs.uniform_links())
+        for (const LayerId s : model.graph().succs(node))
+          dirty.push_back(s);
     }
   };
   const auto apply_move = [&](LayerId node, AccId src, AccId dst) {

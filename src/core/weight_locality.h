@@ -6,6 +6,13 @@
 // The plan's pin flags and per-accelerator DRAM usage are updated; fusion
 // flags are left untouched (step 3 runs after this pass and re-checks
 // remaining capacity).
+//
+// Non-uniform link topologies: weights always stage over the accelerator's
+// host link, so bw_host(acc) — the topology's per-accelerator host-link
+// speed — keeps the item values exact. Only the (unmodeled here) per-hop
+// latency term makes the value a heuristic under hierarchical fabrics; the
+// simulator remains the single source of truth for the objective
+// (DESIGN.md §9).
 #pragma once
 
 #include <functional>

@@ -107,4 +107,49 @@ ModelGraph make_synthetic_mmmt(const SyntheticMmmtSpec& spec) {
   return std::move(b).build();
 }
 
+void SyntheticTransformerSpec::validate() const {
+  if (blocks < 1) throw ConfigError("transformer: blocks must be >= 1");
+  if (heads < 1) throw ConfigError("transformer: heads must be >= 1");
+  if (d_model < 8) throw ConfigError("transformer: d_model too small");
+  if (d_head == 0 && d_model % heads != 0)
+    throw ConfigError("transformer: d_model not divisible by heads");
+  if (seq_len < 2) throw ConfigError("transformer: seq_len too small");
+}
+
+ModelGraph make_synthetic_transformer(const SyntheticTransformerSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  const std::uint32_t d_head =
+      spec.d_head != 0 ? spec.d_head : spec.d_model / spec.heads;
+  const std::uint32_t d_ff = spec.d_ff != 0 ? spec.d_ff : 4 * spec.d_model;
+  ModelBuilder b(
+      strformat("transformer-b%u-h%u-d%u", spec.blocks, spec.heads,
+                spec.d_model));
+
+  const LayerId in = b.input_seq("tok.in", spec.seq_len, spec.d_model);
+  LayerId x = b.fc("embed", in, spec.d_model);
+  std::vector<LayerId> head_outs;
+  for (std::uint32_t blk = 1; blk <= spec.blocks; ++blk) {
+    head_outs.clear();
+    for (std::uint32_t h = 1; h <= spec.heads; ++h) {
+      // Jitter keeps heads heterogeneous without changing the layer count.
+      const auto jitter = static_cast<std::uint32_t>(rng.uniform_int(0, 1)) * 8;
+      const LayerId qk =
+          b.fc(strformat("b%u.h%u.qk", blk, h), x, d_head + jitter);
+      head_outs.push_back(
+          b.fc(strformat("b%u.h%u.av", blk, h), qk, d_head));
+    }
+    const LayerId cat = head_outs.size() >= 2
+                            ? b.concat(strformat("b%u.cat", blk), head_outs)
+                            : head_outs.front();
+    const LayerId proj = b.fc(strformat("b%u.proj", blk), cat, spec.d_model);
+    const LayerId res1 = b.eltwise(strformat("b%u.res1", blk), x, proj);
+    const LayerId ff1 = b.fc(strformat("b%u.ff1", blk), res1, d_ff);
+    const LayerId ff2 = b.fc(strformat("b%u.ff2", blk), ff1, spec.d_model);
+    x = b.eltwise(strformat("b%u.res2", blk), res1, ff2);
+  }
+  (void)b.fc("head", x, std::max(2u, spec.d_model / 8));
+  return std::move(b).build();
+}
+
 }  // namespace h2h

@@ -32,4 +32,44 @@ struct SyntheticMmmtSpec {
 
 [[nodiscard]] ModelGraph make_synthetic_mmmt(const SyntheticMmmtSpec& spec);
 
+/// A synthetic transformer encoder for the scaling experiments: an embedding
+/// projection, `blocks` residual blocks (per-head QK/V projections feeding a
+/// concat + output projection, then a two-layer feed-forward, each with an
+/// element-wise residual), and a task head. The attention score itself is not
+/// a layer — the cost model prices tensors and weights, and the projections
+/// dominate both — but the connectivity (fan-out to heads, residual
+/// shortcuts) matches what the mapper has to schedule in a real encoder.
+struct SyntheticTransformerSpec {
+  std::uint32_t blocks = 2;    // encoder blocks, >= 1
+  std::uint32_t heads = 4;     // attention heads per block, >= 1
+  std::uint32_t d_model = 256; // embedding width
+  std::uint32_t d_head = 0;    // per-head width; 0 = d_model / heads
+  std::uint32_t d_ff = 0;      // feed-forward width; 0 = 4 * d_model
+  std::uint32_t seq_len = 64;  // token count
+  std::uint64_t seed = 1;      // deterministic per-head width jitter
+
+  void validate() const;  // throws ConfigError on nonsensical combinations
+
+  /// Exact layer count of make_synthetic_transformer on this spec:
+  /// input + embed + blocks * (2*heads + concat + proj + 2 ff + 2 residual)
+  /// + head, where the concat layer exists only for multi-head blocks.
+  [[nodiscard]] std::uint64_t layer_count() const noexcept {
+    return 3 + static_cast<std::uint64_t>(blocks) * layers_per_block(heads);
+  }
+  /// Smallest block count whose layer_count() reaches `target_layers`.
+  [[nodiscard]] static std::uint32_t blocks_for_layers(
+      std::uint64_t target_layers, std::uint32_t heads) noexcept {
+    const std::uint64_t per_block = layers_per_block(heads);
+    const std::uint64_t body = target_layers > 3 ? target_layers - 3 : 1;
+    return static_cast<std::uint32_t>((body + per_block - 1) / per_block);
+  }
+  [[nodiscard]] static std::uint64_t layers_per_block(
+      std::uint32_t heads) noexcept {
+    return 2ull * heads + 5 + (heads >= 2 ? 1 : 0);
+  }
+};
+
+[[nodiscard]] ModelGraph make_synthetic_transformer(
+    const SyntheticTransformerSpec& spec);
+
 }  // namespace h2h

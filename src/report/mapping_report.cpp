@@ -12,9 +12,23 @@ void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
   const ScheduleResult& sched = result.final_result();
 
   print_model_summary(model, out);
-  out << strformat(
-      "system: %zu accelerators, BW_acc %.3f GB/s\n\n",
-      sys.accelerator_count(), sys.host().bw_acc / 1e9);
+  // Summarize the link topology, not the scalar BW_acc alone — under a
+  // mixed/hierarchical Interconnect the system-wide number would be wrong
+  // for most pairs. Uniform keeps the single-speed spelling.
+  const Interconnect& links = sys.links();
+  if (links.min_bandwidth() == links.max_bandwidth()) {
+    out << strformat("system: %zu accelerators, %.*s links %.3f GB/s\n\n",
+                     sys.accelerator_count(),
+                     static_cast<int>(links.shape_name().size()),
+                     links.shape_name().data(),
+                     links.min_bandwidth() / 1e9);
+  } else {
+    out << strformat(
+        "system: %zu accelerators, %.*s links %.3f-%.3f GB/s\n\n",
+        sys.accelerator_count(),
+        static_cast<int>(links.shape_name().size()), links.shape_name().data(),
+        links.min_bandwidth() / 1e9, links.max_bandwidth() / 1e9);
+  }
 
   out << "pipeline:\n";
   for (const StepSnapshot& step : result.steps) {

@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "serve/json.h"
+#include "util/error.h"
 #include "util/str.h"
+#include "util/units.h"
 
 namespace h2h::serve {
 namespace {
@@ -44,6 +46,181 @@ constexpr std::uint32_t kMaxBatch = 4096;
   }
   H2H_ASSERT(false);
   return json::Value(nullptr);
+}
+
+/// parse_links_object result: a topology, or (code, error) on failure.
+struct LinksParse {
+  std::optional<Interconnect> links;
+  ErrorCode code = ErrorCode::BadField;
+  std::string error;  // empty = success
+};
+
+/// Parse the request's "links" object (schema in protocol.h). Strict like
+/// the rest of the wire: unknown fields are rejected, every value is
+/// type-checked, and Interconnect's own validation errors surface as
+/// bad_field.
+[[nodiscard]] LinksParse parse_links_object(const json::Object& obj) {
+  LinksParse out;
+  const auto fail = [&out](ErrorCode code, std::string message) {
+    out.code = code;
+    out.error = std::move(message);
+    return out;
+  };
+
+  const json::Value* shape = obj.find("shape");
+  if (shape == nullptr || !shape->is_string()) {
+    return fail(ErrorCode::BadField,
+                "links.shape: expected \"uniform\", \"mixed\", or "
+                "\"hierarchical\" (required)");
+  }
+  const std::string& kind = shape->as_string();
+
+  std::vector<std::string_view> allowed{"shape"};
+  if (kind == "uniform") {
+    allowed.insert(allowed.end(), {"bw_gbps"});
+  } else if (kind == "mixed") {
+    allowed.insert(allowed.end(), {"bw_gbps", "overrides"});
+  } else if (kind == "hierarchical") {
+    allowed.insert(allowed.end(), {"group_size", "intra_gbps", "uplink_gbps",
+                                   "host_gbps", "hop_latency_us"});
+  } else {
+    return fail(ErrorCode::BadField,
+                strformat("links.shape: unknown shape '%s'", kind.c_str()));
+  }
+  for (const json::Object::Member& m : obj.members()) {
+    if (std::find(allowed.begin(), allowed.end(), m.key) == allowed.end()) {
+      return fail(ErrorCode::UnknownField,
+                  strformat("links.%s: unknown field for shape %s",
+                            m.key.c_str(), kind.c_str()));
+    }
+  }
+
+  // Required/optional positive numbers, spelled in GB/s on the wire.
+  const auto number = [&obj](std::string_view key, bool required,
+                             double fallback, double& dst) -> std::string {
+    const json::Value* v = obj.find(key);
+    if (v == nullptr) {
+      if (required)
+        return strformat("links.%.*s: required for this shape",
+                         static_cast<int>(key.size()), key.data());
+      dst = fallback;
+      return {};
+    }
+    if (!v->is_number())
+      return strformat("links.%.*s: expected a number",
+                       static_cast<int>(key.size()), key.data());
+    dst = v->as_number();
+    return {};
+  };
+
+  try {
+    if (kind == "uniform") {
+      double bw = 0;
+      if (std::string err = number("bw_gbps", true, 0, bw); !err.empty())
+        return fail(ErrorCode::BadField, std::move(err));
+      out.links = Interconnect::uniform(gbps(bw));
+    } else if (kind == "mixed") {
+      double bw = 0;
+      if (std::string err = number("bw_gbps", true, 0, bw); !err.empty())
+        return fail(ErrorCode::BadField, std::move(err));
+      std::vector<Interconnect::Override> overrides;
+      if (const json::Value* ov = obj.find("overrides")) {
+        if (!ov->is_array())
+          return fail(ErrorCode::BadField,
+                      "links.overrides: expected an array");
+        for (const json::Value& entry : ov->as_array()) {
+          if (!entry.is_object())
+            return fail(ErrorCode::BadField,
+                        "links.overrides: expected objects with acc, bw_gbps");
+          const json::Object& e = entry.as_object();
+          for (const json::Object::Member& m : e.members()) {
+            if (m.key != "acc" && m.key != "bw_gbps") {
+              return fail(ErrorCode::UnknownField,
+                          strformat("links.overrides.%s: unknown field",
+                                    m.key.c_str()));
+            }
+          }
+          const json::Value* acc = e.find("acc");
+          const json::Value* obw = e.find("bw_gbps");
+          if (acc == nullptr || !acc->is_number() ||
+              acc->as_number() < 0 ||
+              acc->as_number() != std::floor(acc->as_number())) {
+            return fail(ErrorCode::BadField,
+                        "links.overrides.acc: expected a non-negative "
+                        "integer (required)");
+          }
+          if (obw == nullptr || !obw->is_number()) {
+            return fail(ErrorCode::BadField,
+                        "links.overrides.bw_gbps: expected a number "
+                        "(required)");
+          }
+          overrides.emplace_back(static_cast<std::uint32_t>(acc->as_number()),
+                                 gbps(obw->as_number()));
+        }
+      }
+      out.links = Interconnect::mixed(gbps(bw), std::move(overrides));
+    } else {
+      const json::Value* group = obj.find("group_size");
+      if (group == nullptr || !group->is_number() ||
+          group->as_number() < 1 ||
+          group->as_number() != std::floor(group->as_number())) {
+        return fail(ErrorCode::BadField,
+                    "links.group_size: expected a positive integer "
+                    "(required)");
+      }
+      Interconnect::HierarchicalSpec spec;
+      spec.group_size = static_cast<std::uint32_t>(group->as_number());
+      double intra = 0, uplink = 0, host = 0, lat_us = 0;
+      for (std::string err :
+           {number("intra_gbps", true, 0, intra),
+            number("uplink_gbps", true, 0, uplink),
+            number("host_gbps", false, 0, host),
+            number("hop_latency_us", false, 0, lat_us)}) {
+        if (!err.empty()) return fail(ErrorCode::BadField, std::move(err));
+      }
+      spec.intra_bw = gbps(intra);
+      spec.uplink_bw = gbps(uplink);
+      spec.host_bw = host == 0 ? 0 : gbps(host);
+      spec.hop_latency_s = lat_us * 1e-6;
+      out.links = Interconnect::hierarchical(spec);
+    }
+  } catch (const ConfigError& e) {
+    return fail(ErrorCode::BadField, strformat("links: %s", e.what()));
+  }
+  return out;
+}
+
+/// Canonical JSON spelling of a topology (the response echo).
+[[nodiscard]] json::Value links_json(const Interconnect& links) {
+  json::Object o;
+  o.set("shape", std::string(to_string(links.shape())));
+  switch (links.shape()) {
+    case LinkShape::Uniform:
+      o.set("bw_gbps", links.base_bw() / 1e9);
+      break;
+    case LinkShape::Mixed: {
+      o.set("bw_gbps", links.base_bw() / 1e9);
+      json::Array overrides;
+      for (const Interconnect::Override& ov : links.overrides()) {
+        json::Object e;
+        e.set("acc", ov.first);
+        e.set("bw_gbps", ov.second / 1e9);
+        overrides.push_back(json::Value(std::move(e)));
+      }
+      o.set("overrides", std::move(overrides));
+      break;
+    }
+    case LinkShape::Hierarchical: {
+      const Interconnect::HierarchicalSpec& h = links.hier();
+      o.set("group_size", h.group_size);
+      o.set("intra_gbps", h.intra_bw / 1e9);
+      o.set("uplink_gbps", h.uplink_bw / 1e9);
+      o.set("host_gbps", h.host_bw / 1e9);
+      o.set("hop_latency_us", h.hop_latency_s * 1e6);
+      break;
+    }
+  }
+  return json::Value(std::move(o));
 }
 
 }  // namespace
@@ -120,10 +297,27 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
   req.model = *zoo;
 
   if (const json::Value* bw = root.find("bw_gbps")) {
+    if (root.find("links") != nullptr) {
+      return fail(ErrorCode::BadField,
+                  "bw_gbps: conflicts with links (the topology's base "
+                  "bandwidth is the scalar view; send one or the other)");
+    }
     if (!bw->is_number() || !(bw->as_number() > 0)) {
       return fail(ErrorCode::BadField, "bw_gbps: expected a positive number");
     }
     req.bw_gbps = bw->as_number();
+  }
+
+  if (const json::Value* links = root.find("links")) {
+    if (!links->is_object()) {
+      return fail(ErrorCode::BadField, "links: expected an object");
+    }
+    LinksParse parsed_links = parse_links_object(links->as_object());
+    if (!parsed_links.links) {
+      return fail(parsed_links.code, std::move(parsed_links.error));
+    }
+    req.links = std::move(parsed_links.links);
+    req.bw_gbps = req.links->base_bw() / 1e9;
   }
 
   if (const json::Value* batch = root.find("batch")) {
@@ -223,8 +417,8 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
 
   for (const json::Object::Member& m : root.members()) {
     if (m.key != "schema_version" && m.key != "id" && m.key != "model" &&
-        m.key != "bw_gbps" && m.key != "batch" && m.key != "options" &&
-        m.key != "emit") {
+        m.key != "bw_gbps" && m.key != "links" && m.key != "batch" &&
+        m.key != "options" && m.key != "emit") {
       return fail(ErrorCode::UnknownField,
                   strformat("%s: unknown field", m.key.c_str()));
     }
@@ -236,6 +430,7 @@ PlanRequest to_plan_request(const WireRequest& request) {
   PlanRequest plan = PlanRequest::zoo(request.model, request.bw_gbps * 1e9,
                                       request.batch);
   plan.options = request.options;
+  plan.links = request.links;  // bw_acc is then only a key component
   return plan;
 }
 
@@ -248,6 +443,9 @@ std::string write_response(const WireRequest& request,
   root.set("ok", true);
   root.set("model", zoo_info(request.model).key);
   root.set("bw_gbps", request.bw_gbps);
+  // Canonical topology echo, only for links requests — scalar responses
+  // keep their exact pre-topology bytes (pinned by the CI fixtures).
+  if (request.links) root.set("links", links_json(*request.links));
   root.set("batch", request.batch == 0 ? 1u : request.batch);
 
   // Echo every knob at its canonical value so a response is a complete

@@ -14,9 +14,25 @@
 //    "id":"r1",                     // optional, echoed verbatim
 //    "model":"mocap",               // zoo key (model/zoo.h)
 //    "bw_gbps":0.5,                 // BW_acc in GB/s, default 0.5
+//    "links":{...},                 // link topology; conflicts with bw_gbps
 //    "batch":1,                     // default 1
 //    "options":{...},               // plan_option_specs() json_key -> value
 //    "emit":{"mapping":true,"steps":true,"timing":true}}
+//
+// The "links" object selects a per-pair link topology (system/interconnect.h)
+// instead of the uniform-star scalar; `bw_gbps` stays the uniform spelling
+// and the two are mutually exclusive (code "bad_field" when both appear).
+// One of (all bandwidths in GB/s):
+//
+//   {"shape":"uniform","bw_gbps":0.5}
+//   {"shape":"mixed","bw_gbps":0.125,
+//    "overrides":[{"acc":0,"bw_gbps":1.25},...]}
+//   {"shape":"hierarchical","group_size":4,"intra_gbps":1.25,
+//    "uplink_gbps":0.25,"host_gbps":0.5,"hop_latency_us":2}
+//
+// host_gbps and hop_latency_us are optional (host follows the uplink;
+// latency defaults to 0). A links response echoes the canonical topology
+// plus bw_gbps at the topology's base bandwidth.
 //
 // The "options" object mirrors PlanOptions 1:1 via the table in
 // core/plan_options.h — the same table generates the CLI flags, so
@@ -58,6 +74,8 @@ struct WireRequest {
   std::string id;  // empty = omitted
   ZooModel model = ZooModel::MoCap;
   double bw_gbps = 0.5;
+  /// Explicit link topology; when set, bw_gbps echoes its base bandwidth.
+  std::optional<Interconnect> links;
   std::uint32_t batch = 0;  // 0 = model default (1 for zoo models)
   PlanOptions options;
   bool emit_mapping = true;

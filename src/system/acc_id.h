@@ -1,0 +1,31 @@
+// Strong accelerator identifier, split out of system_config.h so the
+// Interconnect link model can speak AccId without depending on the full
+// SystemConfig (which in turn owns an Interconnect).
+#pragma once
+
+#include <cstdint>
+
+namespace h2h {
+
+/// Strong accelerator identifier (index into SystemConfig). The reserved
+/// kHost value marks layers that live on the host (model Input nodes).
+struct AccId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kHostValue = 0xFFFFFFFEu;
+
+  [[nodiscard]] static constexpr AccId host() noexcept {
+    return AccId{kHostValue};
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != kInvalid;
+  }
+  [[nodiscard]] constexpr bool is_host() const noexcept {
+    return value == kHostValue;
+  }
+  [[nodiscard]] constexpr auto operator<=>(const AccId&) const noexcept =
+      default;
+};
+
+}  // namespace h2h

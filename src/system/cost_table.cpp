@@ -8,8 +8,33 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
     : layer_count_(model.layer_count()),
       acc_count_(sys.accelerator_count()),
       batch_(model.batch()),
-      host_bw_(sys.host().bw_acc) {
+      host_bw_(sys.host().bw_acc),
+      links_fp_(sys.links().fingerprint()),
+      uniform_links_(sys.links().uniform_links()) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  if (!uniform_links_) {
+    // Snapshot the pair link matrices (host at index acc_count_). The
+    // host-host diagonal cell is never a real transfer; infinite bandwidth
+    // makes its derived edge cost a harmless zero.
+    const std::size_t n = acc_count_ + 1;
+    const Interconnect& links = sys.links();
+    link_bw_.assign(n * n, kInf);
+    link_lat_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AccId a = i == acc_count_
+                          ? AccId::host()
+                          : AccId{static_cast<std::uint32_t>(i)};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == acc_count_ && j == acc_count_) continue;
+        const AccId b = j == acc_count_
+                            ? AccId::host()
+                            : AccId{static_cast<std::uint32_t>(j)};
+        link_bw_[i * n + j] = links.bandwidth(a, b);
+        link_lat_[i * n + j] = links.latency(a, b);
+      }
+    }
+  }
   const std::size_t cells = layer_count_ * acc_count_;
   compute_latency_.assign(cells, kInf);
   compute_energy_.assign(cells, kInf);
@@ -88,6 +113,19 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
       }
     }
     affinity_[l] = best;
+  }
+
+  if (!uniform_links_) {
+    // Per-(producer layer, src, dst) transfer cost: one multiply-free load
+    // in the simulator's hot loop instead of a divide per edge event.
+    const std::size_t n = acc_count_ + 1;
+    edge_cost_.resize(layer_count_ * n * n);
+    for (std::size_t l = 0; l < layer_count_; ++l) {
+      const double bytes = static_cast<double>(out_bytes_[l]);
+      double* row = edge_cost_.data() + l * n * n;
+      for (std::size_t c = 0; c < n * n; ++c)
+        row[c] = bytes / link_bw_[c] + link_lat_[c];
+    }
   }
 }
 

@@ -13,14 +13,27 @@
 // infinity; a support mask and per-kind candidate lists replace the virtual
 // supports() calls.
 //
+// Link topology: the table snapshots the system's Interconnect. Under a
+// uniform topology (uniform_links(), the scalar-BW_acc star) only the
+// per-accelerator bw_host scalars exist and consumers take the legacy fast
+// path — output stays bit-identical to the pre-topology code. Under a
+// non-uniform topology the table additionally materializes the
+// (acc+host)^2 link bandwidth/latency matrices and a flat per-(producer
+// layer, src, dst) edge-transfer-cost array, so the simulator and the
+// remap probes charge each edge on the actual link it crosses with one
+// indexed load (L x (A+1)^2 doubles: ~43 MB at 5000 layers x 32
+// accelerators — materialized only when non-uniform).
+//
 // Ownership/lifetime: built by (and owned by) the Simulator at
 // construction. The referenced ModelGraph and SystemConfig must outlive the
 // table; accelerator specs are immutable after SystemConfig construction,
 // so the only knobs that can invalidate a built table are
 // ModelGraph::set_batch, ModelGraph::add_layer, and
-// SystemConfig::set_bw_acc — fresh() detects all three and the Simulator
-// rebuilds lazily. After the build, no query path invokes the virtual
-// AcceleratorModel interface (regression-tested with counting models).
+// SystemConfig::set_bw_acc — fresh() detects all three (the topology
+// fingerprint covers the bandwidth knob and any future topology mutators)
+// and the Simulator rebuilds lazily. After the build, no query path invokes
+// the virtual AcceleratorModel interface (regression-tested with counting
+// models).
 #pragma once
 
 #include <array>
@@ -40,11 +53,12 @@ class CostTable {
   CostTable(const ModelGraph& model, const SystemConfig& sys);
 
   /// False when a snapshot knob moved since the build (batch size, layer
-  /// count, or the system-wide BW_acc): the owner must rebuild.
+  /// count, BW_acc, or the link topology): the owner must rebuild.
   [[nodiscard]] bool fresh(const ModelGraph& model,
                            const SystemConfig& sys) const noexcept {
     return batch_ == model.batch() && layer_count_ == model.layer_count() &&
-           host_bw_ == sys.host().bw_acc;
+           host_bw_ == sys.host().bw_acc &&
+           links_fp_ == sys.links().fingerprint();
   }
 
   [[nodiscard]] std::size_t layer_count() const noexcept {
@@ -123,6 +137,33 @@ class CostTable {
     return dram_capacity_[acc.value];
   }
 
+  /// True when every link of the snapshotted topology runs at one speed
+  /// with zero latency — consumers serve transfers from the legacy host-star
+  /// fast path (bw_host), which is bit-identical to the scalar-BW_acc code.
+  [[nodiscard]] bool uniform_links() const noexcept { return uniform_links_; }
+
+  /// Snapshotted pair link bandwidth (bytes/s) / per-transfer latency (s).
+  /// Either endpoint may be AccId::host(). Non-uniform topologies only.
+  [[nodiscard]] double link_bw(AccId a, AccId b) const {
+    H2H_EXPECTS(!uniform_links_);
+    return link_bw_[li(a) * (acc_count_ + 1) + li(b)];
+  }
+  [[nodiscard]] double link_latency(AccId a, AccId b) const {
+    H2H_EXPECTS(!uniform_links_);
+    return link_lat_[li(a) * (acc_count_ + 1) + li(b)];
+  }
+
+  /// Time to move `producer`'s output tensor across the src->dst link:
+  /// out_bytes / link_bw + link latency, one indexed load. Non-uniform
+  /// topologies only (the uniform path divides by bw_host directly).
+  [[nodiscard]] double edge_transfer_time(LayerId producer, AccId src,
+                                          AccId dst) const {
+    H2H_EXPECTS(!uniform_links_);
+    H2H_EXPECTS(producer.value < layer_count_);
+    const std::size_t n = acc_count_ + 1;
+    return edge_cost_[(producer.value * n + li(src)) * n + li(dst)];
+  }
+
   /// Accelerators able to run `kind`, ascending (== SystemConfig::supporting
   /// without the per-call allocation and virtual dispatch).
   [[nodiscard]] std::span<const AccId> supporting(LayerKind kind) const {
@@ -147,6 +188,11 @@ class CostTable {
     H2H_EXPECTS(acc.value < acc_count_);
     return static_cast<std::size_t>(id.value) * acc_count_ + acc.value;
   }
+  /// Link-matrix index of an endpoint: accelerators 0..A-1, host at A.
+  [[nodiscard]] std::size_t li(AccId a) const {
+    H2H_EXPECTS(a.is_host() || a.value < acc_count_);
+    return a.is_host() ? acc_count_ : a.value;
+  }
 
   static constexpr std::size_t kKindCount =
       static_cast<std::size_t>(LayerKind::Concat) + 1;
@@ -155,6 +201,14 @@ class CostTable {
   std::size_t acc_count_ = 0;
   std::uint32_t batch_ = 1;
   double host_bw_ = 0;
+  std::uint64_t links_fp_ = 0;
+  bool uniform_links_ = true;
+
+  // Non-uniform topologies only: (acc_count_+1)^2 link matrices (host at
+  // index acc_count_) and the flat layer x src x dst edge-cost array.
+  std::vector<double> link_bw_;
+  std::vector<double> link_lat_;
+  std::vector<double> edge_cost_;
 
   // layer x acc, row-major by layer.
   std::vector<double> compute_latency_;

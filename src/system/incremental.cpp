@@ -208,6 +208,13 @@ void IncrementalSchedule::apply_remap(const Mapping& m,
   begin_retime();
   for (const LayerId id : queues_[old_acc.value]) refresh_one(m, plan, id);
   for (const LayerId id : queues_[new_acc.value]) refresh_one(m, plan, id);
+  // Non-uniform topology: an unfused successor on a third accelerator reads
+  // its in-edge from the node over a different link now — its components
+  // changed even though its own placement did not. Gated so the uniform
+  // path keeps the exact legacy refresh set (and retime counts).
+  if (!sim_->costs().uniform_links())
+    for (const LayerId s : sim_->model().graph().succs(node))
+      refresh_one(m, plan, s);
   retime();
 }
 

@@ -1,0 +1,327 @@
+#include "system/interconnect.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+#include <limits>
+
+#include "util/error.h"
+#include "util/str.h"
+#include "util/units.h"
+
+namespace h2h {
+namespace {
+
+[[nodiscard]] std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::uint64_t fnv_mix(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv_mix(h, bits);
+}
+
+}  // namespace
+
+std::string_view to_string(LinkShape shape) noexcept {
+  switch (shape) {
+    case LinkShape::Uniform: return "uniform";
+    case LinkShape::Mixed: return "mixed";
+    case LinkShape::Hierarchical: return "hierarchical";
+  }
+  return "?";
+}
+
+Interconnect Interconnect::uniform(double bw) {
+  if (!(bw > 0))
+    throw ConfigError("interconnect: uniform bandwidth must be > 0");
+  Interconnect ic;
+  ic.shape_ = LinkShape::Uniform;
+  ic.base_bw_ = bw;
+  return ic;
+}
+
+Interconnect Interconnect::mixed(double default_bw,
+                                 std::vector<Override> overrides) {
+  if (!(default_bw > 0))
+    throw ConfigError("interconnect: mixed default bandwidth must be > 0");
+  std::sort(overrides.begin(), overrides.end());
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    if (!(overrides[i].second > 0))
+      throw ConfigError(strformat("interconnect: uplink override for acc %u "
+                                  "must be > 0",
+                                  overrides[i].first));
+    if (i > 0 && overrides[i].first == overrides[i - 1].first)
+      throw ConfigError(strformat("interconnect: duplicate uplink override "
+                                  "for acc %u",
+                                  overrides[i].first));
+  }
+  Interconnect ic;
+  ic.shape_ = LinkShape::Mixed;
+  ic.base_bw_ = default_bw;
+  ic.overrides_ = std::move(overrides);
+  return ic;
+}
+
+Interconnect Interconnect::hierarchical(const HierarchicalSpec& spec) {
+  if (spec.group_size < 1)
+    throw ConfigError("interconnect: hierarchical group_size must be >= 1");
+  if (!(spec.intra_bw > 0) || !(spec.uplink_bw > 0))
+    throw ConfigError(
+        "interconnect: hierarchical intra/uplink bandwidths must be > 0");
+  if (spec.host_bw < 0)
+    throw ConfigError("interconnect: hierarchical host bandwidth must be >= 0");
+  if (spec.hop_latency_s < 0)
+    throw ConfigError("interconnect: hop latency must be >= 0");
+  Interconnect ic;
+  ic.shape_ = LinkShape::Hierarchical;
+  ic.hier_ = spec;
+  if (ic.hier_.host_bw == 0) ic.hier_.host_bw = spec.uplink_bw;
+  ic.base_bw_ = ic.hier_.host_bw;
+  return ic;
+}
+
+void Interconnect::bind(std::size_t acc_count) {
+  if (acc_count == 0)
+    throw ConfigError("interconnect: cannot bind to an empty system");
+  for (const Override& o : overrides_) {
+    if (o.first >= acc_count)
+      throw ConfigError(strformat("interconnect: uplink override for acc %u "
+                                  "out of range (system has %zu)",
+                                  o.first, acc_count));
+  }
+  acc_count_ = acc_count;
+  derive();
+}
+
+double Interconnect::base_bw() const noexcept {
+  return shape_ == LinkShape::Hierarchical ? hier_.host_bw : base_bw_;
+}
+
+void Interconnect::set_base_bw(double bw) {
+  H2H_EXPECTS(bw > 0);
+  if (shape_ == LinkShape::Hierarchical) {
+    hier_.host_bw = bw;
+  } else {
+    base_bw_ = bw;
+  }
+  if (bound()) derive();
+}
+
+double Interconnect::uplink(std::uint32_t acc) const {
+  for (const Override& o : overrides_) {
+    if (o.first == acc) return o.second;
+    if (o.first > acc) break;  // sorted
+  }
+  return base_bw_;
+}
+
+double Interconnect::bandwidth(AccId a, AccId b) const {
+  H2H_EXPECTS(bound());
+  H2H_EXPECTS(!(a.is_host() && b.is_host()));
+  H2H_EXPECTS(a.is_host() || a.value < acc_count_);
+  H2H_EXPECTS(b.is_host() || b.value < acc_count_);
+  switch (shape_) {
+    case LinkShape::Uniform:
+      return base_bw_;
+    case LinkShape::Mixed: {
+      // A pair runs at the slower endpoint's uplink; the host constrains
+      // nothing, so a host link is the accelerator's own uplink.
+      if (a.is_host()) return uplink(b.value);
+      if (b.is_host()) return uplink(a.value);
+      return std::min(uplink(a.value), uplink(b.value));
+    }
+    case LinkShape::Hierarchical: {
+      if (a.is_host() || b.is_host()) return hier_.host_bw;
+      return group_of(a.value) == group_of(b.value) ? hier_.intra_bw
+                                                    : hier_.uplink_bw;
+    }
+  }
+  H2H_ASSERT(false);
+  return base_bw_;
+}
+
+double Interconnect::latency(AccId a, AccId b) const {
+  H2H_EXPECTS(bound());
+  H2H_EXPECTS(!(a.is_host() && b.is_host()));
+  if (shape_ != LinkShape::Hierarchical || hier_.hop_latency_s == 0) return 0;
+  // Hop counts through the switch tree: one switch within a group, the
+  // fabric spine to the host, and up-across-down between groups.
+  std::uint32_t hops = 3;
+  if (a.is_host() || b.is_host()) hops = 2;
+  else if (group_of(a.value) == group_of(b.value)) hops = 1;
+  return hier_.hop_latency_s * static_cast<double>(hops);
+}
+
+void Interconnect::derive() {
+  // Enumerate the distinct link speeds the bound system can exhibit; the
+  // uniformity flag gates the consumers' scalar fast path, so it must be
+  // exact (a false positive would silently change charged transfer times).
+  min_bw_ = std::numeric_limits<double>::infinity();
+  max_bw_ = 0;
+  const auto note = [this](double bw) {
+    min_bw_ = std::min(min_bw_, bw);
+    max_bw_ = std::max(max_bw_, bw);
+  };
+  bool zero_latency = true;
+  switch (shape_) {
+    case LinkShape::Uniform:
+      note(base_bw_);
+      break;
+    case LinkShape::Mixed:
+      for (std::uint32_t a = 0; a < acc_count_; ++a) note(uplink(a));
+      break;
+    case LinkShape::Hierarchical: {
+      note(hier_.host_bw);
+      const std::size_t first_group =
+          std::min<std::size_t>(hier_.group_size, acc_count_);
+      if (first_group >= 2) note(hier_.intra_bw);
+      if (acc_count_ > hier_.group_size) note(hier_.uplink_bw);
+      zero_latency = hier_.hop_latency_s == 0;
+      break;
+    }
+  }
+  uniform_ = min_bw_ == max_bw_ && zero_latency;
+  fingerprint_ =
+      fnv_mix(params_fingerprint(), static_cast<std::uint64_t>(acc_count_));
+}
+
+std::uint64_t Interconnect::params_fingerprint() const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv_mix(h, static_cast<std::uint64_t>(shape_));
+  h = fnv_mix(h, base_bw_);
+  for (const Override& o : overrides_) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(o.first));
+    h = fnv_mix(h, o.second);
+  }
+  if (shape_ == LinkShape::Hierarchical) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(hier_.group_size));
+    h = fnv_mix(h, hier_.intra_bw);
+    h = fnv_mix(h, hier_.uplink_bw);
+    h = fnv_mix(h, hier_.host_bw);
+    h = fnv_mix(h, hier_.hop_latency_s);
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::string_view kLinksUsage =
+    "expected uniform:<GB/s> | mixed:<GB/s>[,<acc>=<GB/s>...] | "
+    "hier:group=<n>,intra=<GB/s>,uplink=<GB/s>[,host=<GB/s>][,lat_us=<us>]";
+
+[[nodiscard]] double parse_double(std::string_view text,
+                                  std::string_view what) {
+  double v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    throw ConfigError(strformat("links: %.*s is not a number ('%.*s'); %.*s",
+                                static_cast<int>(what.size()), what.data(),
+                                static_cast<int>(text.size()), text.data(),
+                                static_cast<int>(kLinksUsage.size()),
+                                kLinksUsage.data()));
+  return v;
+}
+
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep) {
+  std::vector<std::string_view> out;
+  while (true) {
+    const std::size_t p = s.find(sep);
+    if (p == std::string_view::npos) {
+      out.push_back(s);
+      return out;
+    }
+    out.push_back(s.substr(0, p));
+    s.remove_prefix(p + 1);
+  }
+}
+
+}  // namespace
+
+Interconnect parse_links_spec(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos)
+    throw ConfigError(strformat("links: missing shape; %.*s",
+                                static_cast<int>(kLinksUsage.size()),
+                                kLinksUsage.data()));
+  const std::string_view shape = spec.substr(0, colon);
+  const std::vector<std::string_view> parts =
+      split(spec.substr(colon + 1), ',');
+
+  if (shape == "uniform") {
+    if (parts.size() != 1)
+      throw ConfigError(strformat("links: uniform takes one bandwidth; %.*s",
+                                  static_cast<int>(kLinksUsage.size()),
+                                  kLinksUsage.data()));
+    return Interconnect::uniform(gbps(parse_double(parts[0], "bandwidth")));
+  }
+
+  if (shape == "mixed") {
+    const double dflt = gbps(parse_double(parts[0], "default bandwidth"));
+    std::vector<Interconnect::Override> overrides;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+      const std::size_t eq = parts[i].find('=');
+      if (eq == std::string_view::npos)
+        throw ConfigError(strformat("links: mixed override '%.*s' must be "
+                                    "<acc>=<GB/s>",
+                                    static_cast<int>(parts[i].size()),
+                                    parts[i].data()));
+      const double idx = parse_double(parts[i].substr(0, eq), "acc index");
+      if (idx < 0 || idx != static_cast<double>(
+                                static_cast<std::uint32_t>(idx)))
+        throw ConfigError("links: acc index must be a non-negative integer");
+      overrides.emplace_back(
+          static_cast<std::uint32_t>(idx),
+          gbps(parse_double(parts[i].substr(eq + 1), "override bandwidth")));
+    }
+    return Interconnect::mixed(dflt, std::move(overrides));
+  }
+
+  if (shape == "hier") {
+    Interconnect::HierarchicalSpec h;
+    h.group_size = 0;
+    for (const std::string_view part : parts) {
+      const std::size_t eq = part.find('=');
+      if (eq == std::string_view::npos)
+        throw ConfigError(strformat("links: hier parameter '%.*s' must be "
+                                    "key=value; %.*s",
+                                    static_cast<int>(part.size()), part.data(),
+                                    static_cast<int>(kLinksUsage.size()),
+                                    kLinksUsage.data()));
+      const std::string_view key = part.substr(0, eq);
+      const double v = parse_double(part.substr(eq + 1), key);
+      if (key == "group") h.group_size = static_cast<std::uint32_t>(v);
+      else if (key == "intra") h.intra_bw = gbps(v);
+      else if (key == "uplink") h.uplink_bw = gbps(v);
+      else if (key == "host") h.host_bw = gbps(v);
+      else if (key == "lat_us") h.hop_latency_s = v * 1e-6;
+      else
+        throw ConfigError(strformat("links: unknown hier parameter '%.*s'; "
+                                    "%.*s",
+                                    static_cast<int>(key.size()), key.data(),
+                                    static_cast<int>(kLinksUsage.size()),
+                                    kLinksUsage.data()));
+    }
+    if (h.group_size == 0 || h.intra_bw == 0 || h.uplink_bw == 0)
+      throw ConfigError(strformat("links: hier requires group, intra, and "
+                                  "uplink; %.*s",
+                                  static_cast<int>(kLinksUsage.size()),
+                                  kLinksUsage.data()));
+    return Interconnect::hierarchical(h);
+  }
+
+  throw ConfigError(strformat("links: unknown shape '%.*s'; %.*s",
+                              static_cast<int>(shape.size()), shape.data(),
+                              static_cast<int>(kLinksUsage.size()),
+                              kLinksUsage.data()));
+}
+
+}  // namespace h2h

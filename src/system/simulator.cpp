@@ -12,6 +12,8 @@ LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
   if (costs.is_input(id)) return t;  // host-resident source data
 
   const AccId a = m.acc_of(id);
+  if (!costs.uniform_links()) return linked_components(id, m, plan, costs, a);
+
   const double bw_host = costs.bw_host(a);
   const double bw_local = costs.bw_local(a);
 
@@ -55,6 +57,69 @@ LayerTiming Simulator::layer_components(LayerId id, const Mapping& m,
       if (!plan.edge_fused(*model_, id, s)) host_write = true;
     }
     if (host_write) add_host(t.t_out, ob);
+  }
+  return t;
+}
+
+LayerTiming Simulator::linked_components(LayerId id, const Mapping& m,
+                                         const LocalityPlan& plan,
+                                         const CostTable& costs,
+                                         AccId a) const {
+  LayerTiming t;
+  const double bw_local = costs.bw_local(a);
+
+  const auto add_remote = [&](double& bucket, Bytes bytes, double dt) {
+    bucket += dt;
+    t.t_host += dt;
+    t.host_bytes += bytes;
+  };
+  const auto add_local = [&](double& bucket, Bytes bytes) {
+    const double dt = static_cast<double>(bytes) / bw_local;
+    bucket += dt;
+    t.t_local += dt;
+    t.local_bytes += bytes;
+  };
+
+  // Activation in-transfers: each unfused in-edge crosses the link between
+  // its producer's accelerator and `a`. Input producers live on the host
+  // (Mapping pre-assigns them AccId::host()), so m.acc_of(p) is uniform.
+  const std::span<const LayerId> preds = model_->graph().preds(id);
+  const std::span<const Bytes> in_bytes = costs.in_edge_bytes(id);
+  for (std::size_t i = 0; i < in_bytes.size(); ++i) {
+    if (plan.fused_in(id, i)) {
+      add_local(t.t_in, in_bytes[i]);
+    } else {
+      add_remote(t.t_in, in_bytes[i],
+                 costs.edge_transfer_time(preds[i], m.acc_of(preds[i]), a));
+    }
+  }
+
+  // Weights stage from the host's main memory (their default home) over the
+  // accelerator's host link, or from local DRAM when pinned.
+  if (const Bytes wb = costs.weight_bytes(id); wb != 0) {
+    if (plan.pinned(id)) {
+      add_local(t.t_weight, wb);
+    } else {
+      const AccId host = AccId::host();
+      add_remote(t.t_weight, wb,
+                 static_cast<double>(wb) / costs.link_bw(host, a) +
+                     costs.link_latency(host, a));
+    }
+  }
+
+  t.t_compute = costs.compute_latency(id, a);
+
+  // Output write-back to the host, same trigger as the uniform path. The
+  // host copy stays authoritative even when remote consumers read over a
+  // peer link (modeling choice, DESIGN.md §9).
+  if (const Bytes ob = costs.out_bytes(id); ob != 0) {
+    const auto succs = model_->graph().succs(id);
+    bool host_write = succs.empty();
+    for (const LayerId s : succs) {
+      if (!plan.edge_fused(*model_, id, s)) host_write = true;
+    }
+    if (host_write)
+      add_remote(t.t_out, ob, costs.edge_transfer_time(id, a, AccId::host()));
   }
   return t;
 }

@@ -8,6 +8,12 @@
 //    compute — the paper's latency blocks include transfer time).
 //  - Transfers use the host link at BW_acc unless the plan localizes them
 //    (pinned weights and fused activations move at the local DRAM rate).
+//    Under a non-uniform Interconnect, each unfused in-edge is instead
+//    charged on the link between its producer's accelerator and the
+//    consumer's (host for Input producers); weights and output write-backs
+//    keep using the consumer's host link, plus any per-hop latency. The
+//    uniform case takes a fast path that is bit-identical to the scalar
+//    BW_acc model (DESIGN.md §9).
 //  - A producer writes its output to the host once if any consumer is
 //    remote/unfused (or it is a model output); retention for fused
 //    consumers is free because the output materializes in the
@@ -111,6 +117,13 @@ class Simulator {
   [[nodiscard]] double unlocalized_duration(LayerId id, AccId acc) const;
 
  private:
+  /// layer_components under a non-uniform topology: per-edge link charges
+  /// from the cost table's edge-cost array.
+  [[nodiscard]] LayerTiming linked_components(LayerId id, const Mapping& m,
+                                              const LocalityPlan& plan,
+                                              const CostTable& costs,
+                                              AccId a) const;
+
   const ModelGraph* model_;
   const SystemConfig* sys_;
   mutable CostTable costs_;

@@ -9,23 +9,11 @@
 #include <vector>
 
 #include "accel/accelerator_model.h"
+#include "system/acc_id.h"
+#include "system/interconnect.h"
 #include "util/contracts.h"
 
 namespace h2h {
-
-/// Strong accelerator identifier (index into SystemConfig). The reserved
-/// kHost value marks layers that live on the host (model Input nodes).
-struct AccId {
-  std::uint32_t value = kInvalid;
-
-  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
-  static constexpr std::uint32_t kHostValue = 0xFFFFFFFEu;
-
-  [[nodiscard]] static constexpr AccId host() noexcept { return AccId{kHostValue}; }
-  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
-  [[nodiscard]] constexpr bool is_host() const noexcept { return value == kHostValue; }
-  [[nodiscard]] constexpr auto operator<=>(const AccId&) const noexcept = default;
-};
 
 /// The paper's Fig. 4 bandwidth settings for BW_acc.
 enum class BandwidthSetting { LowMinus, Low, MidMinus, Mid, High };
@@ -45,13 +33,29 @@ struct HostParams {
 
 class SystemConfig {
  public:
+  /// Scalar-BW_acc shim: builds a uniform Interconnect from host.bw_acc, or
+  /// a mixed one when any spec carries the deprecated bw_acc_override.
   SystemConfig(std::vector<AcceleratorPtr> accelerators, HostParams host);
+
+  /// Explicit link topology. The interconnect is bound to the accelerator
+  /// count here (validating overrides); host.bw_acc is taken from the
+  /// topology's base bandwidth, so the two cannot disagree. Specs carrying
+  /// the deprecated bw_acc_override are rejected — fold them into the
+  /// Interconnect instead.
+  SystemConfig(std::vector<AcceleratorPtr> accelerators, Interconnect links,
+               HostParams host = {});
 
   /// The paper's evaluation system: all 12 Table-3 accelerators.
   [[nodiscard]] static SystemConfig standard(double bw_acc);
   [[nodiscard]] static SystemConfig standard(BandwidthSetting setting) {
     return standard(bandwidth_value(setting));
   }
+  /// Standard catalog on an explicit link topology.
+  [[nodiscard]] static SystemConfig standard(Interconnect links);
+  /// `count` accelerators (the catalog cycled with name suffixes) on an
+  /// explicit topology — the 16/32-accelerator scaling systems.
+  [[nodiscard]] static SystemConfig scaled(std::size_t count,
+                                           Interconnect links);
 
   [[nodiscard]] std::size_t accelerator_count() const noexcept {
     return accs_.size();
@@ -67,14 +71,17 @@ class SystemConfig {
     return accelerator(id).spec();
   }
 
-  /// Effective host-link bandwidth for `id` (per-accelerator override or the
-  /// system-wide BW_acc).
+  /// Effective host-link bandwidth for `id` — the topology's host link
+  /// (which the scalar-shim constructor derives from host.bw_acc and any
+  /// deprecated per-spec overrides, reproducing the old values exactly).
   [[nodiscard]] double bw_acc(AccId id) const {
-    const double o = spec(id).bw_acc_override;
-    return o > 0 ? o : host_.bw_acc;
+    H2H_EXPECTS(contains(id));
+    return links_.host_bandwidth(id);
   }
 
   [[nodiscard]] const HostParams& host() const noexcept { return host_; }
+  /// The link topology (bound to this system's accelerator count).
+  [[nodiscard]] const Interconnect& links() const noexcept { return links_; }
 
   /// Idle energy over a makespan: static_power_w × accelerator count ×
   /// latency. The single source of truth for the static-power term, shared
@@ -85,10 +92,13 @@ class SystemConfig {
            latency_s;
   }
 
-  /// Sweep helper: change the system-wide BW_acc in place.
+  /// Sweep helper: change the system-wide BW_acc in place. Moves the
+  /// topology's base bandwidth and preserves its shape (mixed overrides and
+  /// hierarchical fabric speeds stay put).
   void set_bw_acc(double bw) {
     H2H_EXPECTS(bw > 0);
     host_.bw_acc = bw;
+    links_.set_base_bw(bw);
   }
 
   [[nodiscard]] std::vector<AccId> all_accelerators() const;
@@ -96,8 +106,11 @@ class SystemConfig {
   [[nodiscard]] std::vector<AccId> supporting(LayerKind kind) const;
 
  private:
+  void validate_accelerators(bool allow_bw_override) const;
+
   std::vector<AcceleratorPtr> accs_;
   HostParams host_;
+  Interconnect links_;
 };
 
 }  // namespace h2h

@@ -1,0 +1,271 @@
+#include "system/interconnect.h"
+
+#include <gtest/gtest.h>
+
+#include "system/system_config.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace h2h {
+namespace {
+
+constexpr AccId kHost = AccId::host();
+
+AccId acc(std::uint32_t v) { return AccId{v}; }
+
+TEST(Interconnect, UniformIsOneSpeedEverywhere) {
+  Interconnect ic = Interconnect::uniform(gbps(0.5));
+  EXPECT_FALSE(ic.bound());
+  ic.bind(4);
+  ASSERT_TRUE(ic.bound());
+  EXPECT_EQ(ic.shape(), LinkShape::Uniform);
+  EXPECT_EQ(ic.shape_name(), "uniform");
+  EXPECT_TRUE(ic.uniform_links());
+  EXPECT_EQ(ic.base_bw(), gbps(0.5));
+  EXPECT_EQ(ic.bandwidth(acc(0), acc(3)), gbps(0.5));
+  EXPECT_EQ(ic.bandwidth(acc(2), kHost), gbps(0.5));
+  EXPECT_EQ(ic.host_bandwidth(acc(1)), gbps(0.5));
+  EXPECT_EQ(ic.latency(acc(0), acc(1)), 0.0);
+  EXPECT_EQ(ic.min_bandwidth(), ic.max_bandwidth());
+}
+
+TEST(Interconnect, MixedPairIsSlowerEndpointHostIsOwnUplink) {
+  Interconnect ic = Interconnect::mixed(gbps(0.125), {{0, gbps(1.25)},
+                                                      {2, gbps(1.25)}});
+  ic.bind(4);
+  EXPECT_EQ(ic.shape(), LinkShape::Mixed);
+  EXPECT_FALSE(ic.uniform_links());
+  // Host links follow each accelerator's own uplink.
+  EXPECT_EQ(ic.host_bandwidth(acc(0)), gbps(1.25));
+  EXPECT_EQ(ic.host_bandwidth(acc(1)), gbps(0.125));
+  // Pairs run at the slower endpoint.
+  EXPECT_EQ(ic.bandwidth(acc(0), acc(2)), gbps(1.25));
+  EXPECT_EQ(ic.bandwidth(acc(0), acc(1)), gbps(0.125));
+  // Symmetry.
+  EXPECT_EQ(ic.bandwidth(acc(1), acc(0)), ic.bandwidth(acc(0), acc(1)));
+  EXPECT_EQ(ic.min_bandwidth(), gbps(0.125));
+  EXPECT_EQ(ic.max_bandwidth(), gbps(1.25));
+  EXPECT_EQ(ic.latency(acc(0), acc(1)), 0.0);
+}
+
+TEST(Interconnect, MixedWithEqualOverridesDegradesToUniform) {
+  Interconnect ic = Interconnect::mixed(gbps(0.5), {{1, gbps(0.5)}});
+  ic.bind(3);
+  EXPECT_TRUE(ic.uniform_links());
+  EXPECT_EQ(ic.min_bandwidth(), ic.max_bandwidth());
+}
+
+TEST(Interconnect, HierarchicalGroupsAndHops) {
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 2;
+  spec.intra_bw = gbps(1.25);
+  spec.uplink_bw = gbps(0.25);
+  spec.host_bw = gbps(0.5);
+  spec.hop_latency_s = 2e-6;
+  Interconnect ic = Interconnect::hierarchical(spec);
+  ic.bind(4);
+  EXPECT_EQ(ic.shape(), LinkShape::Hierarchical);
+  EXPECT_FALSE(ic.uniform_links());
+  // Same group (0,1), cross group (0,2), host.
+  EXPECT_EQ(ic.bandwidth(acc(0), acc(1)), gbps(1.25));
+  EXPECT_EQ(ic.bandwidth(acc(0), acc(2)), gbps(0.25));
+  EXPECT_EQ(ic.bandwidth(acc(3), kHost), gbps(0.5));
+  EXPECT_EQ(ic.base_bw(), gbps(0.5));
+  // Hop latency: 1 intra, 2 to host, 3 cross-group.
+  EXPECT_DOUBLE_EQ(ic.latency(acc(0), acc(1)), 2e-6);
+  EXPECT_DOUBLE_EQ(ic.latency(acc(0), kHost), 4e-6);
+  EXPECT_DOUBLE_EQ(ic.latency(acc(0), acc(2)), 6e-6);
+  EXPECT_EQ(ic.min_bandwidth(), gbps(0.25));
+  EXPECT_EQ(ic.max_bandwidth(), gbps(1.25));
+}
+
+TEST(Interconnect, HierarchicalHostDefaultsToUplink) {
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 4;
+  spec.intra_bw = gbps(1.25);
+  spec.uplink_bw = gbps(0.25);
+  Interconnect ic = Interconnect::hierarchical(spec);
+  ic.bind(8);
+  EXPECT_EQ(ic.bandwidth(acc(0), kHost), gbps(0.25));
+  EXPECT_EQ(ic.base_bw(), gbps(0.25));
+}
+
+TEST(Interconnect, HierarchicalSingleGroupNeverChargesUplink) {
+  // Four accelerators in one group of four: the cross-group fabric speed is
+  // unrealizable and must not leak into min/max (or break uniformity when
+  // all realizable speeds agree).
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 4;
+  spec.intra_bw = gbps(0.5);
+  spec.uplink_bw = gbps(0.0625);
+  spec.host_bw = gbps(0.5);
+  Interconnect ic = Interconnect::hierarchical(spec);
+  ic.bind(4);
+  EXPECT_EQ(ic.min_bandwidth(), gbps(0.5));
+  EXPECT_EQ(ic.max_bandwidth(), gbps(0.5));
+  EXPECT_TRUE(ic.uniform_links());
+}
+
+TEST(Interconnect, HopLatencyAloneBreaksUniformity) {
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 4;
+  spec.intra_bw = gbps(0.5);
+  spec.uplink_bw = gbps(0.5);
+  spec.host_bw = gbps(0.5);
+  spec.hop_latency_s = 1e-6;
+  Interconnect ic = Interconnect::hierarchical(spec);
+  ic.bind(8);
+  EXPECT_EQ(ic.min_bandwidth(), ic.max_bandwidth());
+  EXPECT_FALSE(ic.uniform_links());
+}
+
+TEST(Interconnect, SetBaseBwMovesTheRightKnob) {
+  Interconnect mixed = Interconnect::mixed(gbps(0.125), {{0, gbps(1.25)}});
+  mixed.bind(2);
+  const std::uint64_t before = mixed.fingerprint();
+  mixed.set_base_bw(gbps(0.25));
+  EXPECT_EQ(mixed.host_bandwidth(acc(1)), gbps(0.25));
+  EXPECT_EQ(mixed.host_bandwidth(acc(0)), gbps(1.25));  // override stays
+  EXPECT_NE(mixed.fingerprint(), before);
+
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 2;
+  spec.intra_bw = gbps(1.25);
+  spec.uplink_bw = gbps(0.25);
+  Interconnect hier = Interconnect::hierarchical(spec);
+  hier.bind(4);
+  hier.set_base_bw(gbps(0.5));
+  EXPECT_EQ(hier.bandwidth(acc(0), kHost), gbps(0.5));   // host moved
+  EXPECT_EQ(hier.bandwidth(acc(0), acc(1)), gbps(1.25));  // fabric stays
+  EXPECT_EQ(hier.bandwidth(acc(0), acc(2)), gbps(0.25));
+}
+
+TEST(Interconnect, FingerprintSeparatesTopologies) {
+  Interconnect a = Interconnect::uniform(gbps(0.5));
+  Interconnect b = Interconnect::uniform(gbps(0.25));
+  Interconnect c = Interconnect::mixed(gbps(0.5), {});
+  EXPECT_NE(a.params_fingerprint(), b.params_fingerprint());
+  EXPECT_NE(a.params_fingerprint(), c.params_fingerprint());
+  a.bind(4);
+  b.bind(4);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Same parameters, different bound count -> different fingerprint but the
+  // same params fingerprint.
+  Interconnect a2 = Interconnect::uniform(gbps(0.5));
+  a2.bind(8);
+  EXPECT_EQ(a.params_fingerprint(), a2.params_fingerprint());
+  EXPECT_NE(a.fingerprint(), a2.fingerprint());
+}
+
+TEST(Interconnect, FactoryAndBindValidation) {
+  EXPECT_THROW((void)Interconnect::uniform(0), ConfigError);
+  EXPECT_THROW((void)Interconnect::uniform(-1), ConfigError);
+  EXPECT_THROW((void)Interconnect::mixed(0, {}), ConfigError);
+  EXPECT_THROW((void)Interconnect::mixed(gbps(0.5), {{0, 0}}), ConfigError);
+  EXPECT_THROW((void)Interconnect::mixed(gbps(0.5), {{1, gbps(1)},
+                                                     {1, gbps(2)}}),
+               ConfigError);
+  Interconnect::HierarchicalSpec spec;
+  EXPECT_THROW((void)Interconnect::hierarchical(spec), ConfigError);  // no bw
+  spec.intra_bw = gbps(1);
+  spec.uplink_bw = gbps(1);
+  spec.group_size = 0;
+  EXPECT_THROW((void)Interconnect::hierarchical(spec), ConfigError);
+  spec.group_size = 4;
+  spec.hop_latency_s = -1;
+  EXPECT_THROW((void)Interconnect::hierarchical(spec), ConfigError);
+
+  Interconnect out_of_range = Interconnect::mixed(gbps(0.5), {{7, gbps(1)}});
+  EXPECT_THROW(out_of_range.bind(4), ConfigError);
+  Interconnect ok = Interconnect::uniform(gbps(0.5));
+  EXPECT_THROW(ok.bind(0), ConfigError);
+  // Unbound queries are contract violations.
+  EXPECT_THROW((void)ok.bandwidth(acc(0), kHost), ContractViolation);
+  EXPECT_THROW((void)ok.fingerprint(), ContractViolation);
+  ok.bind(2);
+  EXPECT_THROW((void)ok.bandwidth(kHost, kHost), ContractViolation);
+  EXPECT_THROW((void)ok.bandwidth(acc(5), kHost), ContractViolation);
+}
+
+TEST(InterconnectParse, AcceptsAllThreeGrammars) {
+  const Interconnect u = parse_links_spec("uniform:0.5");
+  EXPECT_EQ(u.shape(), LinkShape::Uniform);
+  EXPECT_EQ(u.base_bw(), gbps(0.5));
+
+  const Interconnect m = parse_links_spec("mixed:0.125,0=1.25,2=1.25");
+  EXPECT_EQ(m.shape(), LinkShape::Mixed);
+  EXPECT_EQ(m.base_bw(), gbps(0.125));
+  ASSERT_EQ(m.overrides().size(), 2u);
+  EXPECT_EQ(m.overrides()[0].first, 0u);
+  EXPECT_EQ(m.overrides()[1].first, 2u);
+  EXPECT_EQ(m.overrides()[1].second, gbps(1.25));
+
+  const Interconnect h =
+      parse_links_spec("hier:group=4,intra=1.25,uplink=0.25,host=0.5,lat_us=2");
+  EXPECT_EQ(h.shape(), LinkShape::Hierarchical);
+  EXPECT_EQ(h.hier().group_size, 4u);
+  EXPECT_EQ(h.hier().intra_bw, gbps(1.25));
+  EXPECT_EQ(h.hier().uplink_bw, gbps(0.25));
+  EXPECT_EQ(h.hier().host_bw, gbps(0.5));
+  EXPECT_DOUBLE_EQ(h.hier().hop_latency_s, 2e-6);
+
+  const Interconnect h2 = parse_links_spec("hier:group=2,intra=1,uplink=0.5");
+  EXPECT_EQ(h2.hier().host_bw, gbps(0.5));  // follows the uplink
+  EXPECT_EQ(h2.hier().hop_latency_s, 0.0);
+}
+
+TEST(InterconnectParse, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_links_spec(""), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("uniform"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("uniform:fast"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("uniform:0.5,0.25"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("ring:0.5"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("mixed:0.5,3"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("mixed:0.5,-1=2"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("mixed:0.5,1.5=2"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("hier:group=4"), ConfigError);
+  EXPECT_THROW((void)parse_links_spec("hier:group=4,intra=1,uplink=1,bogus=2"),
+               ConfigError);
+}
+
+TEST(InterconnectSystem, ScalarConstructorShimsToUniform) {
+  const SystemConfig sys = SystemConfig::standard(gbps(0.5));
+  EXPECT_EQ(sys.links().shape(), LinkShape::Uniform);
+  EXPECT_TRUE(sys.links().uniform_links());
+  EXPECT_EQ(sys.links().acc_count(), sys.accelerator_count());
+  EXPECT_EQ(sys.bw_acc(acc(0)), gbps(0.5));
+}
+
+TEST(InterconnectSystem, ExplicitTopologyDrivesBwAcc) {
+  const SystemConfig sys = SystemConfig::standard(
+      Interconnect::mixed(gbps(0.125), {{0, gbps(1.25)}}));
+  EXPECT_EQ(sys.links().shape(), LinkShape::Mixed);
+  EXPECT_EQ(sys.bw_acc(acc(0)), gbps(1.25));
+  EXPECT_EQ(sys.bw_acc(acc(1)), gbps(0.125));
+  EXPECT_EQ(sys.host().bw_acc, gbps(0.125));  // base bandwidth
+}
+
+TEST(InterconnectSystem, SetBwAccRederivesTopology) {
+  SystemConfig sys = SystemConfig::standard(gbps(0.5));
+  const std::uint64_t before = sys.links().fingerprint();
+  sys.set_bw_acc(gbps(0.125));
+  EXPECT_EQ(sys.bw_acc(acc(3)), gbps(0.125));
+  EXPECT_NE(sys.links().fingerprint(), before);
+}
+
+TEST(InterconnectSystem, ScaledBuildsLargeSystems) {
+  Interconnect::HierarchicalSpec spec;
+  spec.group_size = 4;
+  spec.intra_bw = gbps(1.25);
+  spec.uplink_bw = gbps(0.25);
+  const SystemConfig sys =
+      SystemConfig::scaled(32, Interconnect::hierarchical(spec));
+  EXPECT_EQ(sys.accelerator_count(), 32u);
+  EXPECT_EQ(sys.links().acc_count(), 32u);
+  // Names stay unique across catalog repetitions.
+  EXPECT_NE(sys.spec(acc(0)).name, sys.spec(acc(12)).name);
+  EXPECT_EQ(sys.bw_acc(acc(31)), gbps(0.25));
+}
+
+}  // namespace
+}  // namespace h2h

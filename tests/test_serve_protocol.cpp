@@ -198,5 +198,115 @@ TEST(ServeProtocol, ResponseRoundTripsThroughTheCodec) {
   EXPECT_EQ(json::dump(*parsed.value), line);
 }
 
+TEST(ServeProtocolLinks, ParsesAllThreeShapes) {
+  const WireRequest u = parse_ok(
+      R"({"schema_version":1,"model":"mocap",)"
+      R"("links":{"shape":"uniform","bw_gbps":0.25}})");
+  ASSERT_TRUE(u.links.has_value());
+  EXPECT_EQ(u.links->shape(), LinkShape::Uniform);
+  EXPECT_DOUBLE_EQ(u.bw_gbps, 0.25);  // follows the topology's base
+
+  const WireRequest m = parse_ok(
+      R"({"schema_version":1,"model":"mocap",)"
+      R"("links":{"shape":"mixed","bw_gbps":0.125,)"
+      R"("overrides":[{"acc":2,"bw_gbps":1.25},{"acc":0,"bw_gbps":1.25}]}})");
+  ASSERT_TRUE(m.links.has_value());
+  EXPECT_EQ(m.links->shape(), LinkShape::Mixed);
+  ASSERT_EQ(m.links->overrides().size(), 2u);
+  EXPECT_EQ(m.links->overrides()[0].first, 0u);  // canonicalized order
+
+  const WireRequest h = parse_ok(
+      R"({"schema_version":1,"model":"mocap",)"
+      R"("links":{"shape":"hierarchical","group_size":4,"intra_gbps":1.25,)"
+      R"("uplink_gbps":0.25,"host_gbps":0.5,"hop_latency_us":2}})");
+  ASSERT_TRUE(h.links.has_value());
+  EXPECT_EQ(h.links->shape(), LinkShape::Hierarchical);
+  EXPECT_EQ(h.links->hier().group_size, 4u);
+  EXPECT_DOUBLE_EQ(h.links->hier().hop_latency_s, 2e-6);
+  EXPECT_DOUBLE_EQ(h.bw_gbps, 0.5);
+}
+
+TEST(ServeProtocolLinks, RejectsConflictsAndBadShapes) {
+  // links and bw_gbps are mutually exclusive.
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap","bw_gbps":0.5,)"
+                      R"("links":{"shape":"uniform","bw_gbps":0.5}})")
+                .code,
+            ErrorCode::BadField);
+  // Unknown fields inside links fail loudly.
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"uniform","bw_gbps":0.5,)"
+                      R"("latency":1}})")
+                .code,
+            ErrorCode::UnknownField);
+  // Fields of another shape are unknown for this one.
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"uniform","bw_gbps":0.5,)"
+                      R"("group_size":4}})")
+                .code,
+            ErrorCode::UnknownField);
+  // Bad values inside a known shape.
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"uniform","bw_gbps":0}})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"ring","bw_gbps":0.5}})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"mixed","bw_gbps":0.5,)"
+                      R"("overrides":[{"acc":-1,"bw_gbps":1}]}})")
+                .code,
+            ErrorCode::BadField);
+  EXPECT_EQ(parse_err(R"({"schema_version":1,"model":"mocap",)"
+                      R"("links":{"shape":"hierarchical","group_size":4,)"
+                      R"("intra_gbps":1.25}})")
+                .code,
+            ErrorCode::BadField);  // uplink missing
+}
+
+TEST(ServeProtocolLinks, ResponseEchoesCanonicalTopology) {
+  const ModelGraph model = testing::make_mini_mmmt_model();
+  const SystemConfig sys = testing::make_mini_hetero_system();
+  const PlanResponse plan = plan_once(model, sys);
+
+  const WireRequest req = parse_ok(
+      R"({"schema_version":1,"id":"lk-1","model":"mocap",)"
+      R"("links":{"shape":"mixed","bw_gbps":0.125,)"
+      R"("overrides":[{"acc":2,"bw_gbps":1.25}]}})");
+  const std::string line = serve::write_response(req, plan, model, sys);
+  json::ParseResult parsed = json::parse(line);
+  ASSERT_TRUE(parsed.value.has_value()) << line;
+  const json::Object& obj = parsed.value->as_object();
+  const json::Value* links = obj.find("links");
+  ASSERT_NE(links, nullptr);
+  EXPECT_EQ(links->as_object().find("shape")->as_string(), "mixed");
+  EXPECT_DOUBLE_EQ(links->as_object().find("bw_gbps")->as_number(), 0.125);
+  const json::Array& ov = links->as_object().find("overrides")->as_array();
+  ASSERT_EQ(ov.size(), 1u);
+  EXPECT_DOUBLE_EQ(ov[0].as_object().find("acc")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(ov[0].as_object().find("bw_gbps")->as_number(), 1.25);
+
+  // A scalar request's response carries no links object — the pre-topology
+  // byte layout is pinned by the serve fixtures.
+  WireRequest scalar;
+  scalar.model = ZooModel::MoCap;
+  const std::string plain = serve::write_response(scalar, plan, model, sys);
+  json::ParseResult plain_parsed = json::parse(plain);
+  ASSERT_TRUE(plain_parsed.value.has_value());
+  EXPECT_EQ(plain_parsed.value->as_object().find("links"), nullptr);
+}
+
+TEST(ServeProtocolLinks, ToPlanRequestCarriesTheTopology) {
+  const WireRequest req = parse_ok(
+      R"({"schema_version":1,"model":"casia-surf",)"
+      R"("links":{"shape":"hierarchical","group_size":4,"intra_gbps":1.25,)"
+      R"("uplink_gbps":0.25}})");
+  const PlanRequest plan = serve::to_plan_request(req);
+  ASSERT_TRUE(plan.links.has_value());
+  EXPECT_EQ(plan.links->shape(), LinkShape::Hierarchical);
+  EXPECT_DOUBLE_EQ(plan.bw_acc, plan.links->base_bw());
+}
+
 }  // namespace
 }  // namespace h2h

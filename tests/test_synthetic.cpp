@@ -4,6 +4,7 @@
 #include "model/synthetic.h"
 #include "test_helpers.h"
 #include "util/error.h"
+#include "util/units.h"
 
 namespace h2h {
 namespace {
@@ -101,6 +102,84 @@ TEST_P(SyntheticScale, PipelineScalesAndStaysMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Modalities, SyntheticScale,
                          ::testing::Values(1u, 2u, 4u, 6u, 8u));
+
+TEST(SyntheticTransformer, LayerCountFormulaIsExact) {
+  for (const std::uint32_t blocks : {1u, 3u, 17u}) {
+    for (const std::uint32_t heads : {1u, 4u, 8u}) {
+      SyntheticTransformerSpec spec;
+      spec.blocks = blocks;
+      spec.heads = heads;
+      const ModelGraph m = make_synthetic_transformer(spec);
+      EXPECT_EQ(m.layer_count(), spec.layer_count());
+      EXPECT_NO_THROW(m.validate());
+    }
+  }
+}
+
+TEST(SyntheticTransformer, BlocksForLayersReachesTheTarget) {
+  for (const std::uint64_t target : {100ull, 1000ull, 5000ull}) {
+    SyntheticTransformerSpec spec;
+    spec.blocks = SyntheticTransformerSpec::blocks_for_layers(target, 4);
+    EXPECT_GE(spec.layer_count(), target);
+    // Not overshooting by more than one block.
+    EXPECT_LT(spec.layer_count(), target + 2ull * 4 + 6);
+  }
+}
+
+TEST(SyntheticTransformer, RejectsBadSpecs) {
+  SyntheticTransformerSpec spec;
+  spec.blocks = 0;
+  EXPECT_THROW((void)make_synthetic_transformer(spec), ConfigError);
+  spec = SyntheticTransformerSpec{};
+  spec.heads = 3;  // d_model 256 not divisible
+  EXPECT_THROW((void)make_synthetic_transformer(spec), ConfigError);
+  spec.d_head = 32;  // explicit width lifts the divisibility requirement
+  EXPECT_NO_THROW((void)make_synthetic_transformer(spec));
+}
+
+TEST(SyntheticTransformer, DeterministicPerSeed) {
+  SyntheticTransformerSpec spec;
+  spec.seed = 3;
+  const ModelGraph a = make_synthetic_transformer(spec);
+  const ModelGraph b = make_synthetic_transformer(spec);
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  for (const LayerId id : a.all_layers())
+    EXPECT_EQ(a.layer(id).param_count(), b.layer(id).param_count());
+}
+
+// The headline scaling smoke (ISSUE 7 acceptance): a >= 5000-layer
+// transformer planned onto a 32-accelerator hierarchical system inside the
+// paper's search-time bound. Debug and sanitizer builds would spend minutes
+// in the passes alone, so only optimized builds run it — CI exercises it in
+// the dedicated serial Release ctest step (it matches the step's
+// PipelineScalesAndStaysMonotone filter by name).
+TEST(SyntheticTransformer, PipelineScalesAndStaysMonotoneAt5kLayers) {
+#if !defined(NDEBUG) || defined(H2H_TESTING_SANITIZED)
+  GTEST_SKIP() << "5000-layer smoke runs on optimized builds only";
+#else
+  SyntheticTransformerSpec spec;
+  spec.blocks = SyntheticTransformerSpec::blocks_for_layers(5000, spec.heads);
+  ASSERT_GE(spec.layer_count(), 5000u);
+  const ModelGraph m = make_synthetic_transformer(spec);
+
+  Interconnect::HierarchicalSpec links;
+  links.group_size = 4;
+  links.intra_bw = gbps(1.25);
+  links.uplink_bw = gbps(0.25);
+  links.host_bw = gbps(0.5);
+  links.hop_latency_s = 2e-6;
+  const SystemConfig sys =
+      SystemConfig::scaled(32, Interconnect::hierarchical(links));
+
+  PlanOptions options;
+  options.time_budget_s = testing::search_time_budget();
+  const PlanResponse r = plan_once(m, sys, options);
+  EXPECT_LE(r.final_result().latency, r.baseline_result().latency);
+  // The budget-aware search must come in within the bound (plus scheduling
+  // slack for the final accepted pass).
+  EXPECT_LT(r.search_seconds, 4.0 * testing::search_time_budget());
+#endif
+}
 
 }  // namespace
 }  // namespace h2h

@@ -2,10 +2,10 @@
 //
 //   h2h list-models
 //   h2h list-accelerators
-//   h2h map --model <key> [--bw <GB/s>] [--batch <n>] [plan options]
-//               [--save <file>] [--gantt] [--per-layer]
+//   h2h map --model <key> [--bw <GB/s> | --links <spec>] [--batch <n>]
+//               [plan options] [--save <file>] [--gantt] [--per-layer]
 //               [--json] [--no-timing]
-//   h2h replay --model <key> --load <file> [--bw <GB/s>]
+//   h2h replay --model <key> --load <file> [--bw <GB/s> | --links <spec>]
 //   h2h sweep [--csv <file>] [plan options]
 //   h2h serve [--threads <n>] [--tcp <port>] [--max-connections <n>]
 //
@@ -137,13 +137,20 @@ void usage(std::ostream& out) {
   out << "usage:\n"
          "  h2h list-models\n"
          "  h2h list-accelerators\n"
-         "  h2h map --model <key> [--bw <GB/s>] [--batch <n>]\n"
-         "              [plan options] [--save <file>] [--gantt]\n"
-         "              [--per-layer] [--json] [--no-timing]\n"
-         "  h2h replay --model <key> --load <file> [--bw <GB/s>]\n"
+         "  h2h map --model <key> [--bw <GB/s> | --links <spec>]\n"
+         "              [--batch <n>] [plan options] [--save <file>]\n"
+         "              [--gantt] [--per-layer] [--json] [--no-timing]\n"
+         "  h2h replay --model <key> --load <file>"
+         " [--bw <GB/s> | --links <spec>]\n"
          "  h2h sweep [--csv <file>] [plan options]\n"
          "  h2h serve [--threads <n>] [--tcp <port>]"
-         " [--max-connections <n>]\n";
+         " [--max-connections <n>]\n"
+         "\n"
+         "link topology specs (--links, all bandwidths GB/s):\n"
+         "  uniform:<GB/s>                    every link at one speed\n"
+         "  mixed:<GB/s>[,<acc>=<GB/s>...]    per-accelerator uplinks\n"
+         "  hier:group=<n>,intra=<GB/s>,uplink=<GB/s>[,host=<GB/s>]"
+         "[,lat_us=<us>]\n";
   print_plan_option_usage(out);
 }
 
@@ -185,6 +192,7 @@ struct Common {
   ZooModel id;
   double bw_gbps = 0;
   std::uint32_t batch = 0;
+  std::optional<Interconnect> links;  // --links topology (unbound spelling)
   ModelGraph model;  // for report printing; the planner keeps its own copy
   SystemConfig sys;
 };
@@ -196,7 +204,18 @@ std::optional<Common> load_common(const Args& args) {
     std::cerr << "error: unknown or missing --model '" << key << "'\n";
     return std::nullopt;
   }
-  const double bw_gbps = std::stod(args.get("bw").value_or("0.5"));
+  std::optional<Interconnect> links;
+  if (const auto spec = args.get("links")) {
+    if (args.has("bw")) {
+      std::cerr << "error: --links conflicts with --bw (the topology's base "
+                   "bandwidth is the scalar view; pass one or the other)\n";
+      return std::nullopt;
+    }
+    links = parse_links_spec(*spec);  // ConfigError -> exit 2 in main
+  }
+  const double bw_gbps =
+      links ? links->base_bw() / 1e9
+            : std::stod(args.get("bw").value_or("0.5"));
   if (bw_gbps <= 0) {
     std::cerr << "error: --bw must be positive\n";
     return std::nullopt;
@@ -207,8 +226,10 @@ std::optional<Common> load_common(const Args& args) {
     batch = static_cast<std::uint32_t>(std::stoul(*b));
     model.set_batch(batch);
   }
-  return Common{*id, bw_gbps, batch, std::move(model),
-                SystemConfig::standard(gbps(bw_gbps))};
+  SystemConfig sys = links ? SystemConfig::standard(*links)
+                           : SystemConfig::standard(gbps(bw_gbps));
+  return Common{*id,   bw_gbps, batch, std::move(links), std::move(model),
+                std::move(sys)};
 }
 
 void print_result(const Common& c, const PlanResponse& r, const Args& args) {
@@ -237,6 +258,7 @@ int cmd_map(const Args& args) {
     serve::WireRequest wire;
     wire.model = common->id;
     wire.bw_gbps = common->bw_gbps;
+    wire.links = common->links;
     wire.batch = common->batch;
     wire.options = request.options;
     wire.emit_timing = !args.has("no-timing");
