@@ -1,0 +1,237 @@
+// Ablation: step-1 enumeration pruning. Since the lex-DFS rewrite the
+// frontier search carries two independent knobs (DESIGN.md §10):
+//
+//   use_dominance    — exact dominance table over partial-assignment
+//                      signatures (per-accelerator finish tails)
+//   use_batched_sums — score the last chunk position as one batched sweep
+//                      over the contiguous duration row
+//
+// The four-way grid must land on bit-identical mappings (asserted by the
+// table up front and pinned in test_comp_prioritized.cpp). Two workload
+// shapes matter:
+//
+//   BM_Step1Zoo  — real zoo models on the heterogeneous standard system.
+//     Distinct FP durations make every partial-assignment signature unique,
+//     so the dominance table inserts but never prunes here; the measured win
+//     comes from the bound prune + batched sums. The preamble prints the
+//     per-model counters so that stays visible instead of folklore.
+//   BM_Step1SymmetricWave — identical branches on identical accelerators,
+//     the permutation-symmetric regime the dominance table exists for.
+//
+// The preamble additionally fails the run (exit 1) if the dominance table
+// saturates (dominance_fallbacks > 0) on any zoo model — CI runs this binary
+// in the bench smoke step, so a capacity regression is caught there.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <utility>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+CompPrioritizedOptions grid_options(int mode, CompPrioritizedStats* stats) {
+  CompPrioritizedOptions opts;
+  opts.use_dominance = (mode & 1) != 0;
+  opts.use_batched_sums = (mode & 2) != 0;
+  opts.stats = stats;
+  return opts;
+}
+
+const char* grid_label(int mode) {
+  switch (mode) {
+    case 0: return "plain-dfs";
+    case 1: return "+dominance";
+    case 2: return "+batched-sums";
+    default: return "+dominance+batched-sums";
+  }
+}
+
+/// `width` identical conv branches off one input, joined by a concat: every
+/// branch permutation is schedule-equivalent, so partial assignments collide
+/// on their finish-tail signatures and the dominance table prunes.
+ModelGraph make_symmetric_wave_model(std::uint32_t width) {
+  ModelBuilder b("sym-wave");
+  const LayerId in = b.input("in", 8, 32, 32);
+  std::vector<LayerId> branches;
+  for (std::uint32_t i = 0; i < width; ++i)
+    branches.push_back(b.conv(strformat("c%u", i), in, 32, 3, 1));
+  (void)b.concat("cat", branches);
+  return std::move(b).build();
+}
+
+/// `n` identical accelerators — heterogeneity would break the permutation
+/// symmetry the wave benchmark exists to exercise.
+SystemConfig uniform_system(std::size_t n) {
+  std::vector<AcceleratorPtr> accs;
+  for (std::size_t i = 0; i < n; ++i) {
+    AcceleratorSpec spec;
+    spec.name = strformat("U%zu", i);
+    spec.description = "uniform bench accelerator";
+    spec.board = "bench";
+    spec.style = DataflowStyle::MatrixEngine;
+    spec.kinds = KindSupport{true, true, true};
+    spec.peak_macs_per_cycle = 100;
+    spec.pe = PeArray{10, 10};
+    spec.freq_hz = 1e9;
+    spec.dram_bandwidth = 10e9;
+    spec.dram_capacity = gib(1);
+    spec.energy_per_mac = picojoules(1);
+    spec.energy_per_dram_byte = nanojoules(0.1);
+    spec.link_power = 1.0;
+    accs.push_back(make_analytical(std::move(spec)));
+  }
+  HostParams host;
+  host.bw_acc = 0.125e9;
+  return SystemConfig(std::move(accs), host);
+}
+
+void run_step1(benchmark::State& state, const Simulator& sim) {
+  const int mode = static_cast<int>(state.range(0));
+  CompPrioritizedStats stats;
+  std::uint64_t evaluated = 0;
+  std::uint64_t bound_pruned = 0;
+  std::uint64_t dom_pruned = 0;
+  for (auto _ : state) {
+    stats = CompPrioritizedStats{};
+    const Mapping m =
+        computation_prioritized_mapping(sim, grid_options(mode, &stats));
+    evaluated += stats.evaluated;
+    bound_pruned += stats.bound_pruned;
+    dom_pruned += stats.dominance_pruned;
+    benchmark::DoNotOptimize(m.seq_of(LayerId{0}));
+  }
+  state.SetLabel(grid_label(mode));
+  state.counters["evaluated"] = benchmark::Counter(
+      static_cast<double>(evaluated), benchmark::Counter::kIsRate);
+  state.counters["bound_pruned"] = benchmark::Counter(
+      static_cast<double>(bound_pruned), benchmark::Counter::kIsRate);
+  state.counters["dom_pruned"] = benchmark::Counter(
+      static_cast<double>(dom_pruned), benchmark::Counter::kIsRate);
+}
+
+void BM_Step1Zoo(benchmark::State& state) {
+  const ModelGraph model = make_vlocnet();
+  const SystemConfig sys = SystemConfig::standard(BandwidthSetting::LowMinus);
+  const Simulator sim(model, sys);
+  run_step1(state, sim);
+}
+BENCHMARK(BM_Step1Zoo)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Step1SymmetricWave(benchmark::State& state) {
+  const ModelGraph model = make_symmetric_wave_model(7);
+  const SystemConfig sys = uniform_system(4);
+  const Simulator sim(model, sys);
+  run_step1(state, sim);
+}
+BENCHMARK(BM_Step1SymmetricWave)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+/// Step-1 seconds, best of `reps`.
+double step1_seconds(const Simulator& sim, int mode,
+                     CompPrioritizedStats& stats, int reps = 3) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    stats = CompPrioritizedStats{};
+    const auto t0 = std::chrono::steady_clock::now();
+    const Mapping m =
+        computation_prioritized_mapping(sim, grid_options(mode, &stats));
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(m.seq_of(LayerId{0}));
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Profiled runs (--benchmark_filter present) skip the verification
+  // preamble: its un-timed setup work used to dominate gprof samples and get
+  // misattributed to the benchmarks (bench/README.md). Other --benchmark_*
+  // flags (CI smoke's --benchmark_min_time) keep the preamble's assertions.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) filtered = true;
+
+  if (!filtered) {
+    TextTable table({"model", "plain (ms)", "batched (ms)", "default (ms)",
+                     "speedup", "evaluated", "bound pruned",
+                     "dom states/pruned"},
+                    {TextTable::Align::Left});
+    for (const ZooInfo& info : zoo_catalog()) {
+      const ModelGraph model = make_model(info.id);
+      const SystemConfig sys =
+          SystemConfig::standard(BandwidthSetting::LowMinus);
+      const Simulator sim(model, sys);
+
+      // The whole grid must agree with the plain DFS, assignment for
+      // assignment — not just on makespan.
+      CompPrioritizedStats ref_stats;
+      const Mapping want =
+          computation_prioritized_mapping(sim, grid_options(0, &ref_stats));
+      for (int mode = 1; mode < 4; ++mode) {
+        CompPrioritizedStats stats;
+        const Mapping got =
+            computation_prioritized_mapping(sim, grid_options(mode, &stats));
+        for (const LayerId id : model.all_layers()) {
+          if (got.acc_of(id) != want.acc_of(id) ||
+              got.seq_of(id) != want.seq_of(id)) {
+            std::cerr << "MISMATCH on " << info.key << " mode "
+                      << grid_label(mode) << ": layer " << id.value << '\n';
+            return 1;
+          }
+        }
+        if (stats.dominance_fallbacks != 0) {
+          std::cerr << "DOMINANCE TABLE SATURATED on " << info.key << " ("
+                    << stats.dominance_fallbacks
+                    << " fallbacks) — raise dominance_slots\n";
+          return 1;
+        }
+      }
+
+      CompPrioritizedStats plain_stats;
+      CompPrioritizedStats batched_stats;
+      CompPrioritizedStats full_stats;
+      const double t_plain = step1_seconds(sim, 0, plain_stats);
+      const double t_batched = step1_seconds(sim, 2, batched_stats);
+      const double t_full = step1_seconds(sim, 3, full_stats);
+      table.add_row(
+          {std::string(info.key), strformat("%.3f", t_plain * 1e3),
+           strformat("%.3f", t_batched * 1e3), strformat("%.3f", t_full * 1e3),
+           strformat("%.1fx", t_plain / std::max(t_batched, 1e-9)),
+           strformat("%llu",
+                     static_cast<unsigned long long>(full_stats.evaluated)),
+           strformat("%llu",
+                     static_cast<unsigned long long>(full_stats.bound_pruned)),
+           strformat("%llu/%llu",
+                     static_cast<unsigned long long>(
+                         full_stats.dominance_states),
+                     static_cast<unsigned long long>(
+                         full_stats.dominance_pruned))});
+    }
+    std::cout << "step-1 enumeration: plain lex-DFS vs dominance + batched "
+                 "sums @ Low- (mappings asserted identical; dominance "
+                 "fallbacks asserted zero):\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

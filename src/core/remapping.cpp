@@ -66,6 +66,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
   };
 
   IncrementalSchedule inc(sim);
+  inc.set_cone_filter(options.use_retime_cone);
   if (options.use_incremental) inc.reset(mapping, plan);
 
   RemapDeltaState delta(sim, options.weight, options.fusion,

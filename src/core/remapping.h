@@ -52,6 +52,14 @@ struct RemapOptions {
   /// memoization — results stay bit-identical. Only read when
   /// use_delta_locality is on.
   bool use_knapsack_cache = true;
+  /// Cone-limited retime (IncrementalSchedule::set_cone_filter): skip
+  /// consumers whose start provably cannot move. Final timings are
+  /// bit-identical (property-tested). Off by default: on the zoo probe
+  /// workloads the sweep's unchanged-start stop already bounds the cone
+  /// within ~0.3% of optimal, so the per-edge filter loads outweigh the
+  /// visits they avoid (see bench_ablation_remap_probe's retime-cone axis);
+  /// enable for fan-out-heavy graphs.
+  bool use_retime_cone = false;
   RemapObjective objective = RemapObjective::Latency;
   WeightLocalityOptions weight;
   FusionOptions fusion;

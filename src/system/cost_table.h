@@ -93,6 +93,15 @@ class CostTable {
     H2H_EXPECTS(supported(id, acc));
     return unlocalized_[index(id, acc)];
   }
+  /// The layer's whole unlocalized-duration row, indexed by AccId::value
+  /// (unsupported cells hold +inf). One contract check per layer instead of
+  /// one per (layer, accelerator) read — the step-1 enumeration gathers its
+  /// candidate durations from this contiguous row.
+  [[nodiscard]] std::span<const double> unlocalized_row(LayerId id) const {
+    H2H_EXPECTS(!is_input(id));
+    return {unlocalized_.data() + std::size_t{id.value} * acc_count_,
+            acc_count_};
+  }
 
   [[nodiscard]] Bytes weight_bytes(LayerId id) const {
     H2H_EXPECTS(id.value < layer_count_);

@@ -132,11 +132,27 @@ void IncrementalSchedule::retime() {
     const double start = std::max(ready, free_at);
     const double finish = start + t.duration();
     if (start == t.start && finish == t.finish) continue;  // cone stops here
+    const double old_finish = t.finish;
     save_timing(id);
     t.start = start;
     t.finish = finish;
-    for (const LayerId p : model.graph().succs(id)) enqueue(p);
-    enqueue(queue_next(id));
+    if (cone_filter_) {
+      // Enqueue a consumer unless both the old and the new finish stay
+      // below its current start (see set_cone_filter); ordered so the
+      // common truly-affected consumer costs one comparison.
+      for (const LayerId y : model.graph().succs(id)) {
+        if (!y.valid() || acc_[y.value].is_host()) continue;
+        const double ys = timings_[y.value].start;
+        if (finish > ys || old_finish >= ys) enqueue(y);
+      }
+      if (const LayerId qn = queue_next(id); qn.valid()) {
+        const double ys = timings_[qn.value].start;
+        if (finish > ys || old_finish >= ys) enqueue(qn);
+      }
+    } else {
+      for (const LayerId y : model.graph().succs(id)) enqueue(y);
+      enqueue(queue_next(id));
+    }
   }
 }
 
@@ -252,8 +268,7 @@ LayerId IncrementalSchedule::eff_queue_prev(LayerId id) const {
   LayerId prev = p == 0 ? LayerId{} : queues_[a.value][p - 1];
   if (prev == probe_node_) {
     // The node left this (its old) queue; its own predecessor takes over.
-    const std::uint32_t np = pos_[probe_node_.value];
-    prev = np == 0 ? LayerId{} : queues_[a.value][np - 1];
+    prev = probe_old_prev_;
   } else if (a == probe_new_acc_ && probe_ins_ == p) {
     prev = probe_node_;  // the node lands directly before id
   }
@@ -271,8 +286,7 @@ LayerId IncrementalSchedule::eff_queue_next(LayerId id) const {
   const auto& q = queues_[a.value];
   LayerId next = p + 1 < q.size() ? q[p + 1] : LayerId{};
   if (next == probe_node_) {
-    const std::uint32_t np = pos_[probe_node_.value];
-    next = np + 1 < q.size() ? q[np + 1] : LayerId{};
+    next = probe_old_next_;
   } else if (a == probe_new_acc_ && probe_ins_ == p + 1) {
     next = probe_node_;  // the node lands directly after id
   }
@@ -316,11 +330,24 @@ void IncrementalSchedule::probe_retime() {
     const double start = std::max(ready, free_at);
     const double finish = start + base.duration();
     if (start == base.start && finish == base.finish) continue;
+    const double old_finish = base.finish;  // before overlay() may alias base
     LayerTiming& t = overlay(id);
     t.start = start;
     t.finish = finish;
-    for (const LayerId p : model.graph().succs(id)) enqueue(p);
-    enqueue(eff_queue_next(id));
+    if (cone_filter_) {
+      for (const LayerId y : model.graph().succs(id)) {
+        if (!y.valid() || acc_[y.value].is_host()) continue;
+        const double ys = cur(y).start;
+        if (finish > ys || old_finish >= ys) enqueue(y);
+      }
+      if (const LayerId qn = eff_queue_next(id); qn.valid()) {
+        const double ys = cur(qn).start;
+        if (finish > ys || old_finish >= ys) enqueue(qn);
+      }
+    } else {
+      for (const LayerId y : model.graph().succs(id)) enqueue(y);
+      enqueue(eff_queue_next(id));
+    }
   }
 }
 
@@ -346,6 +373,12 @@ double IncrementalSchedule::probe_remap(const Mapping& m,
                          return seq_[lhs.value] < seq_[rhs.value];
                        }) -
       nq.begin());
+  // The node's neighbours in the queue it (virtually) leaves, resolved once
+  // so the sweep's eff_queue_prev/next calls are plain loads.
+  const auto& oq = queues_[old_acc.value];
+  const std::uint32_t np = pos_[node.value];
+  probe_old_prev_ = np == 0 ? LayerId{} : oq[np - 1];
+  probe_old_next_ = np + 1 < oq.size() ? oq[np + 1] : LayerId{};
 
   // Same seeds as apply_remap: the node, the explicit dirty set, and the
   // two displaced FIFO followers.

@@ -175,5 +175,122 @@ TEST(CompPrioritized, BalancesIndependentBranchesAcrossAccelerators) {
   EXPECT_NE(mapping.acc_of(c1), mapping.acc_of(c2));
 }
 
+// A wave of identical parallel convolutions on identical accelerators: every
+// permutation of an assignment reaches the same per-accelerator tail vector,
+// the regime the dominance table exists for.
+[[nodiscard]] ModelGraph make_symmetric_wave_model(std::uint32_t width) {
+  ModelBuilder b("sym-wave");
+  const LayerId in = b.input("in", 8, 32, 32);
+  std::vector<LayerId> branches;
+  for (std::uint32_t i = 0; i < width; ++i)
+    branches.push_back(b.conv(strformat("c%u", i), in, 32, 3, 1));
+  (void)b.concat("cat", branches);
+  return std::move(b).build();
+}
+
+void expect_identical_mappings(const ModelGraph& m, const Mapping& a,
+                               const Mapping& b, const char* what) {
+  for (const LayerId id : m.all_layers()) {
+    ASSERT_EQ(a.acc_of(id), b.acc_of(id)) << what << ": layer " << id.value;
+    ASSERT_EQ(a.seq_of(id), b.seq_of(id)) << what << ": layer " << id.value;
+  }
+}
+
+// The dominance table and the batched leaf scan are pure optimizations: the
+// full on/off grid must land on the same mapping, on every zoo model at both
+// bandwidth corners.
+TEST(CompPrioritized, DominanceAndBatchedGridBitIdenticalOnZoo) {
+  for (const ZooModel zm :
+       {ZooModel::VLocNet, ZooModel::CasiaSurf, ZooModel::Vfs,
+        ZooModel::FaceBag, ZooModel::CnnLstm, ZooModel::MoCap}) {
+    const ModelGraph m = make_model(zm);
+    for (const double bw : {0.125e9, 0.5e9}) {
+      const SystemConfig sys = SystemConfig::standard(bw);
+      const Simulator sim(m, sys);
+      CompPrioritizedOptions reference;
+      reference.use_dominance = false;
+      reference.use_batched_sums = false;
+      const Mapping want = computation_prioritized_mapping(sim, reference);
+      for (const bool dom : {false, true}) {
+        for (const bool batched : {false, true}) {
+          if (!dom && !batched) continue;
+          CompPrioritizedOptions opt;
+          opt.use_dominance = dom;
+          opt.use_batched_sums = batched;
+          CompPrioritizedStats st;
+          opt.stats = &st;
+          const Mapping got = computation_prioritized_mapping(sim, opt);
+          expect_identical_mappings(m, want, got, zoo_info(zm).key.data());
+          EXPECT_EQ(st.dominance_fallbacks, 0u) << zoo_info(zm).key;
+        }
+      }
+    }
+  }
+}
+
+// On a permutation-symmetric wave the dominance table must actually cut
+// subtrees — and still reproduce the exact unpruned mapping (including the
+// colex-smallest tie-break, which symmetric waves exercise maximally).
+TEST(CompPrioritized, DominancePrunesSymmetricWavesExactly) {
+  const ModelGraph m = make_symmetric_wave_model(6);
+  const SystemConfig sys = testing::make_uniform_system(3);
+  const Simulator sim(m, sys);
+
+  CompPrioritizedOptions off;
+  off.use_dominance = false;
+  const Mapping want = computation_prioritized_mapping(sim, off);
+
+  CompPrioritizedOptions on;
+  CompPrioritizedStats st;
+  on.stats = &st;
+  const Mapping got = computation_prioritized_mapping(sim, on);
+
+  expect_identical_mappings(m, want, got, "sym-wave");
+  EXPECT_GT(st.dominance_pruned, 0u);
+  EXPECT_GT(st.dominance_states, 0u);
+  EXPECT_EQ(st.dominance_fallbacks, 0u);
+}
+
+// A deliberately tiny dominance table must saturate, count the fallbacks,
+// and stay exact: saturation only stops learning, never prunes wrongly.
+TEST(CompPrioritized, SaturatedDominanceTableStaysExact) {
+  const ModelGraph m = make_symmetric_wave_model(6);
+  const SystemConfig sys = testing::make_uniform_system(3);
+  const Simulator sim(m, sys);
+
+  CompPrioritizedOptions off;
+  off.use_dominance = false;
+  const Mapping want = computation_prioritized_mapping(sim, off);
+
+  CompPrioritizedOptions tiny;
+  tiny.dominance_slots = 4;
+  CompPrioritizedStats st;
+  tiny.stats = &st;
+  const Mapping got = computation_prioritized_mapping(sim, tiny);
+
+  expect_identical_mappings(m, want, got, "saturated");
+  EXPECT_GT(st.dominance_fallbacks, 0u);
+}
+
+// Stats sanity on a mini model: wave/chunk accounting is exact, evaluation
+// counts are positive, and disabled knobs report zero work.
+TEST(CompPrioritized, StatsAccounting) {
+  const ModelGraph m = make_mini_mmmt_model();
+  const SystemConfig sys = make_mini_hetero_system();
+  const Simulator sim(m, sys);
+
+  CompPrioritizedOptions opt;
+  opt.use_dominance = false;
+  CompPrioritizedStats st;
+  opt.stats = &st;
+  (void)computation_prioritized_mapping(sim, opt);
+  EXPECT_GT(st.waves, 0u);
+  EXPECT_GE(st.chunks, st.waves);
+  EXPECT_GT(st.evaluated, 0u);
+  EXPECT_EQ(st.dominance_pruned, 0u);
+  EXPECT_EQ(st.dominance_states, 0u);
+  EXPECT_EQ(st.dominance_fallbacks, 0u);
+}
+
 }  // namespace
 }  // namespace h2h
