@@ -62,6 +62,10 @@ struct AcceleratorSpec {
   OnChipBuffers buffers{};
   /// Element size the datapath computes in (for the reuse model).
   std::uint32_t arith_bytes = 2;
+  /// User-defined capability bits OR'd into the derived mask
+  /// (accel/capability.h): bits 0-4 are computed from this spec, higher
+  /// bits are free for deployment-specific gating (multi-tenant placement).
+  std::uint32_t extra_capabilities = 0;
 
   void validate() const;  // throws ConfigError on nonsensical values
 };

@@ -1,0 +1,105 @@
+#include "accel/capability.h"
+
+#include <array>
+#include <charconv>
+
+#include "util/error.h"
+#include "util/str.h"
+#include "util/units.h"
+
+namespace h2h {
+namespace {
+
+struct NamedBit {
+  std::string_view name;
+  CapabilityMask bit;
+};
+
+constexpr std::array<NamedBit, 5> kNamedBits{{{"conv", kCapConv},
+                                              {"fc", kCapFc},
+                                              {"lstm", kCapLstm},
+                                              {"bigmem", kCapBigMem},
+                                              {"fastmem", kCapFastMem}}};
+
+[[nodiscard]] std::string known_tokens() {
+  std::string out;
+  for (const NamedBit& b : kNamedBits) {
+    if (!out.empty()) out += ", ";
+    out += b.name;
+  }
+  return out;
+}
+
+}  // namespace
+
+CapabilityMask spec_capabilities(const AcceleratorSpec& spec) {
+  CapabilityMask have = spec.extra_capabilities;
+  if (spec.kinds.conv) have |= kCapConv;
+  if (spec.kinds.fc) have |= kCapFc;
+  if (spec.kinds.lstm) have |= kCapLstm;
+  if (spec.dram_capacity >= gib(4)) have |= kCapBigMem;
+  if (spec.dram_bandwidth >= gbps(16)) have |= kCapFastMem;
+  return have;
+}
+
+CapabilityMask parse_caps_spec(std::string_view spec) {
+  CapabilityMask mask = 0;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t sep = std::min(spec.find('+', pos), spec.size());
+    const std::string_view token = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (token.empty() || token == "none") {
+      if (spec.empty() || spec == "none") break;
+      throw ConfigError(strformat(
+          "capability spec '%.*s': empty token (tokens join with '+')",
+          static_cast<int>(spec.size()), spec.data()));
+    }
+    bool matched = false;
+    for (const NamedBit& b : kNamedBits) {
+      if (token == b.name) {
+        mask |= b.bit;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // Numeric literal: 0x hex or plain decimal, OR'd in verbatim.
+      std::uint32_t v = 0;
+      const bool hex = token.starts_with("0x") || token.starts_with("0X");
+      const std::string_view digits = hex ? token.substr(2) : token;
+      const auto [ptr, ec] = std::from_chars(
+          digits.data(), digits.data() + digits.size(), v, hex ? 16 : 10);
+      if (ec != std::errc() || ptr != digits.data() + digits.size() ||
+          digits.empty()) {
+        throw ConfigError(strformat(
+            "capability spec: unknown token '%.*s' (named: %s; or a "
+            "0x/decimal bit literal)",
+            static_cast<int>(token.size()), token.data(),
+            known_tokens().c_str()));
+      }
+      mask |= v;
+    }
+    if (sep == spec.size()) break;
+  }
+  return mask;
+}
+
+std::string format_caps(CapabilityMask mask) {
+  if (mask == 0) return "none";
+  std::string out;
+  CapabilityMask rest = mask;
+  for (const NamedBit& b : kNamedBits) {
+    if ((mask & b.bit) == 0) continue;
+    if (!out.empty()) out += '+';
+    out += b.name;
+    rest &= ~b.bit;
+  }
+  if (rest != 0) {
+    if (!out.empty()) out += '+';
+    out += strformat("0x%x", rest);
+  }
+  return out;
+}
+
+}  // namespace h2h

@@ -1,0 +1,55 @@
+// Accelerator capability bitmasks (multi-tenant placement gating).
+//
+// Generalizes KindSupport's boolean kind mask into an open-ended bitmask: an
+// accelerator *has* a set of capabilities, a layer (stamped per tenant)
+// *requires* a set, and a placement is admissible iff
+// `(have & need) == need` — the ekk_capability_t matching rule from the
+// mapf-het scheduler (SNIPPETS.md). Bits 0-4 are derived from the spec
+// (layer-kind support, board memory class); higher bits are free for
+// user-defined capabilities via AcceleratorSpec::extra_capabilities (e.g.
+// "this tenant's kernels are only validated on these two boards").
+//
+// A zero `need` mask matches every accelerator, so every pre-capability
+// request plans bit-identically — the single-tenant fixtures pin this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "accel/accelerator_model.h"
+
+namespace h2h {
+
+using CapabilityMask = std::uint32_t;
+
+// Derived capability bits (computed from the spec, never stored in it).
+inline constexpr CapabilityMask kCapConv = 1u << 0;
+inline constexpr CapabilityMask kCapFc = 1u << 1;
+inline constexpr CapabilityMask kCapLstm = 1u << 2;
+/// Board-memory class: at least 4 GiB of local DRAM (large models can pin
+/// meaningful weight fractions).
+inline constexpr CapabilityMask kCapBigMem = 1u << 3;
+/// Local-DRAM bandwidth class: >= 16 GB/s (weight re-streaming stays cheap).
+inline constexpr CapabilityMask kCapFastMem = 1u << 4;
+
+/// The mapf-het admission rule: every required bit is present.
+[[nodiscard]] constexpr bool can_serve(CapabilityMask have,
+                                       CapabilityMask need) noexcept {
+  return (have & need) == need;
+}
+
+/// Capabilities a spec provides by construction: kind bits from KindSupport
+/// plus the derived memory-class bits, OR'd with extra_capabilities.
+[[nodiscard]] CapabilityMask spec_capabilities(const AcceleratorSpec& spec);
+
+/// Parse a '+'-separated capability spec: named bits (conv, fc, lstm,
+/// bigmem, fastmem) and/or numeric literals (0x100, 32) OR'd together.
+/// "none" (or empty) is the zero mask. Throws ConfigError on unknown tokens.
+[[nodiscard]] CapabilityMask parse_caps_spec(std::string_view spec);
+
+/// Canonical inverse of parse_caps_spec: named bits in bit order joined by
+/// '+', a 0x literal for any unnamed remainder, "none" for zero.
+[[nodiscard]] std::string format_caps(CapabilityMask mask);
+
+}  // namespace h2h

@@ -258,11 +258,18 @@ Mapping computation_prioritized_mapping(const Simulator& sim,
         }
       }
       if (accs.empty()) {
-        accs = costs.supporting(layer.kind);
-        if (accs.empty())
+        accs = costs.candidates(id, layer.kind);
+        if (accs.empty()) {
+          if (!costs.supporting(layer.kind).empty())
+            throw CapabilityError(strformat(
+                "layer '%s' (%s): required capabilities exclude every "
+                "supporting accelerator",
+                layer.name.c_str(),
+                std::string(to_string(layer.kind)).c_str()));
           throw ConfigError(strformat(
               "no accelerator in the system supports layer '%s' (%s)",
               layer.name.c_str(), std::string(to_string(layer.kind)).c_str()));
+        }
       }
       cand.push_back(accs);
       dur_offset.push_back(static_cast<std::uint32_t>(durations.size()));

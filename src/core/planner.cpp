@@ -76,6 +76,7 @@ std::uint64_t model_fingerprint(const ModelGraph& model) {
     h = fnv_mix(h, l.name);
     h = fnv_mix(h, static_cast<std::uint64_t>(l.kind));
     h = fnv_mix(h, l.modality);
+    h = fnv_mix(h, l.required_caps);
     h = fnv_mix(h, l.param_count());
     h = fnv_mix(h, l.out_elems());
     h = fnv_mix(h, l.macs());

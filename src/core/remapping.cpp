@@ -162,6 +162,7 @@ RemapStats data_locality_remapping(const Simulator& sim, Mapping& mapping,
         return stats;
       }
       if (model.layer(node).kind == LayerKind::Input) continue;
+      if (options.locked && (*options.locked)[node.value]) continue;
       const AccId src = mapping.acc_of(node);
       neighbour_accs(costs, model, mapping, node, candidates);
 

@@ -63,6 +63,12 @@ struct RemapOptions {
   RemapObjective objective = RemapObjective::Latency;
   WeightLocalityOptions weight;
   FusionOptions fusion;
+  /// Optional per-layer freeze mask, indexed by LayerId::value (size must be
+  /// >= the model's layer count when set). Locked layers are never probed
+  /// for a move — the multi-tenant co-mapper pins peer tenants' layers while
+  /// replanning one tenant. nullptr freezes nothing (the single-tenant hot
+  /// path is unchanged and bit-identical).
+  const std::vector<bool>* locked = nullptr;
   /// Optional wall-clock deadline (PlanRequest::time_budget_s): the loop
   /// stops cleanly — current state kept, stopped_on_budget reported — at the
   /// first per-layer check past the deadline. nullopt runs to convergence;

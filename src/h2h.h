@@ -40,6 +40,8 @@
 #include "model/zoo.h"
 #include "system/mapping_io.h"
 #include "system/schedule_analysis.h"
+#include "tenant/co_mapper.h"
+#include "tenant/tenant.h"
 #include "report/experiment.h"
 #include "report/mapping_report.h"
 #include "report/paper_tables.h"

@@ -101,6 +101,12 @@ struct Layer {
   /// MMMT bookkeeping: which modality backbone this layer belongs to
   /// (0 = shared/fusion trunk). Drives the dynamic-modality extension.
   std::uint32_t modality = 0;
+  /// Capability bits this layer demands of its accelerator
+  /// (accel/capability.h): only accelerators with
+  /// `(have & required_caps) == required_caps` are placement candidates.
+  /// 0 (the default) imposes nothing — every pre-capability code path is
+  /// bit-identical. Stamped per tenant by the co-mapper (src/tenant/).
+  std::uint32_t required_caps = 0;
 
   /// Multiply-accumulate count (the compute cost driver for Conv/FC/LSTM).
   [[nodiscard]] std::uint64_t macs() const noexcept;

@@ -53,6 +53,15 @@ class ModelGraph {
     return layers_[id.value];
   }
 
+  /// Stamp `caps` as the required-capability mask of every placeable
+  /// (non-Input) layer — a tenant's capability constraint applies to its
+  /// whole model (src/tenant/). Call before building any CostTable over
+  /// this graph: the table's freshness check does not track caps.
+  void stamp_required_caps(std::uint32_t caps) noexcept {
+    for (Layer& l : layers_)
+      if (l.kind != LayerKind::Input) l.required_caps = caps;
+  }
+
   /// Bytes moved along edge producer -> consumer (the producer's output
   /// tensor for the whole batch; Concat consumers read each input in full).
   [[nodiscard]] Bytes edge_bytes(LayerId producer) const {

@@ -1,10 +1,21 @@
 #include "report/mapping_report.h"
 
+#include <cmath>
+
 #include "model/summary.h"
 #include "util/str.h"
 #include "util/table.h"
 
 namespace h2h {
+namespace {
+
+/// Signed human_seconds: negative slack reads "-1.2 ms", not garbage.
+[[nodiscard]] std::string signed_seconds(double s) {
+  if (s < 0) return "-" + human_seconds(-s);
+  return human_seconds(s);
+}
+
+}  // namespace
 
 void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
                           const PlanResponse& result, std::ostream& out,
@@ -102,6 +113,71 @@ void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
       const Layer& l = model.layer(id);
       if (l.kind == LayerKind::Input) continue;
       const LayerTiming& t = sched.timings[id.value];
+      layer_table.add_row({l.name, std::string(to_string(l.kind)),
+                           sys.spec(result.mapping.acc_of(id)).name,
+                           human_seconds(t.start), human_seconds(t.finish),
+                           result.plan.pinned(id) ? "yes" : "no"});
+    }
+    layer_table.print(out);
+  }
+}
+
+void print_comap_report(const SystemConfig& sys, const CoMapResult& result,
+                        std::ostream& out,
+                        const MappingReportOptions& options) {
+  const ModelGraph& model = result.model;
+  out << strformat("co-mapping: %zu tenants, %zu union layers on %zu "
+                   "accelerators\n\n",
+                   result.tenants.size(), model.layer_count(),
+                   sys.accelerator_count());
+
+  // Per-tenant verdicts. "solo" is the tenant alone on the idle system,
+  // "sequential" is every solo mapping deployed together (the contention
+  // nobody planned for), "co-mapped" is this result.
+  TextTable table({"tenant", "prio", "slo", "solo", "sequential", "co-mapped",
+                   "slack", "slo met"},
+                  {TextTable::Align::Left});
+  for (const TenantOutcome& t : result.tenants) {
+    const bool has_slo = std::isfinite(t.slo_s);
+    table.add_row({t.name, strformat("%u", t.priority),
+                   has_slo ? human_seconds(t.slo_s) : "-",
+                   human_seconds(t.solo_latency_s),
+                   human_seconds(t.seq_latency_s),
+                   human_seconds(t.latency_s),
+                   has_slo ? signed_seconds(t.slack_s) : "-",
+                   t.met ? "yes" : "MISS"});
+  }
+  table.print(out);
+
+  out << strformat(
+      "\nmakespan: co-mapped %s vs sequential %s; priority-weighted SLO "
+      "violation %s vs %s sequential\n",
+      human_seconds(result.schedule.latency).c_str(),
+      human_seconds(result.seq_makespan_s).c_str(),
+      human_seconds(result.violation_s).c_str(),
+      human_seconds(result.seq_violation_s).c_str());
+  out << strformat("search: %u round(s)%s; %s\n",
+                   result.rounds,
+                   result.steal_ran ? " plus the steal round" : "",
+                   result.all_slos_met ? "every SLO met"
+                                       : "some SLOs still missed");
+
+  if (options.gantt) {
+    out << '\n';
+    print_gantt(model, sys, result.mapping, result.schedule, out,
+                options.gantt_width);
+  }
+
+  if (options.per_layer) {
+    out << '\n';
+    TextTable layer_table({"layer", "kind", "acc", "start", "finish",
+                           "pinned"},
+                          {TextTable::Align::Left, TextTable::Align::Left,
+                           TextTable::Align::Left});
+    for (const LayerId id : model.all_layers()) {
+      const Layer& l = model.layer(id);
+      if (l.kind == LayerKind::Input) continue;
+      const LayerTiming& t = result.schedule.timings[id.value];
       layer_table.add_row({l.name, std::string(to_string(l.kind)),
                            sys.spec(result.mapping.acc_of(id)).name,
                            human_seconds(t.start), human_seconds(t.finish),

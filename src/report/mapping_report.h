@@ -7,6 +7,7 @@
 
 #include "core/planner.h"
 #include "system/schedule_analysis.h"
+#include "tenant/co_mapper.h"
 
 namespace h2h {
 
@@ -20,5 +21,13 @@ struct MappingReportOptions {
 void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
                           const PlanResponse& result, std::ostream& out,
                           const MappingReportOptions& options = {});
+
+/// Render a multi-tenant co-mapping report: the per-tenant SLO table
+/// (solo / sequential / co-mapped latency, slack, verdict), the
+/// co-vs-sequential totals, and — per `options` — the union-model Gantt
+/// and per-layer placement. The union model is `result.model`.
+void print_comap_report(const SystemConfig& sys, const CoMapResult& result,
+                        std::ostream& out,
+                        const MappingReportOptions& options = {});
 
 }  // namespace h2h

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "accel/capability.h"
 #include "serve/json.h"
 #include "util/error.h"
 #include "util/str.h"
@@ -15,6 +16,7 @@ namespace h2h::serve {
 namespace {
 
 constexpr std::uint32_t kMaxBatch = 4096;
+constexpr std::uint32_t kMaxRounds = 64;
 
 [[nodiscard]] std::string known_zoo_keys() {
   std::string keys;
@@ -223,52 +225,128 @@ struct LinksParse {
   return json::Value(std::move(o));
 }
 
-}  // namespace
+/// Strict "options" object parse into `out`, shared by both request
+/// schemas. An empty `error` means success.
+struct OptionsParse {
+  ErrorCode code = ErrorCode::BadField;
+  std::string error;
+};
 
-std::string_view to_string(ErrorCode code) noexcept {
-  switch (code) {
-    case ErrorCode::ParseError:
-      return "parse_error";
-    case ErrorCode::SchemaVersion:
-      return "schema_version";
-    case ErrorCode::UnknownField:
-      return "unknown_field";
-    case ErrorCode::BadField:
-      return "bad_field";
-    case ErrorCode::UnknownModel:
-      return "unknown_model";
-    case ErrorCode::PlanFailed:
-      return "plan_failed";
+[[nodiscard]] OptionsParse parse_options_object(const json::Object& obj,
+                                                PlanOptions& out) {
+  for (const json::Object::Member& m : obj.members()) {
+    // The wire spelling is the table's json_key, exactly — the kebab-case
+    // CLI spelling is rejected here so the schema has one name per knob.
+    const PlanOptionSpec* spec = nullptr;
+    for (const PlanOptionSpec& s : plan_option_specs()) {
+      if (m.key == s.json_key) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return {ErrorCode::UnknownField,
+              strformat("options.%s: unknown option", m.key.c_str())};
+    }
+    std::string spelled;
+    switch (spec->kind) {
+      case PlanOptionSpec::Kind::Bool:
+        if (!m.value.is_bool()) {
+          return {ErrorCode::BadField,
+                  strformat("options.%s: expected a boolean", m.key.c_str())};
+        }
+        spelled = m.value.as_bool() ? "true" : "false";
+        break;
+      case PlanOptionSpec::Kind::Double: {
+        if (!m.value.is_number()) {
+          return {ErrorCode::BadField,
+                  strformat("options.%s: expected a number", m.key.c_str())};
+        }
+        char buf[32];
+        const auto [end, ec] =
+            std::to_chars(buf, buf + sizeof(buf), m.value.as_number());
+        H2H_ASSERT(ec == std::errc());
+        spelled.assign(buf, end);
+        break;
+      }
+      case PlanOptionSpec::Kind::Enum:
+        if (!m.value.is_string()) {
+          return {ErrorCode::BadField,
+                  strformat("options.%s: expected one of %.*s", m.key.c_str(),
+                            static_cast<int>(spec->values.size()),
+                            spec->values.data())};
+        }
+        spelled = m.value.as_string();
+        break;
+    }
+    if (std::optional<std::string> err = spec->set(out, spelled)) {
+      return {ErrorCode::BadField,
+              strformat("options.%s: %s", m.key.c_str(), err->c_str())};
+    }
   }
-  return "unknown";
+  return {};
 }
 
-std::variant<WireRequest, WireError> parse_request(std::string_view line) {
-  const json::ParseResult parsed = json::parse(line);
-  if (!parsed.value) {
-    return WireError{ErrorCode::ParseError,
-                     strformat("byte %zu: %s", parsed.offset,
-                               parsed.error.c_str()),
-                     {}};
+/// The canonical "options" echo: every knob at its effective value,
+/// defaults included, unset optionals omitted.
+[[nodiscard]] json::Object options_json(const PlanOptions& options) {
+  json::Object out;
+  for (const PlanOptionSpec& spec : plan_option_specs()) {
+    json::Value v = option_value(spec, options);
+    if (v.is_null()) continue;  // unset optional (time_budget_s)
+    out.set(std::string(spec.json_key), std::move(v));
   }
-  if (!parsed.value->is_object()) {
-    return WireError{ErrorCode::ParseError, "request must be a JSON object",
-                     {}};
-  }
-  const json::Object& root = parsed.value->as_object();
+  return out;
+}
 
-  WireRequest req;
-  // id first, so every later error can echo it.
-  if (const json::Value* id = root.find("id")) {
-    if (!id->is_string()) {
+/// The "mapping" response object: seq-ordered layer placements plus fused
+/// edges (shared by single-model and tenants responses).
+[[nodiscard]] json::Value mapping_json(const ModelGraph& model,
+                                       const Mapping& mapping,
+                                       const LocalityPlan& plan,
+                                       const SystemConfig& sys) {
+  std::vector<LayerId> order = model.all_layers();
+  std::sort(order.begin(), order.end(), [&mapping](LayerId l, LayerId r) {
+    return mapping.seq_of(l) < mapping.seq_of(r);
+  });
+  json::Array layers;
+  for (const LayerId id : order) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    json::Object entry;
+    entry.set("layer", model.layer(id).name);
+    entry.set("acc", sys.spec(mapping.acc_of(id)).name);
+    if (plan.pinned(id)) entry.set("pinned", true);
+    layers.push_back(json::Value(std::move(entry)));
+  }
+  json::Array fused;
+  for (const LayerId id : order) {
+    const auto preds = model.graph().preds(id);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (!plan.fused_in(id, i)) continue;
+      json::Object edge;
+      edge.set("from", model.layer(preds[i]).name);
+      edge.set("to", model.layer(id).name);
+      fused.push_back(json::Value(std::move(edge)));
+    }
+  }
+  json::Object out;
+  out.set("layers", std::move(layers));
+  out.set("fused", std::move(fused));
+  return json::Value(std::move(out));
+}
+
+/// Shared head of both schemas: "id" then "schema_version", every later
+/// error echoing the id. Returns nullopt on success.
+template <typename Fail>
+[[nodiscard]] std::optional<WireError> parse_head(const json::Object& root,
+                                                  std::string& id,
+                                                  const Fail& fail) {
+  if (const json::Value* v = root.find("id")) {
+    if (!v->is_string()) {
       return WireError{ErrorCode::BadField, "id: expected a string", {}};
     }
-    req.id = id->as_string();
+    id = v->as_string();
   }
-  const auto fail = [&req](ErrorCode code, std::string message) {
-    return WireError{code, std::move(message), req.id};
-  };
-
   const json::Value* version = root.find("schema_version");
   if (version == nullptr) {
     return fail(ErrorCode::SchemaVersion,
@@ -280,6 +358,20 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
     return fail(ErrorCode::SchemaVersion,
                 strformat("unsupported schema_version (this server speaks %d)",
                           kSchemaVersion));
+  }
+  return std::nullopt;
+}
+
+/// The single-model request schema (everything after the line-level JSON
+/// checks, which the public entry points share).
+[[nodiscard]] std::variant<WireRequest, WireError> parse_single(
+    const json::Object& root) {
+  WireRequest req;
+  const auto fail = [&req](ErrorCode code, std::string message) {
+    return WireError{code, std::move(message), req.id};
+  };
+  if (std::optional<WireError> err = parse_head(root, req.id, fail)) {
+    return *err;
   }
 
   const json::Value* model = root.find("model");
@@ -334,59 +426,8 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
     if (!options->is_object()) {
       return fail(ErrorCode::BadField, "options: expected an object");
     }
-    for (const json::Object::Member& m : options->as_object().members()) {
-      // The wire spelling is the table's json_key, exactly — the kebab-case
-      // CLI spelling is rejected here so the schema has one name per knob.
-      const PlanOptionSpec* spec = nullptr;
-      for (const PlanOptionSpec& s : plan_option_specs()) {
-        if (m.key == s.json_key) {
-          spec = &s;
-          break;
-        }
-      }
-      if (spec == nullptr) {
-        return fail(ErrorCode::UnknownField,
-                    strformat("options.%s: unknown option", m.key.c_str()));
-      }
-      std::string spelled;
-      switch (spec->kind) {
-        case PlanOptionSpec::Kind::Bool:
-          if (!m.value.is_bool()) {
-            return fail(ErrorCode::BadField,
-                        strformat("options.%s: expected a boolean",
-                                  m.key.c_str()));
-          }
-          spelled = m.value.as_bool() ? "true" : "false";
-          break;
-        case PlanOptionSpec::Kind::Double: {
-          if (!m.value.is_number()) {
-            return fail(ErrorCode::BadField,
-                        strformat("options.%s: expected a number",
-                                  m.key.c_str()));
-          }
-          char buf[32];
-          const auto [end, ec] =
-              std::to_chars(buf, buf + sizeof(buf), m.value.as_number());
-          H2H_ASSERT(ec == std::errc());
-          spelled.assign(buf, end);
-          break;
-        }
-        case PlanOptionSpec::Kind::Enum:
-          if (!m.value.is_string()) {
-            return fail(ErrorCode::BadField,
-                        strformat("options.%s: expected one of %.*s",
-                                  m.key.c_str(),
-                                  static_cast<int>(spec->values.size()),
-                                  spec->values.data()));
-          }
-          spelled = m.value.as_string();
-          break;
-      }
-      if (std::optional<std::string> err = spec->set(req.options, spelled)) {
-        return fail(ErrorCode::BadField,
-                    strformat("options.%s: %s", m.key.c_str(), err->c_str()));
-      }
-    }
+    OptionsParse op = parse_options_object(options->as_object(), req.options);
+    if (!op.error.empty()) return fail(op.code, std::move(op.error));
   }
 
   if (const json::Value* emit = root.find("emit")) {
@@ -426,6 +467,225 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
   return req;
 }
 
+/// The multi-tenant request schema (root "tenants" array; protocol.h).
+[[nodiscard]] std::variant<WireTenantsRequest, WireError> parse_tenants(
+    const json::Object& root) {
+  WireTenantsRequest req;
+  const auto fail = [&req](ErrorCode code, std::string message) {
+    return WireError{code, std::move(message), req.id};
+  };
+  if (std::optional<WireError> err = parse_head(root, req.id, fail)) {
+    return *err;
+  }
+
+  const json::Value* tenants = root.find("tenants");
+  if (tenants == nullptr || !tenants->is_array() ||
+      tenants->as_array().empty()) {
+    return fail(ErrorCode::BadField,
+                "tenants: expected a non-empty array (required)");
+  }
+  for (const json::Value& entry : tenants->as_array()) {
+    if (!entry.is_object()) {
+      return fail(ErrorCode::BadField,
+                  "tenants: expected objects with name, model");
+    }
+    const json::Object& t = entry.as_object();
+    for (const json::Object::Member& m : t.members()) {
+      if (m.key != "name" && m.key != "model" && m.key != "slo_s" &&
+          m.key != "priority" && m.key != "caps") {
+        return fail(ErrorCode::UnknownField,
+                    strformat("tenants.%s: unknown field", m.key.c_str()));
+      }
+    }
+    TenantRequest tenant;
+    const json::Value* name = t.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty() ||
+        name->as_string().find('/') != std::string::npos) {
+      return fail(ErrorCode::BadField,
+                  "tenants.name: expected a non-empty string without '/' "
+                  "(required)");
+    }
+    tenant.name = name->as_string();
+    for (const TenantRequest& seen : req.tenants) {
+      if (seen.name == tenant.name) {
+        return fail(ErrorCode::BadField,
+                    strformat("tenants.name: duplicate tenant name '%s'",
+                              tenant.name.c_str()));
+      }
+    }
+    const json::Value* model = t.find("model");
+    if (model == nullptr || !model->is_string()) {
+      return fail(ErrorCode::BadField,
+                  "tenants.model: expected a string zoo key (required)");
+    }
+    const std::optional<ZooModel> zoo = zoo_model_by_key(model->as_string());
+    if (!zoo) {
+      return fail(ErrorCode::UnknownModel,
+                  strformat("unknown model '%s' (known: %s)",
+                            model->as_string().c_str(),
+                            known_zoo_keys().c_str()));
+    }
+    tenant.model = *zoo;
+    if (const json::Value* slo = t.find("slo_s")) {
+      if (!slo->is_number() || !(slo->as_number() > 0)) {
+        return fail(ErrorCode::BadField,
+                    "tenants.slo_s: expected a positive number");
+      }
+      tenant.slo_s = slo->as_number();
+    }
+    if (const json::Value* prio = t.find("priority")) {
+      const double p = prio->is_number() ? prio->as_number() : -1;
+      if (p < 1 || p > 1e6 || p != std::floor(p)) {
+        return fail(ErrorCode::BadField,
+                    "tenants.priority: expected an integer in [1, 1000000]");
+      }
+      tenant.priority = static_cast<std::uint32_t>(p);
+    }
+    if (const json::Value* caps = t.find("caps")) {
+      if (!caps->is_string()) {
+        return fail(ErrorCode::BadField,
+                    "tenants.caps: expected a capability-spec string");
+      }
+      try {
+        tenant.required_caps = parse_caps_spec(caps->as_string());
+      } catch (const ConfigError& e) {
+        return fail(ErrorCode::BadField,
+                    strformat("tenants.caps: %s", e.what()));
+      }
+    }
+    req.tenants.push_back(std::move(tenant));
+  }
+
+  if (const json::Value* bw = root.find("bw_gbps")) {
+    if (!bw->is_number() || !(bw->as_number() > 0)) {
+      return fail(ErrorCode::BadField, "bw_gbps: expected a positive number");
+    }
+    req.bw_gbps = bw->as_number();
+  }
+
+  if (const json::Value* options = root.find("options")) {
+    if (!options->is_object()) {
+      return fail(ErrorCode::BadField, "options: expected an object");
+    }
+    OptionsParse op = parse_options_object(options->as_object(), req.options);
+    if (!op.error.empty()) return fail(op.code, std::move(op.error));
+  }
+
+  if (const json::Value* rounds = root.find("max_rounds")) {
+    const double r = rounds->is_number() ? rounds->as_number() : -1;
+    if (r < 0 || r > kMaxRounds || r != std::floor(r)) {
+      return fail(ErrorCode::BadField,
+                  strformat("max_rounds: expected an integer in [0, %u]",
+                            kMaxRounds));
+    }
+    req.max_rounds = static_cast<std::uint32_t>(r);
+  }
+  if (const json::Value* v = root.find("steal_round")) {
+    if (!v->is_bool()) {
+      return fail(ErrorCode::BadField, "steal_round: expected a boolean");
+    }
+    req.steal_round = v->as_bool();
+  }
+  if (const json::Value* v = root.find("require_slos")) {
+    if (!v->is_bool()) {
+      return fail(ErrorCode::BadField, "require_slos: expected a boolean");
+    }
+    req.require_slos = v->as_bool();
+  }
+
+  if (const json::Value* emit = root.find("emit")) {
+    if (!emit->is_object()) {
+      return fail(ErrorCode::BadField, "emit: expected an object");
+    }
+    for (const json::Object::Member& m : emit->as_object().members()) {
+      if (m.key != "mapping") {
+        return fail(ErrorCode::UnknownField,
+                    strformat("emit.%s: unknown field (valid: mapping)",
+                              m.key.c_str()));
+      }
+      if (!m.value.is_bool()) {
+        return fail(ErrorCode::BadField,
+                    strformat("emit.%s: expected a boolean", m.key.c_str()));
+      }
+      req.emit_mapping = m.value.as_bool();
+    }
+  }
+
+  for (const json::Object::Member& m : root.members()) {
+    if (m.key != "schema_version" && m.key != "id" && m.key != "tenants" &&
+        m.key != "bw_gbps" && m.key != "options" && m.key != "max_rounds" &&
+        m.key != "steal_round" && m.key != "require_slos" &&
+        m.key != "emit") {
+      return fail(ErrorCode::UnknownField,
+                  strformat("%s: unknown field", m.key.c_str()));
+    }
+  }
+  return req;
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::ParseError:
+      return "parse_error";
+    case ErrorCode::SchemaVersion:
+      return "schema_version";
+    case ErrorCode::UnknownField:
+      return "unknown_field";
+    case ErrorCode::BadField:
+      return "bad_field";
+    case ErrorCode::UnknownModel:
+      return "unknown_model";
+    case ErrorCode::PlanFailed:
+      return "plan_failed";
+    case ErrorCode::InfeasibleCapability:
+      return "infeasible_capability";
+    case ErrorCode::SloViolated:
+      return "slo_violated";
+  }
+  return "unknown";
+}
+
+std::variant<WireRequest, WireError> parse_request(std::string_view line) {
+  const json::ParseResult parsed = json::parse(line);
+  if (!parsed.value) {
+    return WireError{ErrorCode::ParseError,
+                     strformat("byte %zu: %s", parsed.offset,
+                               parsed.error.c_str()),
+                     {}};
+  }
+  if (!parsed.value->is_object()) {
+    return WireError{ErrorCode::ParseError, "request must be a JSON object",
+                     {}};
+  }
+  return parse_single(parsed.value->as_object());
+}
+
+std::variant<WireRequest, WireTenantsRequest, WireError> parse_any_request(
+    std::string_view line) {
+  const json::ParseResult parsed = json::parse(line);
+  if (!parsed.value) {
+    return WireError{ErrorCode::ParseError,
+                     strformat("byte %zu: %s", parsed.offset,
+                               parsed.error.c_str()),
+                     {}};
+  }
+  if (!parsed.value->is_object()) {
+    return WireError{ErrorCode::ParseError, "request must be a JSON object",
+                     {}};
+  }
+  const json::Object& root = parsed.value->as_object();
+  if (root.find("tenants") != nullptr) {
+    std::variant<WireTenantsRequest, WireError> out = parse_tenants(root);
+    if (WireError* err = std::get_if<WireError>(&out)) return std::move(*err);
+    return std::move(std::get<WireTenantsRequest>(out));
+  }
+  std::variant<WireRequest, WireError> out = parse_single(root);
+  if (WireError* err = std::get_if<WireError>(&out)) return std::move(*err);
+  return std::move(std::get<WireRequest>(out));
+}
+
 PlanRequest to_plan_request(const WireRequest& request) {
   PlanRequest plan = PlanRequest::zoo(request.model, request.bw_gbps * 1e9,
                                       request.batch);
@@ -450,13 +710,7 @@ std::string write_response(const WireRequest& request,
 
   // Echo every knob at its canonical value so a response is a complete
   // record of what was planned, defaults included.
-  json::Object options;
-  for (const PlanOptionSpec& spec : plan_option_specs()) {
-    json::Value v = option_value(spec, request.options);
-    if (v.is_null()) continue;  // unset optional (time_budget_s)
-    options.set(std::string(spec.json_key), std::move(v));
-  }
-  root.set("options", std::move(options));
+  root.set("options", options_json(request.options));
 
   const ScheduleResult& fin = response.final_result();
   root.set("latency_s", fin.latency);
@@ -477,36 +731,8 @@ std::string write_response(const WireRequest& request,
   }
 
   if (request.emit_mapping) {
-    std::vector<LayerId> order = model.all_layers();
-    std::sort(order.begin(), order.end(),
-              [&response](LayerId l, LayerId r) {
-                return response.mapping.seq_of(l) <
-                       response.mapping.seq_of(r);
-              });
-    json::Array layers;
-    for (const LayerId id : order) {
-      if (model.layer(id).kind == LayerKind::Input) continue;
-      json::Object entry;
-      entry.set("layer", model.layer(id).name);
-      entry.set("acc", sys.spec(response.mapping.acc_of(id)).name);
-      if (response.plan.pinned(id)) entry.set("pinned", true);
-      layers.push_back(json::Value(std::move(entry)));
-    }
-    json::Array fused;
-    for (const LayerId id : order) {
-      const auto preds = model.graph().preds(id);
-      for (std::size_t i = 0; i < preds.size(); ++i) {
-        if (!response.plan.fused_in(id, i)) continue;
-        json::Object edge;
-        edge.set("from", model.layer(preds[i]).name);
-        edge.set("to", model.layer(id).name);
-        fused.push_back(json::Value(std::move(edge)));
-      }
-    }
-    json::Object mapping;
-    mapping.set("layers", std::move(layers));
-    mapping.set("fused", std::move(fused));
-    root.set("mapping", std::move(mapping));
+    root.set("mapping",
+             mapping_json(model, response.mapping, response.plan, sys));
   }
 
   if (request.emit_timing) {
@@ -515,6 +741,59 @@ std::string write_response(const WireRequest& request,
     timing.set("setup_s", response.setup_seconds);
     timing.set("search_s", response.search_seconds);
     root.set("timing", std::move(timing));
+  }
+  return json::dump(json::Value(std::move(root)));
+}
+
+std::string write_tenants_response(const WireTenantsRequest& request,
+                                   const CoMapResult& result,
+                                   const SystemConfig& sys) {
+  H2H_EXPECTS(result.tenants.size() == request.tenants.size());
+  json::Object root;
+  root.set("schema_version", kSchemaVersion);
+  if (!request.id.empty()) root.set("id", request.id);
+  root.set("ok", true);
+
+  // Canonical tenant echo merged with the per-tenant verdict, in request
+  // (= union declaration) order. No-SLO tenants omit slo_s/slack_s rather
+  // than carry a non-JSON infinity.
+  json::Array tenants;
+  for (std::size_t i = 0; i < result.tenants.size(); ++i) {
+    const TenantRequest& t = request.tenants[i];
+    const TenantOutcome& out = result.tenants[i];
+    json::Object entry;
+    entry.set("name", out.name);
+    entry.set("model", zoo_info(*t.model).key);
+    if (t.has_slo()) entry.set("slo_s", t.slo_s);
+    entry.set("priority", out.priority);
+    if (t.required_caps != 0) entry.set("caps", format_caps(t.required_caps));
+    entry.set("solo_latency_s", out.solo_latency_s);
+    entry.set("seq_latency_s", out.seq_latency_s);
+    entry.set("latency_s", out.latency_s);
+    if (t.has_slo()) entry.set("slack_s", out.slack_s);
+    entry.set("met", out.met);
+    tenants.push_back(json::Value(std::move(entry)));
+  }
+  root.set("tenants", std::move(tenants));
+
+  root.set("bw_gbps", request.bw_gbps);
+  root.set("options", options_json(request.options));
+  root.set("max_rounds", request.max_rounds);
+  root.set("steal_round", request.steal_round);
+  root.set("require_slos", request.require_slos);
+
+  root.set("makespan_s", result.schedule.latency);
+  root.set("energy_j", result.schedule.energy.total());
+  root.set("violation_s", result.violation_s);
+  root.set("seq_makespan_s", result.seq_makespan_s);
+  root.set("seq_violation_s", result.seq_violation_s);
+  root.set("rounds", result.rounds);
+  root.set("steal_ran", result.steal_ran);
+  root.set("all_slos_met", result.all_slos_met);
+
+  if (request.emit_mapping) {
+    root.set("mapping",
+             mapping_json(result.model, result.mapping, result.plan, sys));
   }
   return json::dump(json::Value(std::move(root)));
 }

@@ -40,10 +40,39 @@
 // anywhere are rejected (code "unknown_field"), so typos fail loudly
 // instead of silently planning with defaults.
 //
+// Multi-tenant co-mapping request (tenant/co_mapper.h) — a root "tenants"
+// array selects this schema; it shares id/schema_version/bw_gbps/options
+// with the single-model form but is otherwise disjoint (no links, no
+// batch, no steps):
+//
+//   {"schema_version":1,
+//    "id":"r1",
+//    "tenants":[{"name":"cam",          // unique, no '/'
+//                "model":"casia-surf",  // zoo key
+//                "slo_s":0.012,         // optional latency SLO, seconds
+//                "priority":3,          // optional positive integer
+//                "caps":"bigmem"},      // optional caps spec (capability.h)
+//               ...],                   // >= 1 tenant
+//    "bw_gbps":0.125,                   // BW_acc in GB/s, default 0.5
+//    "options":{...},                   // per-round plan options
+//    "max_rounds":3,                    // improvement sweeps after round 1
+//    "steal_round":true,
+//    "require_slos":false,              // true: an SLO miss is an error
+//    "emit":{"mapping":true}}           // tenants emit has only "mapping"
+//
+// A tenant whose capability mask excludes every supporting accelerator is
+// answered with code "infeasible_capability". With "require_slos":true a
+// co-mapping that leaves some SLO missed is answered with "slo_violated"
+// (the response names the missing tenants); otherwise misses are reported
+// in the per-tenant "met" fields of an ok:true response. Tenants responses
+// never carry timing, so they are deterministic byte-for-byte — pinned
+// across worker counts by test_serve_pipeline.cpp.
+//
 // Responses are deterministic byte-for-byte for a given request and library
 // version when "timing" is not emitted (timing carries wall-clock and
 // cache-warmth, the only nondeterministic fields). `h2h map --json` emits
-// exactly write_response(), which is what lets CI diff serve output
+// exactly write_response(), and `h2h comap --json` exactly
+// write_tenants_response(), which is what lets CI diff serve output
 // hex-exact against the CLI.
 #pragma once
 
@@ -53,6 +82,7 @@
 
 #include "core/plan_options.h"
 #include "core/planner.h"
+#include "tenant/co_mapper.h"
 
 namespace h2h::serve {
 
@@ -65,6 +95,8 @@ enum class ErrorCode {
   BadField,       // defined field, invalid type or value
   UnknownModel,   // "model" is not a zoo key
   PlanFailed,     // planning itself threw (e.g. infeasible config)
+  InfeasibleCapability,  // a tenant's caps exclude every accelerator
+  SloViolated,    // require_slos was set and the co-mapping missed an SLO
 };
 
 [[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
@@ -89,9 +121,30 @@ struct WireError {
   std::string id;  // echoed when the request's id was parseable
 };
 
-/// Parse + validate one request line.
+/// A validated multi-tenant co-mapping request (root "tenants" schema).
+struct WireTenantsRequest {
+  std::string id;  // empty = omitted
+  std::vector<TenantRequest> tenants;
+  double bw_gbps = 0.5;
+  PlanOptions options;  // per-round plan knobs (CoMapOptions::plan)
+  std::uint32_t max_rounds = 3;
+  bool steal_round = true;
+  /// When true, a co-mapping that misses any SLO is answered with an
+  /// slo_violated error instead of an ok:true response.
+  bool require_slos = false;
+  bool emit_mapping = true;
+};
+
+/// Parse + validate one single-model request line. A root "tenants" field
+/// is rejected as unknown_field here — use parse_any_request to dispatch.
 [[nodiscard]] std::variant<WireRequest, WireError> parse_request(
     std::string_view line);
+
+/// Parse + validate one request line of either schema: a root "tenants"
+/// member selects the multi-tenant form, anything else the single-model
+/// form (byte-identical to parse_request for those lines).
+[[nodiscard]] std::variant<WireRequest, WireTenantsRequest, WireError>
+parse_any_request(std::string_view line);
 
 /// The PlanRequest this wire request describes.
 [[nodiscard]] PlanRequest to_plan_request(const WireRequest& request);
@@ -103,6 +156,14 @@ struct WireError {
                                          const PlanResponse& response,
                                          const ModelGraph& model,
                                          const SystemConfig& sys);
+
+/// One co-mapping response line (no trailing newline): canonical tenant
+/// echo, per-tenant outcomes, co-vs-sequential verdict, and (when emitted)
+/// the union-model mapping. Carries no timing, so it is deterministic
+/// byte-for-byte. `sys` provides accelerator names only.
+[[nodiscard]] std::string write_tenants_response(
+    const WireTenantsRequest& request, const CoMapResult& result,
+    const SystemConfig& sys);
 
 /// One error-response line (no trailing newline).
 [[nodiscard]] std::string write_error(const WireError& error);

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <istream>
@@ -12,11 +13,13 @@
 #include <vector>
 
 #include "serve/protocol.h"
+#include "util/error.h"
 #include "util/str.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define H2H_SERVE_HAS_TCP 1
 #include <arpa/inet.h>
+#include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -29,6 +32,58 @@
 
 namespace h2h::serve {
 namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+[[nodiscard]] bool shutdown_requested() noexcept {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+#if H2H_SERVE_HAS_TCP
+
+void on_shutdown_signal(int) noexcept {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+/// Installs SIGINT/SIGTERM handlers for the lifetime of a serve loop and
+/// restores the previous actions on exit. Deliberately no SA_RESTART: the
+/// signal must interrupt the blocking read (EINTR -> stream EOF) so the
+/// reader stops accepting while the drain path finishes in-flight work.
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool enable) : enabled_(enable) {
+    if (!enabled_) return;
+    g_shutdown.store(false, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = on_shutdown_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, &old_int_);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+  }
+  ~SignalGuard() {
+    if (!enabled_) return;
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  SignalGuard(const SignalGuard&) = delete;
+  SignalGuard& operator=(const SignalGuard&) = delete;
+
+ private:
+  bool enabled_;
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
+
+#else
+
+/// Non-POSIX builds have no signals to guard; handle_signals is a no-op.
+class SignalGuard {
+ public:
+  explicit SignalGuard(bool) {}
+};
+
+#endif  // H2H_SERVE_HAS_TCP
 
 /// Everything one request needs besides the line itself: the shared Planner
 /// and the name sources write_response reads. Lives across connections so a
@@ -45,9 +100,14 @@ class RequestProcessor {
   };
 
   [[nodiscard]] Outcome process(const std::string& line) {
-    std::variant<WireRequest, WireError> parsed = parse_request(line);
+    std::variant<WireRequest, WireTenantsRequest, WireError> parsed =
+        parse_any_request(line);
     if (const WireError* err = std::get_if<WireError>(&parsed)) {
       return {write_error(*err), false};
+    }
+    if (const WireTenantsRequest* treq =
+            std::get_if<WireTenantsRequest>(&parsed)) {
+      return process_tenants(*treq);
     }
     const WireRequest& req = std::get<WireRequest>(parsed);
     try {
@@ -62,6 +122,43 @@ class RequestProcessor {
   }
 
  private:
+  [[nodiscard]] Outcome process_tenants(const WireTenantsRequest& req) {
+    try {
+      CoMapSession& session = session_for(req.bw_gbps);
+      const TenantSet set(req.tenants);
+      CoMapOptions opts;
+      opts.plan = req.options;
+      opts.max_rounds = req.max_rounds;
+      opts.steal_round = req.steal_round;
+      const CoMapResult result = session.comapper.co_map(set, opts);
+      if (req.require_slos && !result.all_slos_met) {
+        std::string missing;
+        for (const TenantOutcome& t : result.tenants) {
+          if (t.met) continue;
+          if (!missing.empty()) missing += ", ";
+          missing += strformat("%s (%.6g s > %.6g s)", t.name.c_str(),
+                               t.latency_s, t.slo_s);
+        }
+        return {write_error({ErrorCode::SloViolated,
+                             strformat("co-mapping misses SLOs: %s",
+                                       missing.c_str()),
+                             req.id}),
+                false};
+      }
+      return {write_tenants_response(req, result, name_sys_), true};
+    } catch (const CapabilityError& e) {
+      return {write_error({ErrorCode::InfeasibleCapability, e.what(),
+                           req.id}),
+              false};
+    } catch (const ConfigError& e) {
+      // Request-content problems the parser cannot see (e.g. union
+      // dtype/batch disagreement) answer as bad_field, not plan_failed.
+      return {write_error({ErrorCode::BadField, e.what(), req.id}), false};
+    } catch (const std::exception& e) {
+      return {write_error({ErrorCode::PlanFailed, e.what(), req.id}), false};
+    }
+  }
+
   /// Graphs are only needed for layer names in responses; one cached copy
   /// per zoo model serves every request (read-only once built).
   [[nodiscard]] const ModelGraph& model_for(ZooModel id) {
@@ -73,10 +170,30 @@ class RequestProcessor {
     return *slot;
   }
 
+  /// One CoMapper per requested bandwidth, kept warm across requests and
+  /// connections (the member system must outlive the borrowing CoMapper,
+  /// hence the pairing). co_map itself is thread-safe; the lock only
+  /// guards session creation.
+  struct CoMapSession {
+    SystemConfig sys;
+    CoMapper comapper;
+    explicit CoMapSession(double bw_gbps)
+        : sys(SystemConfig::standard(bw_gbps * 1e9)), comapper(sys) {}
+  };
+
+  [[nodiscard]] CoMapSession& session_for(double bw_gbps) {
+    const std::scoped_lock lock(comap_mu_);
+    std::unique_ptr<CoMapSession>& slot = comap_[bw_gbps];
+    if (slot == nullptr) slot = std::make_unique<CoMapSession>(bw_gbps);
+    return *slot;
+  }
+
   Planner planner_;
   SystemConfig name_sys_;  // accelerator names only; BW value irrelevant
   std::mutex models_mu_;
   std::map<ZooModel, std::unique_ptr<const ModelGraph>> models_;
+  std::mutex comap_mu_;
+  std::map<double, std::unique_ptr<CoMapSession>> comap_;
 };
 
 /// Reorders completed responses back into request order. Whichever thread
@@ -148,10 +265,19 @@ ServeStats run_loop(RequestProcessor& processor, std::istream& in,
   std::string line;
   std::uint64_t seq = 0;
 
+  // A shutdown signal interrupts the blocking read, so the stream reports
+  // EOF; a line the signal cut in half must be dropped, not answered as a
+  // parse error. (A genuine final line without '\n' is still served when
+  // no signal fired.)
+  const auto cut_by_signal = [&in, &options](LineStatus status) {
+    return status != LineStatus::Eof && options.handle_signals &&
+           shutdown_requested() && in.eof();
+  };
+
   if (options.threads <= 1) {
     for (;;) {
       const LineStatus status = read_line(in, line, options.max_line_bytes);
-      if (status == LineStatus::Eof) break;
+      if (status == LineStatus::Eof || cut_by_signal(status)) break;
       if (status == LineStatus::Ok && line.empty()) continue;
       ++totals.requests;
       if (status == LineStatus::Oversized) {
@@ -195,7 +321,7 @@ ServeStats run_loop(RequestProcessor& processor, std::istream& in,
 
   for (;;) {
     const LineStatus status = read_line(in, line, options.max_line_bytes);
-    if (status == LineStatus::Eof) break;
+    if (status == LineStatus::Eof || cut_by_signal(status)) break;
     if (status == LineStatus::Ok && line.empty()) continue;
     ++totals.requests;
     if (status == LineStatus::Oversized) {
@@ -273,6 +399,7 @@ class FdStreamBuf : public std::streambuf {
 
 ServeStats serve_jsonl(std::istream& in, std::ostream& out,
                        const ServeOptions& options) {
+  const SignalGuard signals(options.handle_signals);
   RequestProcessor processor(options.planner);
   return run_loop(processor, in, out, options);
 }
@@ -305,6 +432,7 @@ int serve_tcp(const TcpOptions& options, std::ostream& diag) {
 
   // One processor across connections: a client that reconnects keeps its
   // warm sessions.
+  const SignalGuard signals(options.serve.handle_signals);
   RequestProcessor processor(options.serve.planner);
   for (std::uint64_t served = 0;
        options.max_connections == 0 || served < options.max_connections;
@@ -312,6 +440,9 @@ int serve_tcp(const TcpOptions& options, std::ostream& diag) {
     const int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR) {
+        // A shutdown signal interrupts accept; anything else (e.g. a
+        // profiler attaching) just retries.
+        if (options.serve.handle_signals && shutdown_requested()) break;
         --served;
         continue;
       }
@@ -328,8 +459,12 @@ int serve_tcp(const TcpOptions& options, std::ostream& diag) {
     ::close(conn);
     diag << "h2h-serve: connection done (" << stats.requests << " requests, "
          << stats.errors << " errors)" << std::endl;
+    if (options.serve.handle_signals && shutdown_requested()) break;
   }
   ::close(listen_fd);
+  if (options.serve.handle_signals && shutdown_requested()) {
+    diag << "h2h-serve: shutting down on signal" << std::endl;
+  }
   return 0;
 #else
   (void)options;

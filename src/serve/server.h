@@ -11,7 +11,15 @@
 //
 // Every failure mode becomes an `ok:false` response line: malformed JSON,
 // schema violations, and planning exceptions are answered and the loop
-// keeps going. Nothing short of losing stdin/stdout stops a serving loop.
+// keeps going. Nothing short of losing stdin/stdout stops a serving loop —
+// except a graceful shutdown: with ServeOptions::handle_signals set,
+// SIGINT/SIGTERM stop the reader, drain in-flight requests, flush the
+// ordered output, and return normally.
+//
+// Both wire schemas are served: single-model requests hit the shared
+// Planner; "tenants" requests co-map a TenantSet on a per-bandwidth
+// CoMapper (tenant/co_mapper.h), with CapabilityError answered as
+// infeasible_capability and require_slos misses as slo_violated.
 //
 // serve_tcp accepts loopback TCP connections and runs the same jsonl loop
 // over each socket, one connection at a time (requests within a connection
@@ -36,6 +44,12 @@ struct ServeOptions {
   /// Requests longer than this are answered with parse_error (guards the
   /// line buffer against unbounded input).
   std::size_t max_line_bytes = 1 << 20;
+  /// Install SIGINT/SIGTERM handlers (POSIX, no SA_RESTART) for graceful
+  /// shutdown: the loop stops accepting new lines, drains every request
+  /// already read, flushes responses in order, and returns normally (so
+  /// `h2h serve` exits 0). A partial line cut mid-read by the signal is
+  /// dropped, not answered. Off by default — embedders own their signals.
+  bool handle_signals = false;
 };
 
 struct ServeStats {

@@ -2,6 +2,10 @@
 
 #include <limits>
 
+#include "accel/capability.h"
+#include "util/error.h"
+#include "util/str.h"
+
 namespace h2h {
 
 CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
@@ -58,6 +62,30 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
   for (std::size_t k = 0; k < kKindCount; ++k)
     supporting_[k] = sys.supporting(static_cast<LayerKind>(k));
 
+  // Capability gating (accel/capability.h): a layer with a required mask is
+  // only costed — and only a candidate — on accelerators whose mask covers
+  // it. Mask-free models skip all of this (no CSR, supported_ unchanged),
+  // so their tables stay bit-identical to the pre-capability build.
+  bool caps_in_use = false;
+  for (std::uint32_t l = 0; l < layer_count_; ++l) {
+    if (model.layer(LayerId{l}).required_caps != 0) {
+      caps_in_use = true;
+      break;
+    }
+  }
+  std::vector<CapabilityMask> acc_caps;
+  if (caps_in_use) {
+    acc_caps.reserve(acc_count_);
+    for (std::uint32_t a = 0; a < acc_count_; ++a)
+      acc_caps.push_back(sys.capabilities(AccId{a}));
+    cand_offset_.assign(1, 0);
+    cand_offset_.reserve(layer_count_ + 1);
+  }
+  const auto cap_ok = [&](const Layer& layer, AccId a) {
+    return !caps_in_use ||
+           can_serve(acc_caps[a.value], layer.required_caps);
+  };
+
   is_input_.resize(layer_count_);
   affinity_.resize(layer_count_);
   weight_bytes_.resize(layer_count_);
@@ -81,14 +109,21 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
     pred_in_bytes_[l] = pred_bytes;
     in_offset_[l + 1] = static_cast<std::uint32_t>(in_bytes_.size());
 
-    if (is_input_[l] != 0) continue;  // host-resident, never costed
+    if (is_input_[l] != 0) {
+      if (caps_in_use) cand_offset_.push_back(cand_offset_.back());
+      continue;  // host-resident, never costed
+    }
     // Zero-locality host traffic of the step-1 duration formula: weights,
     // the output write-back, and every predecessor activation.
     const Bytes host_bytes = weight_bytes_[l] + out_bytes_[l] + pred_bytes;
-    for (const AccId a : supporting_[static_cast<std::size_t>(layer.kind)]) {
+    const std::span<const AccId> kind_accs =
+        supporting_[static_cast<std::size_t>(layer.kind)];
+    for (const AccId a : kind_accs) {
+      if (!cap_ok(layer, a)) continue;
       const AcceleratorModel& acc = sys.accelerator(a);
       const std::size_t cell = index(id, a);
       supported_[cell] = 1;
+      if (caps_in_use) cand_.push_back(a);
       // The one place the virtual P_Acc interface is queried; the stored
       // products reproduce the old per-query expressions exactly.
       compute_latency_[cell] =
@@ -98,12 +133,25 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
       unlocalized_[cell] = static_cast<double>(host_bytes) / bw_host_[a.value] +
                            compute_latency_[cell];
     }
+    if (caps_in_use) {
+      if (cand_offset_.back() == cand_.size() && !kind_accs.empty()) {
+        // Kind-supporting accelerators exist but the mask excludes them
+        // all: the model is unplaceable by capability, not by shape.
+        throw CapabilityError(strformat(
+            "layer '%s' requires capabilities [%s] that no %s-capable "
+            "accelerator in the system provides",
+            layer.name.c_str(), format_caps(layer.required_caps).c_str(),
+            std::string(to_string(layer.kind)).c_str()));
+      }
+      cand_offset_.push_back(static_cast<std::uint32_t>(cand_.size()));
+    }
 
     // Compute-affinity accelerator (reproduces the expression the step-4
     // candidate generator used to evaluate per probe; first minimum wins).
+    // Capability-excluded cells hold +inf latency, so they can never win.
     AccId best{};
     double best_time = kInf;
-    for (const AccId a : supporting_[static_cast<std::size_t>(layer.kind)]) {
+    for (const AccId a : kind_accs) {
       const double t = compute_latency_[index(id, a)] +
                        static_cast<double>(weight_bytes_[l]) /
                            bw_local_[a.value];

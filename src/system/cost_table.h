@@ -180,6 +180,19 @@ class CostTable {
     return supporting_[static_cast<std::size_t>(kind)];
   }
 
+  /// Placement candidates for `id`: the per-kind supporting list further
+  /// filtered by the layer's required-capability mask (accel/capability.h).
+  /// When no layer in the model carries a mask — every pre-multi-tenant
+  /// model — this IS the per-kind span (same pointer), so the step-1
+  /// enumeration stays bit-identical. `kind` must be model.layer(id).kind.
+  [[nodiscard]] std::span<const AccId> candidates(LayerId id,
+                                                  LayerKind kind) const {
+    if (cand_offset_.empty()) return supporting(kind);
+    H2H_EXPECTS(id.value + 1 < cand_offset_.size());
+    return {cand_.data() + cand_offset_[id.value],
+            cand_offset_[id.value + 1] - cand_offset_[id.value]};
+  }
+
   /// The layer's compute-affinity accelerator: the supporting accelerator
   /// minimizing pinned-weight execution (compute latency + weight bytes over
   /// local DRAM bandwidth), first minimum winning. Depends only on the cost
@@ -242,6 +255,11 @@ class CostTable {
   std::vector<Bytes> dram_capacity_;
 
   std::array<std::vector<AccId>, kKindCount> supporting_;
+
+  // Per-layer capability-filtered candidate CSR; built (and consulted by
+  // candidates()) only when some layer carries a required-capability mask.
+  std::vector<std::uint32_t> cand_offset_;  // layer -> first slot, size L+1
+  std::vector<AccId> cand_;
 };
 
 }  // namespace h2h

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/capability.h"
 #include "util/error.h"
 #include "util/str.h"
 
@@ -136,6 +137,12 @@ void Mapping::validate(const ModelGraph& model, const SystemConfig& sys) const {
           "layer '%s' (%s) mapped to '%s' which does not support it",
           l.name.c_str(), std::string(to_string(l.kind)).c_str(),
           sys.spec(a).name.c_str()));
+    if (!can_serve(sys.capabilities(a), l.required_caps))
+      throw CapabilityError(strformat(
+          "layer '%s' requires capabilities [%s] but '%s' provides [%s]",
+          l.name.c_str(), format_caps(l.required_caps).c_str(),
+          sys.spec(a).name.c_str(),
+          format_caps(sys.capabilities(a)).c_str()));
   }
 }
 

@@ -4,6 +4,7 @@
 #include <set>
 #include <utility>
 
+#include "accel/capability.h"
 #include "accel/catalog.h"
 #include "util/error.h"
 #include "util/str.h"
@@ -87,6 +88,7 @@ SystemConfig::SystemConfig(std::vector<AcceleratorPtr> accelerators,
       links_(shim_links(accs_, host_)) {
   validate_accelerators(/*allow_bw_override=*/true);
   links_.bind(accs_.size());
+  cache_capabilities();
 }
 
 SystemConfig::SystemConfig(std::vector<AcceleratorPtr> accelerators,
@@ -98,6 +100,13 @@ SystemConfig::SystemConfig(std::vector<AcceleratorPtr> accelerators,
   host_.bw_acc = links_.base_bw();
   validate_accelerators(/*allow_bw_override=*/false);
   links_.bind(accs_.size());
+  cache_capabilities();
+}
+
+void SystemConfig::cache_capabilities() {
+  caps_.reserve(accs_.size());
+  for (const AcceleratorPtr& a : accs_)
+    caps_.push_back(spec_capabilities(a->spec()));
 }
 
 SystemConfig SystemConfig::standard(double bw_acc) {

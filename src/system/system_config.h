@@ -101,16 +101,27 @@ class SystemConfig {
     links_.set_base_bw(bw);
   }
 
+  /// Effective capability mask of `id` (accel/capability.h): the bits
+  /// derived from its spec OR'd with the spec's extra_capabilities, cached
+  /// at construction. A layer with required_caps `need` may only be placed
+  /// where `can_serve(capabilities(id), need)`.
+  [[nodiscard]] std::uint32_t capabilities(AccId id) const {
+    H2H_EXPECTS(contains(id));
+    return caps_[id.value];
+  }
+
   [[nodiscard]] std::vector<AccId> all_accelerators() const;
   /// Accelerators able to run `kind`, in catalog order.
   [[nodiscard]] std::vector<AccId> supporting(LayerKind kind) const;
 
  private:
   void validate_accelerators(bool allow_bw_override) const;
+  void cache_capabilities();
 
   std::vector<AcceleratorPtr> accs_;
   HostParams host_;
   Interconnect links_;
+  std::vector<std::uint32_t> caps_;  // per acc, spec_capabilities()
 };
 
 }  // namespace h2h

@@ -1,0 +1,209 @@
+#include "tenant/tenant.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+[[nodiscard]] double parse_seconds(std::string_view token,
+                                   std::string_view tenant) {
+  double v = 0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc{} || end != token.data() + token.size() || v <= 0 ||
+      !std::isfinite(v))
+    throw ConfigError(strformat("tenant '%s': bad slo '%s' (want seconds > 0)",
+                                std::string(tenant).c_str(),
+                                std::string(token).c_str()));
+  return v;
+}
+
+[[nodiscard]] std::uint32_t parse_priority(std::string_view token,
+                                           std::string_view tenant) {
+  std::uint32_t v = 0;
+  const auto [end, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), v);
+  if (ec != std::errc{} || end != token.data() + token.size())
+    throw ConfigError(strformat(
+        "tenant '%s': bad prio '%s' (want a non-negative integer)",
+        std::string(tenant).c_str(), std::string(token).c_str()));
+  return v;
+}
+
+}  // namespace
+
+TenantSet::TenantSet(std::vector<TenantRequest> requests)
+    : requests_(std::move(requests)) {
+  if (requests_.empty()) throw ConfigError("tenant set is empty");
+  std::set<std::string> names;
+  models_.reserve(requests_.size());
+  for (const TenantRequest& t : requests_) {
+    if (t.name.empty())
+      throw ConfigError("tenant name must not be empty");
+    if (t.name.find('/') != std::string::npos)
+      throw ConfigError(strformat(
+          "tenant name '%s' must not contain '/' (the union-model prefix "
+          "separator)",
+          t.name.c_str()));
+    if (!names.insert(t.name).second)
+      throw ConfigError(
+          strformat("duplicate tenant name '%s'", t.name.c_str()));
+    if (t.model.has_value() == (t.graph != nullptr))
+      throw ConfigError(strformat(
+          "tenant '%s': exactly one of model or graph must be set",
+          t.name.c_str()));
+    if (std::isnan(t.slo_s) || t.slo_s <= 0)
+      throw ConfigError(strformat("tenant '%s': slo must be > 0 seconds",
+                                  t.name.c_str()));
+    ModelGraph m = t.model ? make_model(*t.model) : *t.graph;
+    m.stamp_required_caps(t.required_caps);
+    models_.push_back(std::move(m));
+  }
+}
+
+ModelGraph TenantSet::build_union(std::vector<TenantSpan>& spans) const {
+  const std::uint32_t dtype = models_.front().dtype_bytes();
+  const std::uint32_t batch = models_.front().batch();
+  for (std::size_t i = 1; i < models_.size(); ++i) {
+    if (models_[i].dtype_bytes() != dtype)
+      throw ConfigError(strformat(
+          "tenant '%s': dtype_bytes %u disagrees with '%s' (%u) — v1 union "
+          "models carry a single element size",
+          requests_[i].name.c_str(), models_[i].dtype_bytes(),
+          requests_[0].name.c_str(), dtype));
+    if (models_[i].batch() != batch)
+      throw ConfigError(strformat(
+          "tenant '%s': batch %u disagrees with '%s' (%u) — v1 union models "
+          "carry a single batch size",
+          requests_[i].name.c_str(), models_[i].batch(),
+          requests_[0].name.c_str(), batch));
+  }
+
+  std::vector<std::string> parts;
+  parts.reserve(requests_.size());
+  for (const TenantRequest& t : requests_) parts.push_back(t.name);
+  ModelGraph out(strformat("co[%s]", join(parts, "+").c_str()), dtype);
+  out.set_batch(batch);
+
+  spans.clear();
+  spans.reserve(models_.size());
+  std::vector<LayerId> preds;
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    const ModelGraph& m = models_[i];
+    const auto base = static_cast<std::uint32_t>(out.layer_count());
+    for (const LayerId id : m.all_layers()) {
+      Layer layer = m.layer(id);
+      layer.name = requests_[i].name + "/" + layer.name;
+      preds.clear();
+      for (const LayerId p : m.graph().preds(id))
+        preds.push_back(LayerId{base + p.value});
+      out.add_layer(std::move(layer), preds);
+    }
+    spans.push_back(
+        {base, static_cast<std::uint32_t>(out.layer_count())});
+  }
+  return out;
+}
+
+double normalized_slack(double latency_s, double slo_s,
+                        double normalize_s) noexcept {
+  if (!std::isfinite(slo_s)) return 1.0;
+  const double slack = slo_s - latency_s;
+  return std::clamp(slack / normalize_s, 0.0, 1.0);
+}
+
+std::vector<std::size_t> slack_order(const TenantSet& set,
+                                     const std::vector<double>& latency,
+                                     double normalize_s) {
+  H2H_EXPECTS(latency.size() == set.size());
+  H2H_EXPECTS(normalize_s > 0);
+  std::vector<std::size_t> order(set.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t l, std::size_t r) {
+                     const TenantRequest& a = set.request(l);
+                     const TenantRequest& b = set.request(r);
+                     const double sa =
+                         normalized_slack(latency[l], a.slo_s, normalize_s);
+                     const double sb =
+                         normalized_slack(latency[r], b.slo_s, normalize_s);
+                     if (sa != sb) return sa < sb;
+                     return a.priority > b.priority;  // index via stability
+                   });
+  return order;
+}
+
+std::vector<TenantRequest> parse_tenants_spec(std::string_view spec) {
+  std::vector<TenantRequest> out;
+  if (spec.empty()) throw ConfigError("--tenants spec is empty");
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string_view one = spec.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (one.empty())
+      throw ConfigError("--tenants: empty tenant spec (stray ';')");
+
+    TenantRequest t;
+    std::size_t field = 0;
+    std::size_t fpos = 0;
+    bool saw_slo = false, saw_prio = false, saw_caps = false;
+    while (fpos <= one.size()) {
+      const std::size_t colon = std::min(one.find(':', fpos), one.size());
+      const std::string_view tok = one.substr(fpos, colon - fpos);
+      fpos = colon + 1;
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size())
+        throw ConfigError(strformat(
+            "--tenants: malformed field '%s' (want key=value)",
+            std::string(tok).c_str()));
+      const std::string_view key = tok.substr(0, eq);
+      const std::string_view value = tok.substr(eq + 1);
+      if (field++ == 0) {
+        // First field names the tenant and its model: name=<zoo-key>.
+        t.name = std::string(key);
+        t.model = zoo_model_by_key(value);
+        if (!t.model)
+          throw ConfigError(strformat(
+              "--tenants: tenant '%s': unknown model '%s'",
+              t.name.c_str(), std::string(value).c_str()));
+      } else if (key == "slo") {
+        if (saw_slo)
+          throw ConfigError(strformat("--tenants: tenant '%s': duplicate slo",
+                                      t.name.c_str()));
+        saw_slo = true;
+        t.slo_s = parse_seconds(value, t.name);
+      } else if (key == "prio") {
+        if (saw_prio)
+          throw ConfigError(strformat("--tenants: tenant '%s': duplicate prio",
+                                      t.name.c_str()));
+        saw_prio = true;
+        t.priority = parse_priority(value, t.name);
+      } else if (key == "caps") {
+        if (saw_caps)
+          throw ConfigError(strformat("--tenants: tenant '%s': duplicate caps",
+                                      t.name.c_str()));
+        saw_caps = true;
+        t.required_caps = parse_caps_spec(value);
+      } else {
+        throw ConfigError(strformat(
+            "--tenants: tenant '%s': unknown field '%s' (want slo, prio, or "
+            "caps)",
+            t.name.c_str(), std::string(key).c_str()));
+      }
+      if (colon == one.size()) break;
+    }
+    out.push_back(std::move(t));
+    if (semi == spec.size()) break;
+  }
+  return out;
+}
+
+}  // namespace h2h

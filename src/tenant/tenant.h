@@ -1,0 +1,113 @@
+// Multi-tenant workload description (DESIGN.md §11).
+//
+// A tenant is one model sharing the heterogeneous system with others, under
+// a latency SLO, an integer priority, and an optional required-capability
+// mask (accel/capability.h) stamped onto every placeable layer. A TenantSet
+// validates the collection and builds the *union model*: one ModelGraph
+// holding every tenant's layers (names prefixed "tenant/", disjoint
+// components), which the CoMapper plans as a single H2H problem so the
+// simulator charges cross-tenant contention on shared accelerators and
+// links exactly like intra-model contention.
+//
+// v1 union constraints: all tenants must agree on dtype_bytes and batch
+// (ConfigError otherwise) — the union graph carries a single value of each.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "accel/capability.h"
+#include "model/zoo.h"
+
+namespace h2h {
+
+/// One tenant of the co-mapping problem. Exactly one of `model` (zoo key)
+/// or `graph` (caller-owned, must outlive the TenantSet) must be set.
+struct TenantRequest {
+  /// Unique within the set; becomes the union-model layer-name prefix.
+  std::string name;
+  std::optional<ZooModel> model;
+  const ModelGraph* graph = nullptr;
+  /// Latency SLO in seconds; infinity (the default) means "no deadline" —
+  /// the tenant never counts as violated and sorts last in slack order.
+  double slo_s = std::numeric_limits<double>::infinity();
+  /// Deadline-miss weight: a miss costs priority x overrun seconds in the
+  /// co-mapper's score. Clamped up to 1 when 0.
+  std::uint32_t priority = 1;
+  /// Capability bits stamped onto every placeable (non-Input) layer of this
+  /// tenant. 0 imposes nothing.
+  CapabilityMask required_caps = 0;
+
+  [[nodiscard]] bool has_slo() const noexcept {
+    return slo_s < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Half-open union-model layer range of one tenant (layers are appended
+/// contiguously per tenant, in declaration order).
+struct TenantSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+
+  [[nodiscard]] bool contains(LayerId id) const noexcept {
+    return id.value >= begin && id.value < end;
+  }
+};
+
+class TenantSet {
+ public:
+  /// Validates the requests (unique non-empty names without '/', exactly one
+  /// model source each, slo > 0, known zoo keys) and materializes each
+  /// tenant's model with `required_caps` stamped on every non-Input layer.
+  /// Throws ConfigError on violations.
+  explicit TenantSet(std::vector<TenantRequest> requests);
+
+  [[nodiscard]] std::size_t size() const noexcept { return requests_.size(); }
+  [[nodiscard]] const std::vector<TenantRequest>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] const TenantRequest& request(std::size_t i) const {
+    H2H_EXPECTS(i < requests_.size());
+    return requests_[i];
+  }
+  /// Tenant `i`'s own model (caps stamped), the solo-planning input.
+  [[nodiscard]] const ModelGraph& model(std::size_t i) const {
+    H2H_EXPECTS(i < models_.size());
+    return models_[i];
+  }
+
+  /// The union model: every tenant's layers in declaration order, names
+  /// prefixed "tenant/". Checks the v1 dtype/batch agreement here (throws
+  /// ConfigError). `spans[i]` receives tenant i's layer range.
+  [[nodiscard]] ModelGraph build_union(std::vector<TenantSpan>& spans) const;
+
+ private:
+  std::vector<TenantRequest> requests_;
+  std::vector<ModelGraph> models_;
+};
+
+/// Deadline slack of one tenant under a schedule: slo - latency, normalized
+/// to [0, 1] by `normalize_s` (the mapf-het ordering rule: 0 = hopeless or
+/// due now, 1 = a full window of slack). No-SLO tenants report +infinity
+/// before normalization and clamp to 1.
+[[nodiscard]] double normalized_slack(double latency_s, double slo_s,
+                                      double normalize_s) noexcept;
+
+/// Planning order of the co-mapper's rounds: ascending normalized slack
+/// (most urgent first), ties broken by descending priority, then by tenant
+/// index. `latency` is per tenant, indexed like `set.requests()`.
+[[nodiscard]] std::vector<std::size_t> slack_order(
+    const TenantSet& set, const std::vector<double>& latency,
+    double normalize_s);
+
+/// Parse the CLI `--tenants` grammar: ';'-separated tenant specs, each
+///   name=<zoo-key>[:slo=<seconds>][:prio=<n>][:caps=<caps-spec>]
+/// e.g. "cam=vlocnet:slo=0.05:prio=2;mic=mocap:slo=0.02;aux=vfs:caps=bigmem".
+/// Caps specs use accel/capability.h's '+' grammar. Throws ConfigError on
+/// malformed specs, duplicate names or keys, or unknown models.
+[[nodiscard]] std::vector<TenantRequest> parse_tenants_spec(
+    std::string_view spec);
+
+}  // namespace h2h

@@ -25,4 +25,14 @@ class ConfigError final : public std::runtime_error {
   explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A layer's required-capability mask (Layer::required_caps) excludes every
+/// accelerator that could otherwise run it: the request is well-formed but
+/// unplaceable on this system. Distinct from ConfigError so the serve layer
+/// can answer with the dedicated `infeasible_capability` wire code.
+class CapabilityError final : public std::runtime_error {
+ public:
+  explicit CapabilityError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 }  // namespace h2h

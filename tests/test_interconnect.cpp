@@ -228,6 +228,64 @@ TEST(InterconnectParse, RejectsMalformedSpecs) {
                ConfigError);
 }
 
+/// ConfigError whose message contains `needle` — rejections must say what
+/// was wrong, not just refuse.
+[[nodiscard]] testing::AssertionResult rejects(std::string_view spec,
+                                               std::string_view needle) {
+  try {
+    (void)parse_links_spec(spec);
+  } catch (const ConfigError& e) {
+    if (std::string_view(e.what()).find(needle) != std::string_view::npos)
+      return testing::AssertionSuccess();
+    return testing::AssertionFailure()
+           << "'" << spec << "' threw '" << e.what() << "' without '" << needle
+           << "'";
+  }
+  return testing::AssertionFailure() << "'" << spec << "' was accepted";
+}
+
+TEST(InterconnectParse, RejectionsNameTheProblemAndShowUsage) {
+  // Malformed shapes carry the full grammar hint.
+  EXPECT_TRUE(rejects("", "missing shape"));
+  EXPECT_TRUE(rejects("0.5", "missing shape"));
+  EXPECT_TRUE(rejects("ring:0.5", "unknown shape 'ring'"));
+  EXPECT_TRUE(rejects("ring:0.5", "expected uniform:<GB/s>"));
+  EXPECT_TRUE(rejects("MIXED:0.5", "unknown shape"));  // case-sensitive
+
+  // Trailing junk: a dangling comma leaves an empty trailing part, and
+  // junk glued to a number fails the full-consume from_chars check.
+  EXPECT_TRUE(rejects("uniform:0.5,", "uniform takes one bandwidth"));
+  EXPECT_TRUE(rejects("uniform:0.5x", "not a number"));
+  EXPECT_TRUE(rejects("uniform:0.5 ", "not a number"));
+  EXPECT_TRUE(rejects("mixed:0.125,0=1.25,", "must be <acc>=<GB/s>"));
+  EXPECT_TRUE(rejects("mixed:0.125,0=1.25x", "not a number"));
+  EXPECT_TRUE(rejects("hier:group=4,intra=1,uplink=1,", "must be key=value"));
+
+  // Duplicate and non-positive mixed overrides (factory validation
+  // reached through the parser).
+  EXPECT_TRUE(rejects("mixed:0.5,3=1,3=2", "duplicate uplink override"));
+  EXPECT_TRUE(rejects("mixed:0.5,0=0", "must be > 0"));
+  EXPECT_TRUE(rejects("mixed:0,0=1", "must be > 0"));
+  EXPECT_TRUE(rejects("uniform:0", "must be > 0"));
+  EXPECT_TRUE(rejects("uniform:-0.5", "must be > 0"));
+
+  // Missing hier keys, in every combination of the three required ones,
+  // plus key-without-value spellings.
+  EXPECT_TRUE(rejects("hier:intra=1,uplink=1", "requires group, intra"));
+  EXPECT_TRUE(rejects("hier:group=4,uplink=1", "requires group, intra"));
+  EXPECT_TRUE(rejects("hier:group=4,intra=1", "requires group, intra"));
+  EXPECT_TRUE(rejects("hier:group=0,intra=1,uplink=1", "requires group"));
+  EXPECT_TRUE(rejects("hier:group", "must be key=value"));
+  EXPECT_TRUE(rejects("hier:group=,intra=1,uplink=1", "not a number"));
+
+  // Out-of-range overrides parse fine and fail at bind time, where the
+  // system size is finally known.
+  Interconnect oor = parse_links_spec("mixed:0.125,12=1.25");
+  EXPECT_THROW(oor.bind(12), ConfigError);  // accs are 0..11
+  Interconnect fits = parse_links_spec("mixed:0.125,11=1.25");
+  EXPECT_NO_THROW(fits.bind(12));
+}
+
 TEST(InterconnectSystem, ScalarConstructorShimsToUniform) {
   const SystemConfig sys = SystemConfig::standard(gbps(0.5));
   EXPECT_EQ(sys.links().shape(), LinkShape::Uniform);

@@ -5,6 +5,7 @@
 #include <string>
 #include <variant>
 
+#include "accel/capability.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "test_helpers.h"
@@ -306,6 +307,213 @@ TEST(ServeProtocolLinks, ToPlanRequestCarriesTheTopology) {
   ASSERT_TRUE(plan.links.has_value());
   EXPECT_EQ(plan.links->shape(), LinkShape::Hierarchical);
   EXPECT_DOUBLE_EQ(plan.bw_acc, plan.links->base_bw());
+}
+
+using serve::WireTenantsRequest;
+
+[[nodiscard]] WireTenantsRequest tenants_ok(const std::string& line) {
+  auto parsed = serve::parse_any_request(line);
+  EXPECT_TRUE(std::holds_alternative<WireTenantsRequest>(parsed)) << line;
+  if (const WireError* err = std::get_if<WireError>(&parsed)) {
+    ADD_FAILURE() << serve::to_string(err->code) << ": " << err->message;
+    return {};
+  }
+  if (!std::holds_alternative<WireTenantsRequest>(parsed)) return {};
+  return std::get<WireTenantsRequest>(std::move(parsed));
+}
+
+[[nodiscard]] WireError tenants_err(const std::string& line) {
+  auto parsed = serve::parse_any_request(line);
+  EXPECT_TRUE(std::holds_alternative<WireError>(parsed)) << line;
+  if (const WireError* err = std::get_if<WireError>(&parsed)) {
+    return *err;
+  }
+  return {};
+}
+
+TEST(ServeProtocolTenants, NewErrorCodesHaveWireNames) {
+  EXPECT_EQ(serve::to_string(ErrorCode::InfeasibleCapability),
+            "infeasible_capability");
+  EXPECT_EQ(serve::to_string(ErrorCode::SloViolated), "slo_violated");
+}
+
+TEST(ServeProtocolTenants, DispatchesOnTheTenantsField) {
+  // A single-model line still parses to a WireRequest through the
+  // dispatcher, and parse_request itself never sees the tenants schema.
+  auto single = serve::parse_any_request(
+      R"({"schema_version":1,"model":"mocap"})");
+  EXPECT_TRUE(std::holds_alternative<WireRequest>(single));
+  // parse_request (single-model only) fails a tenants line on its missing
+  // required "model" field, exactly as before the tenants schema existed.
+  EXPECT_EQ(parse_err(R"({"schema_version":1,)"
+                      R"("tenants":[{"name":"a","model":"mocap"}]})")
+                .code,
+            ErrorCode::BadField);
+}
+
+TEST(ServeProtocolTenants, ParsesMinimalAndFullRequests) {
+  const WireTenantsRequest minimal = tenants_ok(
+      R"({"schema_version":1,"tenants":[{"name":"a","model":"mocap"}]})");
+  ASSERT_EQ(minimal.tenants.size(), 1u);
+  EXPECT_EQ(minimal.tenants[0].name, "a");
+  EXPECT_EQ(minimal.tenants[0].model, ZooModel::MoCap);
+  EXPECT_FALSE(minimal.tenants[0].has_slo());
+  EXPECT_EQ(minimal.tenants[0].priority, 1u);
+  EXPECT_EQ(minimal.tenants[0].required_caps, 0u);
+  EXPECT_DOUBLE_EQ(minimal.bw_gbps, 0.5);
+  EXPECT_EQ(minimal.max_rounds, 3u);
+  EXPECT_TRUE(minimal.steal_round);
+  EXPECT_FALSE(minimal.require_slos);
+  EXPECT_TRUE(minimal.emit_mapping);
+
+  const WireTenantsRequest full = tenants_ok(
+      R"({"schema_version":1,"id":"t-1",)"
+      R"("tenants":[{"name":"cam","model":"casia-surf","slo_s":0.012,)"
+      R"("priority":3,"caps":"conv+bigmem"},)"
+      R"({"name":"emo","model":"mocap"}],)"
+      R"("bw_gbps":0.125,"options":{"remap":false},"max_rounds":1,)"
+      R"("steal_round":false,"require_slos":true,)"
+      R"("emit":{"mapping":false}})");
+  EXPECT_EQ(full.id, "t-1");
+  ASSERT_EQ(full.tenants.size(), 2u);
+  EXPECT_DOUBLE_EQ(full.tenants[0].slo_s, 0.012);
+  EXPECT_EQ(full.tenants[0].priority, 3u);
+  EXPECT_EQ(full.tenants[0].required_caps, kCapConv | kCapBigMem);
+  EXPECT_DOUBLE_EQ(full.bw_gbps, 0.125);
+  EXPECT_FALSE(full.options.run_remapping);
+  EXPECT_EQ(full.max_rounds, 1u);
+  EXPECT_FALSE(full.steal_round);
+  EXPECT_TRUE(full.require_slos);
+  EXPECT_FALSE(full.emit_mapping);
+}
+
+TEST(ServeProtocolTenants, RejectsBadAndUnknownFields) {
+  const auto code = [](const std::string& line) {
+    return tenants_err(line).code;
+  };
+  // tenants itself.
+  EXPECT_EQ(code(R"({"schema_version":1,"tenants":[]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,"tenants":"a=mocap"})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,"tenants":[42]})"),
+            ErrorCode::BadField);
+  // Per-tenant fields: strict names, models, values; no typos.
+  EXPECT_EQ(code(R"({"schema_version":1,"tenants":[{"model":"mocap"}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a/b","model":"mocap"}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"},)"
+                 R"({"name":"a","model":"vfs"}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,"tenants":[{"name":"a"}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"resnet"}]})"),
+            ErrorCode::UnknownModel);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap","slo_s":0}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap",)"
+                 R"("priority":0}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap",)"
+                 R"("caps":"warp"}]})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap",)"
+                 R"("slo":0.01}]})"),
+            ErrorCode::UnknownField);
+  // Root-level knobs.
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"}],)"
+                 R"("max_rounds":-1})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"}],)"
+                 R"("steal_round":1})"),
+            ErrorCode::BadField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"}],)"
+                 R"("batch":2})"),
+            ErrorCode::UnknownField);  // single-model-only field
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"}],)"
+                 R"("links":{"shape":"uniform","bw_gbps":1}})"),
+            ErrorCode::UnknownField);
+  EXPECT_EQ(code(R"({"schema_version":1,)"
+                 R"("tenants":[{"name":"a","model":"mocap"}],)"
+                 R"("emit":{"steps":true}})"),
+            ErrorCode::UnknownField);
+  // The id still echoes on errors.
+  const WireError err = tenants_err(
+      R"({"schema_version":1,"id":"e-1","tenants":[]})");
+  EXPECT_EQ(err.id, "e-1");
+}
+
+TEST(ServeProtocolTenants, ResponseEchoesCanonicalTenantsAndVerdicts) {
+  const SystemConfig sys = SystemConfig::standard(0.5e9);
+  CoMapper comapper(sys);
+  WireTenantsRequest req = tenants_ok(
+      R"({"schema_version":1,"id":"resp-t",)"
+      R"("tenants":[{"name":"solo","model":"mocap","slo_s":0.5,)"
+      R"("caps":"lstm"},{"name":"free","model":"vfs"}],)"
+      R"("options":{"remap":false},"max_rounds":1,"steal_round":false})");
+  const TenantSet set(req.tenants);
+  CoMapOptions opts;
+  opts.plan = req.options;
+  opts.max_rounds = req.max_rounds;
+  opts.steal_round = req.steal_round;
+  const CoMapResult result = comapper.co_map(set, opts);
+
+  const std::string line =
+      serve::write_tenants_response(req, result, sys);
+  json::ParseResult parsed = json::parse(line);
+  ASSERT_TRUE(parsed.value.has_value()) << line;
+  const json::Object& obj = parsed.value->as_object();
+  EXPECT_DOUBLE_EQ(obj.find("schema_version")->as_number(), 1.0);
+  EXPECT_EQ(obj.find("id")->as_string(), "resp-t");
+  EXPECT_TRUE(obj.find("ok")->as_bool());
+
+  const json::Array& tenants = obj.find("tenants")->as_array();
+  ASSERT_EQ(tenants.size(), 2u);
+  const json::Object& first = tenants[0].as_object();
+  EXPECT_EQ(first.find("name")->as_string(), "solo");
+  EXPECT_EQ(first.find("model")->as_string(), "mocap");
+  EXPECT_DOUBLE_EQ(first.find("slo_s")->as_number(), 0.5);
+  EXPECT_EQ(first.find("caps")->as_string(), "lstm");
+  EXPECT_GT(first.find("latency_s")->as_number(), 0.0);
+  EXPECT_TRUE(first.find("met")->as_bool());
+  // No SLO, no caps -> both omitted rather than spelled as infinities.
+  const json::Object& second = tenants[1].as_object();
+  EXPECT_EQ(second.find("slo_s"), nullptr);
+  EXPECT_EQ(second.find("slack_s"), nullptr);
+  EXPECT_EQ(second.find("caps"), nullptr);
+
+  EXPECT_GT(obj.find("makespan_s")->as_number(), 0.0);
+  EXPECT_TRUE(obj.find("all_slos_met")->as_bool());
+  EXPECT_EQ(obj.find("timing"), nullptr);  // never emitted for tenants
+  // Union-model mapping covers every placeable layer of both tenants.
+  const json::Object& mapping = obj.find("mapping")->as_object();
+  std::size_t non_input = 0;
+  for (const LayerId id : result.model.all_layers()) {
+    if (result.model.layer(id).kind != LayerKind::Input) ++non_input;
+  }
+  EXPECT_EQ(mapping.find("layers")->as_array().size(), non_input);
+  // And the line re-serializes byte-stably.
+  EXPECT_EQ(json::dump(*parsed.value), line);
+
+  // emit.mapping=false drops the mapping block.
+  req.emit_mapping = false;
+  const std::string quiet =
+      serve::write_tenants_response(req, result, sys);
+  json::ParseResult quiet_parsed = json::parse(quiet);
+  ASSERT_TRUE(quiet_parsed.value.has_value());
+  EXPECT_EQ(quiet_parsed.value->as_object().find("mapping"), nullptr);
 }
 
 }  // namespace

@@ -55,7 +55,7 @@ struct Args {
 /// their affirmative (--remap) and negated (--no-remap) spellings.
 bool is_boolean_flag(std::string_view flag) {
   if (flag == "gantt" || flag == "per-layer" || flag == "json" ||
-      flag == "no-timing") {
+      flag == "no-timing" || flag == "no-steal" || flag == "require-slos") {
     return true;
   }
   std::string_view key = flag;
@@ -140,6 +140,9 @@ void usage(std::ostream& out) {
          "  h2h map --model <key> [--bw <GB/s> | --links <spec>]\n"
          "              [--batch <n>] [plan options] [--save <file>]\n"
          "              [--gantt] [--per-layer] [--json] [--no-timing]\n"
+         "  h2h comap --tenants <spec> [--bw <GB/s>] [plan options]\n"
+         "              [--max-rounds <n>] [--no-steal] [--require-slos]\n"
+         "              [--gantt] [--per-layer] [--json]\n"
          "  h2h replay --model <key> --load <file>"
          " [--bw <GB/s> | --links <spec>]\n"
          "  h2h sweep [--csv <file>] [plan options]\n"
@@ -150,7 +153,14 @@ void usage(std::ostream& out) {
          "  uniform:<GB/s>                    every link at one speed\n"
          "  mixed:<GB/s>[,<acc>=<GB/s>...]    per-accelerator uplinks\n"
          "  hier:group=<n>,intra=<GB/s>,uplink=<GB/s>[,host=<GB/s>]"
-         "[,lat_us=<us>]\n";
+         "[,lat_us=<us>]\n"
+         "\n"
+         "tenant specs (--tenants, ';'-separated):\n"
+         "  name=<model-key>[:slo=<seconds>][:prio=<n>][:caps=<caps-spec>]\n"
+         "  e.g. \"cam=casia-surf:slo=0.012:prio=3;emo=mocap:slo=0.01\"\n"
+         "  caps specs join capability names with '+':"
+         " conv, fc, lstm, bigmem, fastmem, or hex bits (0x100)\n"
+         "  --require-slos exits 3 when the co-mapping misses any SLO\n";
   print_plan_option_usage(out);
 }
 
@@ -297,6 +307,68 @@ int cmd_map(const Args& args) {
   return 0;
 }
 
+std::optional<std::uint64_t> parse_count(const Args& args,
+                                         const std::string& flag,
+                                         std::uint64_t fallback);
+
+int cmd_comap(const Args& args) {
+  const auto spec = args.get("tenants");
+  if (!spec) {
+    std::cerr << "error: comap requires --tenants <spec>\n";
+    return 1;
+  }
+  const TenantSet set(parse_tenants_spec(*spec));  // ConfigError -> exit 2
+
+  const double bw_gbps = std::stod(args.get("bw").value_or("0.5"));
+  if (bw_gbps <= 0) {
+    std::cerr << "error: --bw must be positive\n";
+    return 1;
+  }
+
+  CoMapOptions options;
+  if (!apply_plan_flags(args, options.plan)) return 1;
+  if (const auto rounds = args.get("max-rounds")) {
+    const auto n = parse_count(args, "max-rounds", 3);
+    if (!n) return 1;
+    options.max_rounds = static_cast<std::uint32_t>(*n);
+  }
+  options.steal_round = !args.has("no-steal");
+
+  const SystemConfig sys = SystemConfig::standard(gbps(bw_gbps));
+  CoMapper comapper(sys);
+  const CoMapResult result = comapper.co_map(set, options);
+
+  if (args.has("json")) {
+    // Emit exactly the serve-protocol tenants response line for this
+    // request, so CLI and server output can be diffed byte-for-byte.
+    serve::WireTenantsRequest wire;
+    wire.tenants = set.requests();
+    wire.bw_gbps = bw_gbps;
+    wire.options = options.plan;
+    wire.max_rounds = options.max_rounds;
+    wire.steal_round = options.steal_round;
+    wire.require_slos = args.has("require-slos");
+    std::cout << serve::write_tenants_response(wire, result, sys) << '\n';
+  } else {
+    MappingReportOptions report;
+    report.gantt = args.has("gantt");
+    report.per_layer = args.has("per-layer");
+    print_comap_report(sys, result, std::cout, report);
+  }
+
+  if (args.has("require-slos") && !result.all_slos_met) {
+    for (const TenantOutcome& t : result.tenants) {
+      if (!t.met) {
+        std::cerr << "error: tenant '" << t.name << "' misses its SLO ("
+                  << strformat("%.6g s > %.6g s", t.latency_s, t.slo_s)
+                  << ")\n";
+      }
+    }
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_replay(const Args& args) {
   auto common = load_common(args);
   if (!common) return 1;
@@ -365,6 +437,9 @@ std::optional<std::uint64_t> parse_count(const Args& args,
 
 int cmd_serve(const Args& args) {
   serve::ServeOptions options;
+  // The CLI owns the process, so SIGINT/SIGTERM drain in-flight requests
+  // and exit 0 instead of killing responses mid-line.
+  options.handle_signals = true;
   const auto threads = parse_count(args, "threads", 1);
   if (!threads) return 1;
   if (*threads < 1) {
@@ -408,11 +483,15 @@ int main(int argc, char** argv) {
     if (args->command == "list-models") return cmd_list_models();
     if (args->command == "list-accelerators") return cmd_list_accelerators();
     if (args->command == "map") return cmd_map(*args);
+    if (args->command == "comap") return cmd_comap(*args);
     if (args->command == "replay") return cmd_replay(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "serve") return cmd_serve(*args);
     usage(std::cerr);
     return 1;
+  } catch (const h2h::CapabilityError& e) {
+    std::cerr << "capability error: " << e.what() << '\n';
+    return 2;
   } catch (const h2h::ConfigError& e) {
     std::cerr << "configuration error: " << e.what() << '\n';
     return 2;
