@@ -1,0 +1,216 @@
+// Live-repair experiment (DESIGN.md §12): how much cheaper is a warm
+// damage-cone repair than re-planning from scratch when an accelerator
+// drops out or its links degrade? The preamble runs one warm repair and one
+// cold re-plan per (zoo model, fault) cell and asserts the repair contract
+// before anything is timed — every repaired mapping validates, and on the
+// single-dropout fixtures the warm repair migrates strictly fewer layers
+// than the cold re-plan (the acceptance property pinned in
+// test_repair.cpp). A violated contract exits 1 so CI fails loudly instead
+// of publishing timings for a broken repair path.
+//
+// The timed benchmarks measure one full fault-and-recovery cycle per
+// iteration (hit + heal), warm (RepairEngine::apply twice) vs cold
+// (plan_once on the faulted system, then on the healed one) — the
+// per-event costs an incremental and a non-incremental serving stack would
+// actually pay.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "h2h.h"
+
+namespace {
+
+using namespace h2h;
+
+constexpr double kBw = 0.5e9;  // 0.5 GB/s uniform links
+constexpr double kDegradeScale = 0.25;
+
+/// The accelerator hosting the most layers (ties to the lowest id): the
+/// dropout victim with the largest damage cone.
+AccId busiest_acc(const Mapping& mapping, const SystemConfig& sys) {
+  AccId best{};
+  std::size_t best_n = 0;
+  for (const AccId a : sys.all_accelerators()) {
+    const std::size_t n = mapping.members(a).size();
+    if (n > best_n) {
+      best_n = n;
+      best = a;
+    }
+  }
+  return best;
+}
+
+std::size_t moved_layers(const ModelGraph& model, const Mapping& a,
+                         const Mapping& b) {
+  std::size_t n = 0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    if (a.acc_of(id) != b.acc_of(id)) ++n;
+  }
+  return n;
+}
+
+struct FaultPair {
+  const char* name;
+  FaultKind kind;
+};
+
+constexpr FaultPair kFaults[] = {
+    {"dropout", FaultKind::AccLost},
+    {"link-degrade", FaultKind::LinkDegraded},
+};
+
+FaultEvent hit_event(FaultKind kind, AccId victim) {
+  return kind == FaultKind::AccLost
+             ? FaultEvent::lost(victim)
+             : FaultEvent::link_degraded(victim, kDegradeScale);
+}
+
+FaultEvent heal_event(FaultKind kind, AccId victim) {
+  return kind == FaultKind::AccLost ? FaultEvent::returned(victim)
+                                    : FaultEvent::link_restored(victim);
+}
+
+void apply_hit(SystemConfig& sys, FaultKind kind, AccId victim) {
+  if (kind == FaultKind::AccLost) {
+    sys.set_available(victim, false);
+  } else {
+    sys.set_link_degrade(victim, kDegradeScale);
+  }
+}
+
+void BM_WarmRepairCycle(benchmark::State& state, ZooModel zm,
+                        FaultKind kind) {
+  const ModelGraph model = make_model(zm);
+  RepairEngine engine(model, SystemConfig::standard(kBw));
+  (void)engine.plan_initial();
+  const AccId victim = busiest_acc(engine.mapping(), engine.system());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.apply(hit_event(kind, victim)).outcome);
+    benchmark::DoNotOptimize(engine.apply(heal_event(kind, victim)).outcome);
+  }
+}
+
+void BM_ColdReplanCycle(benchmark::State& state, ZooModel zm,
+                        FaultKind kind) {
+  const ModelGraph model = make_model(zm);
+  const SystemConfig healthy = SystemConfig::standard(kBw);
+  const AccId victim =
+      busiest_acc(plan_once(model, healthy).mapping, healthy);
+  SystemConfig faulted = SystemConfig::standard(kBw);
+  apply_hit(faulted, kind, victim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_once(model, faulted).final_result().latency);
+    benchmark::DoNotOptimize(plan_once(model, healthy).final_result().latency);
+  }
+}
+
+#define H2H_REPAIR_BENCH(key, zoo)                                           \
+  BENCHMARK_CAPTURE(BM_WarmRepairCycle, key##_dropout, ZooModel::zoo,        \
+                    FaultKind::AccLost)                                      \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_ColdReplanCycle, key##_dropout, ZooModel::zoo,        \
+                    FaultKind::AccLost)                                      \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_WarmRepairCycle, key##_degrade, ZooModel::zoo,        \
+                    FaultKind::LinkDegraded)                                 \
+      ->Unit(benchmark::kMillisecond);                                       \
+  BENCHMARK_CAPTURE(BM_ColdReplanCycle, key##_degrade, ZooModel::zoo,        \
+                    FaultKind::LinkDegraded)                                 \
+      ->Unit(benchmark::kMillisecond)
+
+H2H_REPAIR_BENCH(vlocnet, VLocNet);
+H2H_REPAIR_BENCH(casia_surf, CasiaSurf);
+H2H_REPAIR_BENCH(vfs, Vfs);
+H2H_REPAIR_BENCH(facebag, FaceBag);
+H2H_REPAIR_BENCH(cnn_lstm, CnnLstm);
+H2H_REPAIR_BENCH(mocap, MoCap);
+
+#undef H2H_REPAIR_BENCH
+
+/// One preamble cell: warm repair vs cold re-plan on the same fault.
+/// Returns false (after printing why) when the repair contract is violated.
+bool check_cell(ZooModel zm, const FaultPair& fault, TextTable& table) {
+  const ModelGraph model = make_model(zm);
+  RepairOptions opts;
+  opts.allow_fallback = false;  // the pure warm repair is the comparison
+  RepairEngine engine(model, SystemConfig::standard(kBw), opts);
+  (void)engine.plan_initial();
+  const Mapping before = engine.mapping();
+  const AccId victim = busiest_acc(before, engine.system());
+
+  const RepairResult warm = engine.apply(hit_event(fault.kind, victim));
+  if (warm.outcome != RepairOutcome::Repaired) {
+    std::cerr << "FAIL: " << zoo_info(zm).key << " " << fault.name
+              << " was not repairable: " << warm.infeasible_reason << "\n";
+    return false;
+  }
+  engine.mapping().validate(model, engine.system());
+
+  SystemConfig faulted = SystemConfig::standard(kBw);
+  apply_hit(faulted, fault.kind, victim);
+  const PlanResponse cold = plan_once(model, faulted);
+  const std::size_t cold_moved = moved_layers(model, before, cold.mapping);
+
+  // The tentpole property: a dropout's warm repair touches only the damage
+  // cone (never more than a cold re-plan migrates), and on the acceptance
+  // fixtures pinned in test_repair.cpp it migrates strictly fewer layers.
+  if (fault.kind == FaultKind::AccLost) {
+    const bool pinned_fixture =
+        zm == ZooModel::MoCap || zm == ZooModel::CnnLstm;
+    const bool bad = pinned_fixture ? warm.layers_moved >= cold_moved
+                                    : warm.layers_moved > cold_moved;
+    if (bad) {
+      std::cerr << "FAIL: " << zoo_info(zm).key
+                << " dropout: warm repair moved " << warm.layers_moved
+                << " layer(s), cold re-plan moved " << cold_moved
+                << " — warm must migrate "
+                << (pinned_fixture ? "strictly fewer" : "no more") << "\n";
+      return false;
+    }
+  }
+
+  Bytes cold_bytes = 0;
+  for (const LayerId id : model.all_layers()) {
+    if (model.layer(id).kind == LayerKind::Input) continue;
+    if (before.acc_of(id) != cold.mapping.acc_of(id))
+      cold_bytes += model.weight_bytes(id);
+  }
+
+  table.add_row({std::string(zoo_info(zm).key), fault.name,
+                 strformat("%.6f", warm.pre_latency_s),
+                 strformat("%.6f", warm.post_latency_s),
+                 strformat("%.6f", cold.final_result().latency),
+                 strformat("%zu", warm.cone_layers),
+                 strformat("%zu / %zu", warm.layers_moved, cold_moved),
+                 strformat("%s / %s",
+                           human_bytes(warm.weight_bytes_moved).c_str(),
+                           human_bytes(cold_bytes).c_str())});
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  TextTable table({"model", "fault", "pre (s)", "warm post (s)",
+                   "cold post (s)", "cone", "moved w/c", "re-staged w/c"},
+                  {TextTable::Align::Left, TextTable::Align::Left});
+  bool ok = true;
+  for (const ZooInfo& info : zoo_catalog())
+    for (const FaultPair& fault : kFaults)
+      ok = check_cell(info.id, fault, table) && ok;
+
+  std::cout << "live repair: warm damage-cone repair vs cold re-plan "
+               "(busiest-accelerator faults, 0.5 GB/s links):\n";
+  table.print(std::cout);
+  std::cout << "\n";
+  if (!ok) return EXIT_FAILURE;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

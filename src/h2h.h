@@ -38,6 +38,9 @@
 #include "model/summary.h"
 #include "model/synthetic.h"
 #include "model/zoo.h"
+#include "repair/fault.h"
+#include "repair/fault_injector.h"
+#include "repair/repair.h"
 #include "system/mapping_io.h"
 #include "system/schedule_analysis.h"
 #include "tenant/co_mapper.h"

@@ -1,0 +1,144 @@
+#include "repair/fault.h"
+
+#include <charconv>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/str.h"
+
+namespace h2h {
+namespace {
+
+constexpr std::string_view kFaultUsage =
+    "expected lose:<acc> | return:<acc> | degrade:<acc>=<scale> | "
+    "restore:<acc> | derate:<acc>=<scale> (scale in (0, 1])";
+
+[[nodiscard]] double require_scale(double scale, std::string_view what) {
+  if (!(scale > 0) || scale > 1)
+    throw ConfigError(strformat("fault: %.*s scale must be in (0, 1]",
+                                static_cast<int>(what.size()), what.data()));
+  return scale;
+}
+
+[[nodiscard]] std::uint32_t parse_acc_index(std::string_view text) {
+  std::uint32_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    throw ConfigError(strformat("fault: '%.*s' is not an accelerator index; "
+                                "%.*s",
+                                static_cast<int>(text.size()), text.data(),
+                                static_cast<int>(kFaultUsage.size()),
+                                kFaultUsage.data()));
+  return v;
+}
+
+[[nodiscard]] double parse_scale(std::string_view text) {
+  double v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    throw ConfigError(strformat("fault: '%.*s' is not a scale; %.*s",
+                                static_cast<int>(text.size()), text.data(),
+                                static_cast<int>(kFaultUsage.size()),
+                                kFaultUsage.data()));
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::AccLost: return "acc_lost";
+    case FaultKind::AccReturned: return "acc_returned";
+    case FaultKind::LinkDegraded: return "link_degraded";
+    case FaultKind::LinkRestored: return "link_restored";
+    case FaultKind::SpecDerated: return "spec_derated";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view name) noexcept {
+  if (name == "acc_lost") return FaultKind::AccLost;
+  if (name == "acc_returned") return FaultKind::AccReturned;
+  if (name == "link_degraded") return FaultKind::LinkDegraded;
+  if (name == "link_restored") return FaultKind::LinkRestored;
+  if (name == "spec_derated") return FaultKind::SpecDerated;
+  return std::nullopt;
+}
+
+FaultEvent FaultEvent::lost(AccId acc) {
+  return FaultEvent{FaultKind::AccLost, acc, 1.0};
+}
+
+FaultEvent FaultEvent::returned(AccId acc) {
+  return FaultEvent{FaultKind::AccReturned, acc, 1.0};
+}
+
+FaultEvent FaultEvent::link_degraded(AccId acc, double scale) {
+  return FaultEvent{FaultKind::LinkDegraded, acc,
+                    require_scale(scale, "link_degraded")};
+}
+
+FaultEvent FaultEvent::link_restored(AccId acc) {
+  return FaultEvent{FaultKind::LinkRestored, acc, 1.0};
+}
+
+FaultEvent FaultEvent::spec_derated(AccId acc, double scale) {
+  return FaultEvent{FaultKind::SpecDerated, acc,
+                    require_scale(scale, "spec_derated")};
+}
+
+std::string format_fault(const FaultEvent& event) {
+  const std::string_view name = to_string(event.kind);
+  if (event.has_scale())
+    return strformat("%.*s(%u, x%g)", static_cast<int>(name.size()),
+                     name.data(), event.acc.value, event.scale);
+  return strformat("%.*s(%u)", static_cast<int>(name.size()), name.data(),
+                   event.acc.value);
+}
+
+FaultEvent parse_fault_spec(std::string_view spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos)
+    throw ConfigError(strformat("fault: missing ':' in '%.*s'; %.*s",
+                                static_cast<int>(spec.size()), spec.data(),
+                                static_cast<int>(kFaultUsage.size()),
+                                kFaultUsage.data()));
+  const std::string_view verb = spec.substr(0, colon);
+  std::string_view rest = spec.substr(colon + 1);
+  const bool wants_scale = verb == "degrade" || verb == "derate";
+  double scale = 1.0;
+  if (wants_scale) {
+    const std::size_t eq = rest.find('=');
+    if (eq == std::string_view::npos)
+      throw ConfigError(strformat("fault: %.*s needs <acc>=<scale>; %.*s",
+                                  static_cast<int>(verb.size()), verb.data(),
+                                  static_cast<int>(kFaultUsage.size()),
+                                  kFaultUsage.data()));
+    scale = parse_scale(rest.substr(eq + 1));
+    rest = rest.substr(0, eq);
+  }
+  const AccId acc{parse_acc_index(rest)};
+  if (verb == "lose") return FaultEvent::lost(acc);
+  if (verb == "return") return FaultEvent::returned(acc);
+  if (verb == "degrade") return FaultEvent::link_degraded(acc, scale);
+  if (verb == "restore") return FaultEvent::link_restored(acc);
+  if (verb == "derate") return FaultEvent::spec_derated(acc, scale);
+  throw ConfigError(strformat("fault: unknown verb '%.*s'; %.*s",
+                              static_cast<int>(verb.size()), verb.data(),
+                              static_cast<int>(kFaultUsage.size()),
+                              kFaultUsage.data()));
+}
+
+std::vector<FaultEvent> parse_fault_list(std::string_view specs) {
+  std::vector<FaultEvent> out;
+  while (true) {
+    const std::size_t comma = specs.find(',');
+    out.push_back(parse_fault_spec(specs.substr(0, comma)));
+    if (comma == std::string_view::npos) return out;
+    specs.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace h2h

@@ -1,0 +1,72 @@
+// Fault events for the live-repair subsystem (DESIGN.md §12).
+//
+// A FaultEvent is one observed change to the running system: an accelerator
+// dropping out or rejoining, a link losing (or recovering) bandwidth, or a
+// device derating its compute speed (thermal throttling, partial
+// reconfiguration). Events are absolute statements about the new state —
+// "acc 3's links now run at 0.25x nominal" — not deltas, so replaying a
+// schedule of events is idempotent per event and order-sensitive only where
+// the physics are (a lost accelerator must return before it is lost again).
+//
+// The same event model is spoken everywhere the repair path surfaces:
+// RepairEngine::apply, the FaultInjector schedules, the `"repair"` wire
+// request on `h2h serve`, and the `h2h repair --fault` CLI grammar parsed by
+// parse_fault_list below.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "system/acc_id.h"
+
+namespace h2h {
+
+enum class FaultKind {
+  AccLost,       // accelerator dropped out; its layers must migrate
+  AccReturned,   // a previously lost accelerator rejoined
+  LinkDegraded,  // every link touching the accelerator runs at scale x nominal
+  LinkRestored,  // the accelerator's links are back to nominal bandwidth
+  SpecDerated,   // the accelerator computes at scale x nominal speed
+};
+
+/// Wire spelling: "acc_lost", "acc_returned", "link_degraded",
+/// "link_restored", "spec_derated".
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+/// Inverse of to_string; nullopt on an unknown name.
+[[nodiscard]] std::optional<FaultKind> parse_fault_kind(
+    std::string_view name) noexcept;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::AccLost;
+  AccId acc{};
+  /// LinkDegraded / SpecDerated factor in (0, 1]: the fraction of nominal
+  /// bandwidth / compute speed the accelerator retains. 1 for the other
+  /// kinds (builders enforce the range; the wire/CLI parsers reject a scale
+  /// on kinds that do not carry one).
+  double scale = 1.0;
+
+  [[nodiscard]] bool has_scale() const noexcept {
+    return kind == FaultKind::LinkDegraded || kind == FaultKind::SpecDerated;
+  }
+
+  [[nodiscard]] static FaultEvent lost(AccId acc);
+  [[nodiscard]] static FaultEvent returned(AccId acc);
+  [[nodiscard]] static FaultEvent link_degraded(AccId acc, double scale);
+  [[nodiscard]] static FaultEvent link_restored(AccId acc);
+  [[nodiscard]] static FaultEvent spec_derated(AccId acc, double scale);
+};
+
+/// Human spelling for reports/logs: "acc_lost(3)", "link_degraded(2, x0.25)".
+[[nodiscard]] std::string format_fault(const FaultEvent& event);
+
+/// Parse one CLI fault spec:
+///   lose:<acc> | return:<acc> | degrade:<acc>=<scale> | restore:<acc> |
+///   derate:<acc>=<scale>
+/// Throws ConfigError with a usage hint on malformed input.
+[[nodiscard]] FaultEvent parse_fault_spec(std::string_view spec);
+/// Comma-separated list of fault specs, applied in order.
+[[nodiscard]] std::vector<FaultEvent> parse_fault_list(std::string_view specs);
+
+}  // namespace h2h

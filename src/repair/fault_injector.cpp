@@ -1,0 +1,128 @@
+#include "repair/fault_injector.h"
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace h2h {
+namespace {
+
+enum class Draw { Lose, Return, Degrade, Restore, Derate };
+
+/// Pick a uniformly random member of `pool` whose flag equals `want`.
+/// Requires at least one such member.
+[[nodiscard]] AccId pick(Rng& rng, const std::vector<bool>& pool, bool want) {
+  std::size_t n = 0;
+  for (const bool v : pool) n += v == want;
+  H2H_ASSERT(n > 0);
+  std::size_t k = rng.index(n);
+  for (std::uint32_t a = 0; a < pool.size(); ++a) {
+    if (pool[a] != want) continue;
+    if (k == 0) return AccId{a};
+    --k;
+  }
+  H2H_ASSERT(false);
+  return AccId{};
+}
+
+}  // namespace
+
+FaultInjector FaultInjector::random(std::uint64_t seed, std::size_t count,
+                                    std::size_t acc_count,
+                                    const FaultScheduleOptions& options) {
+  H2H_EXPECTS(acc_count > 0);
+  H2H_EXPECTS(options.min_alive >= 1);
+  H2H_EXPECTS(options.min_scale > 0 && options.min_scale <= options.max_scale &&
+              options.max_scale <= 1);
+  Rng rng(seed);
+  std::vector<bool> alive(acc_count, true);
+  std::vector<bool> degraded(acc_count, false);
+  std::vector<bool> derated(acc_count, false);
+  std::size_t alive_count = acc_count;
+
+  std::vector<FaultEvent> script;
+  script.reserve(count);
+  const auto scale = [&rng, &options]() {
+    return options.min_scale == options.max_scale
+               ? options.min_scale
+               : rng.uniform_real(options.min_scale, options.max_scale);
+  };
+  while (script.size() < count) {
+    // Weighted draw over the categories feasible in the current state. At
+    // least one category is always feasible: a fully healthy system above
+    // the floor can lose or derate, and a system at the floor can still
+    // degrade/derate a survivor.
+    struct Option {
+      Draw draw;
+      double weight;
+    };
+    std::vector<Option> feasible;
+    if (alive_count > options.min_alive)
+      feasible.push_back({Draw::Lose, options.w_lose});
+    if (alive_count < acc_count)
+      feasible.push_back({Draw::Return, options.w_return});
+    if (alive_count > 0) {
+      feasible.push_back({Draw::Degrade, options.w_degrade});
+      feasible.push_back({Draw::Derate, options.w_derate});
+    }
+    bool any_degraded = false;
+    for (std::uint32_t a = 0; a < acc_count; ++a)
+      any_degraded = any_degraded || (degraded[a] && alive[a]);
+    if (any_degraded) feasible.push_back({Draw::Restore, options.w_restore});
+    H2H_ASSERT(!feasible.empty());
+
+    double total = 0;
+    for (const Option& o : feasible) total += o.weight;
+    double r = rng.uniform_real(0, total > 0 ? total : 1.0);
+    Draw draw = feasible.back().draw;
+    for (const Option& o : feasible) {
+      if (r < o.weight) {
+        draw = o.draw;
+        break;
+      }
+      r -= o.weight;
+    }
+
+    switch (draw) {
+      case Draw::Lose: {
+        const AccId a = pick(rng, alive, true);
+        script.push_back(FaultEvent::lost(a));
+        alive[a.value] = false;
+        --alive_count;
+        break;
+      }
+      case Draw::Return: {
+        const AccId a = pick(rng, alive, false);
+        script.push_back(FaultEvent::returned(a));
+        alive[a.value] = true;
+        ++alive_count;
+        break;
+      }
+      case Draw::Degrade: {
+        const AccId a = pick(rng, alive, true);
+        script.push_back(FaultEvent::link_degraded(a, scale()));
+        degraded[a.value] = true;
+        break;
+      }
+      case Draw::Restore: {
+        // Restore a degraded *alive* accelerator (a dead one's links are
+        // moot until it returns).
+        std::vector<bool> restorable(acc_count, false);
+        for (std::uint32_t a = 0; a < acc_count; ++a)
+          restorable[a] = degraded[a] && alive[a];
+        const AccId a = pick(rng, restorable, true);
+        script.push_back(FaultEvent::link_restored(a));
+        degraded[a.value] = false;
+        break;
+      }
+      case Draw::Derate: {
+        const AccId a = pick(rng, alive, true);
+        script.push_back(FaultEvent::spec_derated(a, scale()));
+        derated[a.value] = true;
+        break;
+      }
+    }
+  }
+  return FaultInjector(std::move(script));
+}
+
+}  // namespace h2h

@@ -1,0 +1,65 @@
+// Failure injection for tests, benches, and chaos runs (DESIGN.md §12).
+//
+// A FaultInjector holds an ordered schedule of FaultEvents to feed a
+// RepairEngine. Scripted schedules pin specific scenarios ("kill acc 3, then
+// degrade acc 1's links to a quarter"); the seeded-random generator produces
+// physically consistent chaos sequences — it tracks which accelerators are
+// alive/degraded/derated so it never kills a dead device, never restores a
+// healthy link, and never drops the system below a configurable survivor
+// floor. Same seed, same schedule, on every platform (util/rng.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repair/fault.h"
+#include "util/contracts.h"
+
+namespace h2h {
+
+/// Knobs of the seeded-random chaos schedules.
+struct FaultScheduleOptions {
+  /// Never emit an AccLost that would leave fewer available accelerators.
+  std::size_t min_alive = 2;
+  /// Relative draw weights of the event categories (renormalized over the
+  /// categories that are feasible in the current injected state).
+  double w_lose = 0.30;
+  double w_return = 0.20;
+  double w_degrade = 0.20;
+  double w_restore = 0.10;
+  double w_derate = 0.20;
+  /// Degrade/derate scales are drawn uniformly from [min_scale, max_scale].
+  double min_scale = 0.15;
+  double max_scale = 0.85;
+};
+
+class FaultInjector {
+ public:
+  /// A scripted schedule, replayed in order.
+  explicit FaultInjector(std::vector<FaultEvent> script)
+      : events_(std::move(script)) {}
+
+  /// A seeded-random schedule of `count` events over `acc_count`
+  /// accelerators, consistent with an initially healthy system.
+  [[nodiscard]] static FaultInjector random(
+      std::uint64_t seed, std::size_t count, std::size_t acc_count,
+      const FaultScheduleOptions& options = {});
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool done() const noexcept { return next_ >= events_.size(); }
+  /// The next scheduled event; advances the cursor.
+  [[nodiscard]] const FaultEvent& next() {
+    H2H_EXPECTS(!done());
+    return events_[next_++];
+  }
+  void rewind() noexcept { next_ = 0; }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace h2h

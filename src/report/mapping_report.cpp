@@ -187,4 +187,45 @@ void print_comap_report(const SystemConfig& sys, const CoMapResult& result,
   }
 }
 
+void print_repair_report(const ModelGraph& model, const SystemConfig& sys,
+                         const RepairResult& result, std::ostream& out) {
+  out << strformat("fault: %s\n", format_fault(result.event).c_str());
+  if (result.outcome == RepairOutcome::Infeasible) {
+    out << strformat("repair: INFEASIBLE — %s\n",
+                     result.infeasible_reason.c_str());
+    out << "the pre-fault plan is kept (stale) until a recovery event "
+           "arrives\n";
+    return;
+  }
+
+  out << strformat("latency: %s before the fault",
+                   human_seconds(result.pre_latency_s).c_str());
+  if (std::isfinite(result.faulted_latency_s)) {
+    out << strformat(", %s unrepaired",
+                     human_seconds(result.faulted_latency_s).c_str());
+  } else {
+    out << ", unrunnable unrepaired";
+  }
+  out << strformat(", %s repaired%s\n",
+                   human_seconds(result.post_latency_s).c_str(),
+                   result.used_fallback ? " (from-scratch fallback)" : "");
+  out << strformat(
+      "repair: damage cone %zu layer(s); %zu migrated, %s of weights "
+      "re-staged (%.1f ms search)\n",
+      result.cone_layers, result.layers_moved,
+      human_bytes(result.weight_bytes_moved).c_str(),
+      result.repair_seconds * 1e3);
+
+  if (!result.migrations.empty()) {
+    TextTable table({"layer", "from", "to", "weights"},
+                    {TextTable::Align::Left, TextTable::Align::Left,
+                     TextTable::Align::Left});
+    for (const Migration& m : result.migrations) {
+      table.add_row({model.layer(m.layer).name, sys.spec(m.from).name,
+                     sys.spec(m.to).name, human_bytes(m.weight_bytes)});
+    }
+    table.print(out);
+  }
+}
+
 }  // namespace h2h

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "core/planner.h"
+#include "repair/repair.h"
 #include "system/schedule_analysis.h"
 #include "tenant/co_mapper.h"
 
@@ -29,5 +30,13 @@ void print_mapping_report(const ModelGraph& model, const SystemConfig& sys,
 void print_comap_report(const SystemConfig& sys, const CoMapResult& result,
                         std::ostream& out,
                         const MappingReportOptions& options = {});
+
+/// Render one fault-repair verdict (repair/repair.h): the event, outcome,
+/// latency before / under the fault / after the repair, damage-cone and
+/// migration totals, and the per-layer migration table (which layer moved
+/// where, and how many weight bytes must be re-staged). Infeasible results
+/// print the reason instead of the migration table.
+void print_repair_report(const ModelGraph& model, const SystemConfig& sys,
+                         const RepairResult& result, std::ostream& out);
 
 }  // namespace h2h

@@ -623,6 +623,168 @@ template <typename Fail>
   return req;
 }
 
+/// The live-repair request schema (root "repair" object; protocol.h).
+/// Shares the single-model session-key fields (model/bw_gbps/links/batch)
+/// and options/emit with parse_single, spelled identically.
+[[nodiscard]] std::variant<WireRepairRequest, WireError> parse_repair(
+    const json::Object& root) {
+  WireRepairRequest req;
+  const auto fail = [&req](ErrorCode code, std::string message) {
+    return WireError{code, std::move(message), req.id};
+  };
+  if (std::optional<WireError> err = parse_head(root, req.id, fail)) {
+    return *err;
+  }
+
+  const json::Value* repair = root.find("repair");
+  H2H_ASSERT(repair != nullptr);  // parse_any_request dispatched on it
+  if (!repair->is_object()) {
+    return fail(ErrorCode::BadField, "repair: expected an object");
+  }
+  const json::Object& ev = repair->as_object();
+  for (const json::Object::Member& m : ev.members()) {
+    if (m.key != "event" && m.key != "acc" && m.key != "scale") {
+      return fail(ErrorCode::UnknownField,
+                  strformat("repair.%s: unknown field (valid: event, acc, "
+                            "scale)",
+                            m.key.c_str()));
+    }
+  }
+  const json::Value* kind = ev.find("event");
+  if (kind == nullptr || !kind->is_string()) {
+    return fail(ErrorCode::BadField,
+                "repair.event: expected a string fault kind (required)");
+  }
+  const std::optional<FaultKind> parsed_kind =
+      parse_fault_kind(kind->as_string());
+  if (!parsed_kind) {
+    return fail(ErrorCode::BadField,
+                strformat("repair.event: unknown fault kind '%s' (valid: "
+                          "acc_lost, acc_returned, link_degraded, "
+                          "link_restored, spec_derated)",
+                          kind->as_string().c_str()));
+  }
+  req.event.kind = *parsed_kind;
+  const json::Value* acc = ev.find("acc");
+  if (acc == nullptr || !acc->is_number() || acc->as_number() < 0 ||
+      acc->as_number() != std::floor(acc->as_number())) {
+    return fail(ErrorCode::BadField,
+                "repair.acc: expected a non-negative integer (required)");
+  }
+  req.event.acc = AccId{static_cast<std::uint32_t>(acc->as_number())};
+  const json::Value* scale = ev.find("scale");
+  if (req.event.has_scale()) {
+    if (scale == nullptr || !scale->is_number() ||
+        !(scale->as_number() > 0) || scale->as_number() > 1) {
+      return fail(ErrorCode::BadField,
+                  strformat("repair.scale: expected a number in (0, 1] "
+                            "(required for %.*s)",
+                            static_cast<int>(to_string(req.event.kind).size()),
+                            to_string(req.event.kind).data()));
+    }
+    req.event.scale = scale->as_number();
+  } else if (scale != nullptr) {
+    return fail(ErrorCode::BadField,
+                strformat("repair.scale: not allowed for %.*s",
+                          static_cast<int>(to_string(req.event.kind).size()),
+                          to_string(req.event.kind).data()));
+  }
+
+  const json::Value* model = root.find("model");
+  if (model == nullptr || !model->is_string()) {
+    return fail(ErrorCode::BadField,
+                "model: expected a string zoo key (required)");
+  }
+  const std::optional<ZooModel> zoo = zoo_model_by_key(model->as_string());
+  if (!zoo) {
+    return fail(ErrorCode::UnknownModel,
+                strformat("unknown model '%s' (known: %s)",
+                          model->as_string().c_str(),
+                          known_zoo_keys().c_str()));
+  }
+  req.model = *zoo;
+
+  if (const json::Value* bw = root.find("bw_gbps")) {
+    if (root.find("links") != nullptr) {
+      return fail(ErrorCode::BadField,
+                  "bw_gbps: conflicts with links (the topology's base "
+                  "bandwidth is the scalar view; send one or the other)");
+    }
+    if (!bw->is_number() || !(bw->as_number() > 0)) {
+      return fail(ErrorCode::BadField, "bw_gbps: expected a positive number");
+    }
+    req.bw_gbps = bw->as_number();
+  }
+  if (const json::Value* links = root.find("links")) {
+    if (!links->is_object()) {
+      return fail(ErrorCode::BadField, "links: expected an object");
+    }
+    LinksParse parsed_links = parse_links_object(links->as_object());
+    if (!parsed_links.links) {
+      return fail(parsed_links.code, std::move(parsed_links.error));
+    }
+    req.links = std::move(parsed_links.links);
+    req.bw_gbps = req.links->base_bw() / 1e9;
+  }
+  if (const json::Value* batch = root.find("batch")) {
+    const double b = batch->is_number() ? batch->as_number() : -1;
+    if (b < 1 || b > kMaxBatch || b != std::floor(b)) {
+      return fail(ErrorCode::BadField,
+                  strformat("batch: expected an integer in [1, %u]",
+                            kMaxBatch));
+    }
+    req.batch = static_cast<std::uint32_t>(b);
+  }
+  if (const json::Value* options = root.find("options")) {
+    if (!options->is_object()) {
+      return fail(ErrorCode::BadField, "options: expected an object");
+    }
+    OptionsParse op = parse_options_object(options->as_object(), req.options);
+    if (!op.error.empty()) return fail(op.code, std::move(op.error));
+  }
+  if (const json::Value* ratio = root.find("fallback_ratio")) {
+    if (!ratio->is_number() || ratio->as_number() < 0) {
+      return fail(ErrorCode::BadField,
+                  "fallback_ratio: expected a non-negative number");
+    }
+    req.fallback_ratio = ratio->as_number();
+  }
+  if (const json::Value* emit = root.find("emit")) {
+    if (!emit->is_object()) {
+      return fail(ErrorCode::BadField, "emit: expected an object");
+    }
+    for (const json::Object::Member& m : emit->as_object().members()) {
+      bool* target = nullptr;
+      if (m.key == "mapping") {
+        target = &req.emit_mapping;
+      } else if (m.key == "timing") {
+        target = &req.emit_timing;
+      } else {
+        return fail(ErrorCode::UnknownField,
+                    strformat("emit.%s: unknown field (valid: mapping, "
+                              "timing)",
+                              m.key.c_str()));
+      }
+      if (!m.value.is_bool()) {
+        return fail(ErrorCode::BadField,
+                    strformat("emit.%s: expected a boolean", m.key.c_str()));
+      }
+      *target = m.value.as_bool();
+    }
+  }
+
+  for (const json::Object::Member& m : root.members()) {
+    if (m.key != "schema_version" && m.key != "id" && m.key != "repair" &&
+        m.key != "model" && m.key != "bw_gbps" && m.key != "links" &&
+        m.key != "batch" && m.key != "options" &&
+        m.key != "fallback_ratio" && m.key != "emit") {
+      return fail(ErrorCode::UnknownField,
+                  strformat("%s: unknown field", m.key.c_str()));
+    }
+  }
+  return req;
+}
+
 }  // namespace
 
 std::string_view to_string(ErrorCode code) noexcept {
@@ -643,6 +805,12 @@ std::string_view to_string(ErrorCode code) noexcept {
       return "infeasible_capability";
     case ErrorCode::SloViolated:
       return "slo_violated";
+    case ErrorCode::UnknownAcc:
+      return "unknown_acc";
+    case ErrorCode::NoPriorPlan:
+      return "no_prior_plan";
+    case ErrorCode::InfeasibleRepair:
+      return "infeasible_repair";
   }
   return "unknown";
 }
@@ -662,8 +830,8 @@ std::variant<WireRequest, WireError> parse_request(std::string_view line) {
   return parse_single(parsed.value->as_object());
 }
 
-std::variant<WireRequest, WireTenantsRequest, WireError> parse_any_request(
-    std::string_view line) {
+std::variant<WireRequest, WireTenantsRequest, WireRepairRequest, WireError>
+parse_any_request(std::string_view line) {
   const json::ParseResult parsed = json::parse(line);
   if (!parsed.value) {
     return WireError{ErrorCode::ParseError,
@@ -680,6 +848,11 @@ std::variant<WireRequest, WireTenantsRequest, WireError> parse_any_request(
     std::variant<WireTenantsRequest, WireError> out = parse_tenants(root);
     if (WireError* err = std::get_if<WireError>(&out)) return std::move(*err);
     return std::move(std::get<WireTenantsRequest>(out));
+  }
+  if (root.find("repair") != nullptr) {
+    std::variant<WireRepairRequest, WireError> out = parse_repair(root);
+    if (WireError* err = std::get_if<WireError>(&out)) return std::move(*err);
+    return std::move(std::get<WireRepairRequest>(out));
   }
   std::variant<WireRequest, WireError> out = parse_single(root);
   if (WireError* err = std::get_if<WireError>(&out)) return std::move(*err);
@@ -794,6 +967,68 @@ std::string write_tenants_response(const WireTenantsRequest& request,
   if (request.emit_mapping) {
     root.set("mapping",
              mapping_json(result.model, result.mapping, result.plan, sys));
+  }
+  return json::dump(json::Value(std::move(root)));
+}
+
+std::string write_repair_response(const WireRepairRequest& request,
+                                  const RepairResult& result,
+                                  const ModelGraph& model,
+                                  const SystemConfig& sys) {
+  H2H_EXPECTS(result.outcome == RepairOutcome::Repaired);
+  H2H_EXPECTS(result.response.has_value());
+  json::Object root;
+  root.set("schema_version", kSchemaVersion);
+  if (!request.id.empty()) root.set("id", request.id);
+  root.set("ok", true);
+  root.set("model", zoo_info(request.model).key);
+  root.set("bw_gbps", request.bw_gbps);
+  if (request.links) root.set("links", links_json(*request.links));
+  root.set("batch", request.batch == 0 ? 1u : request.batch);
+  root.set("options", options_json(request.options));
+  root.set("fallback_ratio", request.fallback_ratio);
+
+  json::Object event;
+  event.set("event", std::string(to_string(result.event.kind)));
+  event.set("acc", result.event.acc.value);
+  if (result.event.has_scale()) event.set("scale", result.event.scale);
+  root.set("event", std::move(event));
+
+  root.set("outcome", std::string(to_string(result.outcome)));
+  root.set("pre_latency_s", result.pre_latency_s);
+  // The faulted (repair-nothing) latency is +inf when the old mapping no
+  // longer runs at all; JSON has no infinity, so the field is omitted.
+  if (std::isfinite(result.faulted_latency_s)) {
+    root.set("faulted_latency_s", result.faulted_latency_s);
+  }
+  root.set("post_latency_s", result.post_latency_s);
+  if (result.scratch_latency_s > 0) {
+    root.set("scratch_latency_s", result.scratch_latency_s);
+  }
+  root.set("used_fallback", result.used_fallback);
+  root.set("cone_layers", static_cast<unsigned>(result.cone_layers));
+  root.set("layers_moved", static_cast<unsigned>(result.layers_moved));
+  root.set("weight_bytes_moved",
+           static_cast<double>(result.weight_bytes_moved));
+  json::Array migrations;
+  for (const Migration& m : result.migrations) {
+    json::Object entry;
+    entry.set("layer", model.layer(m.layer).name);
+    entry.set("from", sys.spec(m.from).name);
+    entry.set("to", sys.spec(m.to).name);
+    entry.set("weight_bytes", static_cast<double>(m.weight_bytes));
+    migrations.push_back(json::Value(std::move(entry)));
+  }
+  root.set("migrations", std::move(migrations));
+
+  if (request.emit_mapping) {
+    root.set("mapping", mapping_json(model, result.response->mapping,
+                                     result.response->plan, sys));
+  }
+  if (request.emit_timing) {
+    json::Object timing;
+    timing.set("repair_s", result.repair_seconds);
+    root.set("timing", std::move(timing));
   }
   return json::dump(json::Value(std::move(root)));
 }

@@ -68,11 +68,15 @@
 // never carry timing, so they are deterministic byte-for-byte — pinned
 // across worker counts by test_serve_pipeline.cpp.
 //
+// A root "repair" member selects the live-repair schema — the full grammar
+// and session semantics are documented on WireRepairRequest below.
+//
 // Responses are deterministic byte-for-byte for a given request and library
 // version when "timing" is not emitted (timing carries wall-clock and
 // cache-warmth, the only nondeterministic fields). `h2h map --json` emits
-// exactly write_response(), and `h2h comap --json` exactly
-// write_tenants_response(), which is what lets CI diff serve output
+// exactly write_response(), `h2h comap --json` exactly
+// write_tenants_response(), and `h2h repair --json` exactly
+// write_repair_response(), which is what lets CI diff serve output
 // hex-exact against the CLI.
 #pragma once
 
@@ -82,6 +86,8 @@
 
 #include "core/plan_options.h"
 #include "core/planner.h"
+#include "repair/fault.h"
+#include "repair/repair.h"
 #include "tenant/co_mapper.h"
 
 namespace h2h::serve {
@@ -97,6 +103,9 @@ enum class ErrorCode {
   PlanFailed,     // planning itself threw (e.g. infeasible config)
   InfeasibleCapability,  // a tenant's caps exclude every accelerator
   SloViolated,    // require_slos was set and the co-mapping missed an SLO
+  UnknownAcc,     // repair event names an accelerator outside the catalog
+  NoPriorPlan,    // repair arrived before any plan for its session key
+  InfeasibleRepair,  // the fault leaves some layer with no accelerator
 };
 
 [[nodiscard]] std::string_view to_string(ErrorCode code) noexcept;
@@ -135,15 +144,58 @@ struct WireTenantsRequest {
   bool emit_mapping = true;
 };
 
+/// A validated live-repair request (root "repair" schema, DESIGN.md §12).
+///
+///   {"schema_version":1,
+///    "id":"r9",
+///    "repair":{"event":"acc_lost","acc":3},  // or "link_degraded"/
+///                                            // "spec_derated" + "scale"
+///    "model":"mocap",                        // the session key components
+///    "bw_gbps":0.5,                          // (or "links"), as in a plan
+///    "batch":1,                              // request
+///    "options":{...},                        // warm re-plan knobs
+///    "fallback_ratio":1.2,                   // optimality bound (>= 0)
+///    "emit":{"mapping":true,"timing":true}}
+///
+/// "scale" is required for link_degraded and spec_derated (a factor in
+/// (0, 1]) and rejected for the other kinds. The session key is
+/// (model, links-or-bw, batch): a repair repairs the most recent successful
+/// plan response for that key on this server, compounding across repair
+/// requests; a new plan for the key resets the session. Out-of-order
+/// hazards are the client's: compounding sequences should be sent one at a
+/// time (await each response) or to a single-threaded server. Failures are
+/// error responses — "unknown_acc" (acc outside the catalog),
+/// "no_prior_plan" (nothing to repair yet), "bad_field" (contradictory
+/// transitions, e.g. losing an already-lost accelerator), and
+/// "infeasible_repair" (the fault leaves some layer with no feasible
+/// accelerator; the session keeps the pre-fault plan so a later
+/// acc_returned can still repair it).
+struct WireRepairRequest {
+  std::string id;  // empty = omitted
+  ZooModel model = ZooModel::MoCap;
+  double bw_gbps = 0.5;
+  std::optional<Interconnect> links;
+  std::uint32_t batch = 0;  // 0 = model default
+  PlanOptions options;
+  FaultEvent event;
+  /// RepairOptions::fallback_ratio for this request (0 forces the
+  /// from-scratch comparison on every repair).
+  double fallback_ratio = 1.2;
+  bool emit_mapping = true;
+  bool emit_timing = true;
+};
+
 /// Parse + validate one single-model request line. A root "tenants" field
 /// is rejected as unknown_field here — use parse_any_request to dispatch.
 [[nodiscard]] std::variant<WireRequest, WireError> parse_request(
     std::string_view line);
 
-/// Parse + validate one request line of either schema: a root "tenants"
-/// member selects the multi-tenant form, anything else the single-model
-/// form (byte-identical to parse_request for those lines).
-[[nodiscard]] std::variant<WireRequest, WireTenantsRequest, WireError>
+/// Parse + validate one request line of any schema: a root "tenants"
+/// member selects the multi-tenant form, a root "repair" member the
+/// live-repair form, anything else the single-model form (byte-identical
+/// to parse_request for those lines).
+[[nodiscard]] std::variant<WireRequest, WireTenantsRequest, WireRepairRequest,
+                           WireError>
 parse_any_request(std::string_view line);
 
 /// The PlanRequest this wire request describes.
@@ -164,6 +216,18 @@ parse_any_request(std::string_view line);
 [[nodiscard]] std::string write_tenants_response(
     const WireTenantsRequest& request, const CoMapResult& result,
     const SystemConfig& sys);
+
+/// One repair response line (no trailing newline): canonical request echo,
+/// the fault event, outcome metrics (pre/faulted/post latency, damage-cone
+/// size, migration count and bytes), the per-layer migration list, and
+/// (when emitted) the repaired mapping. Only "timing" is nondeterministic;
+/// with it off the line is deterministic byte-for-byte, which is what lets
+/// CI diff serve output hex-exact against `h2h repair --json --no-timing`.
+/// Requires result.outcome == Repaired (infeasible repairs answer as
+/// write_error lines with code infeasible_repair).
+[[nodiscard]] std::string write_repair_response(
+    const WireRepairRequest& request, const RepairResult& result,
+    const ModelGraph& model, const SystemConfig& sys);
 
 /// One error-response line (no trailing newline).
 [[nodiscard]] std::string write_error(const WireError& error);

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <istream>
@@ -9,6 +11,7 @@
 #include <mutex>
 #include <ostream>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -100,8 +103,9 @@ class RequestProcessor {
   };
 
   [[nodiscard]] Outcome process(const std::string& line) {
-    std::variant<WireRequest, WireTenantsRequest, WireError> parsed =
-        parse_any_request(line);
+    std::variant<WireRequest, WireTenantsRequest, WireRepairRequest,
+                 WireError>
+        parsed = parse_any_request(line);
     if (const WireError* err = std::get_if<WireError>(&parsed)) {
       return {write_error(*err), false};
     }
@@ -109,9 +113,14 @@ class RequestProcessor {
             std::get_if<WireTenantsRequest>(&parsed)) {
       return process_tenants(*treq);
     }
+    if (const WireRepairRequest* rreq =
+            std::get_if<WireRepairRequest>(&parsed)) {
+      return process_repair(*rreq);
+    }
     const WireRequest& req = std::get<WireRequest>(parsed);
     try {
       const PlanResponse response = planner_.plan(to_plan_request(req));
+      record_prior(req, response);
       return {write_response(req, response, model_for(req.model), name_sys_),
               true};
     } catch (const std::exception& e) {
@@ -159,6 +168,114 @@ class RequestProcessor {
     }
   }
 
+  /// The repair session key: which live plan a "repair" request repairs.
+  /// Mirrors the Planner's session key components (model, batch, topology).
+  struct RepairKey {
+    ZooModel model = ZooModel::MoCap;
+    std::uint32_t batch = 0;
+    double bw_gbps = 0;
+    std::uint64_t links_fp = 0;  // params fingerprint; 0 = scalar bw
+    [[nodiscard]] friend bool operator<(const RepairKey& a,
+                                        const RepairKey& b) {
+      return std::tie(a.model, a.batch, a.bw_gbps, a.links_fp) <
+             std::tie(b.model, b.batch, b.bw_gbps, b.links_fp);
+    }
+  };
+
+  [[nodiscard]] static RepairKey repair_key(
+      ZooModel model, std::uint32_t batch, double bw_gbps,
+      const std::optional<Interconnect>& links) {
+    return RepairKey{model, batch == 0 ? 1u : batch, bw_gbps,
+                     links ? links->params_fingerprint() : 0};
+  }
+
+  /// The most recent successful plan for a key — what the first repair of a
+  /// session adopts. Kept separate from the live RepairSession so a fresh
+  /// plan request can reset a compounded repair history.
+  struct PriorPlan {
+    Mapping mapping;
+    LocalityPlan plan;
+  };
+
+  /// A live repair session: an owned model copy (at the session batch) and
+  /// the engine compounding fault events against it.
+  struct RepairSession {
+    ModelGraph model;
+    RepairEngine engine;
+    RepairSession(ModelGraph m, SystemConfig sys, RepairOptions opts)
+        : model(std::move(m)),
+          engine(model, std::move(sys), std::move(opts)) {}
+  };
+
+  void record_prior(const WireRequest& req, const PlanResponse& response) {
+    const RepairKey key =
+        repair_key(req.model, req.batch, req.bw_gbps, req.links);
+    const std::scoped_lock lock(repair_mu_);
+    priors_.insert_or_assign(key,
+                             PriorPlan{response.mapping, response.plan});
+    // A new plan supersedes any compounded repair state for the key.
+    repairs_.erase(key);
+  }
+
+  [[nodiscard]] Outcome process_repair(const WireRepairRequest& req) {
+    if (req.event.acc.value >= name_sys_.accelerator_count()) {
+      return {write_error({ErrorCode::UnknownAcc,
+                           strformat("repair.acc: no accelerator %u (catalog "
+                                     "has %zu)",
+                                     req.event.acc.value,
+                                     name_sys_.accelerator_count()),
+                           req.id}),
+              false};
+    }
+    const RepairKey key =
+        repair_key(req.model, req.batch, req.bw_gbps, req.links);
+    // One lock across the whole repair: sessions compound state, so repairs
+    // serialize (plans and co-maps still run concurrently).
+    const std::scoped_lock lock(repair_mu_);
+    RepairOptions opts;
+    opts.plan = req.options;
+    opts.fallback_ratio = req.fallback_ratio;
+    std::unique_ptr<RepairSession>& session = repairs_[key];
+    if (session == nullptr) {
+      const auto prior = priors_.find(key);
+      if (prior == priors_.end()) {
+        repairs_.erase(key);
+        return {write_error({ErrorCode::NoPriorPlan,
+                             "repair: no prior plan for this model/topology/"
+                             "batch on this server — send a plan request "
+                             "first",
+                             req.id}),
+                false};
+      }
+      ModelGraph model = make_model(req.model);
+      if (req.batch != 0) model.set_batch(req.batch);
+      SystemConfig sys = req.links
+                             ? SystemConfig::standard(*req.links)
+                             : SystemConfig::standard(req.bw_gbps * 1e9);
+      session = std::make_unique<RepairSession>(std::move(model),
+                                                std::move(sys), opts);
+      session->engine.adopt(prior->second.mapping, prior->second.plan);
+    } else {
+      session->engine.set_options(opts);
+    }
+    try {
+      const RepairResult result = session->engine.apply(req.event);
+      if (result.outcome == RepairOutcome::Infeasible) {
+        return {write_error({ErrorCode::InfeasibleRepair,
+                             result.infeasible_reason, req.id}),
+                false};
+      }
+      return {write_repair_response(req, result, session->model, name_sys_),
+              true};
+    } catch (const ConfigError& e) {
+      // Contradictory transitions (losing a lost accelerator, returning a
+      // live one) are request-content errors.
+      return {write_error({ErrorCode::BadField, e.what(), req.id}), false};
+    } catch (const std::exception& e) {
+      return {write_error({ErrorCode::PlanFailed, e.what(), req.id}), false};
+    }
+  }
+
   /// Graphs are only needed for layer names in responses; one cached copy
   /// per zoo model serves every request (read-only once built).
   [[nodiscard]] const ModelGraph& model_for(ZooModel id) {
@@ -194,6 +311,9 @@ class RequestProcessor {
   std::map<ZooModel, std::unique_ptr<const ModelGraph>> models_;
   std::mutex comap_mu_;
   std::map<double, std::unique_ptr<CoMapSession>> comap_;
+  std::mutex repair_mu_;
+  std::map<RepairKey, PriorPlan> priors_;
+  std::map<RepairKey, std::unique_ptr<RepairSession>> repairs_;
 };
 
 /// Reorders completed responses back into request order. Whichever thread
@@ -350,6 +470,14 @@ ServeStats run_loop(RequestProcessor& processor, std::istream& in,
 
 /// Buffered std::streambuf over a connected socket; serves as both the get
 /// and put area so one buffer backs the connection's istream and ostream.
+///
+/// A client that disconnects mid-response must not kill the server: writes
+/// go through send(MSG_NOSIGNAL) where available so a dead peer yields
+/// EPIPE instead of a process-fatal SIGPIPE, and any write error (EPIPE,
+/// ECONNRESET) reports cleanly as a stream failure — the serve loop then
+/// finishes the connection and accepts the next one. Platforms without
+/// MSG_NOSIGNAL (macOS) get the same guarantee from the SO_NOSIGPIPE
+/// socket option, set at accept time.
 class FdStreamBuf : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd) : fd_(fd) {
@@ -380,8 +508,19 @@ class FdStreamBuf : public std::streambuf {
     const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
     std::size_t off = 0;
     while (off < n) {
+#if defined(MSG_NOSIGNAL)
+      const ssize_t w = ::send(fd_, pbase() + off, n - off, MSG_NOSIGNAL);
+#else
       const ssize_t w = ::write(fd_, pbase() + off, n - off);
-      if (w <= 0) return -1;
+#endif
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) {
+        // Drop the unsendable bytes: a dead peer never drains them, and
+        // keeping them would fail every later flush (including the one in
+        // the destructor).
+        pbump(-static_cast<int>(n));
+        return -1;
+      }
       off += static_cast<std::size_t>(w);
     }
     pbump(-static_cast<int>(n));
@@ -392,6 +531,17 @@ class FdStreamBuf : public std::streambuf {
   char in_[4096] = {};
   char out_[4096] = {};
 };
+
+/// Opt a just-accepted connection out of SIGPIPE where MSG_NOSIGNAL is not
+/// available; no-op elsewhere (the send flag already covers it).
+void suppress_sigpipe(int fd) {
+#if !defined(MSG_NOSIGNAL) && defined(SO_NOSIGPIPE)
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#else
+  (void)fd;
+#endif
+}
 
 #endif  // H2H_SERVE_HAS_TCP
 
@@ -404,7 +554,11 @@ ServeStats serve_jsonl(std::istream& in, std::ostream& out,
   return run_loop(processor, in, out, options);
 }
 
-int serve_tcp(const TcpOptions& options, std::ostream& diag) {
+int serve_tcp(const TcpOptions& options, std::ostream& diag,
+              TcpStats* stats) {
+  TcpStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = {};
 #if H2H_SERVE_HAS_TCP
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
@@ -434,6 +588,7 @@ int serve_tcp(const TcpOptions& options, std::ostream& diag) {
   // warm sessions.
   const SignalGuard signals(options.serve.handle_signals);
   RequestProcessor processor(options.serve.planner);
+  std::uint32_t accept_failures = 0;  // consecutive transient failures
   for (std::uint64_t served = 0;
        options.max_connections == 0 || served < options.max_connections;
        ++served) {
@@ -446,22 +601,40 @@ int serve_tcp(const TcpOptions& options, std::ostream& diag) {
         --served;
         continue;
       }
+      // Transient failures — the peer aborted its connect, or the process
+      // is briefly out of descriptors — back off and retry instead of
+      // taking the listener down. Persistent failure still exits 1.
+      if ((errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) &&
+          accept_failures < options.max_accept_retries) {
+        ++accept_failures;
+        ++stats->accept_retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::int64_t{1} << std::min<std::uint32_t>(accept_failures, 8)));
+        --served;
+        continue;
+      }
       diag << "h2h-serve: accept: " << std::strerror(errno) << '\n';
       ::close(listen_fd);
       return 1;
     }
+    accept_failures = 0;
+    suppress_sigpipe(conn);
     FdStreamBuf buf(conn);
     std::istream conn_in(&buf);
     std::ostream conn_out(&buf);
-    const ServeStats stats =
+    const ServeStats conn_stats =
         run_loop(processor, conn_in, conn_out, options.serve);
     conn_out.flush();
     ::close(conn);
-    diag << "h2h-serve: connection done (" << stats.requests << " requests, "
-         << stats.errors << " errors)" << std::endl;
+    ++stats->connections;
+    diag << "h2h-serve: connection done (" << conn_stats.requests
+         << " requests, " << conn_stats.errors << " errors)" << std::endl;
     if (options.serve.handle_signals && shutdown_requested()) break;
   }
   ::close(listen_fd);
+  diag << "h2h-serve: served " << stats->connections << " connection(s), "
+       << stats->accept_retries << " accept retr"
+       << (stats->accept_retries == 1 ? "y" : "ies") << std::endl;
   if (options.serve.handle_signals && shutdown_requested()) {
     diag << "h2h-serve: shutting down on signal" << std::endl;
   }

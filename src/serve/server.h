@@ -70,11 +70,26 @@ struct TcpOptions {
   std::uint16_t port = 0;
   /// Stop after serving this many connections; 0 = serve forever.
   std::uint64_t max_connections = 0;
+  /// Transient accept failures (ECONNABORTED, EMFILE, ENFILE) are retried
+  /// with exponential backoff up to this many consecutive times before the
+  /// listener gives up; each retry increments TcpStats::accept_retries.
+  std::uint32_t max_accept_retries = 5;
+};
+
+/// Listener-level counters, reported through the `stats` out-param of
+/// serve_tcp (and summarized on `diag` at shutdown).
+struct TcpStats {
+  std::uint64_t connections = 0;     // connections fully served
+  std::uint64_t accept_retries = 0;  // transient accept failures retried
 };
 
 /// Listen and serve. Announces "h2h-serve listening on 127.0.0.1:<port>" on
 /// `diag` once ready. Returns 0 on clean shutdown, 1 on socket errors
-/// (reported on `diag`).
-int serve_tcp(const TcpOptions& options, std::ostream& diag);
+/// (reported on `diag`). A client disconnecting mid-response never kills
+/// the listener (SIGPIPE suppressed, EPIPE handled); transient accept
+/// failures back off and retry per TcpOptions::max_accept_retries. When
+/// `stats` is non-null it receives the listener counters.
+int serve_tcp(const TcpOptions& options, std::ostream& diag,
+              TcpStats* stats = nullptr);
 
 }  // namespace h2h::serve

@@ -14,6 +14,7 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
       batch_(model.batch()),
       host_bw_(sys.host().bw_acc),
       links_fp_(sys.links().fingerprint()),
+      derate_fp_(sys.derate_fingerprint()),
       uniform_links_(sys.links().uniform_links()) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -128,6 +129,10 @@ CostTable::CostTable(const ModelGraph& model, const SystemConfig& sys)
       // products reproduce the old per-query expressions exactly.
       compute_latency_[cell] =
           acc.compute_latency(layer) * static_cast<double>(batch_);
+      // A spec derate (fault repair) stretches compute time; energy stays
+      // nominal — the throttled device burns the same joules more slowly.
+      const double derate = sys.compute_derate(a);
+      if (derate != 1.0) compute_latency_[cell] /= derate;
       compute_energy_[cell] =
           acc.compute_energy(layer) * static_cast<double>(batch_);
       unlocalized_[cell] = static_cast<double>(host_bytes) / bw_host_[a.value] +

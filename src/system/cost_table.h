@@ -53,12 +53,14 @@ class CostTable {
   CostTable(const ModelGraph& model, const SystemConfig& sys);
 
   /// False when a snapshot knob moved since the build (batch size, layer
-  /// count, BW_acc, or the link topology): the owner must rebuild.
+  /// count, BW_acc, the link topology — which covers live link degrades —
+  /// or the availability/compute-derate state): the owner must rebuild.
   [[nodiscard]] bool fresh(const ModelGraph& model,
                            const SystemConfig& sys) const noexcept {
     return batch_ == model.batch() && layer_count_ == model.layer_count() &&
            host_bw_ == sys.host().bw_acc &&
-           links_fp_ == sys.links().fingerprint();
+           links_fp_ == sys.links().fingerprint() &&
+           derate_fp_ == sys.derate_fingerprint();
   }
 
   [[nodiscard]] std::size_t layer_count() const noexcept {
@@ -224,6 +226,7 @@ class CostTable {
   std::uint32_t batch_ = 1;
   double host_bw_ = 0;
   std::uint64_t links_fp_ = 0;
+  std::uint64_t derate_fp_ = 0;
   bool uniform_links_ = true;
 
   // Non-uniform topologies only: (acc_count_+1)^2 link matrices (host at

@@ -114,6 +114,37 @@ void Interconnect::set_base_bw(double bw) {
   if (bound()) derive();
 }
 
+void Interconnect::set_link_degrade(std::uint32_t acc, double factor) {
+  H2H_EXPECTS(bound());
+  if (acc >= acc_count_)
+    throw ConfigError(strformat("interconnect: link degrade for acc %u out of "
+                                "range (system has %zu)",
+                                acc, acc_count_));
+  if (!(factor > 0) || factor > 1)
+    throw ConfigError(strformat("interconnect: link degrade factor for acc %u "
+                                "must be in (0, 1]",
+                                acc));
+  const auto it = std::lower_bound(
+      degrades_.begin(), degrades_.end(), acc,
+      [](const Override& o, std::uint32_t a) { return o.first < a; });
+  if (factor == 1) {
+    if (it != degrades_.end() && it->first == acc) degrades_.erase(it);
+  } else if (it != degrades_.end() && it->first == acc) {
+    it->second = factor;
+  } else {
+    degrades_.insert(it, Override{acc, factor});
+  }
+  derive();
+}
+
+double Interconnect::link_degrade(std::uint32_t acc) const noexcept {
+  for (const Override& d : degrades_) {
+    if (d.first == acc) return d.second;
+    if (d.first > acc) break;  // sorted
+  }
+  return 1;
+}
+
 double Interconnect::uplink(std::uint32_t acc) const {
   for (const Override& o : overrides_) {
     if (o.first == acc) return o.second;
@@ -127,24 +158,34 @@ double Interconnect::bandwidth(AccId a, AccId b) const {
   H2H_EXPECTS(!(a.is_host() && b.is_host()));
   H2H_EXPECTS(a.is_host() || a.value < acc_count_);
   H2H_EXPECTS(b.is_host() || b.value < acc_count_);
+  double raw = base_bw_;
   switch (shape_) {
     case LinkShape::Uniform:
-      return base_bw_;
+      raw = base_bw_;
+      break;
     case LinkShape::Mixed: {
       // A pair runs at the slower endpoint's uplink; the host constrains
       // nothing, so a host link is the accelerator's own uplink.
-      if (a.is_host()) return uplink(b.value);
-      if (b.is_host()) return uplink(a.value);
-      return std::min(uplink(a.value), uplink(b.value));
+      if (a.is_host()) raw = uplink(b.value);
+      else if (b.is_host()) raw = uplink(a.value);
+      else raw = std::min(uplink(a.value), uplink(b.value));
+      break;
     }
     case LinkShape::Hierarchical: {
-      if (a.is_host() || b.is_host()) return hier_.host_bw;
-      return group_of(a.value) == group_of(b.value) ? hier_.intra_bw
-                                                    : hier_.uplink_bw;
+      if (a.is_host() || b.is_host()) raw = hier_.host_bw;
+      else
+        raw = group_of(a.value) == group_of(b.value) ? hier_.intra_bw
+                                                     : hier_.uplink_bw;
+      break;
     }
   }
-  H2H_ASSERT(false);
-  return base_bw_;
+  if (degrades_.empty()) return raw;
+  // A degraded endpoint throttles every link it touches; the pair moves at
+  // the slower endpoint's factor. The host never degrades (factor 1).
+  double factor = 1;
+  if (!a.is_host()) factor = std::min(factor, link_degrade(a.value));
+  if (!b.is_host()) factor = std::min(factor, link_degrade(b.value));
+  return raw * factor;
 }
 
 double Interconnect::latency(AccId a, AccId b) const {
@@ -170,21 +211,34 @@ void Interconnect::derive() {
     max_bw_ = std::max(max_bw_, bw);
   };
   bool zero_latency = true;
-  switch (shape_) {
-    case LinkShape::Uniform:
-      note(base_bw_);
-      break;
-    case LinkShape::Mixed:
-      for (std::uint32_t a = 0; a < acc_count_; ++a) note(uplink(a));
-      break;
-    case LinkShape::Hierarchical: {
-      note(hier_.host_bw);
-      const std::size_t first_group =
-          std::min<std::size_t>(hier_.group_size, acc_count_);
-      if (first_group >= 2) note(hier_.intra_bw);
-      if (acc_count_ > hier_.group_size) note(hier_.uplink_bw);
-      zero_latency = hier_.hop_latency_s == 0;
-      break;
+  if (shape_ == LinkShape::Hierarchical)
+    zero_latency = hier_.hop_latency_s == 0;
+  if (!degrades_.empty()) {
+    // Live link derating breaks the per-shape shortcuts: enumerate every
+    // effective link (host and pairs) exactly so the uniformity verdict
+    // stays a ground truth, not an approximation. O(A^2), repair-path only.
+    const AccId host = AccId::host();
+    for (std::uint32_t a = 0; a < acc_count_; ++a) {
+      note(bandwidth(AccId{a}, host));
+      for (std::uint32_t b = a + 1; b < acc_count_; ++b)
+        note(bandwidth(AccId{a}, AccId{b}));
+    }
+  } else {
+    switch (shape_) {
+      case LinkShape::Uniform:
+        note(base_bw_);
+        break;
+      case LinkShape::Mixed:
+        for (std::uint32_t a = 0; a < acc_count_; ++a) note(uplink(a));
+        break;
+      case LinkShape::Hierarchical: {
+        note(hier_.host_bw);
+        const std::size_t first_group =
+            std::min<std::size_t>(hier_.group_size, acc_count_);
+        if (first_group >= 2) note(hier_.intra_bw);
+        if (acc_count_ > hier_.group_size) note(hier_.uplink_bw);
+        break;
+      }
     }
   }
   uniform_ = min_bw_ == max_bw_ && zero_latency;
@@ -206,6 +260,12 @@ std::uint64_t Interconnect::params_fingerprint() const noexcept {
     h = fnv_mix(h, hier_.uplink_bw);
     h = fnv_mix(h, hier_.host_bw);
     h = fnv_mix(h, hier_.hop_latency_s);
+  }
+  // Degrades mix in only when present, so undegraded fingerprints are
+  // byte-for-byte what they were before the repair subsystem existed.
+  for (const Override& d : degrades_) {
+    h = fnv_mix(h, std::uint64_t{d.first} | (std::uint64_t{1} << 32));
+    h = fnv_mix(h, d.second);
   }
   return h;
 }

@@ -98,6 +98,16 @@ class Interconnect {
   /// stay put; for hierarchical shapes this moves the host links only.
   void set_base_bw(double bw);
 
+  /// Fault-repair hook: scale every link touching `acc` by `factor` in
+  /// (0, 1]. A pair transfers at the raw shape bandwidth times the smaller
+  /// endpoint factor (the host never degrades); factor 1 restores the link
+  /// and drops the entry. Degrades participate in min/max/uniform_links and
+  /// both fingerprints, so CostTable::fresh sees the mutation. Bound only.
+  void set_link_degrade(std::uint32_t acc, double factor);
+  /// Current degrade factor for `acc` (1 when undegraded).
+  [[nodiscard]] double link_degrade(std::uint32_t acc) const noexcept;
+  [[nodiscard]] bool degraded() const noexcept { return !degrades_.empty(); }
+
   /// Symmetric pair bandwidth, bytes/s. Either endpoint may be
   /// AccId::host(); both being the host is a contract violation.
   [[nodiscard]] double bandwidth(AccId a, AccId b) const;
@@ -150,6 +160,7 @@ class Interconnect {
   LinkShape shape_ = LinkShape::Uniform;
   double base_bw_ = 0;                // uniform speed / mixed default uplink
   std::vector<Override> overrides_;   // mixed; sorted by index
+  std::vector<Override> degrades_;    // live link derating; sorted by index
   HierarchicalSpec hier_;
 
   std::size_t acc_count_ = 0;  // 0 = unbound

@@ -132,6 +132,10 @@ void Mapping::validate(const ModelGraph& model, const SystemConfig& sys) const {
     if (!sys.contains(a))
       throw ConfigError(strformat("layer '%s' mapped to unknown accelerator",
                                   l.name.c_str()));
+    if (!sys.available(a))
+      throw ConfigError(strformat(
+          "layer '%s' mapped to '%s' which is marked unavailable",
+          l.name.c_str(), sys.spec(a).name.c_str()));
     if (!sys.accelerator(a).supports(l.kind))
       throw ConfigError(strformat(
           "layer '%s' (%s) mapped to '%s' which does not support it",

@@ -1,6 +1,7 @@
 #include "system/system_config.h"
 
 #include <array>
+#include <cstring>
 #include <set>
 #include <utility>
 
@@ -133,8 +134,53 @@ std::vector<AccId> SystemConfig::all_accelerators() const {
 std::vector<AccId> SystemConfig::supporting(LayerKind kind) const {
   std::vector<AccId> out;
   for (std::uint32_t i = 0; i < accs_.size(); ++i)
-    if (accs_[i]->supports(kind)) out.push_back(AccId{i});
+    if (accs_[i]->supports(kind) && available(AccId{i})) out.push_back(AccId{i});
   return out;
+}
+
+void SystemConfig::set_available(AccId id, bool available) {
+  H2H_EXPECTS(contains(id));
+  if (avail_.empty()) avail_.assign(accs_.size(), 1);
+  avail_[id.value] = available ? 1 : 0;
+  refresh_derate_fingerprint();
+}
+
+std::size_t SystemConfig::available_count() const noexcept {
+  if (avail_.empty()) return accs_.size();
+  std::size_t n = 0;
+  for (const std::uint8_t a : avail_) n += a;
+  return n;
+}
+
+void SystemConfig::set_compute_derate(AccId id, double scale) {
+  H2H_EXPECTS(contains(id));
+  if (!(scale > 0) || scale > 1)
+    throw ConfigError(strformat("compute derate for acc %u must be in (0, 1]",
+                                id.value));
+  if (derate_.empty()) derate_.assign(accs_.size(), 1.0);
+  derate_[id.value] = scale;
+  refresh_derate_fingerprint();
+}
+
+void SystemConfig::refresh_derate_fingerprint() {
+  // FNV over the availability bits and derate factors; stays 0 until the
+  // first fault hook fires (both vectors empty), so pre-repair CostTable
+  // freshness checks compare 0 == 0 exactly as before this field existed.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const std::uint8_t a : avail_) mix(a);
+  for (const double d : derate_) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+  derate_fp_ = h;
 }
 
 }  // namespace h2h

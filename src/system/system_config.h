@@ -111,17 +111,59 @@ class SystemConfig {
   }
 
   [[nodiscard]] std::vector<AccId> all_accelerators() const;
-  /// Accelerators able to run `kind`, in catalog order.
+  /// Accelerators able to run `kind`, in catalog order. Excludes
+  /// accelerators marked unavailable (fault repair).
   [[nodiscard]] std::vector<AccId> supporting(LayerKind kind) const;
+
+  // ---- Fault/repair derating (src/repair) ------------------------------
+  // Faults never remove an accelerator from the catalog: AccId indexing,
+  // names, and link fingerprints stay stable across a dropout so a later
+  // AccReturned can splice the device back in. Consumers (CostTable,
+  // Mapping::validate) treat an unavailable accelerator as unable to run
+  // anything.
+
+  /// Mark an accelerator lost (false) or returned (true).
+  void set_available(AccId id, bool available);
+  [[nodiscard]] bool available(AccId id) const {
+    H2H_EXPECTS(contains(id));
+    return avail_.empty() || avail_[id.value] != 0;
+  }
+  [[nodiscard]] std::size_t available_count() const noexcept;
+
+  /// Spec derate: the accelerator computes at `scale` in (0, 1] of nominal
+  /// speed (thermal throttling, partial reconfiguration). Scales compute
+  /// latency only; the energy model keeps charging nominal transfer joules.
+  void set_compute_derate(AccId id, double scale);
+  [[nodiscard]] double compute_derate(AccId id) const {
+    H2H_EXPECTS(contains(id));
+    return derate_.empty() ? 1.0 : derate_[id.value];
+  }
+
+  /// Link derating, forwarded to the bound interconnect (repair hook).
+  void set_link_degrade(AccId id, double factor) {
+    H2H_EXPECTS(contains(id));
+    links_.set_link_degrade(id.value, factor);
+  }
+
+  /// Fingerprint over availability + compute derates (link degrades are in
+  /// links().fingerprint()). Stays 0 while the fault hooks are untouched,
+  /// so CostTable::fresh is byte-for-byte unchanged on non-repair paths.
+  [[nodiscard]] std::uint64_t derate_fingerprint() const noexcept {
+    return derate_fp_;
+  }
 
  private:
   void validate_accelerators(bool allow_bw_override) const;
   void cache_capabilities();
+  void refresh_derate_fingerprint();
 
   std::vector<AcceleratorPtr> accs_;
   HostParams host_;
   Interconnect links_;
-  std::vector<std::uint32_t> caps_;  // per acc, spec_capabilities()
+  std::vector<std::uint32_t> caps_;   // per acc, spec_capabilities()
+  std::vector<std::uint8_t> avail_;   // empty = all available
+  std::vector<double> derate_;        // empty = all at nominal speed
+  std::uint64_t derate_fp_ = 0;       // 0 until a fault hook first fires
 };
 
 }  // namespace h2h

@@ -28,15 +28,6 @@ struct Score {
   return next.makespan < cur.makespan - 1e-12;
 }
 
-[[nodiscard]] std::vector<double> tenant_latencies(
-    const ScheduleResult& sched, const std::vector<TenantSpan>& spans) {
-  std::vector<double> out(spans.size(), 0.0);
-  for (std::size_t i = 0; i < spans.size(); ++i)
-    for (std::uint32_t l = spans[i].begin; l < spans[i].end; ++l)
-      out[i] = std::max(out[i], sched.timings[l].finish);
-  return out;
-}
-
 [[nodiscard]] Score score_of(const TenantSet& set,
                              const std::vector<double>& latency,
                              double makespan) {
@@ -53,6 +44,15 @@ struct Score {
 }
 
 }  // namespace
+
+std::vector<double> tenant_latencies(const ScheduleResult& sched,
+                                     const std::vector<TenantSpan>& spans) {
+  std::vector<double> out(spans.size(), 0.0);
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    for (std::uint32_t l = spans[i].begin; l < spans[i].end; ++l)
+      out[i] = std::max(out[i], sched.timings[l].finish);
+  return out;
+}
 
 const TenantOutcome& CoMapResult::outcome(std::string_view name) const {
   for (const TenantOutcome& t : tenants)

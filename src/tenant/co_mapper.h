@@ -99,6 +99,13 @@ struct CoMapResult {
   [[nodiscard]] const TenantOutcome& outcome(std::string_view name) const;
 };
 
+/// Per-tenant finish times under a union-model schedule: out[i] is the max
+/// finish across tenant i's span (the co-mapper's own SLO accounting).
+/// Public so live repair (repair/repair.h) can reassess tenant SLOs against
+/// a repaired union schedule without re-running the co-mapper.
+[[nodiscard]] std::vector<double> tenant_latencies(
+    const ScheduleResult& sched, const std::vector<TenantSpan>& spans);
+
 class CoMapper {
  public:
   /// Borrows `sys` for every plan (it must outlive the CoMapper).

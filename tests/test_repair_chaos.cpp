@@ -1,0 +1,213 @@
+// Chaos-style randomized property tests for live repair (DESIGN.md §12).
+//
+// Seeded FaultInjector schedules are replayed through a RepairEngine across
+// zoo models x link topologies (uniform, mixed, hierarchical). Every
+// Repaired result must (1) validate against the mutated system, (2) place
+// each layer on an available accelerator that serves its capability mask,
+// and (3) stay inside the pinned optimality envelope of a from-scratch
+// re-plan on an identically faulted system:
+//
+//   post <= max(scratch, fallback_ratio x reference)
+//
+// where reference is the faulted latency when the stale plan still runs,
+// the pre-fault latency otherwise — exactly the engine's fallback contract.
+// CI runs this suite standalone (-R RepairChaos) as the chaos smoke step.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accel/capability.h"
+#include "h2h.h"
+#include "test_helpers.h"
+#include "util/units.h"
+
+namespace h2h {
+namespace {
+
+enum class Topology { Uniform, Mixed, Hierarchical };
+
+constexpr Topology kTopologies[] = {Topology::Uniform, Topology::Mixed,
+                                    Topology::Hierarchical};
+
+[[nodiscard]] Interconnect make_links(Topology topo) {
+  switch (topo) {
+    case Topology::Uniform:
+      return Interconnect::uniform(gbps(0.5));
+    case Topology::Mixed:
+      return Interconnect::mixed(gbps(0.5),
+                                 {{0, gbps(1.25)}, {5, gbps(0.25)}});
+    case Topology::Hierarchical: {
+      Interconnect::HierarchicalSpec spec;
+      spec.group_size = 4;
+      spec.intra_bw = gbps(1.0);
+      spec.uplink_bw = gbps(0.25);
+      spec.host_bw = gbps(0.5);
+      return Interconnect::hierarchical(spec);
+    }
+  }
+  ADD_FAILURE() << "unknown topology";
+  return Interconnect::uniform(gbps(0.5));
+}
+
+/// Mirror of the engine's own per-event system mutations, replayed onto a
+/// fresh catalog so the from-scratch optimum can be planned on an identical
+/// faulted system (SystemConfig is move-only: the engine's copy cannot be
+/// cloned, so the chaos loop rebuilds it from the event history).
+void apply_fault(SystemConfig& sys, const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::AccLost:
+      sys.set_available(event.acc, false);
+      return;
+    case FaultKind::AccReturned:
+      sys.set_available(event.acc, true);
+      return;
+    case FaultKind::LinkDegraded:
+      sys.set_link_degrade(event.acc, event.scale);
+      return;
+    case FaultKind::LinkRestored:
+      sys.set_link_degrade(event.acc, 1.0);
+      return;
+    case FaultKind::SpecDerated:
+      sys.set_compute_derate(event.acc, event.scale);
+      return;
+  }
+  ADD_FAILURE() << "unknown fault kind";
+}
+
+struct ChaosTally {
+  std::size_t repaired = 0;
+  std::size_t infeasible = 0;
+  std::size_t fallbacks = 0;
+};
+
+/// Replay one seeded schedule through a RepairEngine, asserting the three
+/// chaos invariants on every Repaired result.
+ChaosTally run_chaos(const ModelGraph& model, Topology topo,
+                     std::uint64_t seed, std::size_t event_count) {
+  RepairOptions opts;
+  opts.plan.time_budget_s = testing::search_time_budget();
+  RepairEngine engine(model, SystemConfig::standard(make_links(topo)), opts);
+  (void)engine.plan_initial();
+
+  FaultInjector injector = FaultInjector::random(
+      seed, event_count, engine.system().accelerator_count());
+  std::vector<FaultEvent> history;
+  history.reserve(event_count);
+  ChaosTally tally;
+
+  while (!injector.done()) {
+    const FaultEvent& event = injector.next();
+    const RepairResult res = engine.apply(event);
+    // The system mutates even when the repair is infeasible (the fault
+    // happened either way); the mirror below must see every event.
+    history.push_back(event);
+
+    if (res.outcome == RepairOutcome::Infeasible) {
+      ++tally.infeasible;
+      EXPECT_FALSE(res.infeasible_reason.empty());
+      EXPECT_TRUE(engine.has_plan());  // the stale plan is kept
+      continue;
+    }
+    ++tally.repaired;
+    if (res.used_fallback) ++tally.fallbacks;
+
+    // (1) The repaired mapping validates against the mutated system.
+    EXPECT_TRUE(res.response.has_value());
+    engine.mapping().validate(model, engine.system());
+
+    // (2) Availability and capability masks hold layer by layer.
+    for (const LayerId id : model.all_layers()) {
+      if (model.layer(id).kind == LayerKind::Input) continue;
+      const AccId acc = engine.mapping().acc_of(id);
+      EXPECT_TRUE(engine.system().available(acc));
+      EXPECT_TRUE(can_serve(engine.system().capabilities(acc),
+                            model.layer(id).required_caps));
+    }
+
+    // (3) The pinned optimality envelope vs a from-scratch plan on an
+    // identically faulted mirror system.
+    SystemConfig mirror = SystemConfig::standard(make_links(topo));
+    for (const FaultEvent& past : history) apply_fault(mirror, past);
+    const PlanResponse scratch = plan_once(model, mirror, opts.plan);
+    const double scratch_lat = scratch.final_result().latency;
+    const double reference = std::isfinite(res.faulted_latency_s)
+                                 ? res.faulted_latency_s
+                                 : res.pre_latency_s;
+    const double envelope =
+        std::max(scratch_lat, opts.fallback_ratio * reference);
+    EXPECT_LE(res.post_latency_s, envelope * (1 + 1e-9))
+        << "seed " << seed << " event " << history.size() << " ("
+        << format_fault(event) << "): post " << res.post_latency_s
+        << " vs scratch " << scratch_lat << ", reference " << reference;
+  }
+
+  // A healthy-start schedule under min_alive = 2 must repair at least once.
+  EXPECT_GT(tally.repaired, 0u) << "seed " << seed;
+  return tally;
+}
+
+// One TEST per model so ctest runs the grids concurrently; distinct seeds
+// per (model, topology) cell keep the schedules decorrelated.
+
+TEST(RepairChaos, MoCapSurvivesRandomFaultsOnAllTopologies) {
+  const ModelGraph model = make_mocap();
+  std::uint64_t seed = 0xC0FFEE01;
+  for (const Topology topo : kTopologies)
+    (void)run_chaos(model, topo, seed++, 8);
+}
+
+TEST(RepairChaos, CasiaSurfSurvivesRandomFaultsOnAllTopologies) {
+  const ModelGraph model = make_casia_surf();
+  std::uint64_t seed = 0xC0FFEE11;
+  for (const Topology topo : kTopologies)
+    (void)run_chaos(model, topo, seed++, 8);
+}
+
+TEST(RepairChaos, VfsSurvivesRandomFaultsOnAllTopologies) {
+  const ModelGraph model = make_vfs();
+  std::uint64_t seed = 0xC0FFEE21;
+  for (const Topology topo : kTopologies)
+    (void)run_chaos(model, topo, seed++, 8);
+}
+
+TEST(RepairChaos, CapsStampedModelStaysConsistentUnderChaos) {
+  // With every layer demanding a capability only a catalog subset provides,
+  // random dropouts can exhaust the providers: infeasible results must come
+  // back in-band (never a throw), the stale plan must survive them, and
+  // every Repaired mapping must still honor the mask.
+  ModelGraph model = testing::make_mini_mmmt_model();
+  model.stamp_required_caps(kCapBigMem);
+  FaultScheduleOptions sched;
+  sched.min_alive = 2;
+  sched.w_lose = 0.5;  // bias toward dropouts to stress provider exhaustion
+
+  RepairOptions opts;
+  opts.plan.time_budget_s = testing::search_time_budget();
+  RepairEngine engine(model, SystemConfig::standard(gbps(0.5)), opts);
+  (void)engine.plan_initial();
+
+  FaultInjector injector = FaultInjector::random(
+      0xD15EA5E, 16, engine.system().accelerator_count(), sched);
+  std::size_t repaired = 0;
+  while (!injector.done()) {
+    const RepairResult res = engine.apply(injector.next());
+    EXPECT_TRUE(engine.has_plan());
+    if (res.outcome != RepairOutcome::Repaired) continue;
+    ++repaired;
+    engine.mapping().validate(model, engine.system());
+    for (const LayerId id : model.all_layers()) {
+      if (model.layer(id).kind == LayerKind::Input) continue;
+      EXPECT_TRUE(can_serve(
+          engine.system().capabilities(engine.mapping().acc_of(id)),
+          model.layer(id).required_caps));
+    }
+  }
+  EXPECT_GT(repaired, 0u);
+}
+
+}  // namespace
+}  // namespace h2h

@@ -13,14 +13,18 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define H2H_TEST_HAS_SIGNALS 1
+#include <arpa/inet.h>
 #include <ext/stdio_sync_filebuf.h>
+#include <netinet/in.h>
 #include <pthread.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <mutex>
 #include <thread>
 #else
 #define H2H_TEST_HAS_SIGNALS 0
@@ -225,6 +229,122 @@ TEST(ServePipeline, ShutdownSignalDrainsInFlightAndReturns) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_NE(lines[0].find(R"("id":"pre")"), std::string::npos);
   EXPECT_NE(lines[0].find(R"("ok":true)"), std::string::npos);
+}
+
+/// Thread-safe diag sink: the test polls it for the announced port while
+/// serve_tcp keeps writing connection summaries from its own thread.
+class SyncDiagBuf : public std::streambuf {
+ public:
+  [[nodiscard]] std::string str() const {
+    const std::scoped_lock lock(mu_);
+    return text_;
+  }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      const std::scoped_lock lock(mu_);
+      text_ += traits_type::to_char_type(ch);
+    }
+    return traits_type::not_eof(ch);
+  }
+  std::streamsize xsputn(const char* p, std::streamsize n) override {
+    const std::scoped_lock lock(mu_);
+    text_.append(p, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::string text_;
+};
+
+[[nodiscard]] int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ServePipeline, ClientDisconnectMidResponseDoesNotKillServer) {
+  // A client that sends a burst of requests and vanishes without reading a
+  // byte forces the server's response writes onto a dead socket — without
+  // SIGPIPE suppression that kills the whole process, and without EPIPE
+  // handling it wedges the connection loop. The server must finish that
+  // connection quietly and serve the next client normally.
+  SyncDiagBuf diag_buf;
+  std::ostream diag(&diag_buf);
+  serve::TcpOptions options;
+  options.max_connections = 2;
+  options.serve.threads = 1;
+
+  serve::TcpStats tcp_stats;
+  int rc = -1;
+  std::thread server(
+      [&] { rc = serve::serve_tcp(options, diag, &tcp_stats); });
+
+  std::uint16_t port = 0;
+  for (int tries = 0; tries < 1000 && port == 0; ++tries) {
+    const std::string text = diag_buf.str();
+    const std::size_t at = text.find("127.0.0.1:");
+    if (at != std::string::npos && text.find('\n', at) != std::string::npos) {
+      port = static_cast<std::uint16_t>(std::stoul(text.substr(at + 10)));
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_NE(port, 0) << "server never announced its port";
+
+  {
+    // Connection 1: burst enough requests that the unread responses
+    // overflow the loopback socket buffers, then slam the connection shut
+    // (close with unread data sends RST) — mid-write failure guaranteed.
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    std::string burst;
+    for (int i = 0; i < 64; ++i) {
+      burst += request_line("mocap", 0.5, strformat("burst%d", i)) + "\n";
+    }
+    ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+              static_cast<ssize_t>(burst.size()));
+    // Give the server a moment to start writing into the doomed socket.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ::close(fd);
+  }
+
+  {
+    // Connection 2: a normal request must still be answered.
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    const std::string req = request_line("mocap", 0.5, "alive") + "\n";
+    ASSERT_EQ(::write(fd, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    std::string response;
+    char c = 0;
+    while (response.find('\n') == std::string::npos &&
+           ::read(fd, &c, 1) == 1) {
+      response += c;
+    }
+    ::close(fd);
+    EXPECT_NE(response.find(R"("id":"alive")"), std::string::npos);
+    EXPECT_NE(response.find(R"("ok":true)"), std::string::npos);
+  }
+
+  server.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(tcp_stats.connections, 2u);
+  EXPECT_EQ(tcp_stats.accept_retries, 0u);
 }
 
 #endif  // H2H_TEST_HAS_SIGNALS

@@ -5,6 +5,9 @@
 //   h2h map --model <key> [--bw <GB/s> | --links <spec>] [--batch <n>]
 //               [plan options] [--save <file>] [--gantt] [--per-layer]
 //               [--json] [--no-timing]
+//   h2h repair --model <key> --fault <spec>[,<spec>...]
+//               [--bw <GB/s> | --links <spec>] [--batch <n>]
+//               [--fallback-ratio <r>] [plan options] [--json] [--no-timing]
 //   h2h replay --model <key> --load <file> [--bw <GB/s> | --links <spec>]
 //   h2h sweep [--csv <file>] [plan options]
 //   h2h serve [--threads <n>] [--tcp <port>] [--max-connections <n>]
@@ -143,6 +146,10 @@ void usage(std::ostream& out) {
          "  h2h comap --tenants <spec> [--bw <GB/s>] [plan options]\n"
          "              [--max-rounds <n>] [--no-steal] [--require-slos]\n"
          "              [--gantt] [--per-layer] [--json]\n"
+         "  h2h repair --model <key> --fault <spec>[,<spec>...]\n"
+         "              [--bw <GB/s> | --links <spec>] [--batch <n>]\n"
+         "              [--fallback-ratio <r>] [plan options] [--json]\n"
+         "              [--no-timing]\n"
          "  h2h replay --model <key> --load <file>"
          " [--bw <GB/s> | --links <spec>]\n"
          "  h2h sweep [--csv <file>] [plan options]\n"
@@ -154,6 +161,12 @@ void usage(std::ostream& out) {
          "  mixed:<GB/s>[,<acc>=<GB/s>...]    per-accelerator uplinks\n"
          "  hier:group=<n>,intra=<GB/s>,uplink=<GB/s>[,host=<GB/s>]"
          "[,lat_us=<us>]\n"
+         "\n"
+         "fault specs (--fault, ','-separated, applied in order):\n"
+         "  lose:<acc> | return:<acc> | degrade:<acc>=<scale> |"
+         " restore:<acc> | derate:<acc>=<scale>\n"
+         "  e.g. \"lose:3,degrade:2=0.25,return:3\"; exit 2 when any repair"
+         " is infeasible\n"
          "\n"
          "tenant specs (--tenants, ';'-separated):\n"
          "  name=<model-key>[:slo=<seconds>][:prio=<n>][:caps=<caps-spec>]\n"
@@ -369,6 +382,77 @@ int cmd_comap(const Args& args) {
   return 0;
 }
 
+int cmd_repair(const Args& args) {
+  auto common = load_common(args);
+  if (!common) return 1;
+  const auto faults = args.get("fault");
+  if (!faults) {
+    std::cerr << "error: repair requires --fault <spec>[,<spec>...]\n";
+    return 1;
+  }
+  const std::vector<FaultEvent> script =
+      parse_fault_list(*faults);  // ConfigError -> exit 2 in main
+
+  RepairOptions options;
+  if (!apply_plan_flags(args, options.plan)) return 1;
+  if (const auto ratio = args.get("fallback-ratio")) {
+    try {
+      options.fallback_ratio = std::stod(*ratio);
+    } catch (const std::exception&) {
+      options.fallback_ratio = -1;
+    }
+    if (options.fallback_ratio < 0) {
+      std::cerr << "error: --fallback-ratio expects a non-negative number\n";
+      return 1;
+    }
+  }
+
+  // The engine owns its system; common->sys stays the pristine catalog for
+  // nothing here (load_common builds it anyway). The engine's plan_initial
+  // is bit-identical to the Planner plan a serve session would have cached,
+  // which is what makes --json hex-exact against the serve flow.
+  RepairEngine engine(common->model,
+                      common->links
+                          ? SystemConfig::standard(*common->links)
+                          : SystemConfig::standard(gbps(common->bw_gbps)),
+                      options);
+  (void)engine.plan_initial();
+
+  const bool json = args.has("json");
+  bool any_infeasible = false;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    const RepairResult result = engine.apply(script[i]);
+    any_infeasible = any_infeasible ||
+                     result.outcome == RepairOutcome::Infeasible;
+    if (json) {
+      if (i + 1 < script.size()) continue;  // one line: the last fault
+      serve::WireRepairRequest wire;
+      wire.model = common->id;
+      wire.bw_gbps = common->bw_gbps;
+      wire.links = common->links;
+      wire.batch = common->batch;
+      wire.options = options.plan;
+      wire.fallback_ratio = options.fallback_ratio;
+      wire.event = script[i];
+      wire.emit_timing = !args.has("no-timing");
+      if (result.outcome == RepairOutcome::Infeasible) {
+        std::cout << serve::write_error({serve::ErrorCode::InfeasibleRepair,
+                                         result.infeasible_reason,
+                                         {}})
+                  << '\n';
+      } else {
+        std::cout << serve::write_repair_response(wire, result, common->model,
+                                                  engine.system())
+                  << '\n';
+      }
+    } else {
+      if (i > 0) std::cout << '\n';
+      print_repair_report(common->model, engine.system(), result, std::cout);
+    }
+  }
+  return any_infeasible ? 2 : 0;
+}
+
 int cmd_replay(const Args& args) {
   auto common = load_common(args);
   if (!common) return 1;
@@ -484,6 +568,7 @@ int main(int argc, char** argv) {
     if (args->command == "list-accelerators") return cmd_list_accelerators();
     if (args->command == "map") return cmd_map(*args);
     if (args->command == "comap") return cmd_comap(*args);
+    if (args->command == "repair") return cmd_repair(*args);
     if (args->command == "replay") return cmd_replay(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "serve") return cmd_serve(*args);
